@@ -1,0 +1,210 @@
+// Command reinfer classifies saved probe results: it reads the
+// scamper-style JSON produced by resurvey -json (or reprobe runs
+// concatenated across configurations), reduces each prefix's per-round
+// response interfaces to the paper's Table 1 categories, and prints
+// the summary. This is the offline half of the method: given the data
+// plane observations, infer relative route preference.
+//
+// Usage:
+//
+//	reinfer [file.json ...]          (stdin when no files given)
+//	reinfer -compare a.json b.json   (Table 2-style comparison)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/netutil"
+	"repro/internal/probe"
+	"repro/internal/report"
+)
+
+func main() {
+	compare := flag.Bool("compare", false, "compare two experiments' inferences prefix by prefix")
+	flag.Parse()
+
+	var err error
+	if *compare {
+		if flag.NArg() != 2 {
+			err = fmt.Errorf("-compare needs exactly two files")
+		} else {
+			err = runCompare(flag.Arg(0), flag.Arg(1))
+		}
+	} else {
+		err = run(flag.Args())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reinfer:", err)
+		os.Exit(1)
+	}
+}
+
+// classifyFile loads one experiment's probe JSON and classifies every
+// prefix.
+func classifyFile(name string) (map[netutil.Prefix]core.Inference, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rounds, err := probe.ReadJSON(f, func(addr uint32) (netutil.Prefix, bool) {
+		return netutil.PrefixFrom(addr, 24), true
+	})
+	if err != nil {
+		return nil, err
+	}
+	perPrefix := make(map[netutil.Prefix][]core.RoundObs)
+	for _, rd := range rounds {
+		byPrefix := make(map[netutil.Prefix][]probe.Record)
+		for _, rec := range rd.Records {
+			byPrefix[rec.Prefix] = append(byPrefix[rec.Prefix], rec)
+		}
+		for p, recs := range byPrefix {
+			perPrefix[p] = append(perPrefix[p], core.ObserveRound(recs))
+		}
+	}
+	out := make(map[netutil.Prefix]core.Inference, len(perPrefix))
+	for p, seq := range perPrefix {
+		out[p] = core.Classify(seq)
+	}
+	return out, nil
+}
+
+// runCompare prints the Table 2-style agreement between two runs.
+func runCompare(fileA, fileB string) error {
+	a, err := classifyFile(fileA)
+	if err != nil {
+		return err
+	}
+	b, err := classifyFile(fileB)
+	if err != nil {
+		return err
+	}
+	comparable := []core.Inference{core.InfAlwaysCommodity, core.InfAlwaysRE, core.InfSwitchToRE}
+	isComparable := func(i core.Inference) bool {
+		for _, c := range comparable {
+			if i == c {
+				return true
+			}
+		}
+		return false
+	}
+	matrix := make(map[core.Inference]map[core.Inference]int)
+	for _, x := range comparable {
+		matrix[x] = make(map[core.Inference]int)
+	}
+	same, total, incomparable := 0, 0, 0
+	for p, ia := range a {
+		ib, ok := b[p]
+		if !ok {
+			continue
+		}
+		if !isComparable(ia) || !isComparable(ib) {
+			incomparable++
+			continue
+		}
+		total++
+		matrix[ia][ib]++
+		if ia == ib {
+			same++
+		}
+	}
+	t := &report.Table{
+		Title:   "Cross-experiment comparison (" + fileA + " vs " + fileB + ")",
+		Headers: []string{"First", "Second", "Prefixes", ""},
+	}
+	for _, x := range comparable {
+		for _, y := range comparable {
+			if n := matrix[x][y]; n > 0 {
+				t.AddRow(x.String(), y.String(), fmt.Sprint(n), report.Pct(n, total))
+			}
+		}
+	}
+	t.AddRow("Same:", "", fmt.Sprint(same), report.Pct(same, total))
+	t.AddRow("Comparable:", "", fmt.Sprint(total), "")
+	t.AddRow("Incomparable:", "", fmt.Sprint(incomparable), "")
+	fmt.Println(t)
+	return nil
+}
+
+func run(files []string) error {
+	var readers []io.Reader
+	if len(files) == 0 {
+		readers = append(readers, os.Stdin)
+	}
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+
+	// Without the ecosystem, attribute probes to their covering /24 —
+	// the dominant prefix size in the survey. Real deployments would
+	// attribute against the announced prefix list.
+	resolve := func(addr uint32) (netutil.Prefix, bool) {
+		return netutil.PrefixFrom(addr, 24), true
+	}
+
+	var rounds []probe.Round
+	for _, r := range readers {
+		rs, err := probe.ReadJSON(r, resolve)
+		if err != nil {
+			return err
+		}
+		rounds = append(rounds, rs...)
+	}
+	if len(rounds) == 0 {
+		return fmt.Errorf("no probe rounds in input")
+	}
+	fmt.Printf("loaded %d rounds: ", len(rounds))
+	for i, rd := range rounds {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s (%d probes)", rd.Config, len(rd.Records))
+	}
+	fmt.Println()
+
+	// Group per prefix per round, classify.
+	perPrefix := make(map[netutil.Prefix][]core.RoundObs)
+	for _, rd := range rounds {
+		byPrefix := make(map[netutil.Prefix][]probe.Record)
+		for _, rec := range rd.Records {
+			byPrefix[rec.Prefix] = append(byPrefix[rec.Prefix], rec)
+		}
+		for p, recs := range byPrefix {
+			perPrefix[p] = append(perPrefix[p], core.ObserveRound(recs))
+		}
+	}
+
+	counts := make(map[core.Inference]int)
+	total := 0
+	for _, seq := range perPrefix {
+		inf := core.Classify(seq)
+		counts[inf]++
+		if inf != core.InfUnresponsive {
+			total++
+		}
+	}
+	t := &report.Table{
+		Title:   "Inference summary",
+		Headers: []string{"Inference", "Prefixes", ""},
+	}
+	for _, inf := range []core.Inference{
+		core.InfAlwaysRE, core.InfAlwaysCommodity, core.InfSwitchToRE,
+		core.InfSwitchToCommodity, core.InfMixed, core.InfOscillating,
+	} {
+		t.AddRow(inf.String(), fmt.Sprint(counts[inf]), report.Pct(counts[inf], total))
+	}
+	t.AddRow("(excluded: packet loss)", fmt.Sprint(counts[core.InfUnresponsive]), "")
+	t.AddRow("Total classified:", fmt.Sprint(total), "")
+	fmt.Println(t)
+	return nil
+}

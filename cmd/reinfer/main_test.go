@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// writeFixture runs a tiny experiment and saves its probe JSON.
+func writeFixture(t *testing.T, dir, name string, surfStyle bool) string {
+	t.Helper()
+	opts := core.SmallSurveyOptions()
+	s := core.NewSurvey(opts)
+	var x *core.Experiment
+	if surfStyle {
+		x = core.NewSURFExperiment(s.Eco, s.World, s.Prober, s.Sel, 9*3600)
+	} else {
+		x = core.NewInternet2Experiment(s.Eco, s.World, s.Prober, s.Sel, 9*3600)
+	}
+	res := x.Run()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, rd := range res.Rounds {
+		if err := s.Prober.WriteJSON(f, rd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestClassifyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFixture(t, dir, "june.json", false)
+	infs, err := classifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infs) == 0 {
+		t.Fatal("no prefixes classified")
+	}
+	counts := map[core.Inference]int{}
+	for _, inf := range infs {
+		counts[inf]++
+	}
+	total := len(infs) - counts[core.InfUnresponsive]
+	re := counts[core.InfAlwaysRE]
+	if re*100 < total*70 {
+		t.Errorf("Always R&E = %d of %d, implausibly low", re, total)
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFixture(t, dir, "surf.json", true)
+	b := writeFixture(t, dir, "june.json", false)
+	if err := runCompare(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompare(a, filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestRunFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFixture(t, dir, "one.json", false)
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{filepath.Join(dir, "nope.json")}); err == nil {
+		t.Error("missing file should error")
+	}
+	// Empty input yields a diagnosed error.
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}); err == nil {
+		t.Error("empty input should error")
+	}
+}

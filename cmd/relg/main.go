@@ -1,0 +1,73 @@
+// Command relg queries a simulated looking glass: the "show ip bgp"
+// view of any AS in the generated ecosystem, for any prefix — the
+// analog of lg.niks.su, the looking glass the paper used to confirm
+// NIKS's localpref configuration (§4, Figure 4).
+//
+// Usage:
+//
+//	relg -as 3267                      # NIKS's view of the measurement prefix
+//	relg -as 3267 -prefix 10.0.0.0/24  # any prefix
+//	relg -as 3267 -experiment surf     # during the SURF-style announcement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asn"
+	"repro/internal/lg"
+	"repro/internal/netutil"
+	"repro/internal/topo"
+)
+
+func main() {
+	asFlag := flag.Uint64("as", 3267, "AS number whose looking glass to query")
+	prefixFlag := flag.String("prefix", "", "prefix to look up (default: the measurement prefix)")
+	experiment := flag.String("experiment", "internet2", "announcement in effect: internet2, surf, or none")
+	small := flag.Bool("small", true, "use the reduced-scale ecosystem")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if err := run(*asFlag, *prefixFlag, *experiment, *small, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "relg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(as uint64, prefixStr, experiment string, small bool, seed int64) error {
+	cfg := topo.DefaultConfig()
+	if small {
+		cfg = topo.SmallConfig()
+	}
+	cfg.Seed = seed
+	eco := topo.Build(cfg)
+
+	switch experiment {
+	case "internet2":
+		eco.Net.Originate(eco.MeasCommodity.Router, eco.MeasPrefix)
+		eco.Net.Originate(eco.Internet2.Router, eco.MeasPrefix)
+	case "surf":
+		eco.Net.Originate(eco.MeasCommodity.Router, eco.MeasPrefix)
+		eco.Net.Originate(eco.MeasSURF.Router, eco.MeasPrefix)
+	case "none":
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	eco.Net.RunToQuiescence()
+
+	info := eco.AS(asn.AS(as))
+	if info == nil {
+		return fmt.Errorf("AS %d not in the ecosystem (try retopo to list)", as)
+	}
+	prefix := eco.MeasPrefix
+	if prefixStr != "" {
+		p, err := netutil.ParsePrefix(prefixStr)
+		if err != nil {
+			return err
+		}
+		prefix = p
+	}
+	fmt.Printf("%s (AS %d) looking glass\n", info.Name, as)
+	return lg.Render(os.Stdout, eco.Net, info.Router, prefix)
+}

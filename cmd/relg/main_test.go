@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	tmp := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = f
+	errRun := fn()
+	os.Stdout = old
+	f.Close()
+	if errRun != nil {
+		t.Fatal(errRun)
+	}
+	data, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestNIKSGlassBothExperiments(t *testing.T) {
+	june := capture(t, func() error { return run(3267, "", "internet2", true, 1) })
+	if !strings.Contains(june, "NIKS") || !strings.Contains(june, "localpref 100") {
+		t.Errorf("June glass wrong:\n%s", june)
+	}
+	if strings.Contains(june, "localpref 185") {
+		t.Errorf("June glass should not show the GEANT route:\n%s", june)
+	}
+	may := capture(t, func() error { return run(3267, "", "surf", true, 1) })
+	if !strings.Contains(may, "localpref 185") {
+		t.Errorf("May glass should show GEANT at 185:\n%s", may)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(99, "", "internet2", true, 1); err == nil {
+		t.Error("unknown AS accepted")
+	}
+	if err := run(3267, "bogus", "internet2", true, 1); err == nil {
+		t.Error("bad prefix accepted")
+	}
+	if err := run(3267, "", "marsnet", true, 1); err == nil {
+		t.Error("bad experiment accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Command reprobe runs a single active-probing round under one
+// announcement configuration and writes scamper-style JSON to stdout —
+// the standalone equivalent of one grey bar in Figure 3.
+//
+// Usage:
+//
+//	reprobe [-small] [-seed N] [-config 0-0] [-experiment internet2|surf]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/netutil"
+	"repro/internal/probe"
+	"repro/internal/seeds"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+func main() {
+	small := flag.Bool("small", true, "use the reduced-scale ecosystem")
+	seed := flag.Int64("seed", 1, "generator seed")
+	configLabel := flag.String("config", "0-0", "prepend configuration (e.g. 4-0, 0-2)")
+	experiment := flag.String("experiment", "internet2", "which R&E origin announces: internet2 or surf")
+	flag.Parse()
+
+	if err := run(*small, *seed, *configLabel, *experiment); err != nil {
+		fmt.Fprintln(os.Stderr, "reprobe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(small bool, seed int64, configLabel, experiment string) error {
+	var cfg core.PrependConfig
+	found := false
+	for _, c := range core.Schedule() {
+		if c.Label() == configLabel {
+			cfg, found = c, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown config %q (want one of the 4-0..0-4 schedule)", configLabel)
+	}
+
+	gen := topo.DefaultConfig()
+	if small {
+		gen = topo.SmallConfig()
+	}
+	gen.Seed = seed
+	eco := topo.Build(gen)
+	world := simnet.BuildWorld(eco, simnet.DefaultWorldConfig())
+	cat := seeds.BuildCatalog(eco, world, seeds.DefaultCatalogConfig())
+	var prefixes []netutil.Prefix
+	for _, pi := range eco.Prefixes {
+		prefixes = append(prefixes, pi.Prefix)
+	}
+	sel := seeds.Select(cat, prefixes, func(a uint32, p simnet.Proto) bool {
+		return world.Responsive(a, p, 0)
+	}, 3)
+
+	var reOrigin bgp.RouterID
+	switch experiment {
+	case "internet2":
+		reOrigin = eco.Internet2.Router
+	case "surf":
+		reOrigin = eco.MeasSURF.Router
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+
+	net := eco.Net
+	net.Originate(eco.MeasCommodity.Router, eco.MeasPrefix)
+	net.Originate(reOrigin, eco.MeasPrefix)
+	for _, nb := range net.Speaker(reOrigin).Peers() {
+		net.SetPrefixPrepend(reOrigin, nb, eco.MeasPrefix, cfg.RE)
+	}
+	for _, nb := range net.Speaker(eco.MeasCommodity.Router).Peers() {
+		net.SetPrefixPrepend(eco.MeasCommodity.Router, nb, eco.MeasPrefix, cfg.Commodity)
+	}
+	net.RunToQuiescence()
+
+	world.RETerminals = map[bgp.RouterID]bool{reOrigin: true}
+	world.CommodityTerminals = map[bgp.RouterID]bool{eco.MeasCommodity.Router: true}
+
+	prober := probe.NewProber(world)
+	round := prober.Run(cfg.Label(), net.Now(), sel)
+	fmt.Fprintf(os.Stderr, "reprobe: %d probes in config %s (%d prefixes)\n",
+		len(round.Records), cfg.Label(), len(sel.Targets))
+	return prober.WriteJSON(os.Stdout, round)
+}

@@ -1,0 +1,341 @@
+// Command resurvey runs the full reproduction of "R&E Routing Policy:
+// Inference and Implication" (IMC 2025): it generates the synthetic
+// R&E ecosystem, runs both measurement experiments (SURF-style and
+// Internet2-style), and prints every table and figure of the paper's
+// evaluation.
+//
+// Usage:
+//
+//	resurvey [-small] [-seed N] [-json dir] [-mrt dir]
+//
+// -small runs the reduced test-scale ecosystem; -json writes the
+// scamper-style probe results per round; -mrt writes collector RIB
+// and update dumps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/asrel"
+	"repro/internal/bgp"
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/irr"
+	"repro/internal/netutil"
+	"repro/internal/report"
+)
+
+func main() {
+	small := flag.Bool("small", false, "run the reduced-scale ecosystem")
+	seed := flag.Int64("seed", 1, "topology generator seed")
+	jsonDir := flag.String("json", "", "directory for scamper-style probe JSON")
+	mrtDir := flag.String("mrt", "", "directory for MRT collector dumps")
+	nSeeds := flag.Int("seeds", 1, "additionally rerun the survey across N generator seeds (reduced scale) and report spread")
+	dataset := flag.String("dataset", "", "write the gzip-compressed JSON dataset (the public-data-release analog) to this file")
+	flag.Parse()
+
+	if err := run(*small, *seed, *jsonDir, *mrtDir, *nSeeds, *dataset); err != nil {
+		fmt.Fprintln(os.Stderr, "resurvey:", err)
+		os.Exit(1)
+	}
+}
+
+func run(small bool, seed int64, jsonDir, mrtDir string, nSeeds int, datasetPath string) error {
+	opts := core.DefaultSurveyOptions()
+	if small {
+		opts = core.SmallSurveyOptions()
+	}
+	opts.Topology.Seed = seed
+
+	fmt.Printf("building ecosystem (seed %d)...\n", seed)
+	s := core.NewSurvey(opts)
+	st := s.Sel.Stats
+	fmt.Printf("  %d R&E-connected origin ASes; %d prefixes announced, %d excluded as entirely covered (§3.2), %d probed\n",
+		countASes(s), len(s.Eco.Prefixes), len(s.Eco.Prefixes)-st.Prefixes, st.Prefixes)
+	fmt.Printf("  %d with ISI seeds (%s), %d responsive (%s), %d with three targets (%s)\n\n",
+		st.WithISISeed, report.Pct(st.WithISISeed, st.Prefixes),
+		st.Responsive, report.Pct(st.Responsive, st.Prefixes),
+		st.WithMaxTargets, report.Pct(st.WithMaxTargets, st.Responsive))
+
+	fmt.Println("running SURF and Internet2 experiments...")
+	s.RunBoth()
+	fmt.Println()
+
+	// Table 1 for both experiments.
+	surfSum := core.Summarize(s.Eco, s.SURF)
+	juneSum := core.Summarize(s.Eco, s.Internet2)
+	fmt.Println(surfSum.Table())
+	fmt.Println(juneSum.Table())
+	fmt.Printf("ASes in multiple Table 1 categories: %d (SURF), %d (Internet2) — why the AS columns exceed 100%%\n\n",
+		surfSum.MultiCategoryASes, juneSum.MultiCategoryASes)
+	fmt.Println(core.ProviderBreakdownTable(core.BreakdownByProvider(s.Eco, s.Internet2), 10))
+
+	re, comm := core.MixedRatio(s.Internet2)
+	if comm > 0 {
+		fmt.Printf("mixed-prefix response ratio R&E:commodity = %d:%d (~%.1f:1; paper ~2:1)\n\n", re, comm, float64(re)/float64(comm))
+	}
+
+	// Table 2.
+	cmp := core.Compare(s.Eco, s.SURF, s.Internet2)
+	fmt.Println(cmp.Table())
+	fmt.Printf("differences attributable to NIKS-style transit: %d of %d\n\n", cmp.DifferencesViaNIKS, cmp.Different)
+
+	// Table 3.
+	cong := core.Congruence(s.Eco, s.Internet2, 11537, 396955)
+	fmt.Println(cong.Table())
+	fmt.Printf("incongruent ASes explained by VRF-split exports: %d\n\n", cong.VRFExplained)
+
+	// Looking-glass corroboration (the §2.2/§4.1 channel).
+	lgv := core.ValidateAgainstLookingGlasses(s.Eco, s.Internet2, 11537, 15)
+	fmt.Printf("looking-glass corroboration: %d agree, %d disagree, %d indeterminate (of %d glasses sampled)\n",
+		lgv.Agreements, lgv.Disagreements, lgv.Indeterminate, len(lgv.Rows))
+
+	// Ground truth (the §4.1.2 analogue).
+	for _, res := range []*core.Result{s.SURF, s.Internet2} {
+		v := core.Validate(s.Eco, res)
+		fmt.Printf("%s — inference vs installed policy: accuracy %.1f%% over %d prefixes\n",
+			res.Name, 100*v.Accuracy(), v.Evaluated)
+	}
+	fmt.Println()
+
+	// Table 4 + Figure 5 share the origin views.
+	fmt.Println("solving converged member-prefix routing for collector and RIPE views...")
+	views := core.ComputeOriginViews(s.Eco)
+	pa := core.AnalyzePrepending(s.Eco, s.Internet2, views)
+	fmt.Println(pa.Table())
+
+	// The implication (§1, §4.2): what inferred preferences buy a
+	// routing model over Gao-Rexford, prepend-signal, and
+	// IRR-documentation baselines.
+	reg := irr.FromEcosystem(s.Eco, irr.DefaultGenConfig())
+	pe := core.EvaluatePredictors(s.Eco, s.SURF, s.Internet2, views, reg)
+	fmt.Println(pe.Table())
+
+	ra := core.AnalyzeRIPE(s.Eco, views, core.BuildGeoDB(s.Eco))
+	fmt.Printf("RIPE (equal localpref) reached %s of R&E prefixes and %s of ASes over R&E routes (paper: 64.0%% / 63.9%%)\n",
+		report.Pct(ra.PrefixesViaRE, ra.Prefixes), report.Pct(ra.ASesViaRE, ra.ASes))
+	eu, us := ra.Series()
+	fmt.Println(eu)
+	fmt.Println(us)
+	fmt.Println()
+
+	// Figure 3.
+	fmt.Println(core.BuildChurnTimeline(s.SURF, 1125))
+	fmt.Println(core.BuildChurnTimeline(s.Internet2, 11537))
+
+	// Figure 7 (and its empirical closure: the FSM seeded with actual
+	// path lengths predicts the observed switch rounds).
+	fmt.Println(core.Figure7Table())
+	sm := core.EvaluateSwitchModel(s.Eco, s.Internet2)
+	fmt.Printf("Appendix A model vs data: %.1f%% of %d switch timings predicted exactly (%d off-by-one, %d other)\n\n",
+		100*sm.ExactRate(), sm.Total(), sm.OffByOne, sm.Other)
+
+	// Figure 8.
+	sw := core.SwitchPrefixes(s.SURF, s.Internet2)
+	fmt.Printf("Figure 8: %d prefixes switched to R&E in both experiments\n", len(sw))
+	for _, res := range []*core.Result{s.SURF, s.Internet2} {
+		cdf := core.BuildSwitchCDF(s.Eco, res, sw)
+		p, n := cdf.Series()
+		fmt.Println(p)
+		fmt.Println(n)
+	}
+
+	// §1's performance implication: the latency cost of commodity
+	// detours at the commodity-favoured end of the schedule.
+	lat := core.AnalyzeLatency(s.Internet2)
+	if len(lat) > 0 && lat[0].NCommodity > 0 && lat[0].NRE > 0 {
+		fmt.Printf("latency at config %s: median R&E %.1f ms vs commodity %.1f ms (detour penalty %.1f ms, synthetic per-hop RTTs)\n\n",
+			lat[0].Config, lat[0].MedianRE, lat[0].MedianCommodity, lat[0].DetourPenalty())
+	}
+
+	// Design ablations: schedule subsets, target budgets, and the
+	// pacing that keeps route-flap damping quiet (run at reduced scale
+	// so it stays cheap).
+	fmt.Println()
+	fmt.Println(core.RoundsAblationTable(core.AblateRounds(s.Internet2, core.StandardSubsets())))
+	fmt.Println(core.TargetsAblationTable(core.AblateTargets(s.Internet2, []int{1, 2, 3})))
+	fmt.Println(core.GapAblationTable(core.AblateRoundGap([]int{600, 1800, 3600}, core.SmallSurveyOptions())))
+
+	// What a third party recovers from the public views alone:
+	// Gao-style relationship inference scored against the generator's
+	// wiring (the modeling baseline the paper's method goes beyond).
+	relAcc, relEdges, relPaths := relationshipAccuracy(s, views)
+	fmt.Printf("AS-relationship inference (Gao-style) from collector paths: %.1f%% of %d adjacent edges correct (%d paths)\n",
+		100*relAcc, relEdges, relPaths)
+
+	// IRR documented-vs-deployed policy (the §2.2 lineage: Wang & Gao
+	// 2003, Kastanakis et al. 2023): how far registry documentation
+	// gets a modeler compared with the data-plane inference above.
+	irrStats := irr.CompareDocumented(s.Eco, reg)
+	fmt.Printf("IRR aut-num conformance with deployed policy: %.1f%% of %d documented members (%d undocumented; literature ~83%%)\n",
+		100*irrStats.ConformanceRate(), irrStats.Documented, irrStats.Undocumented)
+	if !reg.CoversOrigin(s.Eco.MeasPrefix, 11537) || !reg.CoversOrigin(s.Eco.MeasPrefix, 396955) {
+		return fmt.Errorf("measurement prefix not covered by IRR route objects")
+	}
+
+	if nSeeds > 1 {
+		var seedList []int64
+		for i := 0; i < nSeeds; i++ {
+			seedList = append(seedList, seed+int64(i))
+		}
+		fmt.Println(core.RunMultiSeed(core.SmallSurveyOptions(), seedList).Table())
+	}
+
+	if jsonDir != "" {
+		if err := writeJSON(s, jsonDir); err != nil {
+			return err
+		}
+		fmt.Printf("\nprobe JSON written to %s\n", jsonDir)
+	}
+	if mrtDir != "" {
+		if err := writeMRT(s, mrtDir); err != nil {
+			return err
+		}
+		fmt.Printf("MRT dumps written to %s\n", mrtDir)
+	}
+	if datasetPath != "" {
+		f, err := os.Create(datasetPath)
+		if err != nil {
+			return err
+		}
+		if err := core.WriteDataset(f, core.BuildDataset(s)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("dataset written to %s\n", datasetPath)
+	}
+	return nil
+}
+
+// countASes counts distinct R&E-connected origin ASes (the paper's
+// 2,653 figure), not the whole simulated world.
+func countASes(s *core.Survey) int {
+	set := map[asn.AS]bool{}
+	for _, pi := range s.Eco.Prefixes {
+		set[pi.Origin] = true
+	}
+	return len(set)
+}
+
+// relationshipAccuracy runs Gao-style relationship inference over the
+// collector-observed paths of every origin and scores it against the
+// generator's session classes.
+func relationshipAccuracy(s *core.Survey, views map[asn.AS]*core.OriginView) (acc float64, evaluated, nPaths int) {
+	eco := s.Eco
+	var paths []asn.Path
+	origins := make([]asn.AS, 0, len(views))
+	for origin := range views {
+		origins = append(origins, origin)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, origin := range origins {
+		paths = append(paths, views[origin].CollectorPaths...)
+	}
+	inf := asrel.NewInferrer()
+	for _, p := range paths {
+		inf.AddPath(p)
+	}
+	res := inf.Infer(paths)
+	correct := 0
+	for _, ie := range res.Edges() {
+		a, b := eco.AS(ie.A), eco.AS(ie.B)
+		if a == nil || b == nil {
+			continue
+		}
+		pcAtA := eco.Net.Speaker(a.Router).Peer(b.Router)
+		if pcAtA == nil {
+			continue
+		}
+		var truth asrel.Rel
+		switch pcAtA.ClassifyAs {
+		case bgp.ClassCustomer:
+			truth = asrel.RelProviderOf
+		case bgp.ClassProvider:
+			truth = asrel.RelCustomerOf
+		case bgp.ClassPeer, bgp.ClassREPeer:
+			truth = asrel.RelPeer
+		default:
+			continue
+		}
+		evaluated++
+		if ie.Rel == truth {
+			correct++
+		}
+	}
+	if evaluated > 0 {
+		acc = float64(correct) / float64(evaluated)
+	}
+	return acc, evaluated, len(paths)
+}
+
+func writeJSON(s *core.Survey, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, pair := range []struct {
+		name string
+		res  *core.Result
+	}{{"surf", s.SURF}, {"internet2", s.Internet2}} {
+		f, err := os.Create(filepath.Join(dir, pair.name+".json"))
+		if err != nil {
+			return err
+		}
+		for _, round := range pair.res.Rounds {
+			if err := s.Prober.WriteJSON(f, round); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeMRT(s *core.Survey, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Collector RIB snapshots for the measurement prefix.
+	for i, col := range s.Eco.Collectors {
+		rib := collector.Snapshot(s.Eco.Net, col, []netutil.Prefix{s.Eco.MeasPrefix})
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("rib-collector%d.mrt", i)))
+		if err != nil {
+			return err
+		}
+		if err := rib.WriteMRT(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	// Update streams per experiment.
+	for _, pair := range []struct {
+		name string
+		res  *core.Result
+	}{{"surf", s.SURF}, {"internet2", s.Internet2}} {
+		f, err := os.Create(filepath.Join(dir, "updates-"+pair.name+".mrt"))
+		if err != nil {
+			return err
+		}
+		if err := collector.WriteUpdates(f, pair.res.Churn); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

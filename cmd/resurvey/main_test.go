@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/netutil"
+	"repro/internal/probe"
+)
+
+// TestArtifactWriters runs a reduced survey and checks the JSON and
+// MRT side outputs are complete and parseable.
+func TestArtifactWriters(t *testing.T) {
+	s := core.NewSurvey(core.SmallSurveyOptions())
+	s.RunBoth()
+
+	dir := t.TempDir()
+	if err := writeJSON(s, filepath.Join(dir, "json")); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"surf.json", "internet2.json"} {
+		f, err := os.Open(filepath.Join(dir, "json", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds, err := probe.ReadJSON(f, func(addr uint32) (netutil.Prefix, bool) {
+			return netutil.PrefixFrom(addr, 24), true
+		})
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rounds) != len(core.Schedule()) {
+			t.Errorf("%s: %d rounds, want %d", name, len(rounds), len(core.Schedule()))
+		}
+	}
+
+	if err := writeMRT(s, filepath.Join(dir, "mrt")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "mrt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two collector RIBs + two update streams.
+	if len(entries) != 4 {
+		t.Fatalf("mrt dir has %d files", len(entries))
+	}
+	for _, name := range []string{"updates-surf.mrt", "updates-internet2.mrt"} {
+		f, err := os.Open(filepath.Join(dir, "mrt", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := collector.ReadUpdates(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(recs) == 0 {
+			t.Errorf("%s: empty update stream", name)
+		}
+		for _, rec := range recs {
+			if rec.Prefix != s.Eco.MeasPrefix {
+				t.Fatalf("%s: unexpected prefix %s", name, rec.Prefix)
+			}
+		}
+	}
+	for i := range s.Eco.Collectors {
+		name := filepath.Join(dir, "mrt", "rib-collector"+itoa(i)+".mrt")
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rib, err := collector.ReadMRTRIB(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rib.Routes) == 0 {
+			t.Errorf("%s: empty RIB", name)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	out := ""
+	for n > 0 {
+		out = string(rune('0'+n%10)) + out
+		n /= 10
+	}
+	return out
+}
+
+// TestRelationshipAccuracy sanity-checks the asrel integration at test
+// scale.
+func TestRelationshipAccuracy(t *testing.T) {
+	s := core.NewSurvey(core.SmallSurveyOptions())
+	views := core.ComputeOriginViews(s.Eco)
+	acc, edges, paths := relationshipAccuracy(s, views)
+	if edges < 100 || paths < 1000 {
+		t.Fatalf("too little data: %d edges, %d paths", edges, paths)
+	}
+	if acc < 0.85 {
+		t.Errorf("relationship accuracy = %.3f", acc)
+	}
+}

@@ -1,0 +1,100 @@
+// Command retopo generates the synthetic R&E ecosystem and dumps its
+// structure: AS inventory with classes, regions, ground-truth
+// policies, prepend postures, and the announced prefix list. Useful
+// for inspecting what the survey measures against.
+//
+// Usage:
+//
+//	retopo [-small] [-seed N] [-prefixes] [-policies]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/irr"
+	"repro/internal/report"
+	"repro/internal/topo"
+)
+
+func main() {
+	small := flag.Bool("small", false, "generate the reduced-scale ecosystem")
+	seed := flag.Int64("seed", 1, "generator seed")
+	showPrefixes := flag.Bool("prefixes", false, "also list every announced prefix")
+	showPolicies := flag.Bool("policies", false, "also list per-AS ground-truth policies")
+	dumpRPSL := flag.Bool("rpsl", false, "dump the generated IRR registry in RPSL and exit")
+	flag.Parse()
+
+	cfg := topo.DefaultConfig()
+	if *small {
+		cfg = topo.SmallConfig()
+	}
+	cfg.Seed = *seed
+	eco := topo.Build(cfg)
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if *dumpRPSL {
+		reg := irr.FromEcosystem(eco, irr.DefaultGenConfig())
+		if err := reg.Write(out); err != nil {
+			fmt.Fprintln(os.Stderr, "retopo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	classes := make(map[topo.Class]int)
+	policies := make(map[topo.REPolicy]int)
+	hidden, vrf := 0, 0
+	for _, info := range eco.ASes {
+		classes[info.Class]++
+		if info.Class == topo.ClassMember {
+			policies[info.Policy]++
+			if info.HiddenCommodity {
+				hidden++
+			}
+			if info.VRFSplit {
+				vrf++
+			}
+		}
+	}
+
+	t := &report.Table{Title: "AS inventory", Headers: []string{"class", "count"}}
+	for c := topo.ClassTier1; c <= topo.ClassSpecial; c++ {
+		t.AddRow(c.String(), fmt.Sprint(classes[c]))
+	}
+	fmt.Fprintln(out, t)
+
+	members := classes[topo.ClassMember]
+	pt := &report.Table{Title: "member ground-truth policies", Headers: []string{"policy", "members", ""}}
+	for p := topo.PolicyPreferRE; p <= topo.PolicyDefaultOnly; p++ {
+		pt.AddRow(p.String(), fmt.Sprint(policies[p]), report.Pct(policies[p], members))
+	}
+	fmt.Fprintln(out, pt)
+	fmt.Fprintf(out, "hidden commodity upstreams: %d; VRF-split view exporters: %d\n", hidden, vrf)
+	fmt.Fprintf(out, "prefixes announced: %d; measurement prefix: %s\n", len(eco.Prefixes), eco.MeasPrefix)
+	fmt.Fprintf(out, "collectors: %d, with %d peer ASes (%d member views)\n",
+		len(eco.Collectors), len(eco.CollectorPeerASes), len(eco.MemberViewPeers))
+
+	if *showPolicies {
+		fmt.Fprintln(out, "\nAS  class  region  policy  prepends(R,C)  hidden  providers(RE/commodity)")
+		for _, info := range eco.ASes {
+			if info.Class != topo.ClassMember {
+				continue
+			}
+			fmt.Fprintf(out, "%d %s %s %s %d,%d %v %v/%v\n",
+				info.AS, info.Class, info.Region, info.Policy,
+				info.REPrepend, info.CommodityPrepend, info.HiddenCommodity,
+				info.REProviders, info.CommodityProviders)
+		}
+	}
+	if *showPrefixes {
+		fmt.Fprintln(out, "\nprefix  origin  class  site  region")
+		for _, pi := range eco.Prefixes {
+			fmt.Fprintf(out, "%s %d %s %s %s\n", pi.Prefix, pi.Origin, pi.NeighborClass, pi.Site, pi.Region)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a full reproduction of "R&E Routing Policy:
+// Inference and Implication" (Luckie et al., IMC 2025): a BGP policy
+// simulator, a synthetic R&E ecosystem with ground-truth route
+// preference policies, the paper's active-probing inference method,
+// and a benchmark harness that regenerates every table and figure of
+// the paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go print each table/figure;
+// cmd/resurvey runs the whole study at paper scale.
+package repro

@@ -1,0 +1,80 @@
+// Poison demonstrates AS-path poisoning (Colitti et al., §2.2 of the
+// paper): an origin inserts a target AS into its own announcement so
+// that the target's loop detection discards the route, steering
+// traffic away from it and revealing alternate paths — the active
+// technique the route-preference literature used before the paper's
+// gentler prepending approach.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+)
+
+const (
+	origin  = bgp.RouterID(1) // AS 64500
+	transA  = bgp.RouterID(2) // AS 64601, the AS we will poison
+	transB  = bgp.RouterID(3) // AS 64602, the alternate
+	watcher = bgp.RouterID(4) // AS 64700, observes which path it uses
+)
+
+func main() {
+	net := bgp.NewNetwork()
+	net.AddSpeaker(origin, 64500, "origin")
+	net.AddSpeaker(transA, 64601, "transit-A")
+	net.AddSpeaker(transB, 64602, "transit-B")
+	net.AddSpeaker(watcher, 64700, "watcher")
+
+	cust := func(provider, c bgp.RouterID) {
+		net.Connect(provider, c,
+			bgp.PeerConfig{ClassifyAs: bgp.ClassCustomer, ImportLocalPref: bgp.LocalPrefCustomer, ExportAllow: bgp.GaoRexfordExport(bgp.ClassCustomer)},
+			bgp.PeerConfig{ClassifyAs: bgp.ClassProvider, ImportLocalPref: bgp.LocalPrefProvider, ExportAllow: bgp.GaoRexfordExport(bgp.ClassProvider)})
+	}
+	cust(transA, origin)
+	cust(transB, origin)
+	cust(transA, watcher)
+	cust(transB, watcher)
+
+	prefix := netutil.MustParsePrefix("203.0.113.0/24")
+
+	show := func(label string) {
+		best := net.Speaker(watcher).Best(prefix)
+		if best == nil {
+			fmt.Printf("%-28s watcher has NO route\n", label)
+			return
+		}
+		fmt.Printf("%-28s watcher uses %s\n", label, best.Path)
+	}
+
+	fmt.Println("=== AS-path poisoning: steering around transit-A ===")
+	fmt.Println()
+
+	net.Originate(origin, prefix)
+	net.RunToQuiescence()
+	show("plain announcement:")
+	fmt.Println("  (both transits carry the route; the watcher's tie-break picked one)")
+	fmt.Println()
+
+	// Poison transit-A: it discards the announcement by loop
+	// detection, so the watcher can only hear the route via transit-B.
+	net.OriginateWith(origin, prefix, bgp.OriginateOpts{Poison: []asn.AS{64601}})
+	net.RunToQuiescence()
+	show("poisoned against 64601:")
+	if r := net.Speaker(transA).Best(prefix); r != nil {
+		fmt.Printf("  unexpected: transit-A still holds %s\n", r.Path)
+	} else {
+		fmt.Println("  (transit-A dropped the route: its own ASN appears in the path)")
+	}
+	fmt.Println()
+
+	// And back: lifting the poison restores both paths. This
+	// announce/withdraw churn is exactly what the paper's prepending
+	// schedule avoids being mistaken for (§3.3's route-flap-damping
+	// hygiene applies to poisoning experiments too).
+	net.Originate(origin, prefix)
+	net.RunToQuiescence()
+	show("poison lifted:")
+}

@@ -1,0 +1,100 @@
+// Quickstart reproduces Figure 1 of the paper: Columbia receives
+// routes to the same UCSD prefix via NYSERNet (R&E) and Cogent
+// (commodity) with equal AS path lengths, and only a localpref policy
+// makes the R&E choice deterministic.
+//
+// It builds the seven-AS scenario with the bgp package, runs it under
+// the two policies (higher localpref on the R&E session vs equal
+// localpref), and shows how the second policy leaves the decision to
+// AS path length — the effect the paper's measurement method detects.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+)
+
+const (
+	ucsd      = bgp.RouterID(1) // AS 7377
+	cenic     = bgp.RouterID(2) // AS 2152
+	internet2 = bgp.RouterID(3) // AS 11537
+	nysernet  = bgp.RouterID(4) // AS 3754
+	columbia  = bgp.RouterID(5) // AS 14
+	cogent    = bgp.RouterID(6) // AS 174
+	level3    = bgp.RouterID(7) // AS 3356
+)
+
+func build(columbiaREPref uint32) *bgp.Network {
+	net := bgp.NewNetwork()
+	for _, s := range []struct {
+		id   bgp.RouterID
+		as   asn.AS
+		name string
+	}{
+		{ucsd, 7377, "UCSD"}, {cenic, 2152, "CENIC"}, {internet2, 11537, "Internet2"},
+		{nysernet, 3754, "NYSERNet"}, {columbia, 14, "Columbia"},
+		{cogent, 174, "Cogent"}, {level3, 3356, "Level3"},
+	} {
+		net.AddSpeaker(s.id, s.as, s.name)
+	}
+	customer := func(provider, cust bgp.RouterID, lpAtCust uint32) {
+		net.Connect(provider, cust,
+			bgp.PeerConfig{ClassifyAs: bgp.ClassCustomer, ImportLocalPref: bgp.LocalPrefCustomer, ExportAllow: bgp.GaoRexfordExport(bgp.ClassCustomer)},
+			bgp.PeerConfig{ClassifyAs: bgp.ClassProvider, ImportLocalPref: lpAtCust, ExportAllow: bgp.GaoRexfordExport(bgp.ClassProvider)})
+	}
+	customer(cenic, ucsd, bgp.LocalPrefProvider)
+	customer(internet2, cenic, bgp.LocalPrefProvider)
+	customer(internet2, nysernet, bgp.LocalPrefProvider)
+	customer(level3, cenic, bgp.LocalPrefProvider)
+	customer(cogent, columbia, bgp.LocalPrefProvider)
+	customer(nysernet, columbia, columbiaREPref) // the knob under study
+	peerCfg := bgp.PeerConfig{ClassifyAs: bgp.ClassPeer, ImportLocalPref: bgp.LocalPrefPeer, ExportAllow: bgp.GaoRexfordExport(bgp.ClassPeer)}
+	net.Connect(level3, cogent, peerCfg, peerCfg)
+	return net
+}
+
+func main() {
+	prefix := netutil.MustParsePrefix("132.239.0.0/16") // UCSD
+
+	fmt.Println("=== Figure 1: Columbia's choice between R&E and commodity routes ===")
+	fmt.Println()
+
+	for _, scenario := range []struct {
+		name string
+		lp   uint32
+	}{
+		{"Columbia sets a HIGHER localpref on the NYSERNet (R&E) session", bgp.LocalPrefProvider + 20},
+		{"Columbia assigns EQUAL localpref to both sessions", bgp.LocalPrefProvider},
+	} {
+		fmt.Println(scenario.name)
+		net := build(scenario.lp)
+		net.Originate(ucsd, prefix)
+		net.RunToQuiescence()
+
+		col := net.Speaker(columbia)
+		for _, r := range col.AdjInAll(prefix) {
+			from := net.Speaker(r.From)
+			fmt.Printf("  candidate via %-9s localpref=%d  AS path: %s (length %d)\n",
+				from.Name, r.LocalPref, r.Path, r.Path.Len())
+		}
+		best := col.Best(prefix)
+		_, step := bgp.Best(col.AdjInAll(prefix))
+		fmt.Printf("  -> selected: %s (decided by %s)\n\n", best.Path, step)
+
+		// Demonstrate AS-path-length sensitivity: prepend the R&E side.
+		net.SetExportPrepend(nysernet, columbia, 1)
+		net.RunToQuiescence()
+		best = col.Best(prefix)
+		fmt.Printf("  after NYSERNet prepends once, selected: %s\n", best.Path)
+		if best.Path.First() == 3754 {
+			fmt.Println("  (localpref makes Columbia insensitive to AS path length)")
+		} else {
+			fmt.Println("  (equal localpref: AS path length now decides — the paper's")
+			fmt.Println("   'Switch' signature that reveals the policy)")
+		}
+		fmt.Println()
+	}
+}

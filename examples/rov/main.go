@@ -1,0 +1,112 @@
+// Rov reproduces the passive-VP methodology lineage the paper builds
+// on (§2.3): measuring RPKI route origin validation from the data
+// plane, Cartwright-Cox style. A measurement prefix is announced with
+// an RPKI-INVALID origin; responsive systems ("passive VPs") that stop
+// answering probes sourced from that prefix are behind ROV-enforcing
+// paths.
+//
+// The example also demonstrates the §2.3 criticism the paper cites:
+// an AS can appear ROV-protected merely because an AS on its return
+// path filters — drop-invalid at a transit shields (and mislabels)
+// every customer behind it.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+	"repro/internal/rpki"
+)
+
+const (
+	measValid   = bgp.RouterID(1) // legitimate origin, AS 64500
+	measInvalid = bgp.RouterID(2) // RPKI-invalid origin, AS 64666
+	transitROV  = bgp.RouterID(3) // transit deploying drop-invalid
+	transitNone = bgp.RouterID(4) // transit without ROV
+	edgeROV     = bgp.RouterID(5) // edge deploying ROV itself
+	edgeBehind  = bgp.RouterID(6) // edge behind the ROV transit (no ROV)
+	edgeOpen    = bgp.RouterID(7) // edge with no ROV anywhere
+)
+
+func main() {
+	prefix := netutil.MustParsePrefix("203.0.113.0/24")
+	table := rpki.NewTable()
+	table.Add(rpki.ROA{Prefix: prefix, MaxLength: 24, Origin: 64500})
+
+	net := bgp.NewNetwork()
+	net.AddSpeaker(measValid, 64500, "valid-origin")
+	net.AddSpeaker(measInvalid, 64666, "invalid-origin")
+	net.AddSpeaker(transitROV, 64701, "transit-rov")
+	net.AddSpeaker(transitNone, 64702, "transit-plain")
+	net.AddSpeaker(edgeROV, 64801, "edge-rov")
+	net.AddSpeaker(edgeBehind, 64802, "edge-behind-rov")
+	net.AddSpeaker(edgeOpen, 64803, "edge-open")
+
+	cust := func(provider, c bgp.RouterID, deny func(*bgp.Route) bool) {
+		provCfg := bgp.PeerConfig{ClassifyAs: bgp.ClassCustomer, ImportLocalPref: bgp.LocalPrefCustomer, ExportAllow: bgp.GaoRexfordExport(bgp.ClassCustomer)}
+		custCfg := bgp.PeerConfig{ClassifyAs: bgp.ClassProvider, ImportLocalPref: bgp.LocalPrefProvider, ExportAllow: bgp.GaoRexfordExport(bgp.ClassProvider), ImportDeny: deny}
+		net.Connect(provider, c, provCfg, custCfg)
+	}
+	peer := func(a, b bgp.RouterID, denyAtA, denyAtB func(*bgp.Route) bool) {
+		mk := func(deny func(*bgp.Route) bool) bgp.PeerConfig {
+			return bgp.PeerConfig{ClassifyAs: bgp.ClassPeer, ImportLocalPref: bgp.LocalPrefPeer, ExportAllow: bgp.GaoRexfordExport(bgp.ClassPeer), ImportDeny: deny}
+		}
+		net.Connect(a, b, mk(denyAtA), mk(denyAtB))
+	}
+
+	drop := table.DropInvalid()
+	// Both origins are customers of both transits; the ROV transit
+	// drops invalids at import.
+	cust(transitROV, measValid, nil)
+	net.Speaker(transitROV).Peer(measValid).ImportDeny = drop
+	cust(transitROV, measInvalid, nil)
+	net.Speaker(transitROV).Peer(measInvalid).ImportDeny = drop
+	cust(transitNone, measValid, nil)
+	cust(transitNone, measInvalid, nil)
+	peer(transitROV, transitNone, drop, nil)
+	// Edges: one enforcing itself (under the plain transit), one
+	// behind the ROV transit without enforcing, one fully open.
+	cust(transitNone, edgeROV, drop)
+	cust(transitROV, edgeBehind, nil)
+	cust(transitNone, edgeOpen, nil)
+
+	fmt.Println("=== Passive-VP ROV measurement (the §2.3 methodology) ===")
+	fmt.Println()
+
+	// Phase 1: valid announcement — every edge must reach it.
+	net.Originate(measValid, prefix)
+	net.RunToQuiescence()
+	fmt.Println("RPKI-valid announcement (origin AS 64500):")
+	report(net, prefix)
+
+	// Phase 2: swap to the invalid origin, as the ROV studies do.
+	net.WithdrawOrigination(measValid, prefix)
+	net.Originate(measInvalid, prefix)
+	net.RunToQuiescence()
+	fmt.Println("\nRPKI-invalid announcement (origin AS 64666):")
+	report(net, prefix)
+
+	fmt.Println(`
+Interpretation:
+  edge-rov        unreachable: deploys drop-invalid itself.
+  edge-behind-rov unreachable: deploys nothing — its transit filters.
+                  A passive-VP study credits it with ROV it never
+                  deployed (the criticism §2.3 records).
+  edge-open       reachable: no ROV anywhere on its path.`)
+}
+
+func report(net *bgp.Network, prefix netutil.Prefix) {
+	for _, e := range []struct {
+		id   bgp.RouterID
+		name string
+	}{{edgeROV, "edge-rov"}, {edgeBehind, "edge-behind-rov"}, {edgeOpen, "edge-open"}} {
+		best := net.Speaker(e.id).Best(prefix)
+		if best == nil {
+			fmt.Printf("  %-16s unreachable (no route back to the measurement prefix)\n", e.name)
+			continue
+		}
+		fmt.Printf("  %-16s reachable via path %s (origin %s)\n", e.name, best.Path, asn.AS(best.Path.Origin()))
+	}
+}

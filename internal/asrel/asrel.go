@@ -1,0 +1,223 @@
+// Package asrel infers AS business relationships from observed BGP
+// AS paths, in the style of Gao's degree-based algorithm (ToN 2001) —
+// the lineage behind the CAIDA AS-relationship datasets the routing-
+// modeling literature (and the paper's §2.2 context) builds on. The
+// reproduction uses it to show what a third party could recover about
+// the simulated economy from public views alone, and to ground the
+// claim that relationship inference is not enough: relationships
+// without localpref still mispredict route choice.
+package asrel
+
+import (
+	"sort"
+
+	"repro/internal/asn"
+)
+
+// Rel is an inferred relationship between two ASes, directional from
+// the first AS's point of view.
+type Rel uint8
+
+// Relationships.
+const (
+	// RelNone: edge never observed.
+	RelNone Rel = iota
+	// RelProviderOf: the first AS sells transit to the second.
+	RelProviderOf
+	// RelCustomerOf: the first AS buys transit from the second.
+	RelCustomerOf
+	// RelPeer: settlement-free peers.
+	RelPeer
+)
+
+func (r Rel) String() string {
+	switch r {
+	case RelProviderOf:
+		return "provider-of"
+	case RelCustomerOf:
+		return "customer-of"
+	case RelPeer:
+		return "peer"
+	default:
+		return "none"
+	}
+}
+
+// Invert flips direction.
+func (r Rel) Invert() Rel {
+	switch r {
+	case RelProviderOf:
+		return RelCustomerOf
+	case RelCustomerOf:
+		return RelProviderOf
+	default:
+		return r
+	}
+}
+
+// edge is an unordered AS pair with a canonical order.
+type edge struct{ a, b asn.AS }
+
+func mkEdge(x, y asn.AS) edge {
+	if x < y {
+		return edge{x, y}
+	}
+	return edge{y, x}
+}
+
+// Inferrer accumulates paths and infers relationships.
+type Inferrer struct {
+	neighbors map[asn.AS]map[asn.AS]bool
+	// transit votes: votes[edge] counts paths where edge.a acted as
+	// transit provider of edge.b (positive) or vice versa (negative
+	// bucket kept separately for ratios).
+	votesAB map[edge]int // a provider of b
+	votesBA map[edge]int // b provider of a
+	paths   int
+}
+
+// NewInferrer returns an empty inferrer.
+func NewInferrer() *Inferrer {
+	return &Inferrer{
+		neighbors: make(map[asn.AS]map[asn.AS]bool),
+		votesAB:   make(map[edge]int),
+		votesBA:   make(map[edge]int),
+	}
+}
+
+// AddPath feeds one observed AS path (nearest AS first, origin last).
+// Prepending is collapsed before analysis.
+func (inf *Inferrer) AddPath(p asn.Path) {
+	u := p.Unique()
+	if len(u) < 2 {
+		return
+	}
+	inf.paths++
+	for i := 0; i+1 < len(u); i++ {
+		inf.link(u[i], u[i+1])
+	}
+}
+
+func (inf *Inferrer) link(a, b asn.AS) {
+	if inf.neighbors[a] == nil {
+		inf.neighbors[a] = make(map[asn.AS]bool)
+	}
+	if inf.neighbors[b] == nil {
+		inf.neighbors[b] = make(map[asn.AS]bool)
+	}
+	inf.neighbors[a][b] = true
+	inf.neighbors[b][a] = true
+}
+
+// Degree returns an AS's observed neighbor count.
+func (inf *Inferrer) Degree(a asn.AS) int { return len(inf.neighbors[a]) }
+
+// vote records that prov transited for cust in one path.
+func (inf *Inferrer) vote(prov, cust asn.AS) {
+	e := mkEdge(prov, cust)
+	if e.a == prov {
+		inf.votesAB[e]++
+	} else {
+		inf.votesBA[e]++
+	}
+}
+
+// Infer runs the two-pass algorithm: first build degrees from all
+// paths (done incrementally by AddPath), then replay the paths to vote
+// on edge directions around each path's highest-degree AS. Callers
+// pass the same path set again (the inferrer does not retain paths, to
+// keep memory proportional to the topology, not the trace).
+func (inf *Inferrer) Infer(paths []asn.Path) *Result {
+	for _, p := range paths {
+		u := p.Unique()
+		if len(u) < 2 {
+			continue
+		}
+		// Find the top provider: the highest-degree AS.
+		top := 0
+		for i := 1; i < len(u); i++ {
+			if inf.Degree(u[i]) > inf.Degree(u[top]) {
+				top = i
+			}
+		}
+		// Left of top (collector side): the route descends
+		// provider->customer toward the observation point, so u[i+1]
+		// is provider of u[i]. Right of top (origin side): the route
+		// climbed customer->provider away from the origin, so u[i] is
+		// provider of u[i+1].
+		for i := 0; i+1 <= top; i++ {
+			inf.vote(u[i+1], u[i])
+		}
+		for i := top; i+1 < len(u); i++ {
+			inf.vote(u[i], u[i+1])
+		}
+	}
+
+	res := &Result{rels: make(map[edge]Rel, len(inf.votesAB)+len(inf.votesBA))}
+	edges := make(map[edge]bool)
+	for a, nbs := range inf.neighbors {
+		for b := range nbs {
+			edges[mkEdge(a, b)] = true
+		}
+	}
+	for e := range edges {
+		ab, ba := inf.votesAB[e], inf.votesBA[e]
+		switch {
+		case ab > 0 && ba == 0:
+			res.rels[e] = RelProviderOf // e.a provider of e.b
+		case ba > 0 && ab == 0:
+			res.rels[e] = RelCustomerOf // e.a customer of e.b
+		case ab == 0 && ba == 0:
+			res.rels[e] = RelPeer
+		case ab >= 3*ba:
+			res.rels[e] = RelProviderOf
+		case ba >= 3*ab:
+			res.rels[e] = RelCustomerOf
+		default:
+			res.rels[e] = RelPeer
+		}
+	}
+	return res
+}
+
+// Result holds inferred relationships.
+type Result struct {
+	rels map[edge]Rel
+}
+
+// Rel returns the inferred relationship of a toward b.
+func (r *Result) Rel(a, b asn.AS) Rel {
+	e := mkEdge(a, b)
+	rel, ok := r.rels[e]
+	if !ok {
+		return RelNone
+	}
+	if e.a == a {
+		return rel
+	}
+	return rel.Invert()
+}
+
+// Edges returns all inferred edges in a deterministic order.
+func (r *Result) Edges() []InferredEdge {
+	out := make([]InferredEdge, 0, len(r.rels))
+	for e, rel := range r.rels {
+		out = append(out, InferredEdge{A: e.a, B: e.b, Rel: rel})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Len returns the number of inferred edges.
+func (r *Result) Len() int { return len(r.rels) }
+
+// InferredEdge is one edge with its relationship (A's view of B).
+type InferredEdge struct {
+	A, B asn.AS
+	Rel  Rel
+}

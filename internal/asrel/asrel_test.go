@@ -1,0 +1,165 @@
+package asrel
+
+import (
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/topo"
+)
+
+func TestRelInvert(t *testing.T) {
+	if RelProviderOf.Invert() != RelCustomerOf || RelCustomerOf.Invert() != RelProviderOf {
+		t.Error("transit inversion wrong")
+	}
+	if RelPeer.Invert() != RelPeer || RelNone.Invert() != RelNone {
+		t.Error("symmetric relations must self-invert")
+	}
+	for _, r := range []Rel{RelNone, RelProviderOf, RelCustomerOf, RelPeer} {
+		if r.String() == "" {
+			t.Errorf("rel %d empty string", r)
+		}
+	}
+}
+
+func TestInferSimpleChain(t *testing.T) {
+	// Paths observed at a collector attached to a tier-1 (AS 10):
+	// 10 is high degree; everything hangs below it.
+	paths := []asn.Path{
+		asn.MustParsePath("10 20 30"),
+		asn.MustParsePath("10 20 31"),
+		asn.MustParsePath("10 21 32"),
+		asn.MustParsePath("10 21 33"),
+		asn.MustParsePath("10 22"),
+	}
+	inf := NewInferrer()
+	for _, p := range paths {
+		inf.AddPath(p)
+	}
+	res := inf.Infer(paths)
+	if got := res.Rel(10, 20); got != RelProviderOf {
+		t.Errorf("Rel(10,20) = %v, want provider-of", got)
+	}
+	if got := res.Rel(20, 10); got != RelCustomerOf {
+		t.Errorf("Rel(20,10) = %v, want customer-of", got)
+	}
+	if got := res.Rel(20, 30); got != RelProviderOf {
+		t.Errorf("Rel(20,30) = %v, want provider-of", got)
+	}
+	if got := res.Rel(30, 31); got != RelNone {
+		t.Errorf("Rel(30,31) = %v, want none (no edge)", got)
+	}
+}
+
+func TestInferPeeringAtTop(t *testing.T) {
+	// Two equal-degree cores 1 and 2 exchanging customer routes: the
+	// 1-2 edge carries conflicting transit votes and must come out as
+	// peer.
+	paths := []asn.Path{
+		asn.MustParsePath("1 2 20"),
+		asn.MustParsePath("2 1 10"),
+		asn.MustParsePath("1 10"),
+		asn.MustParsePath("1 11"),
+		asn.MustParsePath("2 20"),
+		asn.MustParsePath("2 21"),
+	}
+	inf := NewInferrer()
+	for _, p := range paths {
+		inf.AddPath(p)
+	}
+	res := inf.Infer(paths)
+	if got := res.Rel(1, 2); got != RelPeer {
+		t.Errorf("Rel(1,2) = %v, want peer", got)
+	}
+}
+
+func TestPrependingCollapsed(t *testing.T) {
+	inf := NewInferrer()
+	p := asn.MustParsePath("10 20 30 30 30")
+	inf.AddPath(p)
+	res := inf.Infer([]asn.Path{p})
+	if res.Rel(30, 30) != RelNone {
+		t.Error("self-edge from prepending")
+	}
+	if res.Rel(20, 30) != RelProviderOf {
+		t.Errorf("Rel(20,30) = %v", res.Rel(20, 30))
+	}
+}
+
+// TestInferAgainstEcosystemGroundTruth feeds the inferrer the
+// collector-observed paths of every member prefix and scores the
+// inferred relationships against the generator's wiring.
+func TestInferAgainstEcosystemGroundTruth(t *testing.T) {
+	eco := topo.Build(topo.SmallConfig())
+
+	// Collect paths: each origin's announcements as seen by both
+	// collectors' peers.
+	var paths []asn.Path
+	seen := map[asn.AS]bool{}
+	for _, pi := range eco.Prefixes {
+		if seen[pi.Origin] {
+			continue
+		}
+		seen[pi.Origin] = true
+		info := eco.AS(pi.Origin)
+		res := eco.Net.SolveStatic(pi.Prefix, []bgp.StaticOrigin{{Speaker: info.Router}})
+		for _, col := range eco.Collectors {
+			for _, peer := range eco.Net.Speaker(col).Peers() {
+				if r := eco.Net.ExportView(res, peer, col); r != nil {
+					paths = append(paths, r.Path)
+				}
+			}
+		}
+	}
+	if len(paths) < 500 {
+		t.Fatalf("only %d paths collected", len(paths))
+	}
+
+	inf := NewInferrer()
+	for _, p := range paths {
+		inf.AddPath(p)
+	}
+	res := inf.Infer(paths)
+	if res.Len() == 0 {
+		t.Fatal("nothing inferred")
+	}
+
+	correct, wrong, evaluated := 0, 0, 0
+	for _, ie := range res.Edges() {
+		a, b := eco.AS(ie.A), eco.AS(ie.B)
+		if a == nil || b == nil {
+			continue
+		}
+		pcAtA := eco.Net.Speaker(a.Router).Peer(b.Router)
+		if pcAtA == nil {
+			continue
+		}
+		var truth Rel
+		switch pcAtA.ClassifyAs {
+		case bgp.ClassCustomer:
+			truth = RelProviderOf
+		case bgp.ClassProvider:
+			truth = RelCustomerOf
+		case bgp.ClassPeer, bgp.ClassREPeer:
+			truth = RelPeer
+		default:
+			continue
+		}
+		evaluated++
+		if ie.Rel == truth {
+			correct++
+		} else {
+			wrong++
+		}
+	}
+	if evaluated < 100 {
+		t.Fatalf("only %d edges evaluated", evaluated)
+	}
+	acc := float64(correct) / float64(evaluated)
+	// Gao's heuristic is known-imperfect; Wang & Gao report >90% for
+	// transit edges. Require a solid majority here.
+	if acc < 0.85 {
+		t.Errorf("relationship inference accuracy = %.3f over %d edges (wrong %d)", acc, evaluated, wrong)
+	}
+	t.Logf("asrel accuracy %.3f over %d edges (%d paths)", acc, evaluated, len(paths))
+}

@@ -1,0 +1,177 @@
+// Package bgp implements the BGP policy machinery the reproduction
+// needs: route attributes, the standard decision process, per-neighbor
+// import/export policy (localpref assignment, Gao-Rexford export
+// classes, prepending), adj-RIB-in / loc-RIB bookkeeping, route-flap
+// damping (RFC 2439), an event-driven propagation engine with update
+// churn accounting (used for the measurement prefix, where dynamics
+// such as route age matter), and a fixpoint solver (used for the bulk
+// member prefixes, where only converged state matters).
+package bgp
+
+import (
+	"fmt"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+)
+
+// Time is virtual time in seconds since the experiment epoch.
+type Time int64
+
+// Clock formats a virtual time as HH:MM:SS relative to the epoch,
+// matching how Figure 3 labels its x-axis.
+func (t Time) Clock() string {
+	s := int64(t)
+	neg := ""
+	if s < 0 {
+		neg, s = "-", -s
+	}
+	return fmt.Sprintf("%s%02d:%02d:%02d", neg, s/3600, (s/60)%60, s%60)
+}
+
+// RouterID identifies a BGP speaker. IDs are assigned by the topology
+// builder and are unique across the simulated internetwork.
+type RouterID uint32
+
+// Origin is the BGP ORIGIN attribute; lower is preferred.
+type Origin uint8
+
+// Origin values in decision-process preference order.
+const (
+	OriginIGP Origin = iota
+	OriginEGP
+	OriginIncomplete
+)
+
+func (o Origin) String() string {
+	switch o {
+	case OriginIGP:
+		return "IGP"
+	case OriginEGP:
+		return "EGP"
+	default:
+		return "Incomplete"
+	}
+}
+
+// RouteClass records, at import time, the business relationship of the
+// neighbor a route was learned from. Export policies are expressed as
+// sets of classes (the Gao-Rexford rules plus the R&E extension where
+// backbones re-export peer-NREN routes to other peer NRENs).
+type RouteClass uint8
+
+// Route classes.
+const (
+	// ClassOwn marks locally originated routes.
+	ClassOwn RouteClass = iota
+	// ClassCustomer marks routes learned from a customer.
+	ClassCustomer
+	// ClassPeer marks routes learned from a settlement-free peer.
+	ClassPeer
+	// ClassProvider marks routes learned from a transit provider.
+	ClassProvider
+	// ClassREPeer marks routes learned from a peer R&E network
+	// (Internet2's "Peer-NREN" neighbor class). R&E backbones
+	// re-export these to other R&E peers to build the global R&E
+	// fabric, unlike ordinary peer routes.
+	ClassREPeer
+	numRouteClasses
+)
+
+func (c RouteClass) String() string {
+	switch c {
+	case ClassOwn:
+		return "own"
+	case ClassCustomer:
+		return "customer"
+	case ClassPeer:
+		return "peer"
+	case ClassProvider:
+		return "provider"
+	case ClassREPeer:
+		return "re-peer"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// ClassSet is a small set of RouteClasses, used by export policies.
+type ClassSet uint8
+
+// NewClassSet builds a set from the given classes.
+func NewClassSet(cs ...RouteClass) ClassSet {
+	var s ClassSet
+	for _, c := range cs {
+		s |= 1 << c
+	}
+	return s
+}
+
+// Has reports whether c is in the set.
+func (s ClassSet) Has(c RouteClass) bool { return s&(1<<c) != 0 }
+
+// With returns the set plus c.
+func (s ClassSet) With(c RouteClass) ClassSet { return s | 1<<c }
+
+// Route is a BGP route as held in a speaker's Adj-RIB-In (or Loc-RIB).
+// Routes are immutable once installed; the engine replaces rather than
+// mutates them.
+type Route struct {
+	Prefix netutil.Prefix
+	// Path is the AS path as received (the neighbor has already
+	// prepended its own AS and any operator prepends).
+	Path asn.Path
+	// Origin is the ORIGIN attribute.
+	Origin Origin
+	// MED is the multi-exit discriminator; compared only between
+	// routes from the same neighboring AS.
+	MED uint32
+	// LocalPref is assigned by the receiving speaker's import policy;
+	// it is the attribute the paper infers.
+	LocalPref uint32
+	// Class is the import-time relationship classification.
+	Class RouteClass
+	// From is the neighbor speaker the route was learned from
+	// (zero for locally originated routes).
+	From RouterID
+	// FromAS is the neighbor's AS (asn.None for local routes).
+	FromAS asn.AS
+	// EBGP reports whether the route was learned over an external
+	// session. Locally originated routes are not EBGP.
+	EBGP bool
+	// IGPCost is the interior cost to the route's exit point.
+	IGPCost uint32
+	// LearnedAt is the virtual time the current version of this route
+	// was received. A re-announcement (e.g. with changed prepending)
+	// resets it; the decision process prefers older routes at the
+	// route-age step (Appendix A of the paper).
+	LearnedAt Time
+	// Communities carries the route's community tags (RFC 1997).
+	// Well-known values restrict propagation (NoExport, NoAdvertise).
+	Communities CommunitySet
+
+	// pathLenOverride, when positive, is the effective AS path length
+	// of a not-yet-materialized solver candidate whose Path field
+	// still references the neighbor's (unprepended) path. Internal to
+	// the static solver's allocation-free comparison.
+	pathLenOverride int
+}
+
+// DefaultLocalPref is the localpref a speaker assigns when the import
+// policy does not override it. 100 matches common vendor defaults.
+const DefaultLocalPref = 100
+
+// String renders the route compactly for logs and tests.
+func (r *Route) String() string {
+	if r == nil {
+		return "<nil route>"
+	}
+	return fmt.Sprintf("%s path=[%s] lp=%d class=%s from=%d age@%d",
+		r.Prefix, r.Path, r.LocalPref, r.Class, r.From, r.LearnedAt)
+}
+
+// clone returns a shallow copy (Path is shared; paths are immutable).
+func (r *Route) clone() *Route {
+	c := *r
+	return &c
+}

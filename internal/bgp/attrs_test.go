@@ -1,0 +1,166 @@
+package bgp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+)
+
+func TestOriginString(t *testing.T) {
+	tests := map[Origin]string{
+		OriginIGP:        "IGP",
+		OriginEGP:        "EGP",
+		OriginIncomplete: "Incomplete",
+	}
+	for o, want := range tests {
+		if got := o.String(); got != want {
+			t.Errorf("Origin(%d).String() = %q, want %q", o, got, want)
+		}
+	}
+	if RouteClass(200).String() == "" {
+		t.Error("unknown class should render something")
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	var nilRoute *Route
+	if nilRoute.String() != "<nil route>" {
+		t.Errorf("nil route string = %q", nilRoute.String())
+	}
+	r := &Route{
+		Prefix:    netutil.MustParsePrefix("163.253.63.0/24"),
+		Path:      asn.MustParsePath("3754 11537"),
+		LocalPref: 120,
+		Class:     ClassProvider,
+		From:      7,
+		LearnedAt: 42,
+	}
+	out := r.String()
+	for _, want := range []string{"163.253.63.0/24", "3754 11537", "lp=120", "provider", "from=7", "age@42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Route.String() missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestRouteClone(t *testing.T) {
+	r := &Route{LocalPref: 5, Path: asn.Path{1, 2}}
+	c := r.clone()
+	c.LocalPref = 9
+	if r.LocalPref != 5 {
+		t.Error("clone shares scalar fields")
+	}
+	// Paths are shared deliberately (immutable).
+	if &r.Path[0] != &c.Path[0] {
+		t.Error("clone should share path storage")
+	}
+}
+
+func TestSpeakerByName(t *testing.T) {
+	net := NewNetwork()
+	net.AddSpeaker(1, 100, "alpha")
+	net.AddSpeaker(2, 200, "") // anonymous speakers allowed
+	if s := net.SpeakerByName("alpha"); s == nil || s.ID != 1 {
+		t.Errorf("SpeakerByName(alpha) = %v", s)
+	}
+	if net.SpeakerByName("missing") != nil {
+		t.Error("unknown name should be nil")
+	}
+}
+
+func TestGaoRexfordTables(t *testing.T) {
+	// Export: customers receive everything; peers/providers receive
+	// own+customer; R&E peers additionally receive R&E peer routes.
+	full := []RouteClass{ClassOwn, ClassCustomer, ClassPeer, ClassProvider, ClassREPeer}
+	for _, c := range full {
+		if !GaoRexfordExport(ClassCustomer).Has(c) {
+			t.Errorf("customers should receive %v routes", c)
+		}
+	}
+	for _, rel := range []RouteClass{ClassPeer, ClassProvider} {
+		set := GaoRexfordExport(rel)
+		if !set.Has(ClassOwn) || !set.Has(ClassCustomer) {
+			t.Errorf("%v export should include own+customer", rel)
+		}
+		if set.Has(ClassPeer) || set.Has(ClassProvider) || set.Has(ClassREPeer) {
+			t.Errorf("%v export leaks non-customer routes", rel)
+		}
+	}
+	re := GaoRexfordExport(ClassREPeer)
+	if !re.Has(ClassREPeer) {
+		t.Error("R&E peers should receive R&E peer routes (the fabric extension)")
+	}
+	if re.Has(ClassProvider) {
+		t.Error("R&E peers must not receive provider routes")
+	}
+	if GaoRexfordExport(ClassOwn).Has(ClassOwn) {
+		t.Error("no export set for the own pseudo-relationship")
+	}
+
+	// LocalPref ordering: customer > peer > R&E peer > provider.
+	lps := []uint32{
+		GaoRexfordLocalPref(ClassCustomer),
+		GaoRexfordLocalPref(ClassPeer),
+		GaoRexfordLocalPref(ClassREPeer),
+		GaoRexfordLocalPref(ClassProvider),
+	}
+	for i := 1; i < len(lps); i++ {
+		if lps[i] >= lps[i-1] {
+			t.Errorf("localpref tier %d (%d) not below tier %d (%d)", i, lps[i], i-1, lps[i-1])
+		}
+	}
+	if GaoRexfordLocalPref(ClassOwn) != DefaultLocalPref {
+		t.Error("fallback localpref wrong")
+	}
+}
+
+func TestSpeakerAccessors(t *testing.T) {
+	net := chainNet()
+	p := netutil.MustParsePrefix("203.0.113.0/24")
+	net.Originate(1, p)
+	net.RunToQuiescence()
+	mid := net.Speaker(2)
+	peers := mid.Peers()
+	if len(peers) != 2 || peers[0] != 1 || peers[1] != 3 {
+		t.Errorf("Peers = %v, want [1 3]", peers)
+	}
+	// AdjOut toward the edge holds the prepended announcement.
+	out := mid.AdjOut(p, 3)
+	if out == nil || !out.Path.Equal(asn.MustParsePath("200 100")) {
+		t.Errorf("AdjOut = %v", out)
+	}
+	if mid.AdjOut(p, 99) != nil {
+		t.Error("AdjOut to unknown neighbor should be nil")
+	}
+}
+
+func TestNextHopLPMAndForwardPathLPM(t *testing.T) {
+	net := chainNet()
+	def := DefaultPrefix
+	specific := netutil.MustParsePrefix("203.0.113.0/24")
+	other := netutil.MustParsePrefix("198.51.100.0/24")
+	// origin(1) announces a default; middle(2) announces the specific.
+	net.Originate(1, def)
+	net.Originate(2, specific)
+	net.RunToQuiescence()
+
+	edge := RouterID(3)
+	// Specific wins where present.
+	if next, ok := net.NextHopLPM(edge, specific); !ok || next != 2 {
+		t.Errorf("NextHopLPM(specific) = %d,%v", next, ok)
+	}
+	// Unknown prefix falls back to the default (via middle toward origin).
+	if next, ok := net.NextHopLPM(edge, other); !ok || next != 2 {
+		t.Errorf("NextHopLPM(other) = %d,%v", next, ok)
+	}
+	path, ok := net.ForwardPathLPM(edge, other)
+	if !ok || path[len(path)-1] != 1 {
+		t.Errorf("ForwardPathLPM(other) = %v,%v; want termination at the default origin", path, ok)
+	}
+	// Without LPM, the unknown prefix is unroutable.
+	if _, ok := net.ForwardPath(edge, other); ok {
+		t.Error("plain ForwardPath should fail without a specific route")
+	}
+}

@@ -1,0 +1,66 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netutil"
+)
+
+// BenchmarkCompare measures the decision process's pairwise step.
+func BenchmarkCompare(b *testing.B) {
+	rng := rand.New(rand.NewSource(1)) // #nosec benchmark randomness
+	routes := make([]*Route, 64)
+	for i := range routes {
+		routes[i] = randomRoute(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compare(routes[i%64], routes[(i+7)%64])
+	}
+}
+
+// BenchmarkEngineConvergence measures full propagation of one
+// origination through a random 300-AS Gao-Rexford economy.
+func BenchmarkEngineConvergence(b *testing.B) {
+	p := netutil.MustParsePrefix("203.0.113.0/24")
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := rand.New(rand.NewSource(42)) // #nosec benchmark randomness
+		net := randomGaoRexfordNetwork(rng, 300)
+		b.StartTimer()
+		net.Originate(1, p)
+		net.RunToQuiescence()
+	}
+}
+
+// BenchmarkStaticSolve measures the worklist fixpoint solver on the
+// same economy (the per-origin unit cost behind Tables 3-4/Figure 5).
+func BenchmarkStaticSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(42)) // #nosec benchmark randomness
+	net := randomGaoRexfordNetwork(rng, 300)
+	p := netutil.MustParsePrefix("203.0.113.0/24")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := net.SolveStatic(p, []StaticOrigin{{Speaker: RouterID(1 + i%300)}})
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkPrependChange measures the cost of one experiment
+// configuration change (the 9x-per-experiment operation).
+func BenchmarkPrependChange(b *testing.B) {
+	rng := rand.New(rand.NewSource(42)) // #nosec benchmark randomness
+	net := randomGaoRexfordNetwork(rng, 300)
+	p := netutil.MustParsePrefix("203.0.113.0/24")
+	net.Originate(1, p)
+	net.RunToQuiescence()
+	nb := net.Speaker(1).Peers()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.SetPrefixPrepend(1, nb, p, 1+i%4)
+		net.RunToQuiescence()
+	}
+}

@@ -1,0 +1,115 @@
+package bgp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Community is a BGP community attribute value (RFC 1997): a 32-bit
+// tag conventionally written "asn:value". Operators use communities to
+// signal routing policy across AS boundaries — including the
+// announcement scoping the measurement experiments rely on (§3.1's
+// guarantee that commodity providers never learn the R&E path can be
+// enforced with NO_EXPORT-style tagging instead of per-session
+// filters).
+type Community uint32
+
+// Well-known communities (RFC 1997).
+const (
+	// NoExport: do not advertise beyond the receiving AS.
+	NoExport Community = 0xFFFFFF01
+	// NoAdvertise: do not advertise to any other BGP peer at all.
+	NoAdvertise Community = 0xFFFFFF02
+)
+
+// MakeCommunity builds asn:value.
+func MakeCommunity(as uint16, value uint16) Community {
+	return Community(uint32(as)<<16 | uint32(value))
+}
+
+// String renders "asn:value"; well-known values get their names.
+func (c Community) String() string {
+	switch c {
+	case NoExport:
+		return "no-export"
+	case NoAdvertise:
+		return "no-advertise"
+	}
+	return fmt.Sprintf("%d:%d", uint32(c)>>16, uint32(c)&0xffff)
+}
+
+// CommunitySet is an immutable, sorted set of communities. The zero
+// value is the empty set.
+type CommunitySet struct {
+	cs []Community
+}
+
+// NewCommunitySet builds a set (deduplicated, sorted).
+func NewCommunitySet(cs ...Community) CommunitySet {
+	if len(cs) == 0 {
+		return CommunitySet{}
+	}
+	out := make([]Community, len(cs))
+	copy(out, cs)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	uniq := out[:1]
+	for _, c := range out[1:] {
+		if c != uniq[len(uniq)-1] {
+			uniq = append(uniq, c)
+		}
+	}
+	return CommunitySet{cs: uniq}
+}
+
+// Has reports membership.
+func (s CommunitySet) Has(c Community) bool {
+	i := sort.Search(len(s.cs), func(i int) bool { return s.cs[i] >= c })
+	return i < len(s.cs) && s.cs[i] == c
+}
+
+// Len returns the set size.
+func (s CommunitySet) Len() int { return len(s.cs) }
+
+// With returns the set plus the given communities.
+func (s CommunitySet) With(cs ...Community) CommunitySet {
+	all := make([]Community, 0, len(s.cs)+len(cs))
+	all = append(all, s.cs...)
+	all = append(all, cs...)
+	return NewCommunitySet(all...)
+}
+
+// Without returns the set minus c.
+func (s CommunitySet) Without(c Community) CommunitySet {
+	if !s.Has(c) {
+		return s
+	}
+	out := make([]Community, 0, len(s.cs)-1)
+	for _, x := range s.cs {
+		if x != c {
+			out = append(out, x)
+		}
+	}
+	return CommunitySet{cs: out}
+}
+
+// Values returns the members in ascending order (a copy).
+func (s CommunitySet) Values() []Community {
+	out := make([]Community, len(s.cs))
+	copy(out, s.cs)
+	return out
+}
+
+// String renders "{a:b c:d}".
+func (s CommunitySet) String() string {
+	if len(s.cs) == 0 {
+		return "{}"
+	}
+	out := "{"
+	for i, c := range s.cs {
+		if i > 0 {
+			out += " "
+		}
+		out += c.String()
+	}
+	return out + "}"
+}

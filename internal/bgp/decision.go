@@ -1,0 +1,137 @@
+package bgp
+
+// DecisionStep identifies which rule of the BGP decision process chose
+// between two routes. The experiment analysis uses this to attribute a
+// selection to localpref, path length, or route age (Appendix A).
+type DecisionStep uint8
+
+// Decision steps in evaluation order.
+const (
+	ByNone DecisionStep = iota // routes compared equal on every step
+	ByLocalPref
+	ByPathLen
+	ByOrigin
+	ByMED
+	ByEBGP
+	ByIGPCost
+	ByAge
+	ByRouterID
+)
+
+func (s DecisionStep) String() string {
+	switch s {
+	case ByNone:
+		return "equal"
+	case ByLocalPref:
+		return "localpref"
+	case ByPathLen:
+		return "aspath-length"
+	case ByOrigin:
+		return "origin"
+	case ByMED:
+		return "med"
+	case ByEBGP:
+		return "ebgp-over-ibgp"
+	case ByIGPCost:
+		return "igp-cost"
+	case ByAge:
+		return "route-age"
+	case ByRouterID:
+		return "router-id"
+	default:
+		return "unknown"
+	}
+}
+
+// Compare applies the BGP decision process to routes a and b for the
+// same prefix. It returns a negative value if a is preferred, positive
+// if b is preferred, and 0 only if the routes tie on every rule
+// (possible only when both come from the same neighbor). The returned
+// step names the rule that decided.
+//
+// The rule order follows the standard implementation (and §2, §A of
+// the paper): localpref, AS path length, origin, MED (same neighbor AS
+// only), eBGP over iBGP, IGP cost, route age (oldest wins), router ID.
+func Compare(a, b *Route) (int, DecisionStep) {
+	// 1. Highest localpref.
+	if a.LocalPref != b.LocalPref {
+		if a.LocalPref > b.LocalPref {
+			return -1, ByLocalPref
+		}
+		return 1, ByLocalPref
+	}
+	// 2. Shortest AS path.
+	if la, lb := a.Path.Len(), b.Path.Len(); la != lb {
+		if la < lb {
+			return -1, ByPathLen
+		}
+		return 1, ByPathLen
+	}
+	// 3. Lowest origin.
+	if a.Origin != b.Origin {
+		if a.Origin < b.Origin {
+			return -1, ByOrigin
+		}
+		return 1, ByOrigin
+	}
+	// 4. Lowest MED, only comparable between routes from the same
+	// neighboring AS.
+	if a.FromAS == b.FromAS && a.MED != b.MED {
+		if a.MED < b.MED {
+			return -1, ByMED
+		}
+		return 1, ByMED
+	}
+	// 5. Prefer eBGP-learned over iBGP-learned.
+	if a.EBGP != b.EBGP {
+		if a.EBGP {
+			return -1, ByEBGP
+		}
+		return 1, ByEBGP
+	}
+	// 6. Lowest IGP cost to the exit.
+	if a.IGPCost != b.IGPCost {
+		if a.IGPCost < b.IGPCost {
+			return -1, ByIGPCost
+		}
+		return 1, ByIGPCost
+	}
+	// 7. Oldest route (stability preference).
+	if a.LearnedAt != b.LearnedAt {
+		if a.LearnedAt < b.LearnedAt {
+			return -1, ByAge
+		}
+		return 1, ByAge
+	}
+	// 8. Lowest router ID of the advertising speaker.
+	if a.From != b.From {
+		if a.From < b.From {
+			return -1, ByRouterID
+		}
+		return 1, ByRouterID
+	}
+	return 0, ByNone
+}
+
+// Best returns the preferred route among candidates, together with the
+// step that decided the final pairwise comparison won by the winner.
+// It returns nil for an empty slice. Candidates must share a prefix.
+func Best(candidates []*Route) (*Route, DecisionStep) {
+	var best *Route
+	step := ByNone
+	for _, r := range candidates {
+		if r == nil {
+			continue
+		}
+		if best == nil {
+			best = r
+			continue
+		}
+		if c, s := Compare(r, best); c < 0 {
+			best, step = r, s
+		} else if c > 0 {
+			step = s
+		}
+	}
+	return best, step
+}

@@ -1,0 +1,618 @@
+package bgp
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+)
+
+// event is a BGP update in flight: an announcement (route != nil) or a
+// withdrawal, due at a speaker at a virtual time, plus internal timer
+// events (RFD reuse checks).
+type event struct {
+	at     Time
+	seq    uint64 // FIFO tie-break for equal times
+	to     RouterID
+	from   RouterID
+	prefix netutil.Prefix
+	route  *Route // nil = withdraw
+	rfd    bool   // RFD reuse-check timer rather than an update
+	mrai   bool   // MRAI flush timer, delivered to the *sender*
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// UpdateRecord is one BGP message as observed at a collector, the raw
+// material of Figure 3 and Tables 3-4.
+type UpdateRecord struct {
+	At        Time
+	Collector RouterID
+	PeerAS    asn.AS // the collector's peer that relayed the update
+	Prefix    netutil.Prefix
+	Announce  bool
+	Path      asn.Path
+}
+
+// ChurnLog accumulates collector-observed updates plus network-wide
+// message totals.
+type ChurnLog struct {
+	// Records holds every update received by a Collector speaker, in
+	// delivery order.
+	Records []UpdateRecord
+	// TotalMessages counts all update messages delivered anywhere.
+	TotalMessages int
+}
+
+// Network is the simulated internetwork: speakers, sessions, a virtual
+// clock, and the in-flight update queue.
+type Network struct {
+	speakers map[RouterID]*Speaker
+	order    []RouterID
+	byName   map[string]RouterID
+
+	clock Time
+	queue eventHeap
+	seq   uint64
+
+	// DefaultDelay is the per-hop propagation delay applied when a
+	// session has none configured.
+	DefaultDelay Time
+
+	// Churn is the update log; reset it between experiment phases to
+	// window the counts.
+	Churn ChurnLog
+
+	eventsProcessed int
+
+	// solver caches the static solver's RouterID-indexed adjacency;
+	// AddSpeaker/Connect invalidate it.
+	solver      *solverIndex
+	solverStale bool
+}
+
+// NewNetwork returns an empty network with a 1-second default hop
+// delay.
+func NewNetwork() *Network {
+	return &Network{
+		speakers:     make(map[RouterID]*Speaker),
+		byName:       make(map[string]RouterID),
+		DefaultDelay: 1,
+	}
+}
+
+// Now returns the virtual clock.
+func (n *Network) Now() Time { return n.clock }
+
+// AdvanceTo moves the clock forward (processing nothing; call Run to
+// drain events first). Used between experiment phases.
+func (n *Network) AdvanceTo(t Time) {
+	if t > n.clock {
+		n.clock = t
+	}
+}
+
+// EventsProcessed returns the number of delivered events so far.
+func (n *Network) EventsProcessed() int { return n.eventsProcessed }
+
+// AddSpeaker creates a speaker. IDs and names must be unique.
+func (n *Network) AddSpeaker(id RouterID, as asn.AS, name string) *Speaker {
+	if _, dup := n.speakers[id]; dup {
+		panic(fmt.Sprintf("bgp: duplicate speaker id %d", id))
+	}
+	if _, dup := n.byName[name]; dup && name != "" {
+		panic(fmt.Sprintf("bgp: duplicate speaker name %q", name))
+	}
+	s := newSpeaker(id, as, name)
+	n.speakers[id] = s
+	n.solverStale = true
+	n.order = append(n.order, id)
+	sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
+	if name != "" {
+		n.byName[name] = id
+	}
+	return s
+}
+
+// Speaker returns the speaker with the given ID, or nil.
+func (n *Network) Speaker(id RouterID) *Speaker { return n.speakers[id] }
+
+// SpeakerByName returns the speaker with the given name, or nil.
+func (n *Network) SpeakerByName(name string) *Speaker {
+	id, ok := n.byName[name]
+	if !ok {
+		return nil
+	}
+	return n.speakers[id]
+}
+
+// Speakers returns all router IDs in ascending order.
+func (n *Network) Speakers() []RouterID {
+	out := make([]RouterID, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// Connect establishes a session between a and b. cfgAtA is a's policy
+// toward b and vice versa; Connect fills in the Neighbor/NeighborAS
+// fields from the speakers themselves.
+func (n *Network) Connect(a, b RouterID, cfgAtA, cfgAtB PeerConfig) {
+	sa, sb := n.speakers[a], n.speakers[b]
+	if sa == nil || sb == nil {
+		panic(fmt.Sprintf("bgp: Connect(%d,%d): unknown speaker", a, b))
+	}
+	cfgAtA.Neighbor, cfgAtA.NeighborAS = b, sb.AS
+	cfgAtB.Neighbor, cfgAtB.NeighborAS = a, sa.AS
+	pa, pb := cfgAtA, cfgAtB
+	sa.addPeer(&pa)
+	sb.addPeer(&pb)
+	n.solverStale = true
+	// Initial table exchange: a freshly established session carries
+	// each side's existing exportable state (RFC 4271 §9.2: the whole
+	// Adj-RIB-Out is advertised when the session comes up).
+	for _, p := range sa.exportablePrefixes() {
+		n.exportToPeer(sa, p, &pa)
+	}
+	for _, p := range sb.exportablePrefixes() {
+		n.exportToPeer(sb, p, &pb)
+	}
+}
+
+// OriginateOpts parametrize an origination.
+type OriginateOpts struct {
+	// Communities are attached to the origination and travel with it.
+	Communities CommunitySet
+	// Poison inserts the given ASes into the announced path (after the
+	// origin's own leading AS, before its trailing copy), the active
+	// AS-path-poisoning technique of Colitti et al. (§2.2): any AS in
+	// the list discards the route through loop detection, keeping the
+	// announcement out of that AS's part of the Internet.
+	Poison []asn.AS
+}
+
+// Originate injects a locally originated route at the speaker and
+// propagates it. Announcing an already-originated prefix replaces the
+// origination (a re-announcement).
+func (n *Network) Originate(id RouterID, p netutil.Prefix) {
+	n.OriginateWith(id, p, OriginateOpts{})
+}
+
+// OriginateWith is Originate with communities and/or poisoning.
+func (n *Network) OriginateWith(id RouterID, p netutil.Prefix, opts OriginateOpts) {
+	s := n.speakers[id]
+	if s == nil {
+		panic(fmt.Sprintf("bgp: Originate: unknown speaker %d", id))
+	}
+	// A poisoned origination pre-seeds the path with "<poison...> <own>"
+	// so exports read "<own> <poison...> <own>": the origin stays the
+	// origin, and poisoned ASes drop the route.
+	var path asn.Path
+	if len(opts.Poison) > 0 {
+		path = make(asn.Path, 0, len(opts.Poison)+1)
+		path = append(path, opts.Poison...)
+		path = append(path, s.AS)
+	}
+	s.originated[p] = origination{route: &Route{
+		Prefix:      p,
+		Path:        path,
+		Origin:      OriginIGP,
+		LocalPref:   LocalPrefOwn,
+		Class:       ClassOwn,
+		From:        0,
+		FromAS:      asn.None,
+		EBGP:        false,
+		LearnedAt:   n.clock,
+		Communities: opts.Communities,
+	}}
+	n.decideAndExport(s, p)
+}
+
+// WithdrawOrigination removes a local origination and propagates the
+// withdrawal.
+func (n *Network) WithdrawOrigination(id RouterID, p netutil.Prefix) {
+	s := n.speakers[id]
+	if s == nil {
+		return
+	}
+	if _, ok := s.originated[p]; !ok {
+		return
+	}
+	delete(s.originated, p)
+	n.decideAndExport(s, p)
+}
+
+// SetExportPrepend changes the operator prepending s applies toward
+// neighbor nb and re-exports affected prefixes. This is the knob the
+// experiments turn between probing rounds (§3.3).
+func (n *Network) SetExportPrepend(id, nb RouterID, prepends int) {
+	s := n.speakers[id]
+	if s == nil {
+		return
+	}
+	pc := s.peers[nb]
+	if pc == nil || pc.ExportPrepend == prepends {
+		return
+	}
+	pc.ExportPrepend = prepends
+	// Re-export every prefix this speaker currently advertises (or
+	// should advertise) to nb.
+	for _, p := range s.exportablePrefixes() {
+		n.exportToPeer(s, p, pc)
+	}
+}
+
+// SetSessionDown tears down the session between a and b: both sides
+// drop all routes learned over it and propagate the consequences, and
+// no updates flow until SetSessionUp. Used to inject the outages that
+// produce the paper's "Switch to commodity" and "Oscillating"
+// categories (§4).
+func (n *Network) SetSessionDown(a, b RouterID) {
+	sa, sb := n.speakers[a], n.speakers[b]
+	if sa == nil || sb == nil {
+		return
+	}
+	pcA, pcB := sa.peers[b], sb.peers[a]
+	if pcA == nil || pcB == nil || pcA.down {
+		return
+	}
+	pcA.down, pcB.down = true, true
+	n.flushSession(sa, b)
+	n.flushSession(sb, a)
+}
+
+// SetSessionUp restores a torn-down session and re-advertises current
+// state in both directions.
+func (n *Network) SetSessionUp(a, b RouterID) {
+	sa, sb := n.speakers[a], n.speakers[b]
+	if sa == nil || sb == nil {
+		return
+	}
+	pcA, pcB := sa.peers[b], sb.peers[a]
+	if pcA == nil || pcB == nil || !pcA.down {
+		return
+	}
+	pcA.down, pcB.down = false, false
+	for _, p := range sa.exportablePrefixes() {
+		n.exportToPeer(sa, p, pcA)
+	}
+	for _, p := range sb.exportablePrefixes() {
+		n.exportToPeer(sb, p, pcB)
+	}
+}
+
+// flushSession drops every adj-RIB-in entry s holds from neighbor nb
+// and every adj-RIB-out entry toward nb, rerunning decisions.
+func (n *Network) flushSession(s *Speaker, nb RouterID) {
+	var prefixes []netutil.Prefix
+	for k := range s.adjIn {
+		if k.neighbor == nb {
+			prefixes = append(prefixes, k.prefix)
+		}
+	}
+	for k := range s.adjOut {
+		if k.neighbor == nb {
+			delete(s.adjOut, k)
+		}
+	}
+	netutil.SortPrefixes(prefixes)
+	for _, p := range prefixes {
+		if s.applyImport(p, nb, nil, n.clock) {
+			n.decideAndExport(s, p)
+		}
+	}
+}
+
+// SetPrefixPrepend changes the prepending applied to one prefix when
+// exporting to neighbor nb, leaving other prefixes untouched, and
+// re-exports that prefix. This is how the experiments adjust the
+// measurement prefix without disturbing other announcements.
+func (n *Network) SetPrefixPrepend(id, nb RouterID, p netutil.Prefix, prepends int) {
+	s := n.speakers[id]
+	if s == nil {
+		return
+	}
+	pcN := s.peers[nb]
+	if pcN == nil {
+		return
+	}
+	if cur, ok := pcN.PrefixPrepend[p]; ok && cur == prepends {
+		return
+	}
+	if pcN.PrefixPrepend == nil {
+		pcN.PrefixPrepend = make(map[netutil.Prefix]int)
+	}
+	pcN.PrefixPrepend[p] = prepends
+	n.exportToPeer(s, p, pcN)
+}
+
+// exportablePrefixes lists prefixes with any local state, sorted.
+func (s *Speaker) exportablePrefixes() []netutil.Prefix {
+	set := make(map[netutil.Prefix]bool)
+	for p := range s.originated {
+		set[p] = true
+	}
+	for p := range s.locRib {
+		set[p] = true
+	}
+	for k := range s.adjOut {
+		set[k.prefix] = true
+	}
+	out := make([]netutil.Prefix, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	netutil.SortPrefixes(out)
+	return out
+}
+
+// decideAndExport reruns the decision at s for p and, on change,
+// exports to every neighbor.
+func (n *Network) decideAndExport(s *Speaker, p netutil.Prefix) {
+	_, changed := s.runDecision(p)
+	if !changed {
+		// Even without a loc-RIB change, a VRF-filtered export may
+		// have changed; handle those sessions.
+		for _, nb := range s.peerOrder {
+			pc := s.peers[nb]
+			if pc.ExportBestOf != nil {
+				n.exportToPeer(s, p, pc)
+			}
+		}
+		return
+	}
+	for _, nb := range s.peerOrder {
+		n.exportToPeer(s, p, pc(s, nb))
+	}
+}
+
+func pc(s *Speaker, nb RouterID) *PeerConfig { return s.peers[nb] }
+
+// exportToPeer computes the announcement for one session and enqueues
+// it if it differs from what was last sent, honouring the session's
+// MRAI: inside the interval the export is deferred to a flush timer,
+// so rapid best-path changes collapse into one update (RFC 4271
+// §9.2.1.1; the reproduction applies the interval to withdrawals too).
+func (n *Network) exportToPeer(s *Speaker, p netutil.Prefix, pc *PeerConfig) {
+	if pc == nil || pc.down {
+		return
+	}
+	// Collectors never re-export.
+	if s.Collector {
+		return
+	}
+	if pc.MRAI > 0 {
+		k := ribKey{p, pc.Neighbor}
+		if last, ok := s.mraiLast[k]; ok && n.clock < last+pc.MRAI {
+			if !s.mraiPending[k] {
+				s.mraiPending[k] = true
+				n.seq++
+				heap.Push(&n.queue, &event{
+					at:     last + pc.MRAI,
+					seq:    n.seq,
+					to:     s.ID,
+					from:   pc.Neighbor,
+					prefix: p,
+					mrai:   true,
+				})
+			}
+			return
+		}
+	}
+	n.sendExport(s, p, pc)
+}
+
+// sendExport performs the actual adj-RIB-out comparison and enqueue.
+func (n *Network) sendExport(s *Speaker, p netutil.Prefix, pc *PeerConfig) {
+	r := s.exportRoute(p, pc)
+	k := ribKey{p, pc.Neighbor}
+	prev := s.adjOut[k]
+	if announcementEqual(prev, r) {
+		return
+	}
+	if r == nil {
+		delete(s.adjOut, k)
+	} else {
+		s.adjOut[k] = r
+	}
+	delay := pc.Delay
+	if delay <= 0 {
+		delay = n.DefaultDelay
+	}
+	if pc.MRAI > 0 {
+		s.mraiLast[ribKey{p, pc.Neighbor}] = n.clock
+	}
+	n.seq++
+	heap.Push(&n.queue, &event{
+		at:     n.clock + delay,
+		seq:    n.seq,
+		to:     pc.Neighbor,
+		from:   s.ID,
+		prefix: p,
+		route:  r,
+	})
+}
+
+// Run processes queued events until the network is quiescent or the
+// clock would pass `until` (use MaxTime to drain fully). It returns
+// the number of events processed.
+func (n *Network) Run(until Time) int {
+	processed := 0
+	for len(n.queue) > 0 {
+		e := n.queue[0]
+		if e.at > until {
+			break
+		}
+		heap.Pop(&n.queue)
+		if e.at > n.clock {
+			n.clock = e.at
+		}
+		n.deliver(e)
+		processed++
+	}
+	n.eventsProcessed += processed
+	return processed
+}
+
+// MaxTime is a time later than any experiment uses.
+const MaxTime = Time(1 << 40)
+
+// RunToQuiescence drains the queue completely.
+func (n *Network) RunToQuiescence() int { return n.Run(MaxTime) }
+
+func (n *Network) deliver(e *event) {
+	s := n.speakers[e.to]
+	if s == nil {
+		return
+	}
+	// Updates in flight when the session went down are lost.
+	if pcIn := s.peers[e.from]; pcIn != nil && pcIn.down && !e.rfd {
+		return
+	}
+	if e.mrai {
+		// Flush timer at the sender: re-evaluate the deferred export.
+		pcOut := s.peers[e.from]
+		k := ribKey{e.prefix, e.from}
+		s.mraiPending[k] = false
+		if pcOut != nil && !pcOut.down && !s.Collector {
+			n.sendExport(s, e.prefix, pcOut)
+		}
+		return
+	}
+	if e.rfd {
+		k := ribKey{e.prefix, e.from}
+		cfg := s.peers[e.from].RFD
+		if cfg != nil && s.rfdRecheck(k, cfg, n.clock) {
+			n.decideAndExport(s, e.prefix)
+		}
+		return
+	}
+
+	n.Churn.TotalMessages++
+	if s.Collector {
+		pcIn := s.peers[e.from]
+		var peerAS asn.AS
+		if pcIn != nil {
+			peerAS = pcIn.NeighborAS
+		}
+		rec := UpdateRecord{
+			At:        n.clock,
+			Collector: s.ID,
+			PeerAS:    peerAS,
+			Prefix:    e.prefix,
+			Announce:  e.route != nil,
+		}
+		if e.route != nil {
+			rec.Path = e.route.Path
+		}
+		n.Churn.Records = append(n.Churn.Records, rec)
+	}
+
+	changed := s.applyImport(e.prefix, e.from, e.route, n.clock)
+	if !changed {
+		return
+	}
+	// If RFD suppressed the route, schedule the reuse recheck.
+	if pcIn := s.peers[e.from]; pcIn != nil && pcIn.RFD != nil {
+		k := ribKey{e.prefix, e.from}
+		if reuse := s.rfdReuseTime(k, pcIn.RFD); reuse >= 0 {
+			n.seq++
+			heap.Push(&n.queue, &event{
+				at:     reuse + 1,
+				seq:    n.seq,
+				to:     s.ID,
+				from:   e.from,
+				prefix: e.prefix,
+				rfd:    true,
+			})
+		}
+	}
+	n.decideAndExport(s, e.prefix)
+}
+
+// NextHop returns the neighbor the speaker forwards traffic for p to,
+// following its best route. ok is false when the speaker has no route.
+// A self-originated best route returns (id, true): traffic terminates.
+func (n *Network) NextHop(id RouterID, p netutil.Prefix) (RouterID, bool) {
+	s := n.speakers[id]
+	if s == nil {
+		return 0, false
+	}
+	best := s.locRib[p]
+	if best == nil {
+		return 0, false
+	}
+	if best.From == 0 {
+		return id, true
+	}
+	return best.From, true
+}
+
+// DefaultPrefix is 0.0.0.0/0, the fallback route of NextHopLPM.
+var DefaultPrefix = netutil.PrefixFrom(0, 0)
+
+// NextHopLPM is NextHop with longest-prefix-match semantics reduced to
+// the two-entry case the data plane needs: the specific prefix if the
+// speaker holds a route for it, otherwise its default route (the §1
+// "import only a default route" alternative).
+func (n *Network) NextHopLPM(id RouterID, p netutil.Prefix) (RouterID, bool) {
+	if next, ok := n.NextHop(id, p); ok {
+		return next, true
+	}
+	return n.NextHop(id, DefaultPrefix)
+}
+
+// ForwardPath walks AS-level forwarding from speaker id toward prefix
+// p, returning the sequence of router IDs ending at the originating
+// speaker. ok is false on a routing loop or a missing route.
+func (n *Network) ForwardPath(id RouterID, p netutil.Prefix) ([]RouterID, bool) {
+	return n.forwardPath(id, p, n.NextHop)
+}
+
+// ForwardPathLPM is ForwardPath with per-hop default-route fallback.
+// The walk ends when a hop's route (specific or default) terminates
+// locally; a walk that ends at a default-originating speaker without a
+// specific route means the packet would be discarded there.
+func (n *Network) ForwardPathLPM(id RouterID, p netutil.Prefix) ([]RouterID, bool) {
+	return n.forwardPath(id, p, n.NextHopLPM)
+}
+
+func (n *Network) forwardPath(id RouterID, p netutil.Prefix, hop func(RouterID, netutil.Prefix) (RouterID, bool)) ([]RouterID, bool) {
+	var path []RouterID
+	seen := make(map[RouterID]bool)
+	cur := id
+	for {
+		if seen[cur] {
+			return path, false // forwarding loop
+		}
+		seen[cur] = true
+		path = append(path, cur)
+		next, ok := hop(cur, p)
+		if !ok {
+			return path, false
+		}
+		if next == cur {
+			return path, true
+		}
+		cur = next
+	}
+}

@@ -1,0 +1,221 @@
+package bgp
+
+import (
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+)
+
+// diamondNet: origin(1) -> {left(2), right(3)} -> sink(4).
+func diamondNet() *Network {
+	net := NewNetwork()
+	net.AddSpeaker(1, 100, "origin")
+	net.AddSpeaker(2, 200, "left")
+	net.AddSpeaker(3, 300, "right")
+	net.AddSpeaker(4, 400, "sink")
+	cust := bgp2custCfg()
+	prov := bgp2provCfg()
+	net.Connect(2, 1, cust, prov)
+	net.Connect(3, 1, cust, prov)
+	net.Connect(4, 2, cust, prov)
+	net.Connect(4, 3, cust, prov)
+	return net
+}
+
+var diamondPrefix = netutil.MustParsePrefix("198.51.100.0/24")
+
+func TestSetPrefixPrependAffectsOnlyThatPrefix(t *testing.T) {
+	net := diamondNet()
+	p2 := netutil.MustParsePrefix("198.51.101.0/24")
+	net.Originate(1, diamondPrefix)
+	net.Originate(1, p2)
+	net.RunToQuiescence()
+
+	net.SetPrefixPrepend(1, 2, diamondPrefix, 3)
+	net.RunToQuiescence()
+	left := net.Speaker(2)
+	if got := left.AdjIn(diamondPrefix, 1).Path.Len(); got != 4 {
+		t.Errorf("prepended prefix path len = %d, want 4", got)
+	}
+	if got := left.AdjIn(p2, 1).Path.Len(); got != 1 {
+		t.Errorf("other prefix path len = %d, want 1 (untouched)", got)
+	}
+	// Idempotent re-set generates nothing.
+	ev := net.EventsProcessed()
+	net.SetPrefixPrepend(1, 2, diamondPrefix, 3)
+	net.RunToQuiescence()
+	if net.EventsProcessed() != ev {
+		t.Error("idempotent SetPrefixPrepend generated events")
+	}
+	// Unknown speaker / session are no-ops.
+	net.SetPrefixPrepend(99, 2, diamondPrefix, 1)
+	net.SetPrefixPrepend(1, 99, diamondPrefix, 1)
+}
+
+func TestExportFilterScopesPrefix(t *testing.T) {
+	net := diamondNet()
+	meas := diamondPrefix
+	// origin withholds meas from right(3) only.
+	net.Speaker(1).Peer(3).ExportFilter = func(r *Route) bool { return r.Prefix != meas }
+	other := netutil.MustParsePrefix("198.51.101.0/24")
+	net.Originate(1, meas)
+	net.Originate(1, other)
+	net.RunToQuiescence()
+
+	if net.Speaker(3).AdjIn(meas, 1) != nil {
+		t.Error("filtered prefix leaked to right")
+	}
+	if net.Speaker(3).AdjIn(other, 1) == nil {
+		t.Error("unfiltered prefix missing at right")
+	}
+	// Sink still reaches meas via left.
+	if best := net.Speaker(4).Best(meas); best == nil || best.From != 2 {
+		t.Errorf("sink best = %v, want via left", best)
+	}
+}
+
+func TestVRFSplitExport(t *testing.T) {
+	// sink(4) holds routes via left and right; a collector session at
+	// sink exports best-of-right only, even though sink's loc-RIB best
+	// is via left (lower router ID on the tie).
+	net := diamondNet()
+	col := net.AddSpeaker(9, 900, "collector")
+	col.Collector = true
+	exportAll := NewClassSet(ClassOwn, ClassCustomer, ClassPeer, ClassProvider, ClassREPeer)
+	net.Connect(4, 9,
+		PeerConfig{
+			ClassifyAs:  ClassPeer,
+			ExportAllow: exportAll,
+			ExportBestOf: func(r *Route) bool {
+				return r.From == 3 // the "commodity VRF"
+			},
+		},
+		PeerConfig{ClassifyAs: ClassPeer, ExportAllow: NewClassSet()})
+	net.Originate(1, diamondPrefix)
+	net.RunToQuiescence()
+
+	sink := net.Speaker(4)
+	if best := sink.Best(diamondPrefix); best == nil || best.From != 2 {
+		t.Fatalf("sink best = %v, want via left (router-id tie)", best)
+	}
+	got := col.AdjIn(diamondPrefix, 4)
+	if got == nil {
+		t.Fatal("collector saw nothing")
+	}
+	// The collector's view came through right: path "400 300 100".
+	want := asn.MustParsePath("400 300 100")
+	if !got.Path.Equal(want) {
+		t.Errorf("collector path = %v, want %v (the VRF view)", got.Path, want)
+	}
+}
+
+func TestSessionDownReroutesAndUpRestores(t *testing.T) {
+	net := diamondNet()
+	net.Originate(1, diamondPrefix)
+	net.RunToQuiescence()
+	sink := net.Speaker(4)
+	if best := sink.Best(diamondPrefix); best == nil || best.From != 2 {
+		t.Fatalf("initial best = %v, want via left", best)
+	}
+
+	net.SetSessionDown(4, 2)
+	net.RunToQuiescence()
+	if best := sink.Best(diamondPrefix); best == nil || best.From != 3 {
+		t.Fatalf("after outage best = %v, want via right", best)
+	}
+	if sink.AdjIn(diamondPrefix, 2) != nil {
+		t.Error("down session still holds a route")
+	}
+
+	// Double-down is a no-op; unknown sessions are no-ops.
+	net.SetSessionDown(4, 2)
+	net.SetSessionDown(4, 99)
+	net.SetSessionUp(4, 99)
+
+	net.SetSessionUp(4, 2)
+	net.RunToQuiescence()
+	best := sink.Best(diamondPrefix)
+	if best == nil {
+		t.Fatal("no route after restore")
+	}
+	if sink.AdjIn(diamondPrefix, 2) == nil {
+		t.Error("restored session did not re-learn the route")
+	}
+	// The pre-outage route via right is now older; age keeps it best.
+	if best.From != 3 {
+		t.Errorf("after restore best = %v; the surviving (older) route should win", best)
+	}
+}
+
+func TestSessionDownWhileUpdateInFlight(t *testing.T) {
+	// An announcement already queued on a session that goes down must
+	// be dropped, not applied after the teardown.
+	net := diamondNet()
+	net.Originate(1, diamondPrefix)
+	// Deliberately do NOT converge: updates to 2 and 3 are in flight.
+	net.SetSessionDown(2, 1)
+	net.RunToQuiescence()
+	if net.Speaker(2).AdjIn(diamondPrefix, 1) != nil {
+		t.Error("in-flight update applied on a down session")
+	}
+	// Traffic still flows via right.
+	if best := net.Speaker(4).Best(diamondPrefix); best == nil || best.From != 3 {
+		t.Errorf("sink best = %v, want via right", best)
+	}
+}
+
+func TestImportDeny(t *testing.T) {
+	net := diamondNet()
+	// sink denies routes via left whose path contains AS 200.
+	net.Speaker(4).Peer(2).ImportDeny = func(r *Route) bool {
+		return r.Path.Contains(200)
+	}
+	net.Originate(1, diamondPrefix)
+	net.RunToQuiescence()
+	sink := net.Speaker(4)
+	if sink.AdjIn(diamondPrefix, 2) != nil {
+		t.Error("denied route installed")
+	}
+	if best := sink.Best(diamondPrefix); best == nil || best.From != 3 {
+		t.Errorf("best = %v, want via right", best)
+	}
+}
+
+func TestWithdrawOriginationUnknowns(t *testing.T) {
+	net := diamondNet()
+	// Withdrawing a never-announced prefix or at an unknown speaker is
+	// a no-op.
+	net.WithdrawOrigination(1, diamondPrefix)
+	net.WithdrawOrigination(99, diamondPrefix)
+	if net.EventsProcessed() != 0 {
+		t.Error("no-op withdraw generated events")
+	}
+}
+
+func TestChurnTotalsCount(t *testing.T) {
+	net := diamondNet()
+	net.Originate(1, diamondPrefix)
+	net.RunToQuiescence()
+	if net.Churn.TotalMessages == 0 {
+		t.Error("no messages counted")
+	}
+	if len(net.Churn.Records) != 0 {
+		t.Error("records without any collector")
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	net := diamondNet()
+	net.Originate(1, diamondPrefix)
+	// Run only to time 1: with jittered per-session delays >= 1 the
+	// first wave may arrive, but distant speakers cannot have heard.
+	net.Run(1)
+	if net.Speaker(4).Best(diamondPrefix) != nil {
+		t.Error("sink converged implausibly fast")
+	}
+	net.RunToQuiescence()
+	if net.Speaker(4).Best(diamondPrefix) == nil {
+		t.Error("sink missing route after full run")
+	}
+}

@@ -1,0 +1,156 @@
+package bgp
+
+import (
+	"repro/internal/asn"
+	"repro/internal/netutil"
+)
+
+// PeerConfig is one speaker's policy toward one neighbor. A session
+// between speakers A and B is described by a PeerConfig at A (about B)
+// and one at B (about A).
+type PeerConfig struct {
+	// Neighbor is the remote speaker.
+	Neighbor RouterID
+	// NeighborAS is the remote speaker's AS.
+	NeighborAS asn.AS
+
+	// ClassifyAs tags routes imported from this neighbor; export
+	// policies and the analysis code dispatch on the tag.
+	ClassifyAs RouteClass
+
+	// ImportLocalPref is the localpref assigned to all routes received
+	// from this neighbor — the per-session default value the paper
+	// describes operators annotating sessions with (§1). Zero means
+	// "use DefaultLocalPref".
+	ImportLocalPref uint32
+
+	// ImportDeny, when non-nil, rejects matching routes at import.
+	ImportDeny func(*Route) bool
+
+	// ExportAllow is the set of route classes announced to this
+	// neighbor. Locally originated routes are class ClassOwn.
+	ExportAllow ClassSet
+
+	// ExportPrepend is the number of *extra* copies of the local AS
+	// prepended when announcing to this neighbor (beyond the single
+	// mandatory one). This is the operator prepending knob of §3.3 and
+	// Table 4.
+	ExportPrepend int
+
+	// PrefixPrepend overrides ExportPrepend for specific prefixes.
+	// The measurement experiments prepend only the measurement prefix,
+	// leaving the origin's other announcements untouched.
+	PrefixPrepend map[netutil.Prefix]int
+
+	// ExportMED is the MED attached to announcements to this neighbor.
+	ExportMED uint32
+
+	// ExportFilter, when non-nil, withholds routes for which it
+	// returns false, after the class check. Used to scope announcements
+	// (e.g. the measurement prefix's R&E announcement never crosses an
+	// R&E network's commodity transit session, the property §3.1
+	// verified).
+	ExportFilter func(*Route) bool
+
+	// ExportBestOf, when non-nil, selects which adj-RIB-in routes this
+	// neighbor's announcements are drawn from, instead of the loc-RIB
+	// best. The speaker announces the best route among those matching
+	// the filter. This models the separate-VRF exports of §4.1.1,
+	// where an AS preferred R&E routes but exported its commodity VRF
+	// to the public collector.
+	ExportBestOf func(*Route) bool
+
+	// RFD, when non-nil, applies route-flap damping to routes received
+	// from this neighbor.
+	RFD *RFDConfig
+
+	// ExportAddCommunities is attached to every announcement sent to
+	// this neighbor (operator tagging, e.g. scoping communities).
+	ExportAddCommunities CommunitySet
+
+	// Delay is the propagation delay for updates sent *to* this
+	// neighbor. Zero means the engine default.
+	Delay Time
+
+	// MRAI is the minimum route advertisement interval toward this
+	// neighbor: successive announcements for the same prefix are
+	// batched so at most one is sent per interval (RFC 4271 §9.2.1.1).
+	// Zero disables batching.
+	MRAI Time
+
+	// IGPCost is the interior cost assigned to routes imported from
+	// this neighbor (tie-break knob; usually zero).
+	IGPCost uint32
+
+	// down marks the session administratively/operationally down
+	// (see Network.SetSessionDown).
+	down bool
+}
+
+// effectivePrepend returns the prepend count to apply when announcing
+// prefix p to this neighbor.
+func (pc *PeerConfig) effectivePrepend(p netutil.Prefix) int {
+	if n, ok := pc.PrefixPrepend[p]; ok {
+		return n
+	}
+	return pc.ExportPrepend
+}
+
+// localPref returns the effective import localpref.
+func (pc *PeerConfig) localPref() uint32 {
+	if pc.ImportLocalPref == 0 {
+		return DefaultLocalPref
+	}
+	return pc.ImportLocalPref
+}
+
+// Conventional localpref tiers. The absolute values are arbitrary;
+// only the order matters to BGP. They follow the Gao-Rexford ordering
+// (customer > peer > provider) with room between tiers for the R&E
+// preference the paper studies.
+const (
+	// LocalPrefOwn makes locally originated routes win over any
+	// learned route, standing in for the vendor "weight" step.
+	LocalPrefOwn = 1000
+
+	LocalPrefCustomer = 300
+	LocalPrefPeer     = 200
+	LocalPrefREPeer   = 180 // R&E fabric routes when preferred over commodity transit
+	LocalPrefProvider = 100
+)
+
+// GaoRexfordExport returns the classes an AS may export to a neighbor
+// of the given relationship, per the Gao-Rexford model: everything to
+// customers; only own and customer routes to peers and providers.
+func GaoRexfordExport(rel RouteClass) ClassSet {
+	switch rel {
+	case ClassCustomer:
+		// To a customer: all routes.
+		return NewClassSet(ClassOwn, ClassCustomer, ClassPeer, ClassProvider, ClassREPeer)
+	case ClassPeer, ClassProvider:
+		return NewClassSet(ClassOwn, ClassCustomer)
+	case ClassREPeer:
+		// R&E backbones additionally re-export peer-NREN routes to
+		// other peer NRENs, building the global R&E fabric (§2.1).
+		return NewClassSet(ClassOwn, ClassCustomer, ClassREPeer)
+	default:
+		return NewClassSet()
+	}
+}
+
+// GaoRexfordLocalPref returns the conventional localpref for routes
+// from a neighbor of the given relationship.
+func GaoRexfordLocalPref(rel RouteClass) uint32 {
+	switch rel {
+	case ClassCustomer:
+		return LocalPrefCustomer
+	case ClassPeer:
+		return LocalPrefPeer
+	case ClassREPeer:
+		return LocalPrefREPeer
+	case ClassProvider:
+		return LocalPrefProvider
+	default:
+		return DefaultLocalPref
+	}
+}

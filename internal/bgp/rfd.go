@@ -1,0 +1,88 @@
+package bgp
+
+import "math"
+
+// RFDConfig parametrizes route-flap damping per RFC 2439 as deployed
+// in practice (RIPE-580 values). A router keeps a penalty per
+// (prefix, BGP session); each flap adds to the penalty, the penalty
+// decays exponentially, and while it exceeds the suppress threshold
+// the route is not used.
+//
+// The paper's experiment schedule (one announcement change per hour,
+// §3.3) is designed so that no reasonable RFD configuration suppresses
+// the measurement prefix; the reproduction includes RFD so that this
+// property is demonstrated rather than assumed.
+type RFDConfig struct {
+	// PenaltyPerFlap is added on each update/withdrawal (1000 in
+	// common implementations).
+	PenaltyPerFlap float64
+	// SuppressThreshold suppresses the route when exceeded (2000).
+	SuppressThreshold float64
+	// ReuseThreshold re-enables a suppressed route once the decayed
+	// penalty falls below it (750).
+	ReuseThreshold float64
+	// HalfLife is the penalty decay half-life in seconds (900 = 15m).
+	HalfLife Time
+	// MaxSuppress caps the suppression duration in seconds (3600).
+	MaxSuppress Time
+}
+
+// DefaultRFD returns the RIPE-580 recommended parameters.
+func DefaultRFD() *RFDConfig {
+	return &RFDConfig{
+		PenaltyPerFlap:    1000,
+		SuppressThreshold: 2000,
+		ReuseThreshold:    750,
+		HalfLife:          900,
+		MaxSuppress:       3600,
+	}
+}
+
+// rfdState is the per-(prefix, session) damping state.
+type rfdState struct {
+	penalty    float64
+	lastUpdate Time
+	suppressed bool
+	suppressAt Time
+}
+
+// decayTo brings the penalty forward to time t.
+func (s *rfdState) decayTo(t Time, cfg *RFDConfig) {
+	if t <= s.lastUpdate || cfg.HalfLife <= 0 {
+		s.lastUpdate = t
+		return
+	}
+	dt := float64(t - s.lastUpdate)
+	s.penalty *= math.Exp2(-dt / float64(cfg.HalfLife))
+	s.lastUpdate = t
+}
+
+// Flap records a flap at time t and returns whether the route is now
+// suppressed.
+func (s *rfdState) Flap(t Time, cfg *RFDConfig) bool {
+	s.decayTo(t, cfg)
+	s.penalty += cfg.PenaltyPerFlap
+	if !s.suppressed && s.penalty > cfg.SuppressThreshold {
+		s.suppressed = true
+		s.suppressAt = t
+	}
+	s.refresh(t, cfg)
+	return s.suppressed
+}
+
+// Suppressed reports whether the route is suppressed at time t.
+func (s *rfdState) Suppressed(t Time, cfg *RFDConfig) bool {
+	s.decayTo(t, cfg)
+	s.refresh(t, cfg)
+	return s.suppressed
+}
+
+// refresh applies reuse-threshold and max-suppress release rules.
+func (s *rfdState) refresh(t Time, cfg *RFDConfig) {
+	if !s.suppressed {
+		return
+	}
+	if s.penalty < cfg.ReuseThreshold || t-s.suppressAt >= cfg.MaxSuppress {
+		s.suppressed = false
+	}
+}

@@ -1,0 +1,139 @@
+package bgp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netutil"
+)
+
+func TestRFDSingleFlapNeverSuppresses(t *testing.T) {
+	cfg := DefaultRFD()
+	var st rfdState
+	if st.Flap(0, cfg) {
+		t.Error("one flap suppressed the route")
+	}
+	if st.Suppressed(10, cfg) {
+		t.Error("suppressed after a single flap")
+	}
+}
+
+func TestRFDHourlyScheduleNeverSuppresses(t *testing.T) {
+	// The experiment design: one announcement change per hour for nine
+	// configurations (§3.3). With a 15-minute half-life the penalty
+	// decays 16x between flaps, so it can never cross the suppress
+	// threshold.
+	cfg := DefaultRFD()
+	var st rfdState
+	for i := 0; i < 9; i++ {
+		if st.Flap(Time(i*3600), cfg) {
+			t.Fatalf("hourly flap %d suppressed the route (penalty %.0f)", i, st.penalty)
+		}
+	}
+	if st.penalty > cfg.SuppressThreshold {
+		t.Errorf("penalty %.0f exceeded suppress threshold", st.penalty)
+	}
+}
+
+func TestRFDRapidFlapsSuppress(t *testing.T) {
+	cfg := DefaultRFD()
+	var st rfdState
+	suppressed := false
+	for i := 0; i < 3; i++ {
+		suppressed = st.Flap(Time(i*10), cfg)
+	}
+	if !suppressed {
+		t.Fatal("three rapid flaps did not suppress")
+	}
+	// Penalty decays with the half-life; after enough time the route
+	// is reusable.
+	if st.Suppressed(30, cfg) != true {
+		t.Error("should still be suppressed shortly after")
+	}
+	if st.Suppressed(30+4*cfg.HalfLife, cfg) {
+		t.Error("should be reusable after penalty decays below reuse threshold")
+	}
+}
+
+func TestRFDMaxSuppressCap(t *testing.T) {
+	cfg := DefaultRFD()
+	cfg.HalfLife = 100000 // decay effectively frozen
+	var st rfdState
+	for i := 0; i < 5; i++ {
+		st.Flap(Time(i), cfg)
+	}
+	if !st.Suppressed(10, cfg) {
+		t.Fatal("should be suppressed")
+	}
+	if st.Suppressed(10+cfg.MaxSuppress, cfg) {
+		t.Error("MaxSuppress cap did not release the route")
+	}
+}
+
+func TestRFDDecayHalfLife(t *testing.T) {
+	cfg := DefaultRFD()
+	st := rfdState{penalty: 1000, lastUpdate: 0}
+	st.decayTo(cfg.HalfLife, cfg)
+	if math.Abs(st.penalty-500) > 1e-6 {
+		t.Errorf("penalty after one half-life = %f, want 500", st.penalty)
+	}
+	st.decayTo(cfg.HalfLife, cfg) // no time passes
+	if math.Abs(st.penalty-500) > 1e-6 {
+		t.Errorf("penalty changed with no elapsed time: %f", st.penalty)
+	}
+}
+
+func TestRFDInEngine(t *testing.T) {
+	// A flapping origination through a damped session is suppressed at
+	// the receiver and recovers after the reuse timer.
+	net := NewNetwork()
+	net.AddSpeaker(1, 100, "receiver")
+	net.AddSpeaker(2, 200, "flapper")
+	net.Connect(2, 1,
+		PeerConfig{ClassifyAs: ClassCustomer, ImportLocalPref: LocalPrefCustomer, ExportAllow: GaoRexfordExport(ClassCustomer)},
+		PeerConfig{ClassifyAs: ClassProvider, ImportLocalPref: LocalPrefProvider, ExportAllow: GaoRexfordExport(ClassProvider), RFD: DefaultRFD()},
+	)
+	p := netutil.MustParsePrefix("198.51.100.0/24")
+	// Flap rapidly: announce, withdraw, announce, withdraw, announce.
+	for i := 0; i < 2; i++ {
+		net.Originate(2, p)
+		net.Run(net.Now() + 2)
+		net.WithdrawOrigination(2, p)
+		net.Run(net.Now() + 2)
+	}
+	net.Originate(2, p)
+	net.Run(net.Now() + 2)
+
+	if best := net.Speaker(1).Best(p); best != nil {
+		t.Fatalf("damped route still selected: %v", best)
+	}
+	// Drain including the reuse timer: route returns.
+	net.RunToQuiescence()
+	if best := net.Speaker(1).Best(p); best == nil {
+		t.Fatal("route did not recover after damping expired")
+	}
+}
+
+func TestRFDHourlyScheduleInEngine(t *testing.T) {
+	// End-to-end restatement of the paper's schedule property: with
+	// damping enabled, hourly prepend changes never lose the route.
+	net := NewNetwork()
+	net.AddSpeaker(1, 100, "receiver")
+	net.AddSpeaker(2, 200, "origin")
+	net.Connect(2, 1,
+		PeerConfig{ClassifyAs: ClassCustomer, ImportLocalPref: LocalPrefCustomer, ExportAllow: GaoRexfordExport(ClassCustomer)},
+		PeerConfig{ClassifyAs: ClassProvider, ImportLocalPref: LocalPrefProvider, ExportAllow: GaoRexfordExport(ClassProvider), RFD: DefaultRFD()},
+	)
+	p := netutil.MustParsePrefix("163.253.63.0/24")
+	net.Originate(2, p)
+	net.RunToQuiescence()
+	prepends := []int{4, 3, 2, 1, 0, 0, 0, 0, 0}
+	for i, n := range prepends {
+		net.AdvanceTo(Time((i + 1) * 3600))
+		net.SetExportPrepend(2, 1, n)
+		net.RunToQuiescence()
+		if best := net.Speaker(1).Best(p); best == nil {
+			t.Fatalf("config %d: route suppressed under hourly schedule", i)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package bgp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+)
+
+// ribKey indexes per-(prefix, neighbor) state.
+type ribKey struct {
+	prefix   netutil.Prefix
+	neighbor RouterID
+}
+
+// origination holds the attributes of a locally originated prefix.
+type origination struct {
+	route *Route
+}
+
+// Speaker is a BGP router. The reproduction models one speaker per AS
+// for ordinary networks; special cases (the measurement origins,
+// VRF-split exporters) get additional speakers or per-session export
+// filters.
+type Speaker struct {
+	// ID is the unique router ID (also the final decision tie-break).
+	ID RouterID
+	// AS is the speaker's autonomous system.
+	AS asn.AS
+	// Name is a human-readable label ("Internet2", "NYSERNet", ...).
+	Name string
+	// Collector marks a public-view peer (RouteViews/RIS-like): every
+	// update it receives is recorded in the network churn log, and it
+	// never re-exports routes.
+	Collector bool
+
+	peers     map[RouterID]*PeerConfig
+	peerOrder []RouterID // deterministic export order
+
+	adjIn      map[ribKey]*Route
+	adjOut     map[ribKey]*Route
+	locRib     map[netutil.Prefix]*Route
+	originated map[netutil.Prefix]origination
+	rfd        map[ribKey]*rfdState
+	suppressed map[ribKey]bool
+
+	// MRAI batching state per (prefix, neighbor).
+	mraiLast    map[ribKey]Time
+	mraiPending map[ribKey]bool
+}
+
+func newSpeaker(id RouterID, as asn.AS, name string) *Speaker {
+	return &Speaker{
+		ID:          id,
+		AS:          as,
+		Name:        name,
+		peers:       make(map[RouterID]*PeerConfig),
+		adjIn:       make(map[ribKey]*Route),
+		adjOut:      make(map[ribKey]*Route),
+		locRib:      make(map[netutil.Prefix]*Route),
+		originated:  make(map[netutil.Prefix]origination),
+		rfd:         make(map[ribKey]*rfdState),
+		suppressed:  make(map[ribKey]bool),
+		mraiLast:    make(map[ribKey]Time),
+		mraiPending: make(map[ribKey]bool),
+	}
+}
+
+// Peer returns the speaker's policy toward neighbor id, or nil.
+func (s *Speaker) Peer(id RouterID) *PeerConfig { return s.peers[id] }
+
+// Peers returns neighbor IDs in deterministic order.
+func (s *Speaker) Peers() []RouterID {
+	out := make([]RouterID, len(s.peerOrder))
+	copy(out, s.peerOrder)
+	return out
+}
+
+func (s *Speaker) addPeer(pc *PeerConfig) {
+	if _, dup := s.peers[pc.Neighbor]; dup {
+		panic(fmt.Sprintf("bgp: speaker %d already peers with %d", s.ID, pc.Neighbor))
+	}
+	s.peers[pc.Neighbor] = pc
+	s.peerOrder = append(s.peerOrder, pc.Neighbor)
+	sort.Slice(s.peerOrder, func(i, j int) bool { return s.peerOrder[i] < s.peerOrder[j] })
+}
+
+// Best returns the speaker's current loc-RIB route for prefix p.
+func (s *Speaker) Best(p netutil.Prefix) *Route { return s.locRib[p] }
+
+// AdjIn returns the route currently held from the given neighbor for
+// prefix p, or nil. Suppressed (damped) routes are still visible here.
+func (s *Speaker) AdjIn(p netutil.Prefix, neighbor RouterID) *Route {
+	return s.adjIn[ribKey{p, neighbor}]
+}
+
+// AdjInAll returns all adj-RIB-in routes for p in neighbor order.
+func (s *Speaker) AdjInAll(p netutil.Prefix) []*Route {
+	var out []*Route
+	for _, nb := range s.peerOrder {
+		if r := s.adjIn[ribKey{p, nb}]; r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AdjOut returns what the speaker last announced to neighbor for p.
+func (s *Speaker) AdjOut(p netutil.Prefix, neighbor RouterID) *Route {
+	return s.adjOut[ribKey{p, neighbor}]
+}
+
+// runDecision recomputes the best route for p. It returns the new best
+// and whether the loc-RIB changed.
+func (s *Speaker) runDecision(p netutil.Prefix) (*Route, bool) {
+	candidates := make([]*Route, 0, len(s.peerOrder)+1)
+	if o, ok := s.originated[p]; ok {
+		candidates = append(candidates, o.route)
+	}
+	for _, nb := range s.peerOrder {
+		k := ribKey{p, nb}
+		if r := s.adjIn[k]; r != nil && !s.suppressed[k] {
+			candidates = append(candidates, r)
+		}
+	}
+	best, _ := Best(candidates)
+	prev := s.locRib[p]
+	if routesEqual(prev, best) {
+		return prev, false
+	}
+	if best == nil {
+		delete(s.locRib, p)
+	} else {
+		s.locRib[p] = best
+	}
+	return best, true
+}
+
+// routesEqual reports semantic equality for loc-RIB change detection.
+// LearnedAt is deliberately ignored: a re-announcement carrying
+// identical attributes does not change the selected route.
+func routesEqual(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.From == b.From &&
+		a.LocalPref == b.LocalPref &&
+		a.MED == b.MED &&
+		a.Origin == b.Origin &&
+		a.Class == b.Class &&
+		a.Path.Equal(b.Path) &&
+		communitiesEqual(a.Communities, b.Communities)
+}
+
+// exportRoute computes the route s would announce to the neighbor
+// described by pc, or nil if policy withholds the prefix.
+func (s *Speaker) exportRoute(p netutil.Prefix, pc *PeerConfig) *Route {
+	var src *Route
+	if pc.ExportBestOf != nil {
+		// VRF-style export: best among matching adj-RIB-in routes and
+		// matching originations, ignoring the loc-RIB choice.
+		var cands []*Route
+		if o, ok := s.originated[p]; ok && pc.ExportBestOf(o.route) {
+			cands = append(cands, o.route)
+		}
+		for _, nb := range s.peerOrder {
+			k := ribKey{p, nb}
+			if r := s.adjIn[k]; r != nil && !s.suppressed[k] && pc.ExportBestOf(r) {
+				cands = append(cands, r)
+			}
+		}
+		src, _ = Best(cands)
+	} else {
+		src = s.locRib[p]
+	}
+	if src == nil {
+		return nil
+	}
+	// Well-known scoping communities: routes *learned* with NoExport
+	// or NoAdvertise are never re-advertised (RFC 1997); the
+	// originating speaker itself may still announce them.
+	if src.From != 0 && (src.Communities.Has(NoExport) || src.Communities.Has(NoAdvertise)) {
+		return nil
+	}
+	if !pc.ExportAllow.Has(src.Class) {
+		return nil
+	}
+	if pc.ExportFilter != nil && !pc.ExportFilter(src) {
+		return nil
+	}
+	// Sender-side loop avoidance: pointless to announce a path already
+	// containing the neighbor's AS.
+	if src.Path.Contains(pc.NeighborAS) {
+		return nil
+	}
+	comms := src.Communities
+	if pc.ExportAddCommunities.Len() > 0 {
+		comms = comms.With(pc.ExportAddCommunities.Values()...)
+	}
+	return &Route{
+		Prefix:      p,
+		Path:        src.Path.Prepend(s.AS, 1+pc.effectivePrepend(p)),
+		Origin:      src.Origin,
+		MED:         pc.ExportMED,
+		Communities: comms,
+	}
+}
+
+// announcementEqual compares wire-visible attributes of announcements.
+func announcementEqual(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.MED == b.MED && a.Origin == b.Origin && a.Path.Equal(b.Path) &&
+		communitiesEqual(a.Communities, b.Communities)
+}
+
+func communitiesEqual(a, b CommunitySet) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	av, bv := a.Values(), b.Values()
+	for i := range av {
+		if av[i] != bv[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyImport installs (or removes, when r is nil) a route from
+// neighbor nb at virtual time now, applying import policy and RFD.
+// It returns true if the adj-RIB-in (or suppression state) changed in
+// a way that requires a decision run.
+func (s *Speaker) applyImport(p netutil.Prefix, nb RouterID, r *Route, now Time) bool {
+	pc := s.peers[nb]
+	if pc == nil {
+		return false
+	}
+	k := ribKey{p, nb}
+	prev := s.adjIn[k]
+
+	// Import filtering and receiver-side loop detection turn an
+	// announcement into an effective withdrawal.
+	if r != nil {
+		if r.Path.Contains(s.AS) {
+			r = nil
+		} else if pc.ImportDeny != nil {
+			filtered := *r
+			filtered.Class = pc.ClassifyAs
+			if pc.ImportDeny(&filtered) {
+				r = nil
+			}
+		}
+	}
+
+	if r == nil {
+		if prev == nil {
+			return false
+		}
+		delete(s.adjIn, k)
+		if pc.RFD != nil {
+			s.rfdFlap(k, pc.RFD, now)
+		}
+		return true
+	}
+
+	in := &Route{
+		Prefix:      p,
+		Path:        r.Path,
+		Origin:      r.Origin,
+		MED:         r.MED,
+		LocalPref:   pc.localPref(),
+		Class:       pc.ClassifyAs,
+		From:        nb,
+		FromAS:      pc.NeighborAS,
+		EBGP:        true,
+		IGPCost:     pc.IGPCost,
+		LearnedAt:   now,
+		Communities: r.Communities,
+	}
+	if prev != nil && routesEqual(prev, in) {
+		// Duplicate announcement: no flap, no age reset needed for our
+		// model (the route version is unchanged).
+		return false
+	}
+	s.adjIn[k] = in
+	if pc.RFD != nil {
+		s.rfdFlap(k, pc.RFD, now)
+		return true
+	}
+	return true
+}
+
+func (s *Speaker) rfdFlap(k ribKey, cfg *RFDConfig, now Time) {
+	st := s.rfd[k]
+	if st == nil {
+		st = &rfdState{lastUpdate: now}
+		s.rfd[k] = st
+	}
+	if st.Flap(now, cfg) {
+		s.suppressed[k] = true
+	} else {
+		delete(s.suppressed, k)
+	}
+}
+
+// rfdReuseTime returns the virtual time at which the suppressed route
+// for k becomes usable again, or -1 if it is not suppressed.
+func (s *Speaker) rfdReuseTime(k ribKey, cfg *RFDConfig) Time {
+	st := s.rfd[k]
+	if st == nil || !st.suppressed {
+		return -1
+	}
+	// Analytic reuse point: penalty * 2^(-dt/halfLife) = reuse.
+	var dt Time
+	if st.penalty > cfg.ReuseThreshold {
+		dt = Time(float64(cfg.HalfLife) * math.Log2(st.penalty/cfg.ReuseThreshold))
+	}
+	reuse := st.lastUpdate + dt
+	if cap := st.suppressAt + cfg.MaxSuppress; cap < reuse {
+		reuse = cap
+	}
+	return reuse
+}
+
+// rfdRecheck re-evaluates suppression at time now; returns true if the
+// route became usable (decision should rerun).
+func (s *Speaker) rfdRecheck(k ribKey, cfg *RFDConfig, now Time) bool {
+	st := s.rfd[k]
+	if st == nil || !s.suppressed[k] {
+		return false
+	}
+	if !st.Suppressed(now, cfg) {
+		delete(s.suppressed, k)
+		return s.adjIn[k] != nil
+	}
+	return false
+}

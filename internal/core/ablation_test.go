@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblateRounds(t *testing.T) {
+	s := getSurvey(t)
+	rows := AblateRounds(s.Internet2, StandardSubsets())
+	if len(rows) != len(StandardSubsets()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	full := rows[0]
+	if full.Agreement != 1.0 || full.SwitchRecall != 1.0 {
+		t.Errorf("full schedule must agree with itself: %+v", full)
+	}
+	index := func(rows []RoundsAblationRow) map[string]RoundsAblationRow {
+		m := map[string]RoundsAblationRow{}
+		for _, r := range rows {
+			m[r.Subset.Name] = r
+		}
+		return m
+	}
+	// The ablation's finding: which half-schedule catches the
+	// switchers depends on the experiment. In the Internet2 experiment
+	// the R&E origin's paths are short, so equal-localpref networks
+	// switch while R&E prepends are being removed; in the SURF
+	// experiment the R&E paths are long, so they switch only once
+	// commodity prepends grow. Neither phase alone works for both —
+	// the full schedule is necessary.
+	june := index(rows)
+	if june["R&E phase only (4-0..0-0)"].SwitchRecall <= june["commodity phase only (0-0..0-4)"].SwitchRecall {
+		t.Errorf("Internet2: R&E-phase recall %.2f should exceed commodity-phase %.2f",
+			june["R&E phase only (4-0..0-0)"].SwitchRecall,
+			june["commodity phase only (0-0..0-4)"].SwitchRecall)
+	}
+	surf := index(AblateRounds(s.SURF, StandardSubsets()))
+	if surf["commodity phase only (0-0..0-4)"].SwitchRecall <= surf["R&E phase only (4-0..0-0)"].SwitchRecall {
+		t.Errorf("SURF: commodity-phase recall %.2f should exceed R&E-phase %.2f",
+			surf["commodity phase only (0-0..0-4)"].SwitchRecall,
+			surf["R&E phase only (4-0..0-0)"].SwitchRecall)
+	}
+	// A single round can never observe a switch.
+	single := june["single round (0-0)"]
+	if single.SwitchRecall != 0 {
+		t.Errorf("single round detected switches: %.2f", single.SwitchRecall)
+	}
+	// Every subset's agreement falls between 0.5 and 1.
+	for _, r := range rows {
+		if r.Agreement < 0.5 || r.Agreement > 1 {
+			t.Errorf("subset %q agreement %.2f out of range", r.Subset.Name, r.Agreement)
+		}
+		if r.Classified == 0 {
+			t.Errorf("subset %q classified nothing", r.Subset.Name)
+		}
+	}
+}
+
+func TestAblateTargets(t *testing.T) {
+	s := getSurvey(t)
+	rows := AblateTargets(s.Internet2, []int{1, 2, 3})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	one, three := rows[0], rows[2]
+	// With one target per prefix, intra-prefix diversity is invisible.
+	if one.MixedDetected != 0 {
+		t.Errorf("1-target run detected %d mixed prefixes", one.MixedDetected)
+	}
+	if three.MixedDetected == 0 {
+		t.Error("3-target run should detect mixed prefixes")
+	}
+	// Fewer targets -> no fewer loss exclusions.
+	if one.LossExcluded < three.LossExcluded {
+		t.Errorf("loss exclusions should not shrink with fewer targets: 1->%d, 3->%d",
+			one.LossExcluded, three.LossExcluded)
+	}
+	// The 3-target rerun reproduces the canonical classification.
+	if three.Agreement < 0.999 {
+		t.Errorf("3-target agreement = %.3f, want 1.0", three.Agreement)
+	}
+	if one.Agreement < 0.8 {
+		t.Errorf("1-target agreement = %.3f, implausibly low", one.Agreement)
+	}
+}
+
+func TestAblationTablesRender(t *testing.T) {
+	s := getSurvey(t)
+	rt := RoundsAblationTable(AblateRounds(s.Internet2, StandardSubsets()))
+	if len(rt.Rows) != len(StandardSubsets()) {
+		t.Error("rounds table row count wrong")
+	}
+	tt := TargetsAblationTable(AblateTargets(s.Internet2, []int{1, 3}))
+	if len(tt.Rows) != 2 {
+		t.Error("targets table row count wrong")
+	}
+}
+
+func TestAblateRoundGap(t *testing.T) {
+	// §3.3's design choice, demonstrated: with ~9% of members damping
+	// flapping routes, a 10-minute schedule fabricates oscillation and
+	// switch-to-commodity artefacts that the one-hour schedule avoids.
+	rows := AblateRoundGap([]int{600, 3600}, SmallSurveyOptions())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	fast, slow := rows[0], rows[1]
+	if fast.GapSeconds != 600 || slow.GapSeconds != 3600 {
+		t.Fatalf("row order wrong: %+v", rows)
+	}
+	if slow.Artefacts != 0 {
+		t.Errorf("one-hour schedule produced %d artefacts", slow.Artefacts)
+	}
+	if slow.Agreement != 1.0 {
+		t.Errorf("baseline self-agreement = %.3f", slow.Agreement)
+	}
+	if fast.Artefacts == 0 {
+		t.Error("10-minute schedule should trip route-flap damping")
+	}
+	if fast.Agreement >= 1.0 {
+		t.Error("10-minute schedule should disagree with the baseline somewhere")
+	}
+	if !strings.Contains(GapAblationTable(rows).String(), "00:10:00") {
+		t.Error("table rendering wrong")
+	}
+}
+
+func TestMultiSeedRobustness(t *testing.T) {
+	// The headline fractions must be stable across worlds: the
+	// reproduction's results come from the policy mix, not from one
+	// lucky seed.
+	m := RunMultiSeed(SmallSurveyOptions(), []int64{1, 2, 3})
+	if len(m.Runs) != 3 {
+		t.Fatalf("runs = %d", len(m.Runs))
+	}
+	meanRE, stdRE := m.MeanStd(func(r SeedRun) float64 { return r.AlwaysRE })
+	if meanRE < 72 || meanRE > 92 {
+		t.Errorf("mean Always R&E = %.1f%%, want paper-like ~81%%", meanRE)
+	}
+	if stdRE > 6 {
+		t.Errorf("Always R&E std = %.1f, too seed-sensitive", stdRE)
+	}
+	meanAgree, _ := m.MeanStd(func(r SeedRun) float64 { return r.Agreement })
+	if meanAgree < 92 {
+		t.Errorf("mean Table 2 agreement = %.1f%%, want >92%%", meanAgree)
+	}
+	for _, r := range m.Runs {
+		if r.AlwaysRE < r.AlwaysComm || r.AlwaysRE < r.SwitchRE {
+			t.Errorf("seed %d: Always R&E does not dominate (%+v)", r.Seed, r)
+		}
+	}
+	if len(m.Table().Rows) != 4 {
+		t.Error("table should have 3 seed rows + mean")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file models Appendix A / Figure 7: how AS path length and route
+// age interact with the experiment's prepend ordering for a network
+// that assigns equal localpref to its R&E and commodity routes.
+
+// AgeFSMCase is one Figure 7 scenario.
+type AgeFSMCase struct {
+	// Label is the figure's case letter.
+	Label string
+	// REDelta is the R&E route's base AS-path length minus the
+	// commodity route's (negative: R&E shorter). Cases A-I.
+	REDelta int
+	// IgnorePathLen marks case J: the network skips the path-length
+	// rule and ties break directly on route age.
+	IgnorePathLen bool
+	// REOlderAtStart sets which route was older when the experiment
+	// began (case J's two rows).
+	REOlderAtStart bool
+}
+
+// Figure7Cases returns the figure's ten rows.
+func Figure7Cases() []AgeFSMCase {
+	return []AgeFSMCase{
+		{Label: "A", REDelta: -4},
+		{Label: "B", REDelta: -3},
+		{Label: "C", REDelta: -2},
+		{Label: "D", REDelta: -1},
+		{Label: "E", REDelta: 0},
+		{Label: "F", REDelta: 1},
+		{Label: "G", REDelta: 2},
+		{Label: "H", REDelta: 3},
+		{Label: "I", REDelta: 4},
+		{Label: "J1", IgnorePathLen: true, REOlderAtStart: false},
+		{Label: "J2", IgnorePathLen: true, REOlderAtStart: true},
+	}
+}
+
+// SimulateAgeFSM steps the scenario through the experiment schedule
+// and returns, per configuration, whether the network selects the R&E
+// route. Route ages follow Appendix A: a prepend change re-announces
+// the affected route, resetting its age; the untouched route keeps
+// aging.
+func SimulateAgeFSM(c AgeFSMCase) []bool {
+	sched := Schedule()
+	out := make([]bool, len(sched))
+
+	// Ages as "last reset step"; smaller = older. Step -1 is the
+	// pre-experiment announcement. The "4-0" configuration was applied
+	// to the R&E route shortly before the experiment, so for cases
+	// A-I the commodity route starts older; case J encodes its row's
+	// starting order explicitly.
+	reAge, commAge := 0, -1
+	if c.IgnorePathLen && c.REOlderAtStart {
+		reAge, commAge = -1, 0
+	}
+	prevRE, prevComm := sched[0].RE, sched[0].Commodity
+	for i, cfg := range sched {
+		if i > 0 {
+			if cfg.RE != prevRE {
+				reAge = i // R&E route re-announced now
+			}
+			if cfg.Commodity != prevComm {
+				commAge = i
+			}
+			prevRE, prevComm = cfg.RE, cfg.Commodity
+		}
+		selectRE := false
+		if c.IgnorePathLen {
+			selectRE = reAge <= commAge
+		} else {
+			reLen := c.REDelta + cfg.RE
+			commLen := cfg.Commodity
+			switch {
+			case reLen < commLen:
+				selectRE = true
+			case reLen > commLen:
+				selectRE = false
+			default: // equal: oldest route wins
+				selectRE = reAge <= commAge
+			}
+		}
+		out[i] = selectRE
+	}
+	return out
+}
+
+// FirstRESelection returns the index of the first configuration at
+// which the scenario selects R&E, or -1.
+func FirstRESelection(seq []bool) int {
+	for i, re := range seq {
+		if re {
+			return i
+		}
+	}
+	return -1
+}
+
+// Figure7Table renders all cases against the schedule, the textual
+// equivalent of the state diagrams.
+func Figure7Table() string {
+	sched := Schedule()
+	var b strings.Builder
+	b.WriteString("Figure 7: route selection (R = R&E, c = commodity) per configuration\n")
+	b.WriteString("case  ")
+	for _, cfg := range sched {
+		fmt.Fprintf(&b, "%4s", cfg.Label())
+	}
+	b.WriteByte('\n')
+	for _, c := range Figure7Cases() {
+		fmt.Fprintf(&b, "%-5s ", c.Label)
+		for _, re := range SimulateAgeFSM(c) {
+			if re {
+				b.WriteString("   R")
+			} else {
+				b.WriteString("   c")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

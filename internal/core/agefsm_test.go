@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// boolSeq renders a selection sequence as "cR..." for table asserts.
+func boolSeq(seq []bool) string {
+	var b strings.Builder
+	for _, re := range seq {
+		if re {
+			b.WriteByte('R')
+		} else {
+			b.WriteByte('c')
+		}
+	}
+	return b.String()
+}
+
+func simulateLabel(t *testing.T, label string) []bool {
+	t.Helper()
+	for _, c := range Figure7Cases() {
+		if c.Label == label {
+			return SimulateAgeFSM(c)
+		}
+	}
+	t.Fatalf("no case %q", label)
+	return nil
+}
+
+func TestFigure7CasesAtoE(t *testing.T) {
+	// Appendix A: networks receiving shorter R&E routes switch when
+	// the commodity route's AS path becomes longer.
+	tests := []struct {
+		label string
+		want  string
+	}{
+		// configs:    4-0  3-0  2-0  1-0  0-0  0-1  0-2  0-3  0-4
+		{"A", "cRRRRRRRR"}, // R&E shorter by 4: tie at 4-0 (commodity older), then R&E
+		{"B", "ccRRRRRRR"},
+		{"C", "cccRRRRRR"},
+		{"D", "ccccRRRRR"},
+		{"E", "cccccRRRR"}, // equal lengths: tie at 0-0 -> commodity (older); switch at 0-1
+	}
+	for _, tt := range tests {
+		if got := boolSeq(simulateLabel(t, tt.label)); got != tt.want {
+			t.Errorf("case %s = %s, want %s", tt.label, got, tt.want)
+		}
+	}
+}
+
+func TestFigure7CasesFtoI(t *testing.T) {
+	// Networks receiving shorter commodity routes switch immediately
+	// when path lengths equalize, because the R&E route is older in
+	// the commodity-prepending phase.
+	tests := []struct {
+		label string
+		want  string
+	}{
+		{"F", "cccccRRRR"}, // R&E longer by 1: equal at 0-1, R&E older -> switch at 0-1
+		{"G", "ccccccRRR"},
+		{"H", "cccccccRR"},
+		{"I", "ccccccccR"},
+	}
+	for _, tt := range tests {
+		if got := boolSeq(simulateLabel(t, tt.label)); got != tt.want {
+			t.Errorf("case %s = %s, want %s", tt.label, got, tt.want)
+		}
+	}
+}
+
+func TestFigure7CaseJ(t *testing.T) {
+	// Case J: networks that ignore AS path length and break ties on
+	// route age.
+	if got := boolSeq(simulateLabel(t, "J1")); got != "cccccRRRR" {
+		t.Errorf("case J1 = %s, want switch at 0-1 (paper: first row of case J)", got)
+	}
+	if got := boolSeq(simulateLabel(t, "J2")); got != "RccccRRRR" {
+		t.Errorf("case J2 = %s, want R&E, commodity after first change, back at 0-1", got)
+	}
+}
+
+func TestFigure7SwitchMonotone(t *testing.T) {
+	// Over cases A..I the first R&E selection index is nondecreasing:
+	// the longer the R&E route, the later the switch.
+	prev := -1
+	for _, c := range Figure7Cases() {
+		if c.IgnorePathLen {
+			continue
+		}
+		idx := FirstRESelection(SimulateAgeFSM(c))
+		if idx < 0 {
+			t.Fatalf("case %s never selects R&E", c.Label)
+		}
+		if idx < prev {
+			t.Errorf("case %s switches earlier (%d) than previous case (%d)", c.Label, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestFigure7Table(t *testing.T) {
+	out := Figure7Table()
+	if !strings.Contains(out, "case") || !strings.Contains(out, "J2") {
+		t.Errorf("Figure7Table output malformed:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2+len(Figure7Cases()) {
+		t.Errorf("unexpected row count:\n%s", out)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/report"
+	"repro/internal/topo"
+)
+
+// This file drills Table 1 down to the R&E aggregation networks: for
+// each Participant regional and Peer-NREN, how its members' prefixes
+// classified. Operators at the paper's partner networks asked exactly
+// this ("we discussed our inferences of egress routing policies with
+// operators at R&E ASes", §4.2) — which of *my* members leak onto
+// commodity paths?
+
+// ProviderBreakdownRow summarizes one aggregation network's members.
+type ProviderBreakdownRow struct {
+	Provider asn.AS
+	Name     string
+	Class    topo.Class
+	// Prefix counts by outcome for member prefixes under this
+	// provider.
+	AlwaysRE   int
+	AlwaysComm int
+	SwitchRE   int
+	Other      int
+}
+
+// Total returns the row's classified prefix count.
+func (r ProviderBreakdownRow) Total() int {
+	return r.AlwaysRE + r.AlwaysComm + r.SwitchRE + r.Other
+}
+
+// BreakdownByProvider groups an experiment's member-prefix inferences
+// by the origin's first R&E provider. Rows are sorted by classified
+// prefix count, largest first.
+func BreakdownByProvider(eco *topo.Ecosystem, res *Result) []ProviderBreakdownRow {
+	rows := make(map[asn.AS]*ProviderBreakdownRow)
+	for _, pr := range res.PerPrefix {
+		if pr.Inference == InfUnresponsive {
+			continue
+		}
+		pi := eco.PrefixInfoFor(pr.Prefix)
+		if pi == nil {
+			continue
+		}
+		info := eco.AS(pi.Origin)
+		if info == nil || info.Class != topo.ClassMember || len(info.REProviders) == 0 {
+			continue
+		}
+		provAS := info.REProviders[0]
+		row := rows[provAS]
+		if row == nil {
+			prov := eco.AS(provAS)
+			row = &ProviderBreakdownRow{Provider: provAS}
+			if prov != nil {
+				row.Name, row.Class = prov.Name, prov.Class
+			}
+			rows[provAS] = row
+		}
+		switch pr.Inference {
+		case InfAlwaysRE:
+			row.AlwaysRE++
+		case InfAlwaysCommodity:
+			row.AlwaysComm++
+		case InfSwitchToRE:
+			row.SwitchRE++
+		default:
+			row.Other++
+		}
+	}
+	out := make([]ProviderBreakdownRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total() != out[j].Total() {
+			return out[i].Total() > out[j].Total()
+		}
+		return out[i].Provider < out[j].Provider
+	})
+	return out
+}
+
+// ProviderBreakdownTable renders the top rows.
+func ProviderBreakdownTable(rows []ProviderBreakdownRow, top int) *report.Table {
+	t := &report.Table{
+		Title:   "Member-prefix inference by R&E aggregation network (largest first)",
+		Headers: []string{"Provider", "Class", "Prefixes", "Always R&E", "Always comm", "Switch"},
+	}
+	for i, r := range rows {
+		if i == top {
+			break
+		}
+		total := r.Total()
+		t.AddRow(r.Name, r.Class.String(), itoa(total),
+			report.Pct(r.AlwaysRE, total), report.Pct(r.AlwaysComm, total), report.Pct(r.SwitchRE, total))
+	}
+	return t
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bgp"
+	"repro/internal/report"
+)
+
+// ChurnWindow is one inter-round window of Figure 3: the configuration
+// in force and the BGP update activity observed at public collectors
+// for the measurement prefix.
+type ChurnWindow struct {
+	Config  PrependConfig
+	From    bgp.Time
+	To      bgp.Time
+	Updates int
+	// OnRERoute counts updates whose announced path carries the R&E
+	// origin (or withdrawals from peers last showing it).
+	OnRERoute int
+}
+
+// ChurnTimeline is Figure 3's content.
+type ChurnTimeline struct {
+	Windows []ChurnWindow
+	// REPhaseUpdates / CommodityPhaseUpdates are the paper's headline
+	// counts (162 vs 9,168 in the June experiment).
+	REPhaseUpdates        int
+	CommodityPhaseUpdates int
+}
+
+// BuildChurnTimeline windows an experiment's collector-observed
+// updates by configuration. reOriginASN identifies R&E-route updates.
+func BuildChurnTimeline(res *Result, reOriginASN uint32) *ChurnTimeline {
+	tl := &ChurnTimeline{}
+	n := len(res.Configs)
+	for i := 0; i < n; i++ {
+		from := res.ConfigTimes[i]
+		to := from + bgp.Time(1<<40)
+		if i+1 < n {
+			to = res.ConfigTimes[i+1]
+		}
+		w := ChurnWindow{Config: res.Configs[i], From: from, To: to}
+		for _, rec := range res.Churn {
+			if rec.At < from || rec.At >= to {
+				continue
+			}
+			w.Updates++
+			if rec.Announce && uint32(rec.Path.Origin()) == reOriginASN {
+				w.OnRERoute++
+			}
+		}
+		tl.Windows = append(tl.Windows, w)
+		if i < REPhaseRounds {
+			tl.REPhaseUpdates += w.Updates
+		} else {
+			tl.CommodityPhaseUpdates += w.Updates
+		}
+	}
+	return tl
+}
+
+// CumulativeSeries renders the figure's actual form: the cumulative
+// fraction of each phase's updates over time, one series per phase,
+// sampled at every update arrival. Labels are HH:MM:SS clock strings.
+func (tl *ChurnTimeline) CumulativeSeries(res *Result) (rePhase, commodityPhase *report.Series) {
+	if len(res.ConfigTimes) < REPhaseRounds+1 {
+		return &report.Series{Name: "Figure 3 R&E phase"}, &report.Series{Name: "Figure 3 commodity phase"}
+	}
+	boundary := res.ConfigTimes[REPhaseRounds]
+	build := func(name string, from, to bgp.Time, total int) *report.Series {
+		s := &report.Series{Name: name}
+		n := 0
+		for _, rec := range res.Churn {
+			if rec.At < from || rec.At >= to {
+				continue
+			}
+			n++
+			s.Labels = append(s.Labels, rec.At.Clock())
+			s.Values = append(s.Values, float64(n)/float64(max(1, total)))
+		}
+		return s
+	}
+	rePhase = build("Figure 3 cumulative (R&E prepends phase)",
+		res.ConfigTimes[0], boundary, tl.REPhaseUpdates)
+	commodityPhase = build("Figure 3 cumulative (commodity prepends phase)",
+		boundary, bgp.Time(1<<40), tl.CommodityPhaseUpdates)
+	return rePhase, commodityPhase
+}
+
+// String renders the timeline in the Figure 3 style: per-window update
+// counts with the phase totals.
+func (tl *ChurnTimeline) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: measurement-prefix BGP updates at public collectors\n")
+	fmt.Fprintf(&b, "  R&E prepends phase (N=%d)  commodity prepends phase (N=%d)\n",
+		tl.REPhaseUpdates, tl.CommodityPhaseUpdates)
+	for _, w := range tl.Windows {
+		fmt.Fprintf(&b, "  %s @%s: %d updates (%d on R&E route)\n",
+			w.Config.Label(), w.From.Clock(), w.Updates, w.OnRERoute)
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+// Package core implements the paper's contribution: the route-
+// preference inference method. It orchestrates the two experiments
+// (nine AS-path-prepend configurations each, §3.3), classifies each
+// prefix's per-round response interfaces into the Table 1 categories,
+// compares experiments (Table 2), validates inferences against public
+// BGP views (Table 3), relates inferences to origin prepending
+// (Table 4), analyses RIPE's equal-localpref route selection
+// (Figure 5), models the route-age/path-length interplay (Figure 7 /
+// Appendix A), and derives switch-configuration CDFs (Figure 8).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/probe"
+	"repro/internal/simnet"
+)
+
+// RoundObs summarizes the responses of one prefix in one probing
+// round.
+type RoundObs uint8
+
+// Round observations.
+const (
+	// ObsLoss means no system in the prefix responded this round; the
+	// paper excludes such prefixes from characterization ("a response
+	// from at least one system during every active probing round").
+	ObsLoss RoundObs = iota
+	// ObsRE: every response arrived on the R&E VLAN.
+	ObsRE
+	// ObsCommodity: every response arrived on the commodity VLAN.
+	ObsCommodity
+	// ObsMixed: responses arrived on both VLANs within the round.
+	ObsMixed
+)
+
+func (o RoundObs) String() string {
+	switch o {
+	case ObsLoss:
+		return "loss"
+	case ObsRE:
+		return "re"
+	case ObsCommodity:
+		return "commodity"
+	case ObsMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("obs(%d)", uint8(o))
+	}
+}
+
+// Inference is the per-prefix category of Table 1.
+type Inference uint8
+
+// Inference categories.
+const (
+	// InfUnresponsive marks prefixes excluded for packet loss.
+	InfUnresponsive Inference = iota
+	// InfAlwaysRE: responses always returned over R&E, regardless of
+	// AS path length changes — higher localpref on R&E routes (or no
+	// usable commodity return path).
+	InfAlwaysRE
+	// InfAlwaysCommodity: responses always returned over commodity.
+	InfAlwaysCommodity
+	// InfSwitchToRE: responses returned over commodity, then over
+	// R&E, with exactly one transition — the signature of equal
+	// localpref with an AS-path-length tie-break (§4).
+	InfSwitchToRE
+	// InfSwitchToCommodity: the unexpected reverse transition; the
+	// paper attributes observed instances to outages.
+	InfSwitchToCommodity
+	// InfMixed: at least one round saw both VLANs.
+	InfMixed
+	// InfOscillating: multiple transitions between route types.
+	InfOscillating
+	numInferences
+)
+
+func (i Inference) String() string {
+	switch i {
+	case InfUnresponsive:
+		return "unresponsive"
+	case InfAlwaysRE:
+		return "Always R&E"
+	case InfAlwaysCommodity:
+		return "Always commodity"
+	case InfSwitchToRE:
+		return "Switch to R&E"
+	case InfSwitchToCommodity:
+		return "Switch to commodity"
+	case InfMixed:
+		return "Mixed R&E + commodity"
+	case InfOscillating:
+		return "Oscillating"
+	default:
+		return fmt.Sprintf("inference(%d)", uint8(i))
+	}
+}
+
+// EqualLocalPref reports whether the inference implies the network
+// assigned the same localpref to its R&E and commodity routes and
+// tie-broke on AS path length. Per §4, only the commodity→R&E switch
+// supports that conclusion given the experiment's prepend ordering.
+func (i Inference) EqualLocalPref() bool { return i == InfSwitchToRE }
+
+// ObserveRound reduces one prefix's probe records from a single round
+// to a RoundObs.
+func ObserveRound(records []probe.Record) RoundObs {
+	sawRE, sawC := false, false
+	for _, r := range records {
+		if !r.Responded {
+			continue
+		}
+		switch r.VLAN {
+		case simnet.VLANRE:
+			sawRE = true
+		case simnet.VLANCommodity:
+			sawC = true
+		}
+	}
+	switch {
+	case sawRE && sawC:
+		return ObsMixed
+	case sawRE:
+		return ObsRE
+	case sawC:
+		return ObsCommodity
+	default:
+		return ObsLoss
+	}
+}
+
+// Classify reduces a prefix's per-round observation sequence to its
+// Table 1 category. The sequence must follow the experiment's round
+// order (decreasing R&E prepends, then increasing commodity prepends).
+func Classify(seq []RoundObs) Inference {
+	if len(seq) == 0 {
+		return InfUnresponsive
+	}
+	for _, o := range seq {
+		if o == ObsLoss {
+			return InfUnresponsive
+		}
+	}
+	for _, o := range seq {
+		if o == ObsMixed {
+			return InfMixed
+		}
+	}
+	transitions := 0
+	for i := 1; i < len(seq); i++ {
+		if seq[i] != seq[i-1] {
+			transitions++
+		}
+	}
+	switch {
+	case transitions == 0 && seq[0] == ObsRE:
+		return InfAlwaysRE
+	case transitions == 0:
+		return InfAlwaysCommodity
+	case transitions == 1 && seq[0] == ObsCommodity:
+		return InfSwitchToRE
+	case transitions == 1:
+		return InfSwitchToCommodity
+	default:
+		return InfOscillating
+	}
+}
+
+// SwitchConfig returns the index of the first round in which the
+// prefix used the R&E route after having used commodity, or -1 if the
+// sequence is not a commodity→R&E switch. Figure 8 aggregates these.
+func SwitchConfig(seq []RoundObs) int {
+	if Classify(seq) != InfSwitchToRE {
+		return -1
+	}
+	for i, o := range seq {
+		if o == ObsRE {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netutil"
+	"repro/internal/probe"
+	"repro/internal/simnet"
+)
+
+func seq(s string) []RoundObs {
+	out := make([]RoundObs, len(s))
+	for i, c := range s {
+		switch c {
+		case 'R':
+			out[i] = ObsRE
+		case 'C':
+			out[i] = ObsCommodity
+		case 'M':
+			out[i] = ObsMixed
+		case 'L':
+			out[i] = ObsLoss
+		}
+	}
+	return out
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		seq  string
+		want Inference
+	}{
+		{"RRRRRRRRR", InfAlwaysRE},
+		{"CCCCCCCCC", InfAlwaysCommodity},
+		{"CCCCCRRRR", InfSwitchToRE},
+		{"CRRRRRRRR", InfSwitchToRE},
+		{"CCCCCCCCR", InfSwitchToRE},
+		{"RRRRCCCCC", InfSwitchToCommodity},
+		{"RRRRRRRRC", InfSwitchToCommodity},
+		{"CCRRCCRRR", InfOscillating},
+		{"RCRCRCRCR", InfOscillating},
+		{"CCCMRRRRR", InfMixed},
+		{"MMMMMMMMM", InfMixed},
+		{"RRRRLRRRR", InfUnresponsive},
+		{"LLLLLLLLL", InfUnresponsive},
+		{"CCCCMLRRR", InfUnresponsive}, // loss trumps mixed (excluded first)
+		{"", InfUnresponsive},
+	}
+	for _, tt := range tests {
+		if got := Classify(seq(tt.seq)); got != tt.want {
+			t.Errorf("Classify(%q) = %v, want %v", tt.seq, got, tt.want)
+		}
+	}
+}
+
+func TestClassifyExactlyOneCategory(t *testing.T) {
+	// Property: every loss-free sequence lands in exactly one of the
+	// paper's categories, and Switch-to-R&E sequences have exactly one
+	// C->R transition and no R->C.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make([]RoundObs, len(raw))
+		for i, v := range raw {
+			s[i] = []RoundObs{ObsRE, ObsCommodity, ObsMixed}[v%3]
+		}
+		inf := Classify(s)
+		if inf == InfUnresponsive {
+			return false // no loss present
+		}
+		if inf == InfSwitchToRE {
+			cr, rc := 0, 0
+			for i := 1; i < len(s); i++ {
+				if s[i-1] == ObsCommodity && s[i] == ObsRE {
+					cr++
+				}
+				if s[i-1] == ObsRE && s[i] == ObsCommodity {
+					rc++
+				}
+			}
+			return cr == 1 && rc == 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwitchConfig(t *testing.T) {
+	tests := []struct {
+		seq  string
+		want int
+	}{
+		{"CCCCCRRRR", 5},
+		{"CRRRRRRRR", 1},
+		{"RRRRRRRRR", -1},
+		{"CCCCCCCCC", -1},
+		{"CCRRCCRRR", -1},
+	}
+	for _, tt := range tests {
+		if got := SwitchConfig(seq(tt.seq)); got != tt.want {
+			t.Errorf("SwitchConfig(%q) = %d, want %d", tt.seq, got, tt.want)
+		}
+	}
+}
+
+func TestEqualLocalPrefImplication(t *testing.T) {
+	for i := Inference(0); i < numInferences; i++ {
+		want := i == InfSwitchToRE
+		if i.EqualLocalPref() != want {
+			t.Errorf("%v.EqualLocalPref() = %v", i, !want)
+		}
+	}
+}
+
+func TestObserveRound(t *testing.T) {
+	p := netutil.MustParsePrefix("10.0.0.0/24")
+	re := probe.Record{Prefix: p, Responded: true, VLAN: simnet.VLANRE}
+	co := probe.Record{Prefix: p, Responded: true, VLAN: simnet.VLANCommodity}
+	lost := probe.Record{Prefix: p, Responded: false}
+	tests := []struct {
+		recs []probe.Record
+		want RoundObs
+	}{
+		{nil, ObsLoss},
+		{[]probe.Record{lost, lost}, ObsLoss},
+		{[]probe.Record{re, re, lost}, ObsRE},
+		{[]probe.Record{co}, ObsCommodity},
+		{[]probe.Record{re, co}, ObsMixed},
+	}
+	for i, tt := range tests {
+		if got := ObserveRound(tt.recs); got != tt.want {
+			t.Errorf("case %d: ObserveRound = %v, want %v", i, got, tt.want)
+		}
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	sched := Schedule()
+	if len(sched) != 9 {
+		t.Fatalf("schedule has %d configs, want 9", len(sched))
+	}
+	labels := []string{"4-0", "3-0", "2-0", "1-0", "0-0", "0-1", "0-2", "0-3", "0-4"}
+	for i, cfg := range sched {
+		if cfg.Label() != labels[i] {
+			t.Errorf("config %d = %s, want %s", i, cfg.Label(), labels[i])
+		}
+	}
+	// Exactly one announcement attribute changes between consecutive
+	// configurations (the design principle of §3.3).
+	for i := 1; i < len(sched); i++ {
+		dRE := sched[i].RE != sched[i-1].RE
+		dC := sched[i].Commodity != sched[i-1].Commodity
+		if dRE == dC {
+			t.Errorf("configs %d->%d change %v/%v attributes", i-1, i, dRE, dC)
+		}
+	}
+}
+
+func TestInferenceStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for i := Inference(0); i < numInferences; i++ {
+		s := i.String()
+		if s == "" || seen[s] {
+			t.Errorf("inference %d bad string %q", i, s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/report"
+	"repro/internal/topo"
+)
+
+// CongruenceResult is Table 3: for ASes that both host responsive
+// systems and feed a public BGP collector, does the route they export
+// for the measurement prefix match the inference?
+type CongruenceResult struct {
+	// PerAS lists the examined ASes with their inference and verdict.
+	PerAS []ASCongruence
+	// Congruent / Incongruent by inference category.
+	Congruent   map[Inference]int
+	Incongruent map[Inference]int
+	// Excluded counts view ASes skipped for having no most-frequent
+	// inference (§4.1.1 excluded one such AS).
+	Excluded int
+	// VRFExplained counts incongruent ASes whose ground truth is a
+	// VRF-split export — the paper's operators confirmed the policy
+	// inference was correct for two of its three incongruent cases.
+	VRFExplained int
+}
+
+// ASCongruence is one row of the validation.
+type ASCongruence struct {
+	AS        asn.AS
+	Inference Inference
+	Congruent bool
+	VRFSplit  bool
+}
+
+// Congruence builds Table 3 from an experiment's collector origin
+// history. reOriginASN is the experiment's R&E origin (11537 in June),
+// commodityASN is 396955.
+func Congruence(eco *topo.Ecosystem, res *Result, reOriginASN, commodityASN uint32) *CongruenceResult {
+	byAS := InferencesByAS(eco, res)
+	out := &CongruenceResult{
+		Congruent:   make(map[Inference]int),
+		Incongruent: make(map[Inference]int),
+	}
+
+	peers := make([]asn.AS, len(eco.MemberViewPeers))
+	copy(peers, eco.MemberViewPeers)
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+
+	for _, peerAS := range peers {
+		inf, ok := byAS[peerAS]
+		if !ok {
+			// Either unresponsive everywhere or no most-frequent
+			// inference.
+			if hasAnyClassified(eco, res, peerAS) {
+				out.Excluded++
+			}
+			continue
+		}
+		if inf != InfAlwaysRE && inf != InfAlwaysCommodity && inf != InfSwitchToRE {
+			out.Excluded++
+			continue
+		}
+		view := res.CollectorOrigins[uint32(peerAS)]
+		congruent := viewCongruent(view, inf, reOriginASN, commodityASN)
+		info := eco.AS(peerAS)
+		row := ASCongruence{AS: peerAS, Inference: inf, Congruent: congruent}
+		if info != nil {
+			row.VRFSplit = info.VRFSplit
+		}
+		out.PerAS = append(out.PerAS, row)
+		if congruent {
+			out.Congruent[inf]++
+		} else {
+			out.Incongruent[inf]++
+			if row.VRFSplit {
+				out.VRFExplained++
+			}
+		}
+	}
+	return out
+}
+
+// viewCongruent decides whether a peer's exported origins match the
+// inference: an always-R&E AS should only ever show the R&E origin, an
+// always-commodity AS only the commodity origin, and a switching AS
+// should show the commodity origin and then end on the R&E origin.
+func viewCongruent(view *PeerView, inf Inference, reASN, commASN uint32) bool {
+	if view == nil {
+		return false
+	}
+	sawRE := view.OriginsSeen[reASN]
+	sawComm := view.OriginsSeen[commASN]
+	switch inf {
+	case InfAlwaysRE:
+		return sawRE && !sawComm
+	case InfAlwaysCommodity:
+		return sawComm && !sawRE
+	case InfSwitchToRE:
+		return sawComm && sawRE && view.FinalOrigin == reASN
+	default:
+		return false
+	}
+}
+
+func hasAnyClassified(eco *topo.Ecosystem, res *Result, as asn.AS) bool {
+	for _, pr := range res.PerPrefix {
+		if pr.Inference == InfUnresponsive {
+			continue
+		}
+		if pi := eco.PrefixInfoFor(pr.Prefix); pi != nil && pi.Origin == as {
+			return true
+		}
+	}
+	return false
+}
+
+// Totals returns overall congruent/incongruent counts.
+func (c *CongruenceResult) Totals() (congruent, incongruent int) {
+	for _, n := range c.Congruent {
+		congruent += n
+	}
+	for _, n := range c.Incongruent {
+		incongruent += n
+	}
+	return congruent, incongruent
+}
+
+// Table renders the Table 3 layout.
+func (c *CongruenceResult) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Table 3: policy inferences vs public BGP views",
+		Headers: []string{"Inference", "Congruent", "Incongruent", "Total"},
+	}
+	for _, inf := range []Inference{InfAlwaysRE, InfAlwaysCommodity, InfSwitchToRE} {
+		con, inc := c.Congruent[inf], c.Incongruent[inf]
+		t.AddRow(inf.String(), itoa(con), itoa(inc), itoa(con+inc))
+	}
+	con, inc := c.Totals()
+	t.AddRow("Total", itoa(con), itoa(inc), itoa(con+inc))
+	return t
+}

@@ -1,0 +1,435 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/topo"
+)
+
+// smallSurvey is shared across end-to-end tests (building and running
+// the survey dominates test time).
+var smallSurvey *Survey
+
+func getSurvey(t *testing.T) *Survey {
+	t.Helper()
+	if smallSurvey == nil {
+		smallSurvey = NewSurvey(SmallSurveyOptions())
+		smallSurvey.RunBoth()
+	}
+	return smallSurvey
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+func TestE2ESeedCoverage(t *testing.T) {
+	s := getSurvey(t)
+	st := s.Sel.Stats
+	// §3.2's pipeline shape: most prefixes have an ISI seed, adding
+	// Censys increases coverage, and a solid majority of responsive
+	// prefixes get all three targets.
+	if st.WithISISeed >= st.WithAnySeed {
+		t.Errorf("Censys should add coverage: ISI %d, any %d", st.WithISISeed, st.WithAnySeed)
+	}
+	if got := pct(st.WithISISeed, st.Prefixes); got < 55 || got > 75 {
+		t.Errorf("ISI coverage = %.1f%%, want ~65%%", got)
+	}
+	if got := pct(st.Responsive, st.Prefixes); got < 30 || got > 75 {
+		t.Errorf("responsive coverage = %.1f%%", got)
+	}
+	if got := pct(st.WithMaxTargets, st.Responsive); got < 65 {
+		t.Errorf("three-target fraction = %.1f%%, want most (paper: 82.7%%)", got)
+	}
+}
+
+func TestE2ETable1Shape(t *testing.T) {
+	s := getSurvey(t)
+	for _, res := range []*Result{s.SURF, s.Internet2} {
+		sum := Summarize(s.Eco, res)
+		total := sum.TotalPrefixes
+		if total == 0 {
+			t.Fatalf("%s: no classified prefixes", res.Name)
+		}
+		re := pct(sum.PrefixCount[InfAlwaysRE], total)
+		comm := pct(sum.PrefixCount[InfAlwaysCommodity], total)
+		sw := pct(sum.PrefixCount[InfSwitchToRE], total)
+		if re < 70 || re > 92 {
+			t.Errorf("%s: Always R&E = %.1f%%, paper ~81%%", res.Name, re)
+		}
+		if comm < 3 || comm > 15 {
+			t.Errorf("%s: Always commodity = %.1f%%, paper ~7%%", res.Name, comm)
+		}
+		if sw < 3 || sw > 18 {
+			t.Errorf("%s: Switch to R&E = %.1f%%, paper ~8-9%%", res.Name, sw)
+		}
+		if re < comm || re < sw {
+			t.Errorf("%s: Always R&E must dominate (%2f/%2f/%2f)", res.Name, re, comm, sw)
+		}
+		// Switch-to-commodity and oscillating exist only via injected
+		// outages and must stay marginal.
+		if n := sum.PrefixCount[InfSwitchToCommodity] + sum.PrefixCount[InfOscillating]; pct(n, total) > 3 {
+			t.Errorf("%s: outage categories too large: %d", res.Name, n)
+		}
+	}
+}
+
+func TestE2EMixedPrefixRatio(t *testing.T) {
+	// §4: within mixed prefixes, systems preferred R&E to commodity at
+	// roughly 2:1.
+	s := getSurvey(t)
+	re, comm := MixedRatio(s.Internet2)
+	if re+comm == 0 {
+		t.Skip("no mixed prefixes at this scale/seed")
+	}
+	if re <= comm {
+		t.Errorf("mixed-prefix responses: re=%d commodity=%d, want R&E-dominant", re, comm)
+	}
+}
+
+func TestE2ETable2Agreement(t *testing.T) {
+	s := getSurvey(t)
+	c := Compare(s.Eco, s.SURF, s.Internet2)
+	if c.Comparable == 0 {
+		t.Fatal("no comparable prefixes")
+	}
+	if got := pct(c.Same, c.Comparable); got < 90 {
+		t.Errorf("cross-experiment agreement = %.1f%%, paper 96.9%%", got)
+	}
+	// The dominant difference must be the NIKS pattern: Always R&E in
+	// the SURF experiment, Switch to R&E in the Internet2 experiment.
+	if c.Different > 0 {
+		niksRow := c.Matrix[InfAlwaysRE][InfSwitchToRE]
+		if niksRow*2 < c.Different {
+			t.Errorf("AlwaysRE->Switch should dominate differences: %d of %d", niksRow, c.Different)
+		}
+		if c.DifferencesViaNIKS*2 < c.Different {
+			t.Errorf("NIKS-transited origins should explain most differences: %d of %d",
+				c.DifferencesViaNIKS, c.Different)
+		}
+	}
+	if c.Incomparable() == 0 {
+		t.Error("expected some incomparable prefixes (loss/outage injection)")
+	}
+}
+
+func TestE2EGroundTruthValidation(t *testing.T) {
+	s := getSurvey(t)
+	for _, res := range []*Result{s.SURF, s.Internet2} {
+		v := Validate(s.Eco, res)
+		if v.Evaluated == 0 {
+			t.Fatalf("%s: nothing evaluated", res.Name)
+		}
+		if acc := v.Accuracy(); acc < 0.97 {
+			t.Errorf("%s: accuracy = %.3f (wrong: %v), paper found 32/33", res.Name, acc, v.Wrong)
+		}
+	}
+}
+
+func TestE2ECongruence(t *testing.T) {
+	s := getSurvey(t)
+	cong := Congruence(s.Eco, s.Internet2, 11537, 396955)
+	con, inc := cong.Totals()
+	if con == 0 {
+		t.Fatal("no congruent view ASes")
+	}
+	if con < inc*3 {
+		t.Errorf("congruent %d vs incongruent %d; paper found 22 of 25 congruent", con, inc)
+	}
+	// Every incongruent AS must be a VRF-split exporter whose actual
+	// policy the inference got right (the paper's operators confirmed
+	// two of three such cases).
+	for _, row := range cong.PerAS {
+		if !row.Congruent && !row.VRFSplit {
+			t.Errorf("AS %v incongruent without VRF explanation (inference %v)", row.AS, row.Inference)
+		}
+		if row.VRFSplit && row.Congruent {
+			t.Errorf("VRF-split AS %v should look incongruent in the public view", row.AS)
+		}
+	}
+}
+
+func TestE2EChurnAsymmetry(t *testing.T) {
+	s := getSurvey(t)
+	tl := BuildChurnTimeline(s.Internet2, 11537)
+	if tl.CommodityPhaseUpdates < 2*tl.REPhaseUpdates {
+		t.Errorf("commodity churn %d vs R&E churn %d; paper saw 9,168 vs 162",
+			tl.CommodityPhaseUpdates, tl.REPhaseUpdates)
+	}
+	// Updates in the R&E phase (after convergence) are on the R&E
+	// route only at public peers carrying it.
+	for i, w := range tl.Windows {
+		if w.Updates < 0 {
+			t.Fatalf("window %d negative", i)
+		}
+	}
+	if len(tl.Windows) != 9 {
+		t.Fatalf("want 9 windows, got %d", len(tl.Windows))
+	}
+}
+
+func TestE2EPrependAnalysis(t *testing.T) {
+	s := getSurvey(t)
+	views := ComputeOriginViews(s.Eco)
+	pa := AnalyzePrepending(s.Eco, s.Internet2, views)
+	if pa.Totals[RelNoCommodity] == 0 {
+		t.Error("no-commodity column empty; paper had 4,440 prefixes there")
+	}
+	// §4.2's headline: prepending is a weak signal. In the R<C column
+	// Always R&E dominates, but the R>C column still contains many
+	// Always R&E prefixes.
+	if rl := pa.Counts[InfAlwaysRE][RelRLessC]; rl*2 < pa.Totals[RelRLessC] {
+		t.Errorf("Always R&E should dominate R<C: %d of %d", rl, pa.Totals[RelRLessC])
+	}
+	if pa.Totals[RelRGreaterC] > 0 {
+		reShare := pct(pa.Counts[InfAlwaysRE][RelRGreaterC], pa.Totals[RelRGreaterC])
+		acShare := pct(pa.Counts[InfAlwaysCommodity][RelRGreaterC], pa.Totals[RelRGreaterC])
+		if reShare < 20 {
+			t.Errorf("R>C should still hold many Always R&E prefixes (%.1f%%; paper 50.7%%)", reShare)
+		}
+		if acShare < 10 {
+			t.Errorf("R>C should hold a large Always-commodity share (%.1f%%; paper 37.1%%)", acShare)
+		}
+	}
+	// No-commodity column stays overwhelmingly Always R&E.
+	if nc := pct(pa.Counts[InfAlwaysRE][RelNoCommodity], pa.Totals[RelNoCommodity]); nc < 75 {
+		t.Errorf("no-commodity Always R&E share = %.1f%%, paper 88.3%%", nc)
+	}
+}
+
+func TestE2ERIPEAnalysis(t *testing.T) {
+	s := getSurvey(t)
+	views := ComputeOriginViews(s.Eco)
+	ra := AnalyzeRIPE(s.Eco, views, BuildGeoDB(s.Eco))
+	if ra.Prefixes == 0 || ra.ASes == 0 {
+		t.Fatal("RIPE analysis empty")
+	}
+	if got := pct(ra.PrefixesViaRE, ra.Prefixes); got < 50 || got > 90 {
+		t.Errorf("RIPE via-R&E prefixes = %.1f%%, paper 64.0%%", got)
+	}
+	// The German-case mechanism: regions whose NREN shares DT with
+	// RIPE and does not prepend lose the tie-breaks. Green regions are
+	// pooled because per-region AS counts are small at test scale.
+	greenASes, greenViaRE := 0, 0
+	for _, st := range ra.Europe {
+		switch st.Region {
+		case "DE", "UA", "BY", "RO":
+			if st.PctViaRE() > 25 {
+				t.Errorf("region %s = %.1f%% via R&E, want <25%% (shared-DT case)", st.Region, st.PctViaRE())
+			}
+		case "NL", "NO", "SE", "ES", "FR", "GB":
+			greenASes += st.ASes
+			greenViaRE += st.ViaRE
+		}
+	}
+	if greenASes > 0 {
+		if share := 100 * float64(greenViaRE) / float64(greenASes); share < 75 {
+			t.Errorf("commodity-providing-NREN regions pooled = %.1f%% via R&E, want >75%%", share)
+		}
+	}
+}
+
+func TestE2ESwitchCDF(t *testing.T) {
+	s := getSurvey(t)
+	sw := SwitchPrefixes(s.SURF, s.Internet2)
+	if len(sw) == 0 {
+		t.Fatal("no prefixes switched in both experiments")
+	}
+	surf := BuildSwitchCDF(s.Eco, s.SURF, sw)
+	june := BuildSwitchCDF(s.Eco, s.Internet2, sw)
+	if surf.NParticipant == 0 || surf.NPeerNREN == 0 {
+		t.Skip("too few switching ASes at this scale")
+	}
+	// Appendix B: in the SURF experiment Participants switched about
+	// one prepend configuration later than Peer-NRENs; in the
+	// Internet2 experiment the classes were similar.
+	sp, sn := surf.MeanSwitchIndex()
+	if sp <= sn {
+		t.Errorf("SURF: Participant mean switch %.2f should lag Peer-NREN %.2f", sp, sn)
+	}
+	jp, jn := june.MeanSwitchIndex()
+	if d := jp - jn; d > 1 || d < -1 {
+		t.Errorf("Internet2: classes should be similar (means %.2f vs %.2f)", jp, jn)
+	}
+	// CDFs are monotone and end at 1.
+	for _, vals := range [][]float64{surf.Participant, surf.PeerNREN, june.Participant, june.PeerNREN} {
+		prev := 0.0
+		for i, v := range vals {
+			if v < prev {
+				t.Fatalf("CDF decreases at %d: %v", i, vals)
+			}
+			prev = v
+		}
+		if prev < 0.999 {
+			t.Errorf("CDF does not reach 1: %v", vals)
+		}
+	}
+}
+
+func TestE2EOutagesProduceExpectedCategories(t *testing.T) {
+	s := getSurvey(t)
+	foundSwitchComm, foundOsc := false, false
+	for _, res := range []*Result{s.SURF, s.Internet2} {
+		sum := Summarize(s.Eco, res)
+		if sum.PrefixCount[InfSwitchToCommodity] > 0 {
+			foundSwitchComm = true
+		}
+		if sum.PrefixCount[InfOscillating] > 0 {
+			foundOsc = true
+		}
+	}
+	if !foundSwitchComm {
+		t.Error("injected permanent outages produced no Switch-to-commodity prefixes")
+	}
+	if !foundOsc {
+		t.Error("injected transient outages produced no Oscillating prefixes")
+	}
+}
+
+func TestE2EVRFGroundTruthIsPreferRE(t *testing.T) {
+	// The Table 3 punchline: VRF-split ASes look incongruent in public
+	// BGP, yet their installed policy (and our data-plane inference)
+	// is prefer-R&E.
+	s := getSurvey(t)
+	for _, info := range s.Eco.ASes {
+		if !info.VRFSplit {
+			continue
+		}
+		if info.Policy != topo.PolicyPreferRE {
+			t.Errorf("VRF-split AS %v policy = %v", info.AS, info.Policy)
+		}
+		byAS := InferencesByAS(s.Eco, s.Internet2)
+		if inf, ok := byAS[info.AS]; ok && inf != InfAlwaysRE {
+			t.Errorf("VRF-split AS %v inferred %v, want Always R&E", info.AS, inf)
+		}
+	}
+}
+
+func TestE2EChurnCumulativeSeries(t *testing.T) {
+	s := getSurvey(t)
+	tl := BuildChurnTimeline(s.Internet2, 11537)
+	re, comm := tl.CumulativeSeries(s.Internet2)
+	if len(re.Values) != tl.REPhaseUpdates {
+		t.Errorf("R&E series has %d points, want %d", len(re.Values), tl.REPhaseUpdates)
+	}
+	if len(comm.Values) != tl.CommodityPhaseUpdates {
+		t.Errorf("commodity series has %d points, want %d", len(comm.Values), tl.CommodityPhaseUpdates)
+	}
+	for _, series := range []*reportSeries{{re}, {comm}} {
+		vals := series.s.Values
+		prev := 0.0
+		for i, v := range vals {
+			if v < prev || v > 1.0001 {
+				t.Fatalf("series %q not a CDF at %d: %v", series.s.Name, i, vals)
+			}
+			prev = v
+		}
+		if n := len(vals); n > 0 && vals[n-1] < 0.999 {
+			t.Errorf("series %q ends at %f, want 1", series.s.Name, vals[n-1])
+		}
+	}
+}
+
+type reportSeries struct{ s *report.Series }
+
+func TestE2ESwitchModelExplainsTimings(t *testing.T) {
+	// Appendix A closure: the route-age/path-length FSM, seeded with
+	// each member's actual base path lengths, must explain the
+	// observed switch rounds almost perfectly (this is a simulation:
+	// the only divergence sources are loss and multi-provider length
+	// recovery).
+	s := getSurvey(t)
+	eval := EvaluateSwitchModel(s.Eco, s.Internet2)
+	if eval.Total() == 0 {
+		t.Fatal("no switch prefixes evaluated")
+	}
+	if rate := eval.ExactRate(); rate < 0.85 {
+		t.Errorf("FSM exact-match rate = %.2f over %d (off-by-one %d, other %d)",
+			rate, eval.Total(), eval.OffByOne, eval.Other)
+	}
+}
+
+func TestE2ELatencyDetourPenalty(t *testing.T) {
+	// §1's performance concern: commodity return paths should be no
+	// shorter than R&E ones on average across rounds (in the 0-0 round
+	// both exist in volume).
+	s := getSurvey(t)
+	stats := AnalyzeLatency(s.Internet2)
+	if len(stats) != len(Schedule()) {
+		t.Fatalf("rounds = %d", len(stats))
+	}
+	// At 4-0 (commodity-favoured) both populations are present.
+	first := stats[0]
+	if first.NRE == 0 || first.NCommodity == 0 {
+		t.Skip("round 4-0 lacks one population")
+	}
+	for _, ls := range stats {
+		if ls.NRE > 0 && ls.MedianRE <= 0 {
+			t.Errorf("config %s: nonpositive R&E median", ls.Config)
+		}
+	}
+}
+
+func TestE2EDatasetRoundTrip(t *testing.T) {
+	// The public-dataset analog: dump, reload, and re-derive every
+	// inference from the stored observations.
+	s := getSurvey(t)
+	ds := BuildDataset(s)
+	if len(ds.Prefixes) == 0 || len(ds.Configs) != len(Schedule()) {
+		t.Fatalf("dataset malformed: %d prefixes, %d configs", len(ds.Prefixes), len(ds.Configs))
+	}
+	if len(ds.Churn) == 0 {
+		t.Fatal("dataset missing churn records")
+	}
+
+	var buf strings.Builder
+	if err := WriteDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDataset(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Prefixes) != len(ds.Prefixes) || len(back.Churn) != len(ds.Churn) {
+		t.Fatalf("round trip sizes differ")
+	}
+	// Internal consistency: stored inferences match re-derivation.
+	if mism := back.Reclassify(); len(mism) != 0 {
+		t.Fatalf("reclassification mismatches: %v", mism[:min(len(mism), 5)])
+	}
+	// The churn reanalysis path works from the dump alone.
+	recs := back.ChurnRecords()
+	if len(recs) != len(ds.Churn) {
+		t.Fatal("churn records lost")
+	}
+	if recs[0].PeerAS == 0 {
+		t.Error("peer ASN lost")
+	}
+}
+
+func TestE2ELookingGlassValidation(t *testing.T) {
+	// The §2.2/§4.1 channel: for ASes running looking glasses, the
+	// scraped localpref relation must corroborate the data-plane
+	// inference (precision side of the precision/coverage tradeoff).
+	s := getSurvey(t)
+	v := ValidateAgainstLookingGlasses(s.Eco, s.Internet2, 11537, 15)
+	if len(v.Rows) < 10 {
+		t.Fatalf("only %d looking glasses sampled", len(v.Rows))
+	}
+	if v.Disagreements != 0 {
+		for _, r := range v.Rows {
+			if !r.Agrees {
+				t.Logf("AS %v: LG pref %d vs inference %v", r.AS, r.LGPreference, r.Inference)
+			}
+		}
+		t.Errorf("%d looking-glass disagreements", v.Disagreements)
+	}
+	if v.Agreements == 0 {
+		t.Error("no agreements scored")
+	}
+}

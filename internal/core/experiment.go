@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+	"repro/internal/probe"
+	"repro/internal/seeds"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// PrependConfig is one announcement configuration: extra prepends of
+// the R&E origin ASN and of the commodity origin ASN (§3.3).
+type PrependConfig struct {
+	RE        int
+	Commodity int
+}
+
+// Label renders "4-0" style names.
+func (c PrependConfig) Label() string { return fmt.Sprintf("%d-%d", c.RE, c.Commodity) }
+
+// Schedule returns the nine configurations in the experiment order:
+// decreasing R&E prepends, then increasing commodity prepends, to
+// minimize the variables changing between tests.
+func Schedule() []PrependConfig {
+	return []PrependConfig{
+		{4, 0}, {3, 0}, {2, 0}, {1, 0}, {0, 0},
+		{0, 1}, {0, 2}, {0, 3}, {0, 4},
+	}
+}
+
+// REPhaseRounds is the number of leading rounds in which the R&E
+// announcement varies (Figure 3's left phase).
+const REPhaseRounds = 5
+
+// ExperimentConfig describes one run (SURF-May or Internet2-June).
+type ExperimentConfig struct {
+	// Name labels output ("SURF (29 May 2025)").
+	Name string
+	// REOrigin is the speaker originating the measurement prefix into
+	// the R&E fabric (MeasSURF, or Internet2 itself in June).
+	REOrigin bgp.RouterID
+	// CommodityOrigin is AS 396955's speaker.
+	CommodityOrigin bgp.RouterID
+	// Start is the virtual time of the first configuration change;
+	// probing follows one hour after each change (§3.3 RFD hygiene).
+	Start bgp.Time
+	// RoundGap is the wait between configuration changes (3600s).
+	RoundGap bgp.Time
+	// DormancySeed varies which prefixes suffer packet loss.
+	DormancySeed int64
+	// Outages are session failures injected during the run — the
+	// real-world events behind the paper's "Switch to commodity" and
+	// "Oscillating" rows (§4: "an outage during our experiment caused
+	// their route to our host to revert to commodity").
+	Outages []Outage
+}
+
+// Outage takes the session between A and B down just before the
+// DownRound-th configuration is applied and restores it before the
+// UpRound-th (negative UpRound: down for the rest of the experiment).
+type Outage struct {
+	A, B      bgp.RouterID
+	DownRound int
+	UpRound   int
+}
+
+// Experiment binds the method to a simulated world.
+type Experiment struct {
+	Eco    *topo.Ecosystem
+	World  *simnet.World
+	Prober *probe.Prober
+	Sel    *seeds.Selection
+	Cfg    ExperimentConfig
+}
+
+// PrefixResult is the per-prefix outcome.
+type PrefixResult struct {
+	Prefix    netutil.Prefix
+	Seq       []RoundObs
+	Inference Inference
+}
+
+// Result is one experiment's complete output.
+type Result struct {
+	Name string
+	// Configs and ConfigTimes record the schedule as executed.
+	Configs     []PrependConfig
+	ConfigTimes []bgp.Time
+	// Rounds are the raw probing rounds.
+	Rounds []*probe.Round
+	// PerPrefix holds the classification of every probed prefix.
+	PerPrefix map[netutil.Prefix]*PrefixResult
+	// Churn is the collector-observed update log for the measurement
+	// prefix, windowed over the whole experiment.
+	Churn []bgp.UpdateRecord
+	// CollectorOrigins records, per collector peer AS, the set of
+	// measurement-prefix origin ASNs that peer exported at any point
+	// (Table 3's raw material), plus the final origin.
+	CollectorOrigins map[uint32]*PeerView
+}
+
+// PeerView is what one collector peer showed for the measurement
+// prefix during the experiment.
+type PeerView struct {
+	OriginsSeen map[uint32]bool
+	FinalOrigin uint32 // 0 when withdrawn at the end
+}
+
+// Run executes the experiment: announce at "4-0", then step through
+// the schedule, waiting RoundGap between changes and probing before
+// each next change, exactly as §3.3 describes.
+func (x *Experiment) Run() *Result {
+	net := x.Eco.Net
+	meas := x.Eco.MeasPrefix
+	res := &Result{
+		Name:             x.Cfg.Name,
+		PerPrefix:        make(map[netutil.Prefix]*PrefixResult),
+		CollectorOrigins: make(map[uint32]*PeerView),
+	}
+
+	// Loss injection for this experiment's window.
+	x.World.ClearDormancy()
+	expEnd := x.Cfg.Start + bgp.Time(len(Schedule())+1)*x.Cfg.RoundGap
+	x.World.InjectDormancy(x.Cfg.Start, expEnd, x.Cfg.DormancySeed)
+
+	// Terminal mapping: responses reaching the R&E origin arrive on
+	// the R&E VLAN; the commodity origin terminates the commodity
+	// VLAN (Figure 2).
+	x.World.RETerminals = map[bgp.RouterID]bool{x.Cfg.REOrigin: true}
+	x.World.CommodityTerminals = map[bgp.RouterID]bool{x.Cfg.CommodityOrigin: true}
+
+	reSessions := x.reSessions()
+	commSessions := x.commoditySessions()
+
+	// The experiment "began shortly before 9:00 UTC with the prepend
+	// configuration at 4-0 for an hour prior" (§3.3): announce both
+	// routes with the first configuration already applied, an hour
+	// before the measured window, and let the announcement burst
+	// converge outside it.
+	first := Schedule()[0]
+	net.AdvanceTo(x.Cfg.Start - x.Cfg.RoundGap)
+	net.Originate(x.Cfg.CommodityOrigin, meas)
+	net.Originate(x.Cfg.REOrigin, meas)
+	for _, nb := range reSessions {
+		net.SetPrefixPrepend(x.Cfg.REOrigin, nb, meas, first.RE)
+	}
+	for _, nb := range commSessions {
+		net.SetPrefixPrepend(x.Cfg.CommodityOrigin, nb, meas, first.Commodity)
+	}
+	net.Run(x.Cfg.Start)
+
+	churnStart := len(net.Churn.Records)
+
+	// §4.1.1 combines the experiment-start RIB snapshot with the
+	// update files; seed each collector peer's view with what it
+	// exported before the measured window began.
+	for _, col := range x.Eco.Collectors {
+		sp := net.Speaker(col)
+		for _, peer := range sp.Peers() {
+			r := sp.AdjIn(meas, peer)
+			if r == nil {
+				continue
+			}
+			peerAS := uint32(sp.Peer(peer).NeighborAS)
+			pv := res.CollectorOrigins[peerAS]
+			if pv == nil {
+				pv = &PeerView{OriginsSeen: make(map[uint32]bool)}
+				res.CollectorOrigins[peerAS] = pv
+			}
+			origin := uint32(r.Path.Origin())
+			pv.OriginsSeen[origin] = true
+			pv.FinalOrigin = origin
+		}
+	}
+
+	t := x.Cfg.Start
+	for i, cfg := range Schedule() {
+		// Apply the configuration.
+		net.AdvanceTo(t)
+		for _, o := range x.Cfg.Outages {
+			if o.DownRound == i {
+				net.SetSessionDown(o.A, o.B)
+			}
+			if o.UpRound == i {
+				net.SetSessionUp(o.A, o.B)
+			}
+		}
+		for _, nb := range reSessions {
+			net.SetPrefixPrepend(x.Cfg.REOrigin, nb, meas, cfg.RE)
+		}
+		for _, nb := range commSessions {
+			net.SetPrefixPrepend(x.Cfg.CommodityOrigin, nb, meas, cfg.Commodity)
+		}
+		res.Configs = append(res.Configs, cfg)
+		res.ConfigTimes = append(res.ConfigTimes, t)
+
+		// Let BGP converge during the hour's wait, then probe.
+		probeAt := t + x.Cfg.RoundGap
+		net.Run(probeAt)
+		net.AdvanceTo(probeAt)
+		round := x.Prober.Run(cfg.Label(), probeAt, x.Sel)
+		res.Rounds = append(res.Rounds, round)
+		t = probeAt
+	}
+	// Drain any stragglers before snapshotting collector state, then
+	// restore any sessions still down so the next experiment starts
+	// from a healthy network.
+	net.RunToQuiescence()
+	churnEnd := len(net.Churn.Records)
+	for _, o := range x.Cfg.Outages {
+		if o.UpRound < 0 || o.UpRound >= len(Schedule()) {
+			net.SetSessionUp(o.A, o.B)
+		}
+	}
+	net.RunToQuiescence()
+
+	x.classify(res)
+	x.snapshotCollectors(res, net.Churn.Records[churnStart:churnEnd])
+	return res
+}
+
+// reSessions lists the neighbors over which the R&E origin announces
+// the measurement prefix (all its non-collector sessions).
+func (x *Experiment) reSessions() []bgp.RouterID {
+	return x.Eco.Net.Speaker(x.Cfg.REOrigin).Peers()
+}
+
+func (x *Experiment) commoditySessions() []bgp.RouterID {
+	return x.Eco.Net.Speaker(x.Cfg.CommodityOrigin).Peers()
+}
+
+// classify reduces rounds to per-prefix sequences and categories.
+func (x *Experiment) classify(res *Result) {
+	perRound := make([]map[netutil.Prefix][]probe.Record, len(res.Rounds))
+	for i, rd := range res.Rounds {
+		m := make(map[netutil.Prefix][]probe.Record)
+		for _, rec := range rd.Records {
+			m[rec.Prefix] = append(m[rec.Prefix], rec)
+		}
+		perRound[i] = m
+	}
+	for p := range x.Sel.Targets {
+		seq := make([]RoundObs, len(res.Rounds))
+		for i := range res.Rounds {
+			seq[i] = ObserveRound(perRound[i][p])
+		}
+		res.PerPrefix[p] = &PrefixResult{Prefix: p, Seq: seq, Inference: Classify(seq)}
+	}
+}
+
+// snapshotCollectors extracts the measurement-prefix updates observed
+// at collectors and the per-peer origin history (Table 3, Figure 3).
+func (x *Experiment) snapshotCollectors(res *Result, records []bgp.UpdateRecord) {
+	meas := x.Eco.MeasPrefix
+	for _, rec := range records {
+		if rec.Prefix != meas {
+			continue
+		}
+		res.Churn = append(res.Churn, rec)
+		pv := res.CollectorOrigins[uint32(rec.PeerAS)]
+		if pv == nil {
+			pv = &PeerView{OriginsSeen: make(map[uint32]bool)}
+			res.CollectorOrigins[uint32(rec.PeerAS)] = pv
+		}
+		if rec.Announce {
+			origin := uint32(rec.Path.Origin())
+			pv.OriginsSeen[origin] = true
+			pv.FinalOrigin = origin
+		} else {
+			pv.FinalOrigin = 0
+		}
+	}
+}
+
+// NewSURFExperiment configures the May (SURF) run.
+func NewSURFExperiment(eco *topo.Ecosystem, w *simnet.World, pr *probe.Prober, sel *seeds.Selection, start bgp.Time) *Experiment {
+	return &Experiment{
+		Eco: eco, World: w, Prober: pr, Sel: sel,
+		Cfg: ExperimentConfig{
+			Name:            "SURF (29 May 2025)",
+			REOrigin:        eco.MeasSURF.Router,
+			CommodityOrigin: eco.MeasCommodity.Router,
+			Start:           start,
+			RoundGap:        3600,
+			DormancySeed:    5001,
+		},
+	}
+}
+
+// NewInternet2Experiment configures the June (Internet2) run.
+func NewInternet2Experiment(eco *topo.Ecosystem, w *simnet.World, pr *probe.Prober, sel *seeds.Selection, start bgp.Time) *Experiment {
+	return &Experiment{
+		Eco: eco, World: w, Prober: pr, Sel: sel,
+		Cfg: ExperimentConfig{
+			Name:            "Internet2 (5 June 2025)",
+			REOrigin:        eco.Internet2.Router,
+			CommodityOrigin: eco.MeasCommodity.Router,
+			Start:           start,
+			RoundGap:        3600,
+			DormancySeed:    6001,
+		},
+	}
+}
+
+// TeardownRE withdraws the R&E origination and resets prepends, so a
+// second experiment can start from a clean slate (the real experiments
+// ran a week apart).
+func (x *Experiment) TeardownRE() {
+	net := x.Eco.Net
+	meas := x.Eco.MeasPrefix
+	for _, nb := range x.reSessions() {
+		net.SetPrefixPrepend(x.Cfg.REOrigin, nb, meas, 0)
+	}
+	for _, nb := range x.commoditySessions() {
+		net.SetPrefixPrepend(x.Cfg.CommodityOrigin, nb, meas, 0)
+	}
+	net.WithdrawOrigination(x.Cfg.REOrigin, meas)
+	net.RunToQuiescence()
+}

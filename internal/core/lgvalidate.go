@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+
+	"repro/internal/asn"
+	"repro/internal/lg"
+	"repro/internal/topo"
+)
+
+// This file reproduces the §2.2/§4.1 validation channel as an
+// analysis: a small sample of ASes run looking glasses (Wang & Gao
+// found 15, Kastanakis 10, the paper used NIKS's); scraping their
+// localpref values gives exact per-AS policy for that sample, which
+// the data-plane inference must agree with. The coverage asymmetry —
+// a dozen looking glasses vs thousands of probed prefixes — is the
+// method's whole motivation.
+
+// LGValidationRow is one looking-glass AS's comparison.
+type LGValidationRow struct {
+	AS asn.AS
+	// LGPreference is the scraped relative preference: +1 R&E, -1
+	// commodity, 0 equal/indeterminate.
+	LGPreference int
+	// Inference is the data-plane inference for the AS.
+	Inference Inference
+	// Agrees reports whether the two are consistent.
+	Agrees bool
+}
+
+// LGValidation summarizes the comparison.
+type LGValidation struct {
+	Rows []LGValidationRow
+	// Agreements / Disagreements / Indeterminate counts.
+	Agreements    int
+	Disagreements int
+	Indeterminate int
+}
+
+// ValidateAgainstLookingGlasses scrapes simulated looking glasses at a
+// deterministic sample of member ASes (those that would plausibly run
+// one: dual-homed, non-hidden) and compares the extracted localpref
+// relation with the experiment's per-AS inference. reOriginASN is the
+// experiment's R&E origin.
+func ValidateAgainstLookingGlasses(eco *topo.Ecosystem, res *Result, reOriginASN uint32, sample int) *LGValidation {
+	byAS := InferencesByAS(eco, res)
+	var candidates []*topo.ASInfo
+	for _, info := range eco.ASes {
+		if info.Class != topo.ClassMember || len(info.CommodityProviders) == 0 || info.HiddenCommodity {
+			continue
+		}
+		// Only the three stable categories are comparable with a
+		// localpref relation (mixed/oscillating ASes are not).
+		switch byAS[info.AS] {
+		case InfAlwaysRE, InfAlwaysCommodity, InfSwitchToRE:
+		default:
+			continue
+		}
+		candidates = append(candidates, info)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].AS < candidates[j].AS })
+
+	out := &LGValidation{}
+	step := 1
+	if sample > 0 && len(candidates) > sample {
+		step = len(candidates) / sample
+	}
+	for i := 0; i < len(candidates) && len(out.Rows) < sample; i += step {
+		info := candidates[i]
+		var buf bytes.Buffer
+		if err := lg.Render(&buf, eco.Net, info.Router, eco.MeasPrefix); err != nil {
+			continue
+		}
+		entries, err := lg.Parse(strings.NewReader(buf.String()))
+		if err != nil {
+			continue
+		}
+		pref := lg.RelativePreference(entries, asn.AS(reOriginASN), asn.AS(396955))
+		inf := byAS[info.AS]
+		row := LGValidationRow{AS: info.AS, LGPreference: pref, Inference: inf}
+		switch {
+		case pref == 1 && inf == InfAlwaysRE,
+			pref == -1 && inf == InfAlwaysCommodity,
+			pref == 0 && inf == InfSwitchToRE:
+			row.Agrees = true
+			out.Agreements++
+		case pref == 0 && inf != InfSwitchToRE:
+			// The glass shows equal-or-indeterminate but the data
+			// plane saw a stable choice: count separately (the glass
+			// may lack one of the candidate routes).
+			out.Indeterminate++
+		default:
+			out.Disagreements++
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/irr"
+	"repro/internal/simnet"
+)
+
+func TestLengthRule(t *testing.T) {
+	tests := []struct {
+		re, comm int
+		cfg      PrependConfig
+		want     bool
+	}{
+		{2, 3, PrependConfig{0, 0}, true},  // R&E shorter
+		{3, 3, PrependConfig{0, 0}, false}, // tie -> commodity
+		{3, 3, PrependConfig{0, 1}, true},  // commodity prepended
+		{2, 3, PrependConfig{4, 0}, false}, // R&E prepended past
+		{2, 3, PrependConfig{1, 0}, false}, // equalized -> commodity
+	}
+	for i, tt := range tests {
+		if got := lengthRulePredictsRE(tt.re, tt.comm, tt.cfg); got != tt.want {
+			t.Errorf("case %d: lengthRule(%d,%d,%s) = %v, want %v",
+				i, tt.re, tt.comm, tt.cfg.Label(), got, tt.want)
+		}
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for m := Model(0); m < numModels; m++ {
+		s := m.String()
+		if s == "" || seen[s] {
+			t.Errorf("model %d bad string %q", m, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestVlanForBool(t *testing.T) {
+	if vlanForBool(true) != simnet.VLANRE || vlanForBool(false) != simnet.VLANCommodity {
+		t.Error("vlanForBool wrong")
+	}
+}
+
+// TestE2EPredictionOrdering is the headline of the implication
+// analysis: the paper's inferred preferences must beat both baselines,
+// and the prepend signal must beat pure Gao-Rexford (it carries *some*
+// information, §4.2), while still leaving substantial error.
+func TestE2EPredictionOrdering(t *testing.T) {
+	s := getSurvey(t)
+	views := ComputeOriginViews(s.Eco)
+	pe := EvaluatePredictors(s.Eco, s.SURF, s.Internet2, views, irr.FromEcosystem(s.Eco, irr.DefaultGenConfig()))
+
+	gr := pe.Accuracy(ModelGaoRexford)
+	prep := pe.Accuracy(ModelPrependSignal)
+	irrAcc := pe.Accuracy(ModelIRRDocumented)
+	inf := pe.Accuracy(ModelInferred)
+
+	if pe.Total[ModelGaoRexford] == 0 {
+		t.Fatal("no observations evaluated")
+	}
+	if !(inf > prep && prep > gr) {
+		t.Errorf("model ordering violated: GR=%.3f prepend=%.3f inferred=%.3f", gr, prep, inf)
+	}
+	if !(inf > irrAcc && irrAcc > gr) {
+		t.Errorf("IRR model should sit between GR and inferred: GR=%.3f irr=%.3f inferred=%.3f", gr, irrAcc, inf)
+	}
+	if inf < 0.90 {
+		t.Errorf("inferred-localpref model accuracy %.3f, want >0.90", inf)
+	}
+	if prep > 0.90 {
+		t.Errorf("prepend signal too strong (%.3f): the paper found it unreliable", prep)
+	}
+	// All models are scored on identical observations.
+	if pe.Total[ModelGaoRexford] != pe.Total[ModelInferred] ||
+		pe.Total[ModelGaoRexford] != pe.Total[ModelPrependSignal] {
+		t.Error("models scored on different observation counts")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+	"repro/internal/report"
+	"repro/internal/topo"
+)
+
+// RegionStat is one region's Figure 5 datum.
+type RegionStat struct {
+	Region string
+	// ASes is the number of geolocated R&E-connected ASes; ViaRE is
+	// how many had at least one prefix RIPE reached over R&E.
+	ASes  int
+	ViaRE int
+}
+
+// PctViaRE returns the map shading value.
+func (r RegionStat) PctViaRE() float64 {
+	if r.ASes == 0 {
+		return 0
+	}
+	return 100 * float64(r.ViaRE) / float64(r.ASes)
+}
+
+// RIPEAnalysis is §4.3 / Figure 5: how the validated equal-localpref
+// vantage (RIPE) reaches the R&E ecosystem.
+type RIPEAnalysis struct {
+	// Prefix- and AS-level totals (§4.3's 64.0% / 63.9% numbers).
+	Prefixes      int
+	PrefixesViaRE int
+	ASes          int
+	ASesViaRE     int
+	// Regions with at least MinASes geolocated ASes, sorted by code.
+	Europe   []RegionStat
+	USStates []RegionStat
+}
+
+// MinASesPerRegion matches the paper's threshold for shading a region.
+const MinASesPerRegion = 4
+
+// BuildGeoDB constructs the Netacuity stand-in from the ecosystem.
+func BuildGeoDB(eco *topo.Ecosystem) *geo.DB {
+	db := geo.New()
+	for _, pi := range eco.Prefixes {
+		if pi.Region != "" {
+			db.Add(pi.Prefix, pi.Region)
+		}
+	}
+	return db
+}
+
+// AnalyzeRIPE builds Figure 5 from the origin views and geolocation.
+func AnalyzeRIPE(eco *topo.Ecosystem, views map[asn.AS]*OriginView, db *geo.DB) *RIPEAnalysis {
+	ra := &RIPEAnalysis{}
+	type agg struct{ ases, viaRE int }
+	regions := make(map[string]*agg)
+	asSeen := make(map[asn.AS]bool)
+
+	for _, pi := range eco.Prefixes {
+		ov := views[pi.Origin]
+		if ov == nil || !ov.RIPEHasRoute {
+			continue
+		}
+		ra.Prefixes++
+		if ov.RIPEViaRE {
+			ra.PrefixesViaRE++
+		}
+		if asSeen[pi.Origin] {
+			continue
+		}
+		asSeen[pi.Origin] = true
+		ra.ASes++
+		if ov.RIPEViaRE {
+			ra.ASesViaRE++
+		}
+		region, ok := db.LookupPrefix(pi.Prefix)
+		if !ok {
+			continue
+		}
+		a := regions[region]
+		if a == nil {
+			a = &agg{}
+			regions[region] = a
+		}
+		a.ases++
+		if ov.RIPEViaRE {
+			a.viaRE++
+		}
+	}
+
+	var codes []string
+	for r := range regions {
+		codes = append(codes, r)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		a := regions[code]
+		if a.ases < MinASesPerRegion {
+			continue
+		}
+		st := RegionStat{Region: code, ASes: a.ases, ViaRE: a.viaRE}
+		switch {
+		case geo.IsUSState(code):
+			ra.USStates = append(ra.USStates, st)
+		case geo.IsEurope(code):
+			ra.Europe = append(ra.Europe, st)
+		}
+	}
+	return ra
+}
+
+// Series renders the two Figure 5 panels as labelled series.
+func (ra *RIPEAnalysis) Series() (europe, us *report.Series) {
+	europe = &report.Series{Name: "Figure 5a: % ASes reached via R&E (Europe)"}
+	for _, st := range ra.Europe {
+		europe.Labels = append(europe.Labels, st.Region)
+		europe.Values = append(europe.Values, st.PctViaRE())
+	}
+	us = &report.Series{Name: "Figure 5b: % ASes reached via R&E (US states)"}
+	for _, st := range ra.USStates {
+		us.Labels = append(us.Labels, st.Region)
+		us.Values = append(us.Values, st.PctViaRE())
+	}
+	return europe, us
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+	"repro/internal/probe"
+	"repro/internal/seeds"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// Survey is the full study: one world, one seed selection, and both
+// experiments run a week apart with the same probe seeds (§3.2).
+type Survey struct {
+	Eco    *topo.Ecosystem
+	World  *simnet.World
+	Sel    *seeds.Selection
+	Prober *probe.Prober
+
+	SURF      *Result
+	Internet2 *Result
+}
+
+// SurveyOptions bundles the generator knobs.
+type SurveyOptions struct {
+	Topology topo.GenConfig
+	World    simnet.WorldConfig
+	Catalog  seeds.CatalogConfig
+	// TargetsPerPrefix is the responsive-address goal (§3.2: three).
+	TargetsPerPrefix int
+}
+
+// DefaultSurveyOptions returns the paper-scale configuration.
+func DefaultSurveyOptions() SurveyOptions {
+	return SurveyOptions{
+		Topology:         topo.DefaultConfig(),
+		World:            simnet.DefaultWorldConfig(),
+		Catalog:          seeds.DefaultCatalogConfig(),
+		TargetsPerPrefix: 3,
+	}
+}
+
+// SmallSurveyOptions returns a test-scale configuration.
+func SmallSurveyOptions() SurveyOptions {
+	o := DefaultSurveyOptions()
+	o.Topology = topo.SmallConfig()
+	return o
+}
+
+// NewSurvey builds the world and selects probe seeds.
+func NewSurvey(opts SurveyOptions) *Survey {
+	eco := topo.Build(opts.Topology)
+	world := simnet.BuildWorld(eco, opts.World)
+	cat := seeds.BuildCatalog(eco, world, opts.Catalog)
+
+	// Target list: §3.2 excludes prefixes entirely covered by others
+	// and the measurement prefix. The generator allocates disjoint
+	// prefixes, so coverage exclusion is a near no-op here, but the
+	// step is kept for fidelity with real announcement dumps.
+	list := make([]netutil.Prefix, 0, len(eco.Prefixes))
+	for _, pi := range eco.Prefixes {
+		if pi.Prefix == eco.MeasPrefix {
+			continue
+		}
+		list = append(list, pi.Prefix)
+	}
+	list = netutil.ExcludeCovered(list)
+	sel := seeds.Select(cat, list, func(addr uint32, proto simnet.Proto) bool {
+		return world.Responsive(addr, proto, 0)
+	}, opts.TargetsPerPrefix)
+
+	return &Survey{
+		Eco:    eco,
+		World:  world,
+		Sel:    sel,
+		Prober: probe.NewProber(world),
+	}
+}
+
+// RunBoth executes the SURF experiment, tears down its R&E
+// origination, then runs the Internet2 experiment a (virtual) week
+// later, mirroring §3.1's 30 May and 5 June runs. A few member R&E
+// sessions fail mid-experiment, as happened during the real runs.
+func (s *Survey) RunBoth() {
+	outages := s.pickOutages()
+	surfStart := bgp.Time(9 * 3600)
+	x1 := NewSURFExperiment(s.Eco, s.World, s.Prober, s.Sel, surfStart)
+	if len(outages) > 0 {
+		x1.Cfg.Outages = outages[:len(outages)/2]
+	}
+	s.SURF = x1.Run()
+	x1.TeardownRE()
+
+	i2Start := s.Eco.Net.Now() + 7*24*3600
+	x2 := NewInternet2Experiment(s.Eco, s.World, s.Prober, s.Sel, i2Start)
+	if len(outages) > 0 {
+		x2.Cfg.Outages = outages[len(outages)/2:]
+	}
+	s.Internet2 = x2.Run()
+}
+
+// pickOutages selects a handful of responsive R&E-preferring members
+// whose R&E session fails mid-experiment: half lose it for the rest of
+// the run (Switch to commodity), half recover it (Oscillating).
+func (s *Survey) pickOutages() []Outage {
+	const wanted = 4
+	var out []Outage
+	for _, info := range s.Eco.ASes {
+		if len(out) == wanted {
+			break
+		}
+		if info.Class != topo.ClassMember || info.Policy != topo.PolicyPreferRE ||
+			len(info.CommodityProviders) == 0 || info.HiddenCommodity || info.VRFSplit {
+			continue
+		}
+		responsive := false
+		for _, p := range info.Prefixes {
+			if _, ok := s.Sel.Targets[p]; ok {
+				responsive = true
+				break
+			}
+		}
+		if !responsive {
+			continue
+		}
+		re := s.Eco.AS(info.REProviders[0])
+		o := Outage{A: re.Router, B: info.Router}
+		if len(out)%2 == 0 {
+			o.DownRound, o.UpRound = 6, -1 // revert to commodity for the rest
+		} else {
+			o.DownRound, o.UpRound = 2, 4 // brief outage: oscillating
+		}
+		out = append(out, o)
+	}
+	return out
+}

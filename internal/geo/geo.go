@@ -1,0 +1,74 @@
+// Package geo is the reproduction's stand-in for the Netacuity Edge
+// geolocation database the paper uses in §4.3: a longest-prefix-match
+// mapping from prefixes to region codes (ISO country codes, or
+// "US-XX" for U.S. states).
+package geo
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/netutil"
+)
+
+// DB maps prefixes to region codes.
+type DB struct {
+	trie netutil.Trie[string]
+}
+
+// New returns an empty database.
+func New() *DB { return &DB{} }
+
+// Add records that prefix p geolocates to region.
+func (db *DB) Add(p netutil.Prefix, region string) {
+	db.trie.Insert(p, region)
+}
+
+// Len returns the number of mapped prefixes.
+func (db *DB) Len() int { return db.trie.Len() }
+
+// LookupAddr geolocates a single address via longest-prefix match.
+func (db *DB) LookupAddr(addr uint32) (string, bool) {
+	return db.trie.Lookup(addr)
+}
+
+// LookupPrefix geolocates a prefix by its network address.
+func (db *DB) LookupPrefix(p netutil.Prefix) (string, bool) {
+	if !p.IsValid() {
+		return "", false
+	}
+	return db.trie.Lookup(p.Addr())
+}
+
+// Regions returns the distinct region codes present, sorted.
+func (db *DB) Regions() []string {
+	set := make(map[string]bool)
+	db.trie.Walk(func(_ netutil.Prefix, region string) bool {
+		set[region] = true
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsUSState reports whether a region code denotes a U.S. state
+// ("US-NY") rather than a country.
+func IsUSState(region string) bool { return strings.HasPrefix(region, "US-") }
+
+// IsEurope reports whether the country code is European, the subset
+// Figure 5a restricts to for visibility.
+func IsEurope(region string) bool { return europe[region] }
+
+var europe = map[string]bool{
+	"AT": true, "BE": true, "BG": true, "BY": true, "CH": true,
+	"CZ": true, "DE": true, "DK": true, "EE": true, "ES": true,
+	"FI": true, "FR": true, "GB": true, "GR": true, "HR": true,
+	"HU": true, "IE": true, "IS": true, "IT": true, "LT": true,
+	"LU": true, "LV": true, "MD": true, "NL": true, "NO": true,
+	"PL": true, "PT": true, "RO": true, "RS": true, "RU": true,
+	"SE": true, "SI": true, "SK": true, "UA": true,
+}

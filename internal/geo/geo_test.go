@@ -1,0 +1,51 @@
+package geo
+
+import (
+	"testing"
+
+	"repro/internal/netutil"
+)
+
+func TestDBLookup(t *testing.T) {
+	db := New()
+	db.Add(netutil.MustParsePrefix("10.0.0.0/8"), "US-CA")
+	db.Add(netutil.MustParsePrefix("10.1.0.0/16"), "NL")
+	if db.Len() != 2 {
+		t.Errorf("Len = %d, want 2", db.Len())
+	}
+	if r, ok := db.LookupAddr(0x0a010101); !ok || r != "NL" {
+		t.Errorf("LookupAddr(10.1.1.1) = %q,%v", r, ok)
+	}
+	if r, ok := db.LookupAddr(0x0a020101); !ok || r != "US-CA" {
+		t.Errorf("LookupAddr(10.2.1.1) = %q,%v", r, ok)
+	}
+	if _, ok := db.LookupAddr(0x0b000000); ok {
+		t.Error("unexpected hit for unmapped address")
+	}
+	if r, ok := db.LookupPrefix(netutil.MustParsePrefix("10.1.2.0/24")); !ok || r != "NL" {
+		t.Errorf("LookupPrefix = %q,%v", r, ok)
+	}
+	if _, ok := db.LookupPrefix(netutil.Prefix{}); ok {
+		t.Error("invalid prefix should miss")
+	}
+}
+
+func TestRegions(t *testing.T) {
+	db := New()
+	db.Add(netutil.MustParsePrefix("10.0.0.0/8"), "US-NY")
+	db.Add(netutil.MustParsePrefix("11.0.0.0/8"), "DE")
+	db.Add(netutil.MustParsePrefix("12.0.0.0/8"), "DE")
+	got := db.Regions()
+	if len(got) != 2 || got[0] != "DE" || got[1] != "US-NY" {
+		t.Errorf("Regions = %v", got)
+	}
+}
+
+func TestRegionPredicates(t *testing.T) {
+	if !IsUSState("US-NY") || IsUSState("NL") {
+		t.Error("IsUSState misclassifies")
+	}
+	if !IsEurope("DE") || !IsEurope("NL") || IsEurope("US-NY") || IsEurope("AU") {
+		t.Error("IsEurope misclassifies")
+	}
+}

@@ -1,0 +1,34 @@
+package irr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the RPSL parser: never panic,
+// and anything parsed must survive a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleRPSL)
+	f.Add("route: 10.0.0.0/8\norigin: AS1\n")
+	f.Add("aut-num: AS5\nimport: from AS6 action pref=10; accept ANY\n")
+	f.Add(":::\n\n%%\n# c\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		reg, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := reg.Write(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\n%s", err, buf.String())
+		}
+		if back.NumRoutes() != reg.NumRoutes() || back.NumAutNums() != reg.NumAutNums() {
+			t.Fatalf("round trip changed sizes: %d/%d routes, %d/%d autnums",
+				back.NumRoutes(), reg.NumRoutes(), back.NumAutNums(), reg.NumAutNums())
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package irr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/asn"
+	"repro/internal/topo"
+)
+
+// GenConfig tunes registry generation from an ecosystem, including the
+// staleness real registries accumulate (§2.2: "disparities between IRR
+// and looking glass data may reflect differences between deployed and
+// documented policies").
+type GenConfig struct {
+	Seed int64
+	// MissingRouteObjects is the fraction of prefixes with no route
+	// object at all.
+	MissingRouteObjects float64
+	// StaleOriginObjects is the fraction of route objects documenting
+	// an outdated origin (a previous holder's ASN).
+	StaleOriginObjects float64
+	// AutNumCoverage is the fraction of dual-homed members publishing
+	// aut-num import policies with pref actions.
+	AutNumCoverage float64
+	// StaleAutNums is the fraction of published aut-nums whose
+	// documented preference no longer matches deployed policy
+	// (Kastanakis et al. found ~17% nonconformance).
+	StaleAutNums float64
+}
+
+// DefaultGenConfig matches the literature's staleness estimates.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Seed:                23,
+		MissingRouteObjects: 0.10,
+		StaleOriginObjects:  0.02,
+		AutNumCoverage:      0.60,
+		StaleAutNums:        0.17,
+	}
+}
+
+// FromEcosystem builds a registry documenting the ecosystem, with
+// injected staleness. The measurement prefix's route objects are
+// always present and correct (§3.3 registered them deliberately).
+func FromEcosystem(eco *topo.Ecosystem, cfg GenConfig) *Registry {
+	rng := rand.New(rand.NewSource(cfg.Seed)) // #nosec deterministic simulation
+	reg := NewRegistry()
+
+	for _, pi := range eco.Prefixes {
+		if rng.Float64() < cfg.MissingRouteObjects {
+			continue
+		}
+		origin := pi.Origin
+		if rng.Float64() < cfg.StaleOriginObjects {
+			origin = asn.AS(64999) // a previous holder
+		}
+		reg.AddRoute(RouteObject{
+			Prefix: pi.Prefix,
+			Origin: origin,
+			Descr:  "R&E member prefix",
+			MntBy:  fmt.Sprintf("MNT-AS%s", pi.Origin),
+		})
+	}
+	// The measurement prefix: both origins registered, always correct.
+	for _, origin := range []asn.AS{11537, 1125, 396955} {
+		reg.AddRoute(RouteObject{
+			Prefix: eco.MeasPrefix,
+			Origin: origin,
+			Descr:  "measurement prefix",
+			MntBy:  "MNT-MEAS",
+		})
+	}
+
+	for _, info := range eco.ASes {
+		if info.Class != topo.ClassMember || len(info.CommodityProviders) == 0 ||
+			len(info.REProviders) == 0 || info.HiddenCommodity {
+			continue
+		}
+		if rng.Float64() >= cfg.AutNumCoverage {
+			continue
+		}
+		documented := info.Policy
+		if rng.Float64() < cfg.StaleAutNums {
+			documented = stalePolicy(documented, rng)
+		}
+		an := &AutNum{AS: info.AS, Name: info.Name}
+		rePref, commPref := prefsFor(documented)
+		an.Imports = append(an.Imports, ImportPolicy{PeerAS: info.REProviders[0], Pref: rePref})
+		for _, c := range info.CommodityProviders {
+			an.Imports = append(an.Imports, ImportPolicy{PeerAS: c, Pref: commPref})
+		}
+		reg.AddAutNum(an)
+	}
+	return reg
+}
+
+// prefsFor maps a policy to RPSL prefs (lower = preferred).
+func prefsFor(p topo.REPolicy) (rePref, commPref int) {
+	switch p {
+	case topo.PolicyPreferRE, topo.PolicyDefaultOnly:
+		return 10, 20
+	case topo.PolicyPreferCommodity:
+		return 20, 10
+	default: // equal
+		return 10, 10
+	}
+}
+
+// stalePolicy picks a different policy than the deployed one.
+func stalePolicy(actual topo.REPolicy, rng *rand.Rand) topo.REPolicy {
+	candidates := []topo.REPolicy{topo.PolicyPreferRE, topo.PolicyEqual, topo.PolicyPreferCommodity}
+	for {
+		c := candidates[rng.Intn(len(candidates))]
+		if c != actual && !(c == topo.PolicyPreferRE && actual == topo.PolicyDefaultOnly) {
+			return c
+		}
+	}
+}
+
+// ConformanceStats scores documented vs deployed policy, the §2.2
+// reproduction (Wang & Gao / Kastanakis).
+type ConformanceStats struct {
+	// Documented counts members with usable aut-num prefs.
+	Documented int
+	// Conforming counts members whose documentation matches deployed
+	// policy.
+	Conforming int
+	// Undocumented counts eligible members with no (usable) aut-num.
+	Undocumented int
+}
+
+// ConformanceRate returns conforming/documented.
+func (c ConformanceStats) ConformanceRate() float64 {
+	if c.Documented == 0 {
+		return 0
+	}
+	return float64(c.Conforming) / float64(c.Documented)
+}
+
+// CompareDocumented scores every dual-homed member's documented
+// preference against its deployed ground-truth policy.
+func CompareDocumented(eco *topo.Ecosystem, reg *Registry) ConformanceStats {
+	var stats ConformanceStats
+	for _, info := range eco.ASes {
+		if info.Class != topo.ClassMember || len(info.CommodityProviders) == 0 ||
+			len(info.REProviders) == 0 || info.HiddenCommodity {
+			continue
+		}
+		doc := DocumentedPreference(reg.AutNum(info.AS), info.REProviders[0], info.CommodityProviders)
+		an := reg.AutNum(info.AS)
+		if an == nil {
+			stats.Undocumented++
+			continue
+		}
+		stats.Documented++
+		if doc == deployedSign(info.Policy) {
+			stats.Conforming++
+		}
+	}
+	return stats
+}
+
+func deployedSign(p topo.REPolicy) int {
+	switch p {
+	case topo.PolicyPreferRE, topo.PolicyDefaultOnly:
+		return 1
+	case topo.PolicyPreferCommodity:
+		return -1
+	default:
+		return 0
+	}
+}

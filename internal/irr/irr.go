@@ -1,0 +1,357 @@
+// Package irr models the Internet Routing Registry: RPSL route and
+// aut-num objects, a parser/serializer for the attribute syntax, and
+// the policy-extraction analysis of the paper's §2.2 lineage (Wang &
+// Gao 2003; Kastanakis et al. 2023 found only 83% of looking-glass
+// routes conform to IRR-documented policy). The reproduction generates
+// a registry from the ecosystem — with the staleness real registries
+// accumulate — and measures how documented localpref compares with
+// deployed policy and with the paper's data-plane inference.
+package irr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+)
+
+// RouteObject documents that an origin AS may announce a prefix.
+type RouteObject struct {
+	Prefix netutil.Prefix
+	Origin asn.AS
+	Descr  string
+	MntBy  string
+}
+
+// ImportPolicy is one aut-num "import:" line. RPSL preference is
+// inverted relative to BGP localpref: a LOWER pref value is MORE
+// preferred (RFC 2622 §6.1.1) — the trap Wang & Gao had to handle.
+type ImportPolicy struct {
+	PeerAS asn.AS
+	Pref   int // RPSL pref; lower preferred; -1 when unspecified
+}
+
+// AutNum documents an AS's routing policy.
+type AutNum struct {
+	AS      asn.AS
+	Name    string
+	Imports []ImportPolicy
+}
+
+// Registry is a parsed IRR snapshot.
+type Registry struct {
+	routes  map[netutil.Prefix][]RouteObject
+	autnums map[asn.AS]*AutNum
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		routes:  make(map[netutil.Prefix][]RouteObject),
+		autnums: make(map[asn.AS]*AutNum),
+	}
+}
+
+// AddRoute registers a route object.
+func (r *Registry) AddRoute(obj RouteObject) {
+	r.routes[obj.Prefix] = append(r.routes[obj.Prefix], obj)
+}
+
+// AddAutNum registers (or replaces) an aut-num object.
+func (r *Registry) AddAutNum(a *AutNum) { r.autnums[a.AS] = a }
+
+// Routes returns the route objects for a prefix.
+func (r *Registry) Routes(p netutil.Prefix) []RouteObject { return r.routes[p] }
+
+// AutNum returns an AS's aut-num object, or nil.
+func (r *Registry) AutNum(a asn.AS) *AutNum { return r.autnums[a] }
+
+// NumRoutes / NumAutNums report registry size.
+func (r *Registry) NumRoutes() int {
+	n := 0
+	for _, objs := range r.routes {
+		n += len(objs)
+	}
+	return n
+}
+
+// NumAutNums returns the number of aut-num objects.
+func (r *Registry) NumAutNums() int { return len(r.autnums) }
+
+// CoversOrigin reports whether a route object authorizes the origin
+// for the prefix — the "covered by IRR route objects" check of §3.3.
+func (r *Registry) CoversOrigin(p netutil.Prefix, origin asn.AS) bool {
+	for _, obj := range r.routes[p] {
+		if obj.Origin == origin {
+			return true
+		}
+	}
+	return false
+}
+
+// --- RPSL serialization -------------------------------------------------
+
+// Write emits the registry in RPSL attribute syntax, objects
+// separated by blank lines, deterministically ordered.
+func (r *Registry) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var prefixes []netutil.Prefix
+	for p := range r.routes {
+		prefixes = append(prefixes, p)
+	}
+	netutil.SortPrefixes(prefixes)
+	for _, p := range prefixes {
+		for _, obj := range r.routes[p] {
+			fmt.Fprintf(bw, "route:      %s\n", obj.Prefix)
+			fmt.Fprintf(bw, "origin:     AS%s\n", obj.Origin)
+			if obj.Descr != "" {
+				fmt.Fprintf(bw, "descr:      %s\n", obj.Descr)
+			}
+			if obj.MntBy != "" {
+				fmt.Fprintf(bw, "mnt-by:     %s\n", obj.MntBy)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	var ases []asn.AS
+	for a := range r.autnums {
+		ases = append(ases, a)
+	}
+	sort.Slice(ases, func(i, j int) bool { return ases[i] < ases[j] })
+	for _, a := range ases {
+		an := r.autnums[a]
+		fmt.Fprintf(bw, "aut-num:    AS%s\n", an.AS)
+		if an.Name != "" {
+			fmt.Fprintf(bw, "as-name:    %s\n", an.Name)
+		}
+		for _, imp := range an.Imports {
+			if imp.Pref >= 0 {
+				fmt.Fprintf(bw, "import:     from AS%s action pref=%d; accept ANY\n", imp.PeerAS, imp.Pref)
+			} else {
+				fmt.Fprintf(bw, "import:     from AS%s accept ANY\n", imp.PeerAS)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Parse reads RPSL objects. Unknown attributes are preserved-ignored;
+// malformed known attributes are errors.
+func Parse(rd io.Reader) (*Registry, error) {
+	reg := NewRegistry()
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	var block []string
+	line := 0
+	flush := func() error {
+		if len(block) == 0 {
+			return nil
+		}
+		defer func() { block = block[:0] }()
+		return reg.parseBlock(block)
+	}
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("irr: near line %d: %w", line, err)
+			}
+			continue
+		}
+		if strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue // comment lines
+		}
+		block = append(block, text)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("irr: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, fmt.Errorf("irr: near line %d: %w", line, err)
+	}
+	return reg, nil
+}
+
+// attr splits "key:   value".
+func attr(line string) (key, value string, ok bool) {
+	i := strings.IndexByte(line, ':')
+	if i < 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]), true
+}
+
+func parseASN(s string) (asn.AS, error) {
+	s = strings.TrimPrefix(strings.ToUpper(strings.TrimSpace(s)), "AS")
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad ASN %q: %w", s, err)
+	}
+	return asn.AS(v), nil
+}
+
+func (r *Registry) parseBlock(block []string) error {
+	key, _, ok := attr(block[0])
+	if !ok {
+		return fmt.Errorf("malformed first attribute %q", block[0])
+	}
+	switch key {
+	case "route":
+		return r.parseRoute(block)
+	case "aut-num":
+		return r.parseAutNum(block)
+	default:
+		return nil // other object classes are tolerated and skipped
+	}
+}
+
+func (r *Registry) parseRoute(block []string) error {
+	var obj RouteObject
+	for _, line := range block {
+		key, val, ok := attr(line)
+		if !ok {
+			continue
+		}
+		switch key {
+		case "route":
+			p, err := netutil.ParsePrefix(val)
+			if err != nil {
+				return err
+			}
+			obj.Prefix = p
+		case "origin":
+			origin, err := parseASN(val)
+			if err != nil {
+				return err
+			}
+			obj.Origin = origin
+		case "descr":
+			obj.Descr = val
+		case "mnt-by":
+			obj.MntBy = val
+		}
+	}
+	if !obj.Prefix.IsValid() || obj.Origin == asn.None {
+		return fmt.Errorf("route object missing route/origin")
+	}
+	r.AddRoute(obj)
+	return nil
+}
+
+func (r *Registry) parseAutNum(block []string) error {
+	an := &AutNum{}
+	for _, line := range block {
+		key, val, ok := attr(line)
+		if !ok {
+			continue
+		}
+		switch key {
+		case "aut-num":
+			a, err := parseASN(val)
+			if err != nil {
+				return err
+			}
+			an.AS = a
+		case "as-name":
+			an.Name = val
+		case "import":
+			imp, err := parseImport(val)
+			if err != nil {
+				return err
+			}
+			an.Imports = append(an.Imports, imp)
+		}
+	}
+	if an.AS == asn.None {
+		return fmt.Errorf("aut-num object missing aut-num")
+	}
+	r.AddAutNum(an)
+	return nil
+}
+
+// parseImport handles "from ASx [action pref=N;] accept ANY".
+func parseImport(val string) (ImportPolicy, error) {
+	imp := ImportPolicy{Pref: -1}
+	fields := strings.Fields(val)
+	for i := 0; i < len(fields); i++ {
+		switch strings.ToLower(fields[i]) {
+		case "from":
+			if i+1 >= len(fields) {
+				return imp, fmt.Errorf("import %q: dangling from", val)
+			}
+			a, err := parseASN(fields[i+1])
+			if err != nil {
+				return imp, fmt.Errorf("import %q: %w", val, err)
+			}
+			imp.PeerAS = a
+			i++
+		case "action":
+			if i+1 >= len(fields) {
+				return imp, fmt.Errorf("import %q: dangling action", val)
+			}
+			actionTok := strings.TrimSuffix(fields[i+1], ";")
+			if strings.HasPrefix(actionTok, "pref=") {
+				n, err := strconv.Atoi(strings.TrimPrefix(actionTok, "pref="))
+				if err != nil {
+					return imp, fmt.Errorf("import %q: bad pref: %w", val, err)
+				}
+				imp.Pref = n
+			}
+			i++
+		}
+	}
+	if imp.PeerAS == asn.None {
+		return imp, fmt.Errorf("import %q: no peer", val)
+	}
+	return imp, nil
+}
+
+// --- policy extraction ---------------------------------------------------
+
+// DocumentedPreference compares an aut-num's RPSL prefs between one
+// R&E upstream and a set of commodity upstreams, returning +1 when the
+// documentation prefers the R&E session (its pref is lower), -1 when
+// it prefers commodity, 0 when equal or undocumented. The inversion of
+// RPSL pref vs BGP localpref is handled here.
+func DocumentedPreference(an *AutNum, re asn.AS, commodity []asn.AS) int {
+	if an == nil {
+		return 0
+	}
+	rePref, reOK := prefFor(an, re)
+	bestComm, commOK := 0, false
+	for _, c := range commodity {
+		if p, ok := prefFor(an, c); ok {
+			if !commOK || p < bestComm {
+				bestComm, commOK = p, true
+			}
+		}
+	}
+	if !reOK || !commOK {
+		return 0
+	}
+	switch {
+	case rePref < bestComm: // lower RPSL pref = preferred
+		return 1
+	case rePref > bestComm:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func prefFor(an *AutNum, peer asn.AS) (int, bool) {
+	for _, imp := range an.Imports {
+		if imp.PeerAS == peer && imp.Pref >= 0 {
+			return imp.Pref, true
+		}
+	}
+	return 0, false
+}

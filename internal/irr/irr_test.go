@@ -1,0 +1,178 @@
+package irr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+	"repro/internal/topo"
+)
+
+const sampleRPSL = `
+# sample registry extract
+route:      163.253.63.0/24
+origin:     AS11537
+descr:      measurement prefix
+mnt-by:     MNT-MEAS
+
+route:      163.253.63.0/24
+origin:     AS1125
+mnt-by:     MNT-MEAS
+
+aut-num:    AS64501
+as-name:    EXAMPLE-U
+import:     from AS3754 action pref=10; accept ANY
+import:     from AS174 action pref=20; accept ANY
+import:     from AS3356 accept ANY
+
+% trailing comment
+`
+
+func TestParseSample(t *testing.T) {
+	reg, err := Parse(strings.NewReader(sampleRPSL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := netutil.MustParsePrefix("163.253.63.0/24")
+	routes := reg.Routes(p)
+	if len(routes) != 2 {
+		t.Fatalf("routes = %d, want 2", len(routes))
+	}
+	if !reg.CoversOrigin(p, 11537) || !reg.CoversOrigin(p, 1125) {
+		t.Error("both measurement origins must be covered")
+	}
+	if reg.CoversOrigin(p, 396955) {
+		t.Error("uncovered origin reported as covered")
+	}
+	an := reg.AutNum(64501)
+	if an == nil || an.Name != "EXAMPLE-U" || len(an.Imports) != 3 {
+		t.Fatalf("aut-num = %+v", an)
+	}
+	if an.Imports[0].Pref != 10 || an.Imports[1].Pref != 20 || an.Imports[2].Pref != -1 {
+		t.Errorf("prefs = %+v", an.Imports)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"route:      not-a-prefix\norigin: AS1\n",
+		"route:      10.0.0.0/8\norigin: ASX\n",
+		"route:      10.0.0.0/8\n", // missing origin
+		"aut-num:    ASnope\n",
+		"aut-num:    AS5\nimport:     from nowhere accept ANY\n",
+		"aut-num:    AS5\nimport:     from AS6 action pref=x; accept ANY\n",
+		"nonsense without colon\n", // malformed first attribute
+	}
+	for i, s := range bad {
+		if _, err := Parse(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected parse error for %q", i, s)
+		}
+	}
+	// Unknown object classes are skipped, not errors.
+	reg, err := Parse(strings.NewReader("person:    Someone\naddress:   Somewhere\n"))
+	if err != nil || reg.NumRoutes() != 0 {
+		t.Errorf("unknown class: %v, %d", err, reg.NumRoutes())
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddRoute(RouteObject{Prefix: netutil.MustParsePrefix("10.0.0.0/8"), Origin: 64500, Descr: "d", MntBy: "M"})
+	reg.AddRoute(RouteObject{Prefix: netutil.MustParsePrefix("10.0.0.0/8"), Origin: 64501})
+	reg.AddAutNum(&AutNum{AS: 7, Name: "SEVEN", Imports: []ImportPolicy{
+		{PeerAS: 8, Pref: 5}, {PeerAS: 9, Pref: -1},
+	}})
+
+	var buf bytes.Buffer
+	if err := reg.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse back: %v\n", err)
+	}
+	if got.NumRoutes() != 2 || got.NumAutNums() != 1 {
+		t.Fatalf("round trip sizes: %d routes, %d aut-nums", got.NumRoutes(), got.NumAutNums())
+	}
+	an := got.AutNum(7)
+	if an.Name != "SEVEN" || len(an.Imports) != 2 || an.Imports[0].Pref != 5 || an.Imports[1].Pref != -1 {
+		t.Errorf("aut-num round trip: %+v", an)
+	}
+}
+
+func TestDocumentedPreference(t *testing.T) {
+	an := &AutNum{AS: 1, Imports: []ImportPolicy{
+		{PeerAS: 100, Pref: 10}, // R&E: lower pref = preferred (RPSL!)
+		{PeerAS: 200, Pref: 20},
+		{PeerAS: 201, Pref: 30},
+	}}
+	if got := DocumentedPreference(an, 100, []asn.AS{200, 201}); got != 1 {
+		t.Errorf("pref 10 vs {20,30} = %d, want +1 (prefers R&E)", got)
+	}
+	// The best (lowest) commodity pref wins the comparison.
+	an.Imports[1].Pref = 5
+	if got := DocumentedPreference(an, 100, []asn.AS{200, 201}); got != -1 {
+		t.Errorf("pref 10 vs {5,30} = %d, want -1", got)
+	}
+	an.Imports[1].Pref = 10
+	if got := DocumentedPreference(an, 100, []asn.AS{200}); got != 0 {
+		t.Errorf("equal prefs = %d, want 0", got)
+	}
+	// Missing data is inconclusive.
+	if got := DocumentedPreference(nil, 100, []asn.AS{200}); got != 0 {
+		t.Errorf("nil aut-num = %d, want 0", got)
+	}
+	if got := DocumentedPreference(an, 999, []asn.AS{200}); got != 0 {
+		t.Errorf("unknown R&E peer = %d, want 0", got)
+	}
+	undoc := &AutNum{AS: 2, Imports: []ImportPolicy{{PeerAS: 100, Pref: -1}, {PeerAS: 200, Pref: 20}}}
+	if got := DocumentedPreference(undoc, 100, []asn.AS{200}); got != 0 {
+		t.Errorf("pref-less import = %d, want 0", got)
+	}
+}
+
+func TestFromEcosystemAndConformance(t *testing.T) {
+	eco := topo.Build(topo.SmallConfig())
+	reg := FromEcosystem(eco, DefaultGenConfig())
+	if reg.NumRoutes() == 0 || reg.NumAutNums() == 0 {
+		t.Fatalf("empty registry: %d routes, %d aut-nums", reg.NumRoutes(), reg.NumAutNums())
+	}
+	// The measurement prefix is always fully covered (§3.3).
+	for _, origin := range []asn.AS{11537, 1125, 396955} {
+		if !reg.CoversOrigin(eco.MeasPrefix, origin) {
+			t.Errorf("measurement origin %v uncovered", origin)
+		}
+	}
+	// Conformance should land near 1 - StaleAutNums, the documented-
+	// vs-deployed gap of §2.2.
+	stats := CompareDocumented(eco, reg)
+	if stats.Documented == 0 {
+		t.Fatal("nothing documented")
+	}
+	rate := stats.ConformanceRate()
+	if rate < 0.70 || rate > 0.95 {
+		t.Errorf("conformance = %.2f over %d documented, want ~0.83", rate, stats.Documented)
+	}
+	if stats.Undocumented == 0 {
+		t.Error("expected some undocumented members (coverage < 1)")
+	}
+	// Round-trip the whole generated registry through RPSL.
+	var buf bytes.Buffer
+	if err := reg.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRoutes() != reg.NumRoutes() || back.NumAutNums() != reg.NumAutNums() {
+		t.Errorf("round trip sizes differ: %d/%d routes, %d/%d aut-nums",
+			back.NumRoutes(), reg.NumRoutes(), back.NumAutNums(), reg.NumAutNums())
+	}
+	// Conformance computed from the parsed copy must be identical.
+	if got := CompareDocumented(eco, back); got != stats {
+		t.Errorf("stats changed across round trip: %+v vs %+v", got, stats)
+	}
+}

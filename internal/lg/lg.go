@@ -1,0 +1,173 @@
+// Package lg simulates operator looking glasses: the "show ip bgp"
+// views that Wang & Gao (2003) and Kastanakis et al. (2023) mined for
+// localpref values (§2.2), and the validation channel the paper used
+// for NIKS (§4, lg.niks.su). A looking glass exposes exact policy for
+// the handful of ASes that run one; the paper's probing method trades
+// that precision for coverage of thousands of ASes. The package
+// renders a speaker's BGP table in router-CLI style, parses such
+// output back, and infers relative preference from it.
+package lg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+)
+
+// Entry is one parsed looking-glass table row.
+type Entry struct {
+	Best      bool
+	Path      asn.Path
+	LocalPref uint32
+	MED       uint32
+	FromAS    asn.AS
+}
+
+// Render prints a speaker's candidate routes for a prefix in the
+// two-line-per-route style of IOS "show ip bgp <prefix>". Suppressed
+// (damped) routes are omitted, as real looking glasses omit them.
+func Render(w io.Writer, net *bgp.Network, id bgp.RouterID, p netutil.Prefix) error {
+	s := net.Speaker(id)
+	if s == nil {
+		return fmt.Errorf("lg: unknown speaker %d", id)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "BGP routing table entry for %s\n", p)
+	best := s.Best(p)
+	routes := s.AdjInAll(p)
+	if best != nil && best.From == 0 {
+		fmt.Fprintf(bw, "  Local\n    origin IGP, localpref %d, valid, sourced, best\n", best.LocalPref)
+	}
+	if len(routes) == 0 && (best == nil || best.From != 0) {
+		fmt.Fprintf(bw, "  %% Network not in table\n")
+		return bw.Flush()
+	}
+	// Best first, then by neighbor AS for determinism.
+	sort.SliceStable(routes, func(i, j int) bool {
+		bi := best != nil && routes[i].From == best.From
+		bj := best != nil && routes[j].From == best.From
+		if bi != bj {
+			return bi
+		}
+		return routes[i].FromAS < routes[j].FromAS
+	})
+	for _, r := range routes {
+		fmt.Fprintf(bw, "  %s\n", r.Path)
+		attrs := fmt.Sprintf("    origin %s, metric %d, localpref %d, valid, external",
+			strings.ToUpper(r.Origin.String()), r.MED, r.LocalPref)
+		if best != nil && r.From == best.From {
+			attrs += ", best"
+		}
+		fmt.Fprintf(bw, "%s\n", attrs)
+	}
+	return bw.Flush()
+}
+
+// Parse reads Render-style (IOS-style) output back into entries.
+// Unrecognized lines are skipped, as scrapers must.
+func Parse(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	var out []Entry
+	var cur *Entry
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "BGP routing table entry"),
+			strings.HasPrefix(trimmed, "%"):
+			continue
+		case strings.HasPrefix(trimmed, "origin "):
+			if cur == nil {
+				continue
+			}
+			if err := parseAttrs(trimmed, cur); err != nil {
+				return nil, err
+			}
+			out = append(out, *cur)
+			cur = nil
+		case trimmed == "Local":
+			cur = &Entry{}
+		case trimmed != "":
+			p, err := asn.ParsePath(trimmed)
+			if err != nil {
+				continue // not a path line
+			}
+			cur = &Entry{Path: p, FromAS: p.First()}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lg: %w", err)
+	}
+	return out, nil
+}
+
+func parseAttrs(line string, e *Entry) error {
+	for _, field := range strings.Split(line, ",") {
+		field = strings.TrimSpace(field)
+		switch {
+		case strings.HasPrefix(field, "localpref "):
+			v, err := strconv.ParseUint(strings.TrimPrefix(field, "localpref "), 10, 32)
+			if err != nil {
+				return fmt.Errorf("lg: bad localpref in %q: %w", line, err)
+			}
+			e.LocalPref = uint32(v)
+		case strings.HasPrefix(field, "metric "):
+			v, err := strconv.ParseUint(strings.TrimPrefix(field, "metric "), 10, 32)
+			if err != nil {
+				return fmt.Errorf("lg: bad metric in %q: %w", line, err)
+			}
+			e.MED = uint32(v)
+		case field == "best":
+			e.Best = true
+		}
+	}
+	return nil
+}
+
+// RelativePreference reads the localpref relationship between two
+// route classes out of parsed looking-glass entries: +1 if every
+// classA entry has higher localpref than every classB entry, -1 for
+// the reverse, 0 for equal/overlapping/indeterminate. classA/classB
+// select entries by origin AS (e.g. the R&E vs commodity measurement
+// origins).
+func RelativePreference(entries []Entry, originA, originB asn.AS) int {
+	minA, maxA, okA := lpRange(entries, originA)
+	minB, maxB, okB := lpRange(entries, originB)
+	if !okA || !okB {
+		return 0
+	}
+	switch {
+	case minA > maxB:
+		return 1
+	case minB > maxA:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func lpRange(entries []Entry, origin asn.AS) (minLP, maxLP uint32, ok bool) {
+	for _, e := range entries {
+		if e.Path.Origin() != origin {
+			continue
+		}
+		if !ok {
+			minLP, maxLP, ok = e.LocalPref, e.LocalPref, true
+			continue
+		}
+		if e.LocalPref < minLP {
+			minLP = e.LocalPref
+		}
+		if e.LocalPref > maxLP {
+			maxLP = e.LocalPref
+		}
+	}
+	return minLP, maxLP, ok
+}

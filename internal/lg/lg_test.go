@@ -1,0 +1,194 @@
+package lg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+	"repro/internal/topo"
+)
+
+func buildJune(t *testing.T) *topo.Ecosystem {
+	t.Helper()
+	eco := topo.Build(topo.SmallConfig())
+	eco.Net.Originate(eco.MeasCommodity.Router, eco.MeasPrefix)
+	eco.Net.Originate(eco.Internet2.Router, eco.MeasPrefix)
+	eco.Net.RunToQuiescence()
+	return eco
+}
+
+func TestRenderNIKS(t *testing.T) {
+	// The lg.niks.su analog (§4's validation footnote): NIKS's looking
+	// glass must show the NORDUnet and Arelion routes at the same
+	// localpref during the Internet2 experiment.
+	eco := buildJune(t)
+	var buf bytes.Buffer
+	if err := Render(&buf, eco.Net, eco.NIKS.Router, eco.MeasPrefix); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BGP routing table entry for 163.253.63.0/24") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "best") {
+		t.Errorf("no best marker:\n%s", out)
+	}
+
+	entries, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (NORDUnet + Arelion):\n%s", len(entries), out)
+	}
+	// Exactly one best, and both candidates share a localpref.
+	bests := 0
+	for _, e := range entries {
+		if e.Best {
+			bests++
+		}
+	}
+	if bests != 1 {
+		t.Errorf("best entries = %d, want 1", bests)
+	}
+	if entries[0].LocalPref != entries[1].LocalPref {
+		t.Errorf("NIKS localprefs differ: %d vs %d (should tie per Figure 4)",
+			entries[0].LocalPref, entries[1].LocalPref)
+	}
+	// The LG-derived relative preference agrees: equal.
+	if got := RelativePreference(entries, 11537, 396955); got != 0 {
+		t.Errorf("RelativePreference = %d, want 0 (equal localpref)", got)
+	}
+}
+
+func TestLGAgreesWithGroundTruthPolicies(t *testing.T) {
+	// For members running a hypothetical looking glass, the rendered
+	// localprefs must reveal exactly the installed policy — the §2.2
+	// precision/coverage tradeoff's precision side.
+	eco := buildJune(t)
+	checked := 0
+	for _, info := range eco.ASes {
+		if info.Class != topo.ClassMember || len(info.CommodityProviders) == 0 ||
+			info.HiddenCommodity {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := Render(&buf, eco.Net, info.Router, eco.MeasPrefix); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := Parse(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := RelativePreference(entries, 11537, 396955)
+		var want int
+		switch info.Policy {
+		case topo.PolicyPreferRE:
+			want = 1
+		case topo.PolicyPreferCommodity:
+			want = -1
+		case topo.PolicyEqual:
+			want = 0
+		case topo.PolicyDefaultOnly:
+			// No commodity specific in the table: indeterminate.
+			want = 0
+		}
+		if got != want {
+			t.Errorf("AS %v (%v): LG preference %d, want %d\n%s",
+				info.AS, info.Policy, got, want, buf.String())
+		}
+		checked++
+		if checked >= 100 {
+			break
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d looking glasses checked", checked)
+	}
+}
+
+func TestRenderLocalAndMissing(t *testing.T) {
+	eco := buildJune(t)
+	// The origin's own looking glass shows a Local, best route.
+	var buf bytes.Buffer
+	if err := Render(&buf, eco.Net, eco.MeasCommodity.Router, eco.MeasPrefix); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Local") || !strings.Contains(buf.String(), "sourced, best") {
+		t.Errorf("origin LG missing Local entry:\n%s", buf.String())
+	}
+	// A prefix nobody announced.
+	buf.Reset()
+	if err := Render(&buf, eco.Net, eco.NIKS.Router, netutil.MustParsePrefix("198.18.0.0/15")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Network not in table") {
+		t.Errorf("missing-prefix output wrong:\n%s", buf.String())
+	}
+	// Unknown speaker errors.
+	if err := Render(&buf, eco.Net, bgp.RouterID(99999), eco.MeasPrefix); err == nil {
+		t.Error("unknown speaker should error")
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	noisy := `Router: lg01.example.net
+BGP routing table entry for 10.0.0.0/24
+  Paths: (2 available)
+  3356 64500
+    origin IGP, metric 0, localpref 100, valid, external, best
+  1299 64500
+    origin IGP, metric 0, localpref 100, valid, external
+Total number of prefixes 1
+`
+	entries, err := Parse(strings.NewReader(noisy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(entries))
+	}
+	if !entries[0].Best || entries[1].Best {
+		t.Error("best flags wrong")
+	}
+	if entries[0].FromAS != 3356 || entries[1].FromAS != 1299 {
+		t.Errorf("FromAS wrong: %+v", entries)
+	}
+}
+
+func TestParseBadAttrs(t *testing.T) {
+	bad := "  3356 64500\n    origin IGP, metric x, localpref 100, best\n"
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Error("bad metric should error")
+	}
+	bad2 := "  3356 64500\n    origin IGP, metric 0, localpref 99999999999999, best\n"
+	if _, err := Parse(strings.NewReader(bad2)); err == nil {
+		t.Error("overflowing localpref should error")
+	}
+}
+
+func TestRelativePreferenceIndeterminate(t *testing.T) {
+	entries := []Entry{
+		{Path: mustPath("1 100"), LocalPref: 120},
+		{Path: mustPath("2 200"), LocalPref: 100},
+	}
+	if got := RelativePreference(entries, 100, 200); got != 1 {
+		t.Errorf("got %d, want +1", got)
+	}
+	if got := RelativePreference(entries, 200, 100); got != -1 {
+		t.Errorf("got %d, want -1", got)
+	}
+	if got := RelativePreference(entries, 100, 999); got != 0 {
+		t.Errorf("absent class should be indeterminate, got %d", got)
+	}
+	// Overlapping ranges are indeterminate.
+	entries = append(entries, Entry{Path: mustPath("3 100"), LocalPref: 90})
+	if got := RelativePreference(entries, 100, 200); got != 0 {
+		t.Errorf("overlapping ranges should be 0, got %d", got)
+	}
+}
+
+func mustPath(s string) asn.Path { return asn.MustParsePath(s) }

@@ -1,0 +1,284 @@
+// Package mrt implements a binary export format for BGP RIB snapshots
+// and update streams, modelled on the MRT format (RFC 6396) that
+// RouteViews and RIPE RIS publish and that the paper's analysis
+// consumes (§4.1.1: "we downloaded the June 5th 08:00 UTC RIB file and
+// all update files"). The framing follows MRT's common header
+// (timestamp, type, subtype, length); record bodies are simplified to
+// the attributes the reproduction models.
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+)
+
+// Record types, in the spirit of MRT's TABLE_DUMP_V2 and BGP4MP.
+const (
+	// TypeUpdate frames one BGP update (announce or withdraw).
+	TypeUpdate uint16 = 16
+	// TypeRIBEntry frames one (prefix, peer) RIB entry.
+	TypeRIBEntry uint16 = 13
+)
+
+// Update subtypes.
+const (
+	SubtypeAnnounce uint16 = 1
+	SubtypeWithdraw uint16 = 2
+)
+
+// ErrCorrupt reports a malformed record.
+var ErrCorrupt = errors.New("mrt: corrupt record")
+
+// maxSane bounds record and path lengths while decoding untrusted
+// input.
+const (
+	maxRecordLen = 1 << 20
+	maxPathLen   = 1024
+)
+
+// Update is one BGP update observed at a collector.
+type Update struct {
+	// Timestamp is seconds since the experiment epoch.
+	Timestamp int64
+	// PeerAS is the collector peer that relayed the update.
+	PeerAS asn.AS
+	// Prefix is the affected prefix.
+	Prefix netutil.Prefix
+	// Announce distinguishes announcements from withdrawals.
+	Announce bool
+	// Path is the announced AS path (empty for withdrawals).
+	Path asn.Path
+}
+
+// RIBEntry is one (prefix, peer) route from a RIB snapshot.
+type RIBEntry struct {
+	Timestamp int64
+	PeerAS    asn.AS
+	Prefix    netutil.Prefix
+	Path      asn.Path
+	Origin    uint8
+	MED       uint32
+}
+
+// Writer frames records onto an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer. Call Flush when done.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Flush drains buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// header writes the MRT common header.
+func (w *Writer) header(ts int64, typ, subtype uint16, bodyLen int) error {
+	var h [12]byte
+	binary.BigEndian.PutUint32(h[0:], uint32(ts))
+	binary.BigEndian.PutUint16(h[4:], typ)
+	binary.BigEndian.PutUint16(h[6:], subtype)
+	binary.BigEndian.PutUint32(h[8:], uint32(bodyLen))
+	_, err := w.w.Write(h[:])
+	return err
+}
+
+// WriteUpdate frames one update record.
+func (w *Writer) WriteUpdate(u *Update) error {
+	sub := SubtypeWithdraw
+	if u.Announce {
+		sub = SubtypeAnnounce
+	}
+	body := w.buf[:0]
+	body = appendUint32(body, uint32(u.PeerAS))
+	body = appendPrefix(body, u.Prefix)
+	body = appendPath(body, u.Path)
+	w.buf = body
+	if err := w.header(u.Timestamp, TypeUpdate, sub, len(body)); err != nil {
+		return err
+	}
+	_, err := w.w.Write(body)
+	return err
+}
+
+// WriteRIBEntry frames one RIB entry.
+func (w *Writer) WriteRIBEntry(e *RIBEntry) error {
+	body := w.buf[:0]
+	body = appendUint32(body, uint32(e.PeerAS))
+	body = appendPrefix(body, e.Prefix)
+	body = append(body, e.Origin)
+	body = appendUint32(body, e.MED)
+	body = appendPath(body, e.Path)
+	w.buf = body
+	if err := w.header(e.Timestamp, TypeRIBEntry, 0, len(body)); err != nil {
+		return err
+	}
+	_, err := w.w.Write(body)
+	return err
+}
+
+// Reader parses records from an io.Reader.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a Reader.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Next returns the next record: an *Update or *RIBEntry. It returns
+// io.EOF at a clean end of stream.
+func (r *Reader) Next() (any, error) {
+	var h [12]byte
+	if _, err := io.ReadFull(r.r, h[:1]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	if _, err := io.ReadFull(r.r, h[1:]); err != nil {
+		return nil, fmt.Errorf("mrt: truncated header: %w", err)
+	}
+	ts := int64(binary.BigEndian.Uint32(h[0:]))
+	typ := binary.BigEndian.Uint16(h[4:])
+	sub := binary.BigEndian.Uint16(h[6:])
+	n := binary.BigEndian.Uint32(h[8:])
+	if n > maxRecordLen {
+		return nil, fmt.Errorf("%w: body length %d", ErrCorrupt, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return nil, fmt.Errorf("mrt: truncated body: %w", err)
+	}
+	switch typ {
+	case TypeUpdate:
+		return parseUpdate(ts, sub, body)
+	case TypeRIBEntry:
+		return parseRIBEntry(ts, body)
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrCorrupt, typ)
+	}
+}
+
+func parseUpdate(ts int64, sub uint16, body []byte) (*Update, error) {
+	u := &Update{Timestamp: ts, Announce: sub == SubtypeAnnounce}
+	peer, body, err := takeUint32(body)
+	if err != nil {
+		return nil, err
+	}
+	u.PeerAS = asn.AS(peer)
+	u.Prefix, body, err = takePrefix(body)
+	if err != nil {
+		return nil, err
+	}
+	u.Path, body, err = takePath(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body))
+	}
+	return u, nil
+}
+
+func parseRIBEntry(ts int64, body []byte) (*RIBEntry, error) {
+	e := &RIBEntry{Timestamp: ts}
+	peer, body, err := takeUint32(body)
+	if err != nil {
+		return nil, err
+	}
+	e.PeerAS = asn.AS(peer)
+	e.Prefix, body, err = takePrefix(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 1 {
+		return nil, ErrCorrupt
+	}
+	e.Origin, body = body[0], body[1:]
+	e.MED, body, err = takeUint32(body)
+	if err != nil {
+		return nil, err
+	}
+	e.Path, body, err = takePath(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body))
+	}
+	return e, nil
+}
+
+// --- wire primitives ---------------------------------------------------
+
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func takeUint32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, ErrCorrupt
+	}
+	return binary.BigEndian.Uint32(b), b[4:], nil
+}
+
+// appendPrefix encodes a prefix as (bits, addr) like MRT's NLRI but
+// without byte trimming, for simplicity and unambiguity.
+func appendPrefix(b []byte, p netutil.Prefix) []byte {
+	b = append(b, byte(p.Bits()))
+	return appendUint32(b, p.Addr())
+}
+
+func takePrefix(b []byte) (netutil.Prefix, []byte, error) {
+	if len(b) < 5 {
+		return netutil.Prefix{}, nil, ErrCorrupt
+	}
+	bits := int(b[0])
+	if bits > 32 {
+		return netutil.Prefix{}, nil, fmt.Errorf("%w: prefix bits %d", ErrCorrupt, bits)
+	}
+	addr := binary.BigEndian.Uint32(b[1:])
+	p := netutil.PrefixFrom(addr, bits)
+	if p.Addr() != addr {
+		return netutil.Prefix{}, nil, fmt.Errorf("%w: unmasked prefix", ErrCorrupt)
+	}
+	return p, b[5:], nil
+}
+
+func appendPath(b []byte, p asn.Path) []byte {
+	b = append(b, byte(len(p)>>8), byte(len(p)))
+	for _, a := range p {
+		b = appendUint32(b, uint32(a))
+	}
+	return b
+}
+
+func takePath(b []byte) (asn.Path, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, ErrCorrupt
+	}
+	n := int(b[0])<<8 | int(b[1])
+	b = b[2:]
+	if n > maxPathLen {
+		return nil, nil, fmt.Errorf("%w: path length %d", ErrCorrupt, n)
+	}
+	if len(b) < 4*n {
+		return nil, nil, ErrCorrupt
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	p := make(asn.Path, n)
+	for i := 0; i < n; i++ {
+		p[i] = asn.AS(binary.BigEndian.Uint32(b[4*i:]))
+	}
+	return p, b[4*n:], nil
+}

@@ -1,0 +1,216 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+)
+
+func roundTrip(t *testing.T, recs []any) []any {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, rec := range recs {
+		var err error
+		switch r := rec.(type) {
+		case *Update:
+			err = w.WriteUpdate(r)
+		case *RIBEntry:
+			err = w.WriteRIBEntry(r)
+		default:
+			t.Fatalf("bad record %T", rec)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	var out []any
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestRoundTripUpdate(t *testing.T) {
+	in := &Update{
+		Timestamp: 12345,
+		PeerAS:    174,
+		Prefix:    netutil.MustParsePrefix("163.253.63.0/24"),
+		Announce:  true,
+		Path:      asn.MustParsePath("174 3356 396955 396955"),
+	}
+	out := roundTrip(t, []any{in})
+	if len(out) != 1 {
+		t.Fatalf("got %d records", len(out))
+	}
+	got, ok := out[0].(*Update)
+	if !ok {
+		t.Fatalf("got %T", out[0])
+	}
+	if got.Timestamp != in.Timestamp || got.PeerAS != in.PeerAS ||
+		got.Prefix != in.Prefix || got.Announce != in.Announce || !got.Path.Equal(in.Path) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, in)
+	}
+}
+
+func TestRoundTripWithdraw(t *testing.T) {
+	in := &Update{Timestamp: 1, PeerAS: 3356, Prefix: netutil.MustParsePrefix("10.0.0.0/8")}
+	out := roundTrip(t, []any{in})
+	got := out[0].(*Update)
+	if got.Announce || len(got.Path) != 0 {
+		t.Errorf("withdraw mangled: %+v", got)
+	}
+}
+
+func TestRoundTripRIBEntry(t *testing.T) {
+	in := &RIBEntry{
+		Timestamp: 999,
+		PeerAS:    1299,
+		Prefix:    netutil.MustParsePrefix("16.0.0.0/22"),
+		Path:      asn.MustParsePath("1299 2603 3267 1000000"),
+		Origin:    1,
+		MED:       77,
+	}
+	out := roundTrip(t, []any{in})
+	got, ok := out[0].(*RIBEntry)
+	if !ok {
+		t.Fatalf("got %T", out[0])
+	}
+	if got.PeerAS != in.PeerAS || got.Prefix != in.Prefix || got.Origin != in.Origin ||
+		got.MED != in.MED || !got.Path.Equal(in.Path) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, in)
+	}
+}
+
+func TestRoundTripMixedStream(t *testing.T) {
+	recs := []any{
+		&Update{Timestamp: 1, PeerAS: 1, Prefix: netutil.MustParsePrefix("10.0.0.0/8"), Announce: true, Path: asn.Path{1, 2}},
+		&RIBEntry{Timestamp: 2, PeerAS: 2, Prefix: netutil.MustParsePrefix("10.1.0.0/16"), Path: asn.Path{3}},
+		&Update{Timestamp: 3, PeerAS: 3, Prefix: netutil.MustParsePrefix("10.2.0.0/16")},
+	}
+	out := roundTrip(t, recs)
+	if len(out) != 3 {
+		t.Fatalf("got %d records, want 3", len(out))
+	}
+	if _, ok := out[0].(*Update); !ok {
+		t.Error("record 0 wrong type")
+	}
+	if _, ok := out[1].(*RIBEntry); !ok {
+		t.Error("record 1 wrong type")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(ts uint32, peer uint32, addr uint32, bits8 uint8, rawPath []uint16, announce bool) bool {
+		path := make(asn.Path, len(rawPath))
+		for i, v := range rawPath {
+			path[i] = asn.AS(v)
+		}
+		if !announce {
+			path = nil
+		}
+		in := &Update{
+			Timestamp: int64(ts),
+			PeerAS:    asn.AS(peer),
+			Prefix:    netutil.PrefixFrom(addr, int(bits8%33)),
+			Announce:  announce,
+			Path:      path,
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if w.WriteUpdate(in) != nil || w.Flush() != nil {
+			return false
+		}
+		rec, err := NewReader(&buf).Next()
+		if err != nil {
+			return false
+		}
+		got, ok := rec.(*Update)
+		return ok && got.Timestamp == in.Timestamp && got.PeerAS == in.PeerAS &&
+			got.Prefix == in.Prefix && got.Announce == in.Announce && got.Path.Equal(in.Path)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderRejectsCorruption(t *testing.T) {
+	// A valid record, then flip bytes and expect controlled errors,
+	// never panics.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteUpdate(&Update{
+		Timestamp: 5, PeerAS: 7, Announce: true,
+		Prefix: netutil.MustParsePrefix("192.0.2.0/24"),
+		Path:   asn.Path{1, 2, 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for i := 0; i < len(orig); i++ {
+		mut := make([]byte, len(orig))
+		copy(mut, orig)
+		mut[i] ^= 0xff
+		r := NewReader(bytes.NewReader(mut))
+		for {
+			_, err := r.Next()
+			if err != nil {
+				break // EOF or a diagnosed error; both fine
+			}
+		}
+	}
+	// Truncations at every length.
+	for i := 0; i < len(orig); i++ {
+		r := NewReader(bytes.NewReader(orig[:i]))
+		for {
+			_, err := r.Next()
+			if err != nil {
+				break
+			}
+		}
+	}
+}
+
+func TestReaderEmptyStream(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(nil)).Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty stream err = %v, want EOF", err)
+	}
+}
+
+func TestReaderUnknownType(t *testing.T) {
+	var h [12]byte
+	h[5] = 200 // bogus type
+	_, err := NewReader(bytes.NewReader(h[:])).Next()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReaderInsaneLengths(t *testing.T) {
+	var h [12]byte
+	h[5] = byte(TypeUpdate)
+	h[8], h[9], h[10], h[11] = 0xff, 0xff, 0xff, 0xff
+	_, err := NewReader(bytes.NewReader(h[:])).Next()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package netutil provides IPv4 prefix utilities for the reproduction:
+// parsing, containment algebra, address enumeration, a longest-prefix-
+// match trie, and the covered-prefix exclusion the paper applies when
+// building its target list (§3.2: "We excluded 437 prefixes entirely
+// covered by other prefixes").
+package netutil
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Prefix is an IPv4 CIDR block. It wraps netip.Prefix but guarantees
+// IPv4 and a masked (canonical) address, so values compare with ==.
+type Prefix struct {
+	p netip.Prefix
+}
+
+// ParsePrefix parses "a.b.c.d/len" into a canonical IPv4 Prefix.
+func ParsePrefix(s string) (Prefix, error) {
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		return Prefix{}, fmt.Errorf("netutil: %w", err)
+	}
+	if !p.Addr().Is4() {
+		return Prefix{}, fmt.Errorf("netutil: %q is not IPv4", s)
+	}
+	return Prefix{p.Masked()}, nil
+}
+
+// MustParsePrefix is ParsePrefix but panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PrefixFrom builds a canonical Prefix from a 32-bit address and
+// prefix length. Bits outside the mask are cleared.
+func PrefixFrom(addr uint32, bits int) Prefix {
+	if bits < 0 {
+		bits = 0
+	}
+	if bits > 32 {
+		bits = 32
+	}
+	a := netip.AddrFrom4([4]byte{byte(addr >> 24), byte(addr >> 16), byte(addr >> 8), byte(addr)})
+	return Prefix{netip.PrefixFrom(a, bits).Masked()}
+}
+
+// IsValid reports whether p is a real prefix (the zero Prefix is not).
+func (p Prefix) IsValid() bool { return p.p.IsValid() }
+
+// Bits returns the prefix length.
+func (p Prefix) Bits() int { return p.p.Bits() }
+
+// Addr returns the network address as a 32-bit integer.
+func (p Prefix) Addr() uint32 {
+	b := p.p.Addr().As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// String returns canonical CIDR notation.
+func (p Prefix) String() string {
+	if !p.p.IsValid() {
+		return "invalid"
+	}
+	return p.p.String()
+}
+
+// Contains reports whether address a (32-bit) is inside p.
+func (p Prefix) Contains(a uint32) bool {
+	if !p.p.IsValid() {
+		return false
+	}
+	return p.p.Contains(netip.AddrFrom4([4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}))
+}
+
+// Covers reports whether p covers q: every address of q is in p.
+// A prefix covers itself.
+func (p Prefix) Covers(q Prefix) bool {
+	if !p.p.IsValid() || !q.p.IsValid() {
+		return false
+	}
+	return p.Bits() <= q.Bits() && p.Contains(q.Addr())
+}
+
+// NumAddrs returns the number of addresses in the prefix.
+func (p Prefix) NumAddrs() uint64 {
+	if !p.p.IsValid() {
+		return 0
+	}
+	return uint64(1) << (32 - uint(p.Bits()))
+}
+
+// NthAddr returns the n-th address within the prefix (0 is the network
+// address). n is taken modulo the prefix size, so callers can index
+// with arbitrary offsets.
+func (p Prefix) NthAddr(n uint64) uint32 {
+	size := p.NumAddrs()
+	if size == 0 {
+		return 0
+	}
+	return p.Addr() + uint32(n%size)
+}
+
+// AddrString formats a 32-bit address in dotted quad.
+func AddrString(a uint32) string {
+	return netip.AddrFrom4([4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}).String()
+}
+
+// ComparePrefixes orders prefixes by network address, then by length
+// (shorter first). Used to produce deterministic output everywhere.
+func ComparePrefixes(a, b Prefix) int {
+	switch {
+	case a.Addr() < b.Addr():
+		return -1
+	case a.Addr() > b.Addr():
+		return 1
+	case a.Bits() < b.Bits():
+		return -1
+	case a.Bits() > b.Bits():
+		return 1
+	}
+	return 0
+}
+
+// SortPrefixes sorts prefixes in the canonical order.
+func SortPrefixes(ps []Prefix) {
+	sort.Slice(ps, func(i, j int) bool { return ComparePrefixes(ps[i], ps[j]) < 0 })
+}
+
+// ExcludeCovered removes from ps every prefix that is entirely covered
+// by a *different* prefix in ps, reproducing the paper's target-list
+// construction. The result is in canonical order. Duplicates collapse
+// to a single instance.
+func ExcludeCovered(ps []Prefix) []Prefix {
+	if len(ps) == 0 {
+		return nil
+	}
+	sorted := make([]Prefix, len(ps))
+	copy(sorted, ps)
+	SortPrefixes(sorted)
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	// After sorting, any cover of p precedes p. Maintain a stack of
+	// covering candidates.
+	var out []Prefix
+	var stack []Prefix
+	for _, p := range uniq {
+		for len(stack) > 0 && !stack[len(stack)-1].Covers(p) {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			out = append(out, p)
+		}
+		stack = append(stack, p)
+	}
+	return out
+}

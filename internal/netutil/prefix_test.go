@@ -1,0 +1,175 @@
+package netutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePrefix(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"163.253.63.0/24", "163.253.63.0/24", false},
+		{"163.253.63.63/24", "163.253.63.0/24", false}, // canonicalized
+		{"0.0.0.0/0", "0.0.0.0/0", false},
+		{"10.0.0.0/8", "10.0.0.0/8", false},
+		{"1.2.3.4/32", "1.2.3.4/32", false},
+		{"2001:db8::/32", "", true}, // IPv6 rejected
+		{"nonsense", "", true},
+		{"10.0.0.0/33", "", true},
+	}
+	for _, tt := range tests {
+		got, err := ParsePrefix(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParsePrefix(%q) err=%v wantErr=%v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got.String() != tt.want {
+			t.Errorf("ParsePrefix(%q) = %s, want %s", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPrefixFromMasksBits(t *testing.T) {
+	p := PrefixFrom(0x0a0b0c0d, 16)
+	if p.String() != "10.11.0.0/16" {
+		t.Errorf("PrefixFrom = %s, want 10.11.0.0/16", p)
+	}
+	if PrefixFrom(1, 40).Bits() != 32 {
+		t.Error("bits should clamp to 32")
+	}
+	if PrefixFrom(1, -1).Bits() != 0 {
+		t.Error("bits should clamp to 0")
+	}
+}
+
+func TestContainsCovers(t *testing.T) {
+	p := MustParsePrefix("10.1.0.0/16")
+	if !p.Contains(0x0a010203) {
+		t.Error("10.1.0.0/16 should contain 10.1.2.3")
+	}
+	if p.Contains(0x0a020000) {
+		t.Error("10.1.0.0/16 should not contain 10.2.0.0")
+	}
+	q := MustParsePrefix("10.1.2.0/24")
+	if !p.Covers(q) {
+		t.Error("10.1.0.0/16 should cover 10.1.2.0/24")
+	}
+	if q.Covers(p) {
+		t.Error("10.1.2.0/24 should not cover 10.1.0.0/16")
+	}
+	if !p.Covers(p) {
+		t.Error("a prefix covers itself")
+	}
+	if (Prefix{}).Covers(p) || p.Covers(Prefix{}) {
+		t.Error("invalid prefixes cover nothing")
+	}
+}
+
+func TestNumAddrsNthAddr(t *testing.T) {
+	p := MustParsePrefix("192.0.2.0/24")
+	if p.NumAddrs() != 256 {
+		t.Errorf("NumAddrs = %d, want 256", p.NumAddrs())
+	}
+	if AddrString(p.NthAddr(63)) != "192.0.2.63" {
+		t.Errorf("NthAddr(63) = %s", AddrString(p.NthAddr(63)))
+	}
+	if p.NthAddr(256) != p.NthAddr(0) {
+		t.Error("NthAddr should wrap modulo prefix size")
+	}
+	if (Prefix{}).NumAddrs() != 0 {
+		t.Error("invalid prefix has no addresses")
+	}
+}
+
+func TestExcludeCovered(t *testing.T) {
+	ps := []Prefix{
+		MustParsePrefix("10.0.0.0/8"),
+		MustParsePrefix("10.1.0.0/16"), // covered by /8
+		MustParsePrefix("10.1.2.0/24"), // covered by both
+		MustParsePrefix("11.0.0.0/16"),
+		MustParsePrefix("11.0.0.0/16"), // duplicate
+		MustParsePrefix("12.0.0.0/16"),
+		MustParsePrefix("12.1.0.0/16"),
+	}
+	got := ExcludeCovered(ps)
+	want := []Prefix{
+		MustParsePrefix("10.0.0.0/8"),
+		MustParsePrefix("11.0.0.0/16"),
+		MustParsePrefix("12.0.0.0/16"),
+		MustParsePrefix("12.1.0.0/16"),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ExcludeCovered = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("ExcludeCovered[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if ExcludeCovered(nil) != nil {
+		t.Error("ExcludeCovered(nil) should be nil")
+	}
+}
+
+func TestExcludeCoveredProperty(t *testing.T) {
+	// Against a naive O(n^2) oracle on random prefix sets.
+	rng := rand.New(rand.NewSource(42)) // #nosec test randomness
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		ps := make([]Prefix, n)
+		for i := range ps {
+			ps[i] = PrefixFrom(rng.Uint32(), 8+rng.Intn(17))
+		}
+		got := ExcludeCovered(ps)
+		// Oracle: dedupe, then keep p iff no distinct q covers it.
+		seen := map[Prefix]bool{}
+		var uniq []Prefix
+		for _, p := range ps {
+			if !seen[p] {
+				seen[p] = true
+				uniq = append(uniq, p)
+			}
+		}
+		var want []Prefix
+		for _, p := range uniq {
+			covered := false
+			for _, q := range uniq {
+				if q != p && q.Covers(p) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				want = append(want, p)
+			}
+		}
+		SortPrefixes(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d prefixes, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got[%d]=%s want %s", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestComparePrefixesTotalOrder(t *testing.T) {
+	f := func(a1, a2 uint32, b1, b2 uint8) bool {
+		p := PrefixFrom(a1, int(b1%33))
+		q := PrefixFrom(a2, int(b2%33))
+		c1, c2 := ComparePrefixes(p, q), ComparePrefixes(q, p)
+		if p == q {
+			return c1 == 0 && c2 == 0
+		}
+		return c1 == -c2 && c1 != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

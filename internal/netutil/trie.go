@@ -1,0 +1,189 @@
+package netutil
+
+// Trie is a binary radix trie mapping IPv4 prefixes to values, with
+// longest-prefix-match lookup. Routers in the data-plane simulator use
+// it to resolve a destination address to the most specific route, the
+// mechanism behind the paper's "import only a default route so R&E
+// routes are the most specific" alternative (§1).
+//
+// The zero value is an empty trie ready to use. Trie is not safe for
+// concurrent mutation.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// Insert associates v with prefix p, replacing any existing value.
+func (t *Trie[V]) Insert(p Prefix, v V) {
+	if !p.IsValid() {
+		return
+	}
+	if t.root == nil {
+		t.root = &trieNode[V]{}
+	}
+	n := t.root
+	addr := p.Addr()
+	for depth := 0; depth < p.Bits(); depth++ {
+		bit := (addr >> (31 - uint(depth))) & 1
+		if n.child[bit] == nil {
+			n.child[bit] = &trieNode[V]{}
+		}
+		n = n.child[bit]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val, n.set = v, true
+}
+
+// Delete removes the value at exactly prefix p (no effect if absent).
+// Interior nodes are left in place; the trie is small relative to the
+// simulation and reclaiming them is not worth the complexity.
+func (t *Trie[V]) Delete(p Prefix) {
+	if t.root == nil || !p.IsValid() {
+		return
+	}
+	n := t.root
+	addr := p.Addr()
+	for depth := 0; depth < p.Bits(); depth++ {
+		bit := (addr >> (31 - uint(depth))) & 1
+		if n.child[bit] == nil {
+			return
+		}
+		n = n.child[bit]
+	}
+	if n.set {
+		t.size--
+		var zero V
+		n.val, n.set = zero, false
+	}
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Get returns the value stored at exactly prefix p.
+func (t *Trie[V]) Get(p Prefix) (V, bool) {
+	var zero V
+	if t.root == nil || !p.IsValid() {
+		return zero, false
+	}
+	n := t.root
+	addr := p.Addr()
+	for depth := 0; depth < p.Bits(); depth++ {
+		bit := (addr >> (31 - uint(depth))) & 1
+		if n.child[bit] == nil {
+			return zero, false
+		}
+		n = n.child[bit]
+	}
+	if !n.set {
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Lookup returns the value of the longest prefix containing addr.
+func (t *Trie[V]) Lookup(addr uint32) (V, bool) {
+	var best V
+	found := false
+	if t.root == nil {
+		return best, false
+	}
+	n := t.root
+	if n.set { // a 0.0.0.0/0 default route
+		best, found = n.val, true
+	}
+	for depth := 0; depth < 32 && n != nil; depth++ {
+		bit := (addr >> (31 - uint(depth))) & 1
+		n = n.child[bit]
+		if n != nil && n.set {
+			best, found = n.val, true
+		}
+	}
+	return best, found
+}
+
+// LookupPrefix is Lookup but also reports the matched prefix.
+func (t *Trie[V]) LookupPrefix(addr uint32) (Prefix, V, bool) {
+	var bestV V
+	var bestP Prefix
+	found := false
+	if t.root == nil {
+		return bestP, bestV, false
+	}
+	n := t.root
+	if n.set {
+		bestP, bestV, found = PrefixFrom(0, 0), n.val, true
+	}
+	for depth := 0; depth < 32 && n != nil; depth++ {
+		bit := (addr >> (31 - uint(depth))) & 1
+		n = n.child[bit]
+		if n != nil && n.set {
+			bestP, bestV, found = PrefixFrom(addr, depth+1), n.val, true
+		}
+	}
+	return bestP, bestV, found
+}
+
+// Covering visits every stored prefix that covers p (including p
+// itself if present), shortest first. Visiting stops if fn returns
+// false. RPKI origin validation uses this to find all candidate ROAs.
+func (t *Trie[V]) Covering(p Prefix, fn func(Prefix, V) bool) {
+	if t.root == nil || !p.IsValid() {
+		return
+	}
+	n := t.root
+	addr := p.Addr()
+	if n.set {
+		if !fn(PrefixFrom(0, 0), n.val) {
+			return
+		}
+	}
+	for depth := 0; depth < p.Bits() && n != nil; depth++ {
+		bit := (addr >> (31 - uint(depth))) & 1
+		n = n.child[bit]
+		if n != nil && n.set {
+			if !fn(PrefixFrom(addr, depth+1), n.val) {
+				return
+			}
+		}
+	}
+}
+
+// Walk visits every stored prefix/value pair in canonical order
+// (network address, then length). Walking stops if fn returns false.
+func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
+	if t.root == nil {
+		return
+	}
+	walkNode(t.root, 0, 0, fn)
+}
+
+func walkNode[V any](n *trieNode[V], addr uint32, depth int, fn func(Prefix, V) bool) bool {
+	if n.set {
+		if !fn(PrefixFrom(addr, depth), n.val) {
+			return false
+		}
+	}
+	if depth == 32 {
+		return true
+	}
+	if c := n.child[0]; c != nil {
+		if !walkNode(c, addr, depth+1, fn) {
+			return false
+		}
+	}
+	if c := n.child[1]; c != nil {
+		if !walkNode(c, addr|1<<(31-uint(depth)), depth+1, fn) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,250 @@
+package netutil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrieBasic(t *testing.T) {
+	var tr Trie[string]
+	if _, ok := tr.Lookup(0x01020304); ok {
+		t.Error("empty trie should not match")
+	}
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "eight")
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), "sixteen")
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), "twentyfour")
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tr.Len())
+	}
+	tests := []struct {
+		addr uint32
+		want string
+		ok   bool
+	}{
+		{0x0a010203, "twentyfour", true}, // 10.1.2.3
+		{0x0a010300, "sixteen", true},    // 10.1.3.0
+		{0x0a020000, "eight", true},      // 10.2.0.0
+		{0x0b000000, "", false},          // 11.0.0.0
+	}
+	for _, tt := range tests {
+		got, ok := tr.Lookup(tt.addr)
+		if ok != tt.ok || got != tt.want {
+			t.Errorf("Lookup(%s) = %q,%v want %q,%v", AddrString(tt.addr), got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestTrieDefaultRoute(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "ten")
+	if v, ok := tr.Lookup(0xc0a80101); !ok || v != "default" {
+		t.Errorf("Lookup(192.168.1.1) = %q,%v want default", v, ok)
+	}
+	if v, ok := tr.Lookup(0x0a000001); !ok || v != "ten" {
+		t.Errorf("Lookup(10.0.0.1) = %q,%v want ten", v, ok)
+	}
+	p, v, ok := tr.LookupPrefix(0xc0a80101)
+	if !ok || v != "default" || p.String() != "0.0.0.0/0" {
+		t.Errorf("LookupPrefix = %s,%q,%v", p, v, ok)
+	}
+}
+
+func TestTrieInsertReplaceDelete(t *testing.T) {
+	var tr Trie[int]
+	p := MustParsePrefix("192.0.2.0/24")
+	tr.Insert(p, 1)
+	tr.Insert(p, 2)
+	if tr.Len() != 1 {
+		t.Errorf("Len after replace = %d, want 1", tr.Len())
+	}
+	if v, _ := tr.Get(p); v != 2 {
+		t.Errorf("Get = %d, want 2", v)
+	}
+	tr.Delete(p)
+	if tr.Len() != 0 {
+		t.Errorf("Len after delete = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(p); ok {
+		t.Error("Get after delete should miss")
+	}
+	// Deleting an absent prefix is a no-op.
+	tr.Delete(MustParsePrefix("10.0.0.0/8"))
+	if tr.Len() != 0 {
+		t.Error("Delete of absent prefix changed Len")
+	}
+}
+
+func TestTrieGetExact(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 8)
+	if _, ok := tr.Get(MustParsePrefix("10.0.0.0/16")); ok {
+		t.Error("Get should be exact-match only")
+	}
+}
+
+func TestTrieWalkOrder(t *testing.T) {
+	var tr Trie[int]
+	ins := []string{"10.1.2.0/24", "0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24", "10.1.0.0/16"}
+	for i, s := range ins {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+	var got []string
+	tr.Walk(func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "192.0.2.0/24"}
+	if len(got) != len(want) {
+		t.Fatalf("Walk visited %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("Walk[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// Early termination.
+	count := 0
+	tr.Walk(func(Prefix, int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("Walk early-stop visited %d, want 2", count)
+	}
+}
+
+// TestTrieAgainstNaive cross-checks longest-prefix match against a
+// linear scan over random route tables.
+func TestTrieAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99)) // #nosec test randomness
+	for trial := 0; trial < 20; trial++ {
+		var tr Trie[int]
+		n := 1 + rng.Intn(200)
+		prefixes := make([]Prefix, 0, n)
+		for i := 0; i < n; i++ {
+			p := PrefixFrom(rng.Uint32(), rng.Intn(33))
+			prefixes = append(prefixes, p)
+			tr.Insert(p, i)
+		}
+		for q := 0; q < 200; q++ {
+			addr := rng.Uint32()
+			// Naive: longest matching prefix, latest insert wins ties.
+			bestLen, bestVal, found := -1, 0, false
+			for i, p := range prefixes {
+				if p.Contains(addr) && p.Bits() >= bestLen {
+					bestLen, bestVal, found = p.Bits(), i, true
+				}
+			}
+			got, ok := tr.Lookup(addr)
+			if ok != found {
+				t.Fatalf("trial %d: Lookup(%s) ok=%v want %v", trial, AddrString(addr), ok, found)
+			}
+			if found && got != bestVal {
+				// The trie stores one value per prefix; the naive scan
+				// must agree once duplicates collapse to the last value.
+				if prefixes[got] != prefixes[bestVal] || prefixes[got].Bits() != bestLen {
+					t.Fatalf("trial %d: Lookup(%s) = %d (%s), naive %d (%s)",
+						trial, AddrString(addr), got, prefixes[got], bestVal, prefixes[bestVal])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	var tr Trie[int]
+	rng := rand.New(rand.NewSource(1)) // #nosec test randomness
+	for i := 0; i < 20000; i++ {
+		tr.Insert(PrefixFrom(rng.Uint32(), 16+rng.Intn(9)), i)
+	}
+	addrs := make([]uint32, 1024)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i&1023])
+	}
+}
+
+func TestTrieCovering(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "eight")
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), "sixteen")
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), "twentyfour")
+	tr.Insert(MustParsePrefix("192.0.2.0/24"), "other")
+
+	var got []string
+	tr.Covering(MustParsePrefix("10.1.2.0/24"), func(_ Prefix, v string) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []string{"default", "eight", "sixteen", "twentyfour"}
+	if len(got) != len(want) {
+		t.Fatalf("Covering = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Covering[%d] = %q, want %q (shortest-first order)", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Covering(MustParsePrefix("10.1.2.0/24"), func(Prefix, string) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+	// A sibling prefix is not covered by the /16 or /24.
+	got = nil
+	tr.Covering(MustParsePrefix("10.2.0.0/16"), func(_ Prefix, v string) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 2 || got[0] != "default" || got[1] != "eight" {
+		t.Errorf("Covering sibling = %v", got)
+	}
+	// Invalid prefix and empty trie are no-ops.
+	tr.Covering(Prefix{}, func(Prefix, string) bool { t.Fatal("visited"); return true })
+	var empty Trie[int]
+	empty.Covering(MustParsePrefix("10.0.0.0/8"), func(Prefix, int) bool { t.Fatal("visited"); return true })
+}
+
+func TestTrieCoveringAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(321)) // #nosec test randomness
+	for trial := 0; trial < 10; trial++ {
+		var tr Trie[int]
+		var prefixes []Prefix
+		for i := 0; i < 100; i++ {
+			p := PrefixFrom(rng.Uint32(), rng.Intn(33))
+			tr.Insert(p, i)
+			prefixes = append(prefixes, p)
+		}
+		for q := 0; q < 50; q++ {
+			target := PrefixFrom(rng.Uint32(), rng.Intn(33))
+			gotSet := map[Prefix]bool{}
+			tr.Covering(target, func(p Prefix, _ int) bool {
+				gotSet[p] = true
+				return true
+			})
+			wantSet := map[Prefix]bool{}
+			for _, p := range prefixes {
+				if p.Covers(target) {
+					wantSet[p] = true
+				}
+			}
+			if len(gotSet) != len(wantSet) {
+				t.Fatalf("trial %d target %s: got %d covering, want %d", trial, target, len(gotSet), len(wantSet))
+			}
+			for p := range wantSet {
+				if !gotSet[p] {
+					t.Fatalf("trial %d: missing covering prefix %s for %s", trial, p, target)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netutil"
+)
+
+// FuzzReadJSON feeds arbitrary text to the probe-JSON reader: never
+// panic; parsed rounds must re-encode.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"type":"ping","method":"icmp-echo","src":"163.253.63.63","dst":"16.0.0.1","config":"4-0","start_sec":100,"responded":true,"rx_ifname":"ens3f1np1.1001","rtt":12.5}`)
+	f.Add(`{"dst":"10.0.0.1","config":"0-0"}` + "\n" + `{"dst":"10.0.0.2","config":"0-0"}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, text string) {
+		rounds, err := ReadJSON(strings.NewReader(text), func(addr uint32) (netutil.Prefix, bool) {
+			return netutil.PrefixFrom(addr, 24), true
+		})
+		if err != nil {
+			return
+		}
+		pr := &Prober{SrcAddr: "163.253.63.63"}
+		for i := range rounds {
+			var sb strings.Builder
+			if err := pr.WriteJSON(&sb, &rounds[i]); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package probe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+	"repro/internal/seeds"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+func setup(t *testing.T) (*topo.Ecosystem, *simnet.World, *seeds.Selection, *Prober) {
+	t.Helper()
+	eco := topo.Build(topo.SmallConfig())
+	w := simnet.BuildWorld(eco, simnet.DefaultWorldConfig())
+	cat := seeds.BuildCatalog(eco, w, seeds.DefaultCatalogConfig())
+	var prefixes []netutil.Prefix
+	for _, pi := range eco.Prefixes {
+		prefixes = append(prefixes, pi.Prefix)
+	}
+	// Mirror §3.2: drop prefixes entirely covered by others before
+	// probing, so wire-level prefix attribution is unambiguous.
+	prefixes = netutil.ExcludeCovered(prefixes)
+	sel := seeds.Select(cat, prefixes, func(a uint32, p simnet.Proto) bool {
+		return w.Responsive(a, p, 0)
+	}, 3)
+	// Announce the measurement prefix (June-style).
+	eco.Net.Originate(eco.MeasCommodity.Router, eco.MeasPrefix)
+	eco.Net.Originate(eco.Internet2.Router, eco.MeasPrefix)
+	eco.Net.RunToQuiescence()
+	return eco, w, sel, NewProber(w)
+}
+
+func TestRunRound(t *testing.T) {
+	eco, w, sel, pr := setup(t)
+	w.RETerminals = map[bgp.RouterID]bool{eco.Internet2.Router: true}
+	w.CommodityTerminals = map[bgp.RouterID]bool{eco.MeasCommodity.Router: true}
+
+	round := pr.Run("0-0", 1000, sel)
+	if round.Config != "0-0" || round.Start != 1000 {
+		t.Fatalf("round meta wrong: %+v", round)
+	}
+	if len(round.Records) != sel.Stats.ResponsiveTargets {
+		t.Errorf("probed %d, want %d", len(round.Records), sel.Stats.ResponsiveTargets)
+	}
+	responded := 0
+	for _, rec := range round.Records {
+		if rec.SentAt < round.Start || rec.SentAt > round.End {
+			t.Fatalf("record time %d outside round [%d,%d]", rec.SentAt, round.Start, round.End)
+		}
+		if rec.Responded {
+			responded++
+			if rec.VLAN == simnet.VLANNone {
+				t.Fatal("responded without a VLAN")
+			}
+			if rec.RTTms <= 0 {
+				t.Fatal("responded without an RTT")
+			}
+		}
+	}
+	if responded < len(round.Records)*9/10 {
+		t.Errorf("only %d/%d probes answered", responded, len(round.Records))
+	}
+	// Pacing: ~100pps means duration ≈ records/100 seconds.
+	wantDur := int64(len(round.Records))/100 + 1
+	if got := int64(round.Duration()); got < wantDur || got > wantDur+2 {
+		t.Errorf("round duration %d, want ~%d", got, wantDur)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	eco, w, sel, pr := setup(t)
+	w.RETerminals = map[bgp.RouterID]bool{eco.Internet2.Router: true}
+	w.CommodityTerminals = map[bgp.RouterID]bool{eco.MeasCommodity.Router: true}
+	round := pr.Run("2-0", 2000, sel)
+
+	var buf bytes.Buffer
+	if err := pr.WriteJSON(&buf, round); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"config":"2-0"`) || !strings.Contains(out, `"src":"163.253.63.63"`) {
+		t.Errorf("JSON missing fields:\n%s", out[:200])
+	}
+
+	var kept []netutil.Prefix
+	for _, pi := range eco.Prefixes {
+		kept = append(kept, pi.Prefix)
+	}
+	kept = netutil.ExcludeCovered(kept)
+	rounds, err := ReadJSON(&buf, func(addr uint32) (netutil.Prefix, bool) {
+		// Longest-prefix match over the probed (covered-excluded) list.
+		var best netutil.Prefix
+		found := false
+		for _, p := range kept {
+			if p.Contains(addr) && (!found || p.Bits() > best.Bits()) {
+				best, found = p, true
+			}
+		}
+		return best, found
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 1 || rounds[0].Config != "2-0" {
+		t.Fatalf("rounds = %+v", rounds)
+	}
+	if len(rounds[0].Records) != len(round.Records) {
+		t.Fatalf("records %d vs %d", len(rounds[0].Records), len(round.Records))
+	}
+	for i, got := range rounds[0].Records {
+		want := round.Records[i]
+		if got.Dst != want.Dst || got.Proto != want.Proto || got.Responded != want.Responded ||
+			got.VLAN != want.VLAN || got.Prefix != want.Prefix {
+			t.Errorf("record %d: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+func TestReadJSONBadInput(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"dst":"not-an-ip"}`), nil); err == nil {
+		t.Error("bad address should error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{`), nil); err == nil {
+		t.Error("truncated JSON should error")
+	}
+	rounds, err := ReadJSON(strings.NewReader(""), nil)
+	if err != nil || len(rounds) != 0 {
+		t.Errorf("empty input: %v, %v", rounds, err)
+	}
+}
+
+func TestMethodMapping(t *testing.T) {
+	for _, p := range []simnet.Proto{simnet.ICMP, simnet.TCP, simnet.UDP} {
+		if protoOf(methodOf(p)) != p {
+			t.Errorf("method mapping not invertible for %v", p)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package report renders the reproduction's tables and series in the
+// shapes the paper prints them, for cmd tools and benchmarks.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned-text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a ratio as a percentage with one decimal, the paper's
+// convention ("81.8%").
+func Pct(n, total int) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total))
+}
+
+// Count formats "N (P%)".
+func Count(n, total int) string {
+	return fmt.Sprintf("%d %s", n, Pct(n, total))
+}
+
+// Series is a labelled sequence of (x, y) points, for the figures.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// String renders the series as "name: label=value ..." lines.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", s.Name)
+	for i, l := range s.Labels {
+		v := 0.0
+		if i < len(s.Values) {
+			v = s.Values[i]
+		}
+		fmt.Fprintf(&b, " %s=%.3f", l, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package rpki
+
+import (
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+)
+
+func pfx(s string) netutil.Prefix { return netutil.MustParsePrefix(s) }
+
+func TestValidateBasics(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(ROA{Prefix: pfx("163.253.0.0/16"), MaxLength: 24, Origin: 11537})
+	tests := []struct {
+		p      string
+		origin asn.AS
+		want   Validity
+	}{
+		{"163.253.63.0/24", 11537, Valid},
+		{"163.253.0.0/16", 11537, Valid},
+		{"163.253.63.0/24", 396955, Invalid}, // wrong origin
+		{"163.253.63.0/25", 11537, Invalid},  // too specific
+		{"8.8.8.0/24", 15169, NotFound},      // uncovered
+	}
+	for _, tt := range tests {
+		if got := tbl.Validate(pfx(tt.p), tt.origin); got != tt.want {
+			t.Errorf("Validate(%s, %v) = %v, want %v", tt.p, tt.origin, got, tt.want)
+		}
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestValidateMultipleROAs(t *testing.T) {
+	tbl := NewTable()
+	// Two origins authorized for the same space (multi-homing / an
+	// anycast arrangement like the measurement prefix's two origins).
+	tbl.Add(ROA{Prefix: pfx("163.253.63.0/24"), MaxLength: 24, Origin: 11537})
+	tbl.Add(ROA{Prefix: pfx("163.253.63.0/24"), MaxLength: 24, Origin: 1125})
+	tbl.Add(ROA{Prefix: pfx("163.253.0.0/16"), MaxLength: 16, Origin: 396955})
+	for _, origin := range []asn.AS{11537, 1125} {
+		if got := tbl.Validate(pfx("163.253.63.0/24"), origin); got != Valid {
+			t.Errorf("origin %v = %v, want valid", origin, got)
+		}
+	}
+	// The /16 ROA covers the /24 but only authorizes /16-length
+	// announcements by 396955.
+	if got := tbl.Validate(pfx("163.253.63.0/24"), 396955); got != Invalid {
+		t.Errorf("396955 /24 = %v, want invalid (maxlen 16)", got)
+	}
+	if got := tbl.Validate(pfx("163.253.0.0/16"), 396955); got != Valid {
+		t.Errorf("396955 /16 = %v, want valid", got)
+	}
+}
+
+func TestMaxLengthNormalization(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(ROA{Prefix: pfx("10.0.0.0/24"), MaxLength: 8, Origin: 1}) // nonsense maxlen
+	if got := tbl.Validate(pfx("10.0.0.0/24"), 1); got != Valid {
+		t.Errorf("normalized maxlen should validate the ROA's own length: %v", got)
+	}
+	tbl.Add(ROA{Prefix: pfx("10.1.0.0/16"), MaxLength: 99, Origin: 2})
+	if got := tbl.Validate(pfx("10.1.2.3/32"), 2); got != Valid {
+		t.Errorf("maxlen clamps to 32: %v", got)
+	}
+}
+
+func TestValidityStrings(t *testing.T) {
+	for _, v := range []Validity{NotFound, Valid, Invalid} {
+		if v.String() == "" {
+			t.Errorf("validity %d empty", v)
+		}
+	}
+	roa := ROA{Prefix: pfx("10.0.0.0/8"), MaxLength: 24, Origin: 64500}
+	if roa.String() == "" {
+		t.Error("ROA string empty")
+	}
+}
+
+func TestDropInvalidInEngine(t *testing.T) {
+	// victim(1) originates a ROA-covered prefix; hijacker(3) announces
+	// the same prefix. An ROV-enforcing transit drops the hijack; a
+	// non-enforcing one accepts whichever BGP prefers.
+	tbl := NewTable()
+	victimPrefix := pfx("192.0.2.0/24")
+	tbl.Add(ROA{Prefix: victimPrefix, MaxLength: 24, Origin: 64501})
+
+	build := func(enforce bool) *bgp.Network {
+		net := bgp.NewNetwork()
+		net.AddSpeaker(1, 64501, "victim")
+		net.AddSpeaker(2, 64502, "transit")
+		net.AddSpeaker(3, 64503, "hijacker")
+		custAt := bgp.PeerConfig{ClassifyAs: bgp.ClassCustomer, ImportLocalPref: bgp.LocalPrefCustomer, ExportAllow: bgp.GaoRexfordExport(bgp.ClassCustomer)}
+		provAt := bgp.PeerConfig{ClassifyAs: bgp.ClassProvider, ImportLocalPref: bgp.LocalPrefProvider, ExportAllow: bgp.GaoRexfordExport(bgp.ClassProvider)}
+		cfg1, cfg3 := custAt, custAt
+		if enforce {
+			cfg1.ImportDeny = tbl.DropInvalid()
+			cfg3.ImportDeny = tbl.DropInvalid()
+		}
+		net.Connect(2, 1, cfg1, provAt)
+		net.Connect(2, 3, cfg3, provAt)
+		// The hijacker "wins" tie-breaks without ROV (lower router...
+		// actually victim has lower ID; force the hijack preferable by
+		// announcing from both and checking adj-RIB-in instead).
+		net.Originate(1, victimPrefix)
+		net.Originate(3, victimPrefix)
+		net.RunToQuiescence()
+		return net
+	}
+
+	withROV := build(true)
+	if r := withROV.Speaker(2).AdjIn(victimPrefix, 3); r != nil {
+		t.Errorf("ROV transit accepted the hijack: %v", r)
+	}
+	if r := withROV.Speaker(2).AdjIn(victimPrefix, 1); r == nil {
+		t.Error("ROV transit dropped the valid route")
+	}
+	without := build(false)
+	if r := without.Speaker(2).AdjIn(victimPrefix, 3); r == nil {
+		t.Error("non-ROV transit should hold the hijack candidate")
+	}
+}
+
+func TestComposeDeny(t *testing.T) {
+	denyA := func(r *bgp.Route) bool { return r.MED == 1 }
+	denyB := func(r *bgp.Route) bool { return r.MED == 2 }
+	combined := ComposeDeny(denyA, nil, denyB)
+	for med, want := range map[uint32]bool{0: false, 1: true, 2: true, 3: false} {
+		if got := combined(&bgp.Route{MED: med}); got != want {
+			t.Errorf("combined(MED=%d) = %v, want %v", med, got, want)
+		}
+	}
+	if ComposeDeny(nil, nil) != nil {
+		t.Error("all-nil composition should be nil")
+	}
+}

@@ -1,0 +1,270 @@
+// Package seeds reproduces the paper's probe-seed pipeline (§3.2):
+// an ISI-history-like dataset ranking addresses by how likely they are
+// to still respond, a Censys-like dataset of TCP/UDP service tuples,
+// and the selection pass that probes up to ten candidates from each
+// dataset per prefix to find up to three currently responsive targets.
+package seeds
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/netutil"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// ISIEntry is one address in the response-history dataset with its
+// responsiveness score (higher = more likely to respond now).
+type ISIEntry struct {
+	Addr  uint32
+	Score float64
+}
+
+// CensysService is one scanned service tuple.
+type CensysService struct {
+	Addr  uint32
+	Proto simnet.Proto
+	Port  uint16
+}
+
+// Catalog holds both datasets keyed by prefix.
+type Catalog struct {
+	ISI    map[netutil.Prefix][]ISIEntry
+	Censys map[netutil.Prefix][]CensysService
+}
+
+// CatalogConfig tunes dataset coverage. Coverage correlates with
+// current liveness: a prefix whose systems answered past censuses is
+// both in the history dataset and likely still responsive, which is
+// what makes the paper's responsive fraction (68.0%) nearly as large
+// as its seeded fraction (73.3%).
+type CatalogConfig struct {
+	Seed int64
+	// ISICoverageLive / ISICoverageStale are the probabilities that a
+	// prefix appears in the history dataset given that it does / does
+	// not currently host live ICMP responders. Their blend reproduces
+	// §3.2's 65.2% marginal coverage.
+	ISICoverageLive  float64
+	ISICoverageStale float64
+	// CensysCoverageLive / CensysCoverageStale are the analogous
+	// probabilities for prefixes with live TCP/UDP services.
+	CensysCoverageLive  float64
+	CensysCoverageStale float64
+	// StaleMax bounds the number of no-longer-responsive history
+	// entries per prefix.
+	StaleMax int
+}
+
+// DefaultCatalogConfig matches the paper's coverage.
+func DefaultCatalogConfig() CatalogConfig {
+	return CatalogConfig{
+		Seed:                11,
+		ISICoverageLive:     0.88,
+		ISICoverageStale:    0.33,
+		CensysCoverageLive:  0.85,
+		CensysCoverageStale: 0.30,
+		StaleMax:            7,
+	}
+}
+
+// BuildCatalog derives the historical datasets from the world's truth:
+// live hosts appear with high scores; stale addresses (responsive in
+// some past census, quiet now) pad the lists.
+func BuildCatalog(eco *topo.Ecosystem, w *simnet.World, cfg CatalogConfig) *Catalog {
+	rng := rand.New(rand.NewSource(cfg.Seed)) // #nosec deterministic simulation
+	cat := &Catalog{
+		ISI:    make(map[netutil.Prefix][]ISIEntry),
+		Censys: make(map[netutil.Prefix][]CensysService),
+	}
+	for _, pi := range eco.Prefixes {
+		hosts := w.Hosts(pi.Prefix)
+		liveICMP, liveSvc := false, false
+		for _, h := range hosts {
+			if h.Proto == simnet.ICMP {
+				liveICMP = true
+			} else {
+				liveSvc = true
+			}
+		}
+		pISI, pCensys := cfg.ISICoverageStale, cfg.CensysCoverageStale
+		if liveICMP {
+			pISI = cfg.ISICoverageLive
+		}
+		if liveSvc {
+			pCensys = cfg.CensysCoverageLive
+		}
+		inISI := rng.Float64() < pISI
+		inCensys := rng.Float64() < pCensys
+
+		if inISI {
+			var entries []ISIEntry
+			for _, h := range hosts {
+				if h.Proto == simnet.ICMP {
+					entries = append(entries, ISIEntry{Addr: h.Addr, Score: 0.6 + 0.39*rng.Float64()})
+				}
+			}
+			for i, n := 0, 1+rng.Intn(cfg.StaleMax); i < n; i++ {
+				addr := pi.Prefix.NthAddr(uint64(128 + i*3 + rng.Intn(3)))
+				entries = append(entries, ISIEntry{Addr: addr, Score: 0.05 + 0.4*rng.Float64()})
+			}
+			sort.Slice(entries, func(i, j int) bool {
+				if entries[i].Score != entries[j].Score {
+					return entries[i].Score > entries[j].Score
+				}
+				return entries[i].Addr < entries[j].Addr
+			})
+			cat.ISI[pi.Prefix] = entries
+		}
+		if inCensys {
+			var svcs []CensysService
+			for _, h := range hosts {
+				if h.Proto == simnet.TCP {
+					svcs = append(svcs, CensysService{Addr: h.Addr, Proto: simnet.TCP, Port: 443})
+				}
+				if h.Proto == simnet.UDP {
+					svcs = append(svcs, CensysService{Addr: h.Addr, Proto: simnet.UDP, Port: 53})
+				}
+			}
+			for i, n := 0, rng.Intn(4); i < n; i++ {
+				addr := pi.Prefix.NthAddr(uint64(200 + i*5))
+				svcs = append(svcs, CensysService{Addr: addr, Proto: simnet.TCP, Port: 80})
+			}
+			if len(svcs) > 0 {
+				sort.Slice(svcs, func(i, j int) bool { return svcs[i].Addr < svcs[j].Addr })
+				cat.Censys[pi.Prefix] = svcs
+			}
+		}
+	}
+	return cat
+}
+
+// Target is one selected probe destination.
+type Target struct {
+	Addr  uint32
+	Proto simnet.Proto
+	Port  uint16
+}
+
+// SeedOrigin classifies where a prefix's selected targets came from.
+type SeedOrigin uint8
+
+// Seed origins (§3.2's ICMP vs TCP/UDP vs mixed accounting).
+const (
+	OriginNone SeedOrigin = iota
+	OriginISI
+	OriginCensys
+	OriginMixed
+)
+
+func (o SeedOrigin) String() string {
+	switch o {
+	case OriginISI:
+		return "isi"
+	case OriginCensys:
+		return "censys"
+	case OriginMixed:
+		return "mixed"
+	default:
+		return "none"
+	}
+}
+
+// Selection is the outcome of the seed-probing pass.
+type Selection struct {
+	// Targets holds up to maxPerPrefix responsive targets per prefix.
+	Targets map[netutil.Prefix][]Target
+	// Origin classifies each covered prefix's seed source.
+	Origin map[netutil.Prefix]SeedOrigin
+	Stats  SelectionStats
+}
+
+// SelectionStats mirrors the §3.2 coverage numbers.
+type SelectionStats struct {
+	Prefixes          int // announced, probed prefixes
+	WithISISeed       int
+	WithAnySeed       int
+	Responsive        int // prefixes with >=1 responsive target
+	WithMaxTargets    int // prefixes with the full target count
+	ISIOnly           int
+	CensysOnly        int
+	MixedOrigin       int
+	CandidatesProbed  int
+	ResponsiveTargets int
+}
+
+// maxCandidatesPerDataset is the per-dataset probing budget (§3.2:
+// "up to ten addresses from the ISI history file ... and up to ten
+// randomly selected address-port tuples in Censys data").
+const maxCandidatesPerDataset = 10
+
+// Select probes catalog candidates with the given responsiveness
+// predicate and picks up to maxPerPrefix targets per prefix (the paper
+// uses three).
+func Select(cat *Catalog, prefixes []netutil.Prefix, responsive func(addr uint32, proto simnet.Proto) bool, maxPerPrefix int) *Selection {
+	sel := &Selection{
+		Targets: make(map[netutil.Prefix][]Target),
+		Origin:  make(map[netutil.Prefix]SeedOrigin),
+	}
+	sel.Stats.Prefixes = len(prefixes)
+	for _, p := range prefixes {
+		isi := cat.ISI[p]
+		censys := cat.Censys[p]
+		if len(isi) > 0 {
+			sel.Stats.WithISISeed++
+		}
+		if len(isi) > 0 || len(censys) > 0 {
+			sel.Stats.WithAnySeed++
+		}
+		var targets []Target
+		fromISI, fromCensys := false, false
+		for i := 0; i < len(isi) && i < maxCandidatesPerDataset && len(targets) < maxPerPrefix; i++ {
+			sel.Stats.CandidatesProbed++
+			if responsive(isi[i].Addr, simnet.ICMP) {
+				targets = append(targets, Target{Addr: isi[i].Addr, Proto: simnet.ICMP})
+				fromISI = true
+			}
+		}
+		for i := 0; i < len(censys) && i < maxCandidatesPerDataset && len(targets) < maxPerPrefix; i++ {
+			sel.Stats.CandidatesProbed++
+			svc := censys[i]
+			if dup(targets, svc.Addr) {
+				continue
+			}
+			if responsive(svc.Addr, svc.Proto) {
+				targets = append(targets, Target{Addr: svc.Addr, Proto: svc.Proto, Port: svc.Port})
+				fromCensys = true
+			}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		sel.Targets[p] = targets
+		sel.Stats.Responsive++
+		sel.Stats.ResponsiveTargets += len(targets)
+		if len(targets) == maxPerPrefix {
+			sel.Stats.WithMaxTargets++
+		}
+		switch {
+		case fromISI && fromCensys:
+			sel.Origin[p] = OriginMixed
+			sel.Stats.MixedOrigin++
+		case fromISI:
+			sel.Origin[p] = OriginISI
+			sel.Stats.ISIOnly++
+		default:
+			sel.Origin[p] = OriginCensys
+			sel.Stats.CensysOnly++
+		}
+	}
+	return sel
+}
+
+func dup(ts []Target, addr uint32) bool {
+	for _, t := range ts {
+		if t.Addr == addr {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package seeds
+
+import (
+	"testing"
+
+	"repro/internal/netutil"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+func buildAll(t *testing.T) (*topo.Ecosystem, *simnet.World, *Catalog, []netutil.Prefix) {
+	t.Helper()
+	eco := topo.Build(topo.SmallConfig())
+	w := simnet.BuildWorld(eco, simnet.DefaultWorldConfig())
+	cat := BuildCatalog(eco, w, DefaultCatalogConfig())
+	prefixes := make([]netutil.Prefix, 0, len(eco.Prefixes))
+	for _, pi := range eco.Prefixes {
+		prefixes = append(prefixes, pi.Prefix)
+	}
+	return eco, w, cat, prefixes
+}
+
+func TestCatalogCoverage(t *testing.T) {
+	_, _, cat, prefixes := buildAll(t)
+	isi := len(cat.ISI)
+	frac := float64(isi) / float64(len(prefixes))
+	if frac < 0.55 || frac > 0.75 {
+		t.Errorf("ISI coverage %.2f, want ~0.65", frac)
+	}
+	// Scores must be sorted descending.
+	for p, entries := range cat.ISI {
+		for i := 1; i < len(entries); i++ {
+			if entries[i].Score > entries[i-1].Score {
+				t.Fatalf("prefix %s ISI entries unsorted", p)
+			}
+		}
+		for _, e := range entries {
+			if !p.Contains(e.Addr) {
+				t.Fatalf("ISI entry %d outside prefix %s", e.Addr, p)
+			}
+		}
+	}
+	for p, svcs := range cat.Censys {
+		for _, svc := range svcs {
+			if !p.Contains(svc.Addr) {
+				t.Fatalf("Censys entry outside prefix %s", p)
+			}
+			if svc.Proto == simnet.ICMP {
+				t.Fatalf("Censys should hold TCP/UDP services only")
+			}
+		}
+	}
+}
+
+func TestSelectFindsResponsiveTargets(t *testing.T) {
+	_, w, cat, prefixes := buildAll(t)
+	sel := Select(cat, prefixes, func(addr uint32, proto simnet.Proto) bool {
+		return w.Responsive(addr, proto, 0)
+	}, 3)
+
+	if sel.Stats.Responsive == 0 {
+		t.Fatal("no responsive prefixes found")
+	}
+	if sel.Stats.WithISISeed > sel.Stats.WithAnySeed {
+		t.Error("WithAnySeed must dominate WithISISeed")
+	}
+	if sel.Stats.Responsive > sel.Stats.WithAnySeed {
+		t.Error("cannot be responsive without a seed")
+	}
+	for p, targets := range sel.Targets {
+		if len(targets) == 0 || len(targets) > 3 {
+			t.Fatalf("prefix %s has %d targets", p, len(targets))
+		}
+		seen := map[uint32]bool{}
+		for _, tgt := range targets {
+			if seen[tgt.Addr] {
+				t.Fatalf("duplicate target in %s", p)
+			}
+			seen[tgt.Addr] = true
+			if !w.Responsive(tgt.Addr, tgt.Proto, 0) {
+				t.Fatalf("selected unresponsive target %d in %s", tgt.Addr, p)
+			}
+		}
+		if sel.Origin[p] == OriginNone {
+			t.Fatalf("prefix %s lacks a seed-origin label", p)
+		}
+	}
+	// Origin accounting adds up.
+	if sel.Stats.ISIOnly+sel.Stats.CensysOnly+sel.Stats.MixedOrigin != sel.Stats.Responsive {
+		t.Error("seed-origin counts do not sum to responsive prefixes")
+	}
+	// The ICMP-dominant world must show ISI-dominant seeding (§3.2:
+	// 77.8% ICMP seeds).
+	if sel.Stats.ISIOnly < sel.Stats.CensysOnly {
+		t.Errorf("ISI-only (%d) should dominate Censys-only (%d)", sel.Stats.ISIOnly, sel.Stats.CensysOnly)
+	}
+}
+
+func TestSelectBudget(t *testing.T) {
+	// Selection must never probe more than 10 candidates per dataset
+	// per prefix.
+	_, w, cat, prefixes := buildAll(t)
+	probed := make(map[uint32]int)
+	var currentPrefix netutil.Prefix
+	perPrefix := 0
+	sel := Select(cat, prefixes, func(addr uint32, proto simnet.Proto) bool {
+		p := netutil.PrefixFrom(addr, 16) // rough grouping is fine here
+		if p != currentPrefix {
+			currentPrefix, perPrefix = p, 0
+		}
+		perPrefix++
+		probed[addr]++
+		return w.Responsive(addr, proto, 0)
+	}, 3)
+	if sel.Stats.CandidatesProbed == 0 {
+		t.Fatal("no candidates probed")
+	}
+	if sel.Stats.CandidatesProbed > 20*len(prefixes) {
+		t.Errorf("probed %d candidates for %d prefixes", sel.Stats.CandidatesProbed, len(prefixes))
+	}
+}
+
+func TestSelectEmptyCatalog(t *testing.T) {
+	cat := &Catalog{ISI: map[netutil.Prefix][]ISIEntry{}, Censys: map[netutil.Prefix][]CensysService{}}
+	p := netutil.MustParsePrefix("10.0.0.0/24")
+	sel := Select(cat, []netutil.Prefix{p}, func(uint32, simnet.Proto) bool { return true }, 3)
+	if sel.Stats.Responsive != 0 || len(sel.Targets) != 0 {
+		t.Error("empty catalog should select nothing")
+	}
+	if sel.Stats.Prefixes != 1 {
+		t.Error("prefix count wrong")
+	}
+}
+
+func TestSeedOriginStrings(t *testing.T) {
+	for _, o := range []SeedOrigin{OriginNone, OriginISI, OriginCensys, OriginMixed} {
+		if o.String() == "" {
+			t.Errorf("origin %d empty string", o)
+		}
+	}
+}

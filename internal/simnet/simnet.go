@@ -1,0 +1,340 @@
+// Package simnet is the data-plane substrate: the responsive systems
+// ("passive VPs" in the paper's terminology) living inside R&E
+// prefixes, and the multi-VLAN measurement host that tells an R&E
+// return path from a commodity one by the interface a response
+// arrives on (§3.1, Figure 2).
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+	"repro/internal/topo"
+)
+
+// Proto is the probe/response protocol of a system.
+type Proto uint8
+
+// Protocols (§3.2: ICMP seeds from the ISI history, TCP and UDP seeds
+// from Censys).
+const (
+	ICMP Proto = iota
+	TCP
+	UDP
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ICMP:
+		return "icmp"
+	case TCP:
+		return "tcp"
+	case UDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// VLAN identifies the measurement-host interface a response arrived
+// on, which is the experiment's entire signal.
+type VLAN uint8
+
+// VLANs, named after the Figure 2 interfaces.
+const (
+	// VLANNone means no response arrived.
+	VLANNone VLAN = iota
+	// VLANRE is the R&E interface (ens3f1np1.1001 / .17).
+	VLANRE
+	// VLANCommodity is the commodity interface (ens3f1np1.18).
+	VLANCommodity
+)
+
+func (v VLAN) String() string {
+	switch v {
+	case VLANRE:
+		return "re"
+	case VLANCommodity:
+		return "commodity"
+	default:
+		return "none"
+	}
+}
+
+// Interface returns the Figure 2 interface name for the VLAN.
+func (v VLAN) Interface() string {
+	switch v {
+	case VLANRE:
+		return "ens3f1np1.1001"
+	case VLANCommodity:
+		return "ens3f1np1.18"
+	default:
+		return ""
+	}
+}
+
+// Host is one responsive system.
+type Host struct {
+	Addr   uint32
+	Prefix netutil.Prefix
+	Proto  Proto
+	// Egress is the router whose routing decides this host's return
+	// path. Usually the origin AS's router; alternate-site hosts
+	// (§4.1.2's interconnection-router case) egress elsewhere.
+	Egress bgp.RouterID
+	// DormantFrom/DormantTo bound a window of unresponsiveness
+	// (packet loss in the paper's Table 2 accounting); zero-zero
+	// means always responsive.
+	DormantFrom, DormantTo bgp.Time
+}
+
+// dormant reports whether the host is unresponsive at time t.
+func (h *Host) dormant(t bgp.Time) bool {
+	return h.DormantTo > h.DormantFrom && t >= h.DormantFrom && t < h.DormantTo
+}
+
+// WorldConfig tunes host generation.
+type WorldConfig struct {
+	Seed int64
+	// FracPrefixResponsive is the fraction of prefixes hosting at
+	// least one currently responsive system (§3.2 found 68%).
+	FracPrefixResponsive float64
+	// FracThreeHosts / FracTwoHosts split responsive prefixes by
+	// system count (the remainder get one); §3.2: 82.7% had three.
+	FracThreeHosts float64
+	FracTwoHosts   float64
+	// FracICMP is the fraction of prefixes whose systems answer ICMP
+	// (ISI-seeded); the rest answer TCP or UDP (Censys-seeded).
+	FracICMP float64
+	// FracHostProtoFlip is the per-host probability of answering a
+	// different protocol than the prefix's norm, the source of
+	// mixed-seed-origin prefixes (§3.2 found 2.1%).
+	FracHostProtoFlip float64
+	// FracDormantPrefix is the per-experiment probability that a
+	// prefix's systems all go quiet for a window (packet loss).
+	FracDormantPrefix float64
+	// ProbeLossProb is the per-probe random loss probability.
+	ProbeLossProb float64
+}
+
+// DefaultWorldConfig matches the paper's coverage statistics.
+func DefaultWorldConfig() WorldConfig {
+	return WorldConfig{
+		Seed:                 7,
+		FracPrefixResponsive: 0.74,
+		FracThreeHosts:       0.80,
+		FracTwoHosts:         0.12,
+		FracICMP:             0.78,
+		FracHostProtoFlip:    0.04,
+		FracDormantPrefix:    0.012,
+		ProbeLossProb:        0.001,
+	}
+}
+
+// World binds hosts to the BGP network and answers probes.
+type World struct {
+	Net        *bgp.Network
+	MeasPrefix netutil.Prefix
+
+	// RETerminals / CommodityTerminals are the origin routers whose
+	// forwarding termination means the response arrived on the R&E or
+	// commodity VLAN. The experiment runner sets them per experiment.
+	RETerminals        map[bgp.RouterID]bool
+	CommodityTerminals map[bgp.RouterID]bool
+
+	cfg     WorldConfig
+	hosts   map[uint32]*Host
+	byPfx   map[netutil.Prefix][]*Host
+	lossRNG *rand.Rand
+}
+
+// BuildWorld populates hosts for every prefix of the ecosystem.
+func BuildWorld(eco *topo.Ecosystem, cfg WorldConfig) *World {
+	w := &World{
+		Net:                eco.Net,
+		MeasPrefix:         eco.MeasPrefix,
+		RETerminals:        make(map[bgp.RouterID]bool),
+		CommodityTerminals: make(map[bgp.RouterID]bool),
+		cfg:                cfg,
+		hosts:              make(map[uint32]*Host),
+		byPfx:              make(map[netutil.Prefix][]*Host),
+		lossRNG:            rand.New(rand.NewSource(cfg.Seed + 1)), // #nosec deterministic simulation
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed)) // #nosec deterministic simulation
+
+	for _, pi := range eco.Prefixes {
+		if rng.Float64() >= cfg.FracPrefixResponsive {
+			continue
+		}
+		n := 1
+		switch v := rng.Float64(); {
+		case v < cfg.FracThreeHosts:
+			n = 3
+		case v < cfg.FracThreeHosts+cfg.FracTwoHosts:
+			n = 2
+		}
+		proto := ICMP
+		if rng.Float64() >= cfg.FracICMP {
+			if rng.Intn(2) == 0 {
+				proto = TCP
+			} else {
+				proto = UDP
+			}
+		}
+		origin := eco.AS(pi.Origin)
+		for k := 0; k < n; k++ {
+			addr := pi.Prefix.NthAddr(uint64(1 + k*11 + rng.Intn(7)))
+			if _, dup := w.hosts[addr]; dup {
+				addr = pi.Prefix.NthAddr(uint64(1 + k*29))
+			}
+			hostProto := proto
+			if rng.Float64() < cfg.FracHostProtoFlip {
+				// A host answering a different protocol than its
+				// prefix's norm: these produce the paper's 2.1%
+				// mixed-seed-origin prefixes.
+				switch proto {
+				case ICMP:
+					hostProto = TCP
+				default:
+					hostProto = ICMP
+				}
+			}
+			h := &Host{
+				Addr:   addr,
+				Prefix: pi.Prefix,
+				Proto:  hostProto,
+				Egress: w.egressFor(eco, origin, pi, k),
+			}
+			w.hosts[addr] = h
+			w.byPfx[pi.Prefix] = append(w.byPfx[pi.Prefix], h)
+		}
+	}
+	// Sort per-prefix host lists for determinism.
+	for _, hs := range w.byPfx {
+		sort.Slice(hs, func(i, j int) bool { return hs[i].Addr < hs[j].Addr })
+	}
+	return w
+}
+
+// egressFor resolves which router a host's return traffic leaves from.
+func (w *World) egressFor(eco *topo.Ecosystem, origin *topo.ASInfo, pi *topo.PrefixInfo, hostIdx int) bgp.RouterID {
+	site := pi.Site
+	if pi.MixedAltHost && hostIdx == 2 {
+		// The third system of a mixed prefix sits on commodity-only
+		// infrastructure (≈2:1 R&E:commodity, §4).
+		site = topo.SiteAltCommodity
+	}
+	switch site {
+	case topo.SiteAltCommodity:
+		if len(origin.CommodityProviders) > 0 {
+			if up := eco.AS(origin.CommodityProviders[0]); up != nil {
+				return up.Router
+			}
+		}
+	case topo.SiteAltRE:
+		if len(origin.REProviders) > 0 {
+			if up := eco.AS(origin.REProviders[0]); up != nil {
+				return up.Router
+			}
+		}
+	}
+	return origin.Router
+}
+
+// Hosts returns the responsive hosts of a prefix (sorted by address).
+func (w *World) Hosts(p netutil.Prefix) []*Host { return w.byPfx[p] }
+
+// HostCount returns the total number of hosts in the world.
+func (w *World) HostCount() int { return len(w.hosts) }
+
+// ResponsivePrefixes returns all prefixes with at least one host, in
+// canonical order.
+func (w *World) ResponsivePrefixes() []netutil.Prefix {
+	out := make([]netutil.Prefix, 0, len(w.byPfx))
+	for p := range w.byPfx {
+		out = append(out, p)
+	}
+	netutil.SortPrefixes(out)
+	return out
+}
+
+// InjectDormancy gives each prefix a chance of a quiet window inside
+// [start, end), modelling the per-experiment packet loss that makes
+// prefixes incomparable in Table 2. Call once per experiment.
+func (w *World) InjectDormancy(start, end bgp.Time, rngSeed int64) {
+	rng := rand.New(rand.NewSource(rngSeed)) // #nosec deterministic simulation
+	if end <= start {
+		return
+	}
+	span := int64(end - start)
+	for _, p := range w.ResponsivePrefixes() {
+		if rng.Float64() >= w.cfg.FracDormantPrefix {
+			continue
+		}
+		from := start + bgp.Time(rng.Int63n(span))
+		dur := bgp.Time(1800 + rng.Int63n(2*3600))
+		for _, h := range w.byPfx[p] {
+			h.DormantFrom, h.DormantTo = from, from+dur
+		}
+	}
+}
+
+// ClearDormancy removes all quiet windows (between experiments).
+func (w *World) ClearDormancy() {
+	for _, hs := range w.byPfx {
+		for _, h := range hs {
+			h.DormantFrom, h.DormantTo = 0, 0
+		}
+	}
+}
+
+// ProbeResult is the outcome of one probe.
+type ProbeResult struct {
+	// Responded reports whether any reply arrived.
+	Responded bool
+	// VLAN is the interface the reply arrived on.
+	VLAN VLAN
+	// Hops is the AS-level length of the return path (for synthetic
+	// RTTs in the scamper-like output).
+	Hops int
+}
+
+// Probe sends one probe of the given protocol to dst at virtual time
+// t, sourced from the measurement prefix, and reports the reply and
+// its arrival VLAN. The reply follows dst's current best BGP route
+// toward the measurement prefix hop by hop until it terminates at one
+// of the experiment's origin routers.
+func (w *World) Probe(dst uint32, proto Proto, t bgp.Time) ProbeResult {
+	h, ok := w.hosts[dst]
+	if !ok || h.Proto != proto || h.dormant(t) {
+		return ProbeResult{}
+	}
+	if w.cfg.ProbeLossProb > 0 && w.lossRNG.Float64() < w.cfg.ProbeLossProb {
+		return ProbeResult{}
+	}
+	path, done := w.Net.ForwardPathLPM(h.Egress, w.MeasPrefix)
+	if !done || len(path) == 0 {
+		return ProbeResult{}
+	}
+	term := path[len(path)-1]
+	switch {
+	case w.RETerminals[term]:
+		return ProbeResult{Responded: true, VLAN: VLANRE, Hops: len(path)}
+	case w.CommodityTerminals[term]:
+		return ProbeResult{Responded: true, VLAN: VLANCommodity, Hops: len(path)}
+	default:
+		// The response was forwarded to an origin we are not
+		// listening on (should not happen in a configured experiment).
+		return ProbeResult{}
+	}
+}
+
+// Responsive reports whether dst answers probes of the given protocol
+// at time t, ignoring routing — the predicate seed selection uses.
+func (w *World) Responsive(dst uint32, proto Proto, t bgp.Time) bool {
+	h, ok := w.hosts[dst]
+	return ok && h.Proto == proto && !h.dormant(t)
+}

@@ -1,0 +1,185 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/topo"
+)
+
+func buildWorld(t *testing.T) (*topo.Ecosystem, *World) {
+	t.Helper()
+	eco := topo.Build(topo.SmallConfig())
+	w := BuildWorld(eco, DefaultWorldConfig())
+	return eco, w
+}
+
+func TestBuildWorldCoverage(t *testing.T) {
+	eco, w := buildWorld(t)
+	resp := len(w.ResponsivePrefixes())
+	frac := float64(resp) / float64(len(eco.Prefixes))
+	if frac < 0.55 || frac > 0.80 {
+		t.Errorf("responsive prefix fraction = %.2f, want ~0.68 (§3.2)", frac)
+	}
+	three := 0
+	for _, p := range w.ResponsivePrefixes() {
+		hosts := w.Hosts(p)
+		if len(hosts) == 0 || len(hosts) > 3 {
+			t.Fatalf("prefix %s has %d hosts", p, len(hosts))
+		}
+		if len(hosts) == 3 {
+			three++
+		}
+		for _, h := range hosts {
+			if !p.Contains(h.Addr) {
+				t.Errorf("host %d outside its prefix %s", h.Addr, p)
+			}
+		}
+	}
+	if f := float64(three) / float64(resp); f < 0.65 {
+		t.Errorf("three-host fraction = %.2f, want ~0.80", f)
+	}
+}
+
+func TestWorldDeterministic(t *testing.T) {
+	eco := topo.Build(topo.SmallConfig())
+	a := BuildWorld(eco, DefaultWorldConfig())
+	b := BuildWorld(eco, DefaultWorldConfig())
+	if a.HostCount() != b.HostCount() {
+		t.Fatalf("host counts differ: %d vs %d", a.HostCount(), b.HostCount())
+	}
+	pa, pb := a.ResponsivePrefixes(), b.ResponsivePrefixes()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("prefix %d differs", i)
+		}
+	}
+}
+
+func TestProbeVLANFollowsPolicy(t *testing.T) {
+	eco, w := buildWorld(t)
+	// June-style announcement.
+	eco.Net.Originate(eco.MeasCommodity.Router, eco.MeasPrefix)
+	eco.Net.Originate(eco.Internet2.Router, eco.MeasPrefix)
+	eco.Net.RunToQuiescence()
+	w.RETerminals = map[bgp.RouterID]bool{eco.Internet2.Router: true}
+	w.CommodityTerminals = map[bgp.RouterID]bool{eco.MeasCommodity.Router: true}
+
+	checked := 0
+	for _, p := range w.ResponsivePrefixes() {
+		pi := eco.PrefixInfoFor(p)
+		info := eco.AS(pi.Origin)
+		if info.Class != topo.ClassMember || pi.Site != topo.SitePrimary || pi.MixedAltHost {
+			continue
+		}
+		h := w.Hosts(p)[0]
+		res := w.Probe(h.Addr, h.Proto, 0)
+		if !res.Responded {
+			continue // rare random probe loss
+		}
+		switch info.Policy {
+		case topo.PolicyPreferRE, topo.PolicyDefaultOnly:
+			if res.VLAN != VLANRE {
+				t.Errorf("prefer-R&E member %v responded on %v", info.AS, res.VLAN)
+			}
+		case topo.PolicyPreferCommodity:
+			if len(info.CommodityProviders) > 0 && res.VLAN != VLANCommodity {
+				t.Errorf("prefer-commodity member %v responded on %v", info.AS, res.VLAN)
+			}
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d hosts checked", checked)
+	}
+}
+
+func TestProbeWrongProtoNoAnswer(t *testing.T) {
+	eco, w := buildWorld(t)
+	eco.Net.Originate(eco.MeasCommodity.Router, eco.MeasPrefix)
+	eco.Net.RunToQuiescence()
+	w.CommodityTerminals = map[bgp.RouterID]bool{eco.MeasCommodity.Router: true}
+	var h *Host
+	for _, p := range w.ResponsivePrefixes() {
+		if hs := w.Hosts(p); hs[0].Proto == ICMP {
+			h = hs[0]
+			break
+		}
+	}
+	if h == nil {
+		t.Fatal("no ICMP host")
+	}
+	if res := w.Probe(h.Addr, TCP, 0); res.Responded {
+		t.Error("ICMP-only host answered TCP")
+	}
+	if res := w.Probe(h.Addr+100000, ICMP, 0); res.Responded {
+		t.Error("non-host address answered")
+	}
+}
+
+func TestDormancy(t *testing.T) {
+	eco, w := buildWorld(t)
+	eco.Net.Originate(eco.MeasCommodity.Router, eco.MeasPrefix)
+	eco.Net.RunToQuiescence()
+	w.CommodityTerminals = map[bgp.RouterID]bool{eco.MeasCommodity.Router: true}
+
+	w.InjectDormancy(0, 10*3600, 42)
+	dormantSeen := false
+	for _, p := range w.ResponsivePrefixes() {
+		h := w.Hosts(p)[0]
+		if h.DormantTo > h.DormantFrom {
+			dormantSeen = true
+			if w.Responsive(h.Addr, h.Proto, (h.DormantFrom+h.DormantTo)/2) {
+				t.Error("dormant host still responsive inside window")
+			}
+			if !w.Responsive(h.Addr, h.Proto, h.DormantTo+1) {
+				t.Error("host should recover after its window")
+			}
+		}
+	}
+	if !dormantSeen {
+		t.Skip("no prefix went dormant with this seed")
+	}
+	w.ClearDormancy()
+	for _, p := range w.ResponsivePrefixes() {
+		h := w.Hosts(p)[0]
+		if h.DormantTo != 0 || h.DormantFrom != 0 {
+			t.Fatal("ClearDormancy left state behind")
+		}
+	}
+}
+
+func TestMixedPrefixHostEgress(t *testing.T) {
+	eco, w := buildWorld(t)
+	for _, p := range w.ResponsivePrefixes() {
+		pi := eco.PrefixInfoFor(p)
+		if !pi.MixedAltHost {
+			continue
+		}
+		hosts := w.Hosts(p)
+		if len(hosts) < 3 {
+			continue
+		}
+		origin := eco.AS(pi.Origin)
+		if hosts[2].Egress == origin.Router {
+			t.Errorf("mixed prefix %s third host should egress off-origin", p)
+		}
+		if hosts[0].Egress != origin.Router {
+			t.Errorf("mixed prefix %s first host should egress at origin", p)
+		}
+		return
+	}
+	t.Skip("no responsive mixed prefix with 3 hosts at this seed")
+}
+
+func TestStrings(t *testing.T) {
+	if ICMP.String() != "icmp" || TCP.String() != "tcp" || UDP.String() != "udp" {
+		t.Error("proto strings wrong")
+	}
+	if VLANRE.String() != "re" || VLANCommodity.String() != "commodity" || VLANNone.String() != "none" {
+		t.Error("vlan strings wrong")
+	}
+	if VLANRE.Interface() == "" || VLANCommodity.Interface() == "" || VLANNone.Interface() != "" {
+		t.Error("vlan interfaces wrong")
+	}
+}

@@ -1,0 +1,494 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+)
+
+// memberASBase is where synthetic member ASNs start (32-bit space).
+const memberASBase = 1_000_000
+
+// geometric samples a geometric-ish count with the given mean.
+func (e *Ecosystem) geometric(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1.0 / (1.0 + mean)
+	u := e.rng.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1.0-p)))
+}
+
+// prefixBits samples a prefix length: mostly /24s with some shorter
+// allocations, echoing the paper's target list.
+func (e *Ecosystem) prefixBits() int {
+	switch v := e.rng.Float64(); {
+	case v < 0.72:
+		return 24
+	case v < 0.82:
+		return 23
+	case v < 0.90:
+		return 22
+	case v < 0.95:
+		return 20
+	default:
+		return 16
+	}
+}
+
+// pickPolicy draws a dual-homed member's ground-truth policy.
+func (e *Ecosystem) pickPolicy() REPolicy {
+	v := e.rng.Float64()
+	switch {
+	case v < e.Cfg.FracPreferRE:
+		return PolicyPreferRE
+	case v < e.Cfg.FracPreferRE+e.Cfg.FracEqual:
+		return PolicyEqual
+	case v < e.Cfg.FracPreferRE+e.Cfg.FracEqual+e.Cfg.FracPreferCommodity:
+		return PolicyPreferCommodity
+	default:
+		return PolicyDefaultOnly
+	}
+}
+
+// assignPrepends draws the member's origin-prepending posture given
+// its policy. prependREProb biases the R<C case (the §4.3 "members
+// are conditioned to prepend" knob); a negative value uses defaults.
+func (e *Ecosystem) assignPrepends(info *ASInfo, prependCommodityProb float64) {
+	var pLess, pMore float64 // P(R<C), P(R>C)
+	switch info.Policy {
+	case PolicyPreferRE, PolicyDefaultOnly:
+		pLess, pMore = 0.45, 0.06
+	case PolicyEqual:
+		pLess, pMore = 0.35, 0.02
+	case PolicyPreferCommodity:
+		pLess, pMore = 0.15, 0.28
+	}
+	conditioned := prependCommodityProb >= 0
+	if conditioned {
+		pLess = prependCommodityProb
+	}
+	switch v := e.rng.Float64(); {
+	case v < pLess:
+		if conditioned {
+			// Regionals like NYSERNet condition members to prepend
+			// enough that other networks' tie-breaks pick R&E (§4.3).
+			info.CommodityPrepend = 2 + e.rng.Intn(2)
+		} else {
+			info.CommodityPrepend = 1 + e.rng.Intn(3)
+		}
+	case v < pLess+pMore:
+		info.REPrepend = 1 + e.rng.Intn(2)
+	}
+}
+
+// wireMemberRE connects a member under its R&E parent with the
+// localpref its policy dictates.
+func (e *Ecosystem) wireMemberRE(parent, member *ASInfo) {
+	lp := uint32(lpFlat)
+	if member.Policy == PolicyPreferRE || member.Policy == PolicyDefaultOnly {
+		lp = lpREPreferred
+	}
+	memberCfg := bgp.PeerConfig{
+		ClassifyAs:      bgp.ClassProvider,
+		ImportLocalPref: lp,
+		ExportAllow:     bgp.GaoRexfordExport(bgp.ClassProvider),
+		ExportPrepend:   member.REPrepend,
+	}
+	if member.RFD {
+		memberCfg.RFD = bgp.DefaultRFD()
+	}
+	e.Net.Connect(parent.Router, member.Router,
+		bgp.PeerConfig{
+			ClassifyAs:      bgp.ClassCustomer,
+			ImportLocalPref: bgp.LocalPrefCustomer,
+			ExportAllow:     bgp.GaoRexfordExport(bgp.ClassCustomer),
+		},
+		memberCfg)
+	member.REProviders = append(member.REProviders, parent.AS)
+}
+
+// wireMemberCommodity connects a member to a commodity upstream.
+func (e *Ecosystem) wireMemberCommodity(up, member *ASInfo) {
+	lp := uint32(lpFlat)
+	if member.Policy == PolicyPreferCommodity {
+		lp = lpREPreferred
+	}
+	memberCfg := bgp.PeerConfig{
+		ClassifyAs:      bgp.ClassProvider,
+		ImportLocalPref: lp,
+		ExportAllow:     bgp.GaoRexfordExport(bgp.ClassProvider),
+		ExportPrepend:   member.CommodityPrepend,
+	}
+	if member.RFD {
+		memberCfg.RFD = bgp.DefaultRFD()
+	}
+	if member.Policy == PolicyDefaultOnly {
+		// Import only a default route from the commodity side: R&E
+		// routes always win on specificity (the Figure 1 alternative),
+		// and the default keeps commodity reachability for prefixes
+		// with no R&E route.
+		memberCfg.ImportDeny = func(r *bgp.Route) bool {
+			return r.Prefix != bgp.DefaultPrefix
+		}
+	}
+	if member.HiddenCommodity {
+		// Egress-only upstream: the member never announces its
+		// prefixes here, so public BGP cannot see this edge (§4.2).
+		memberCfg.ExportAllow = bgp.NewClassSet()
+	}
+	e.Net.Connect(up.Router, member.Router,
+		bgp.PeerConfig{
+			ClassifyAs:      bgp.ClassCustomer,
+			ImportLocalPref: bgp.LocalPrefCustomer,
+			ExportAllow:     bgp.GaoRexfordExport(bgp.ClassCustomer),
+		},
+		memberCfg)
+	member.CommodityProviders = append(member.CommodityProviders, up.AS)
+}
+
+// originate records prefixes for an AS and assigns sites. With
+// probability FracCoveredPrefix an extra prefix is a more-specific
+// inside the AS's first block (the covered announcements §3.2 drops).
+func (e *Ecosystem) originate(info *ASInfo, count int, neighborClass Class) {
+	if count < 1 {
+		count = 1
+	}
+	for i := 0; i < count; i++ {
+		var p netutil.Prefix
+		if i > 0 && e.rng.Float64() < e.Cfg.FracCoveredPrefix {
+			// Carve from the first of the AS's earlier blocks that has
+			// room for a more-specific.
+			for _, base := range info.Prefixes {
+				if sub, ok := e.subPrefixOf(base); ok {
+					p = sub
+					break
+				}
+			}
+		}
+		if !p.IsValid() {
+			p = e.allocPrefix(e.prefixBits())
+		}
+		info.Prefixes = append(info.Prefixes, p)
+		pi := &PrefixInfo{
+			Prefix:        p,
+			Origin:        info.AS,
+			NeighborClass: neighborClass,
+			Region:        info.Region,
+			Site:          SitePrimary,
+		}
+		// Site mix: alternate-egress and mixed prefixes only make
+		// sense when the origin has a commodity upstream to diverge
+		// through.
+		hasCommodity := len(info.CommodityProviders) > 0
+		v := e.rng.Float64()
+		switch {
+		case hasCommodity && v < e.Cfg.FracAltCommodityPrefix:
+			pi.Site = SiteAltCommodity
+		case v < e.Cfg.FracAltCommodityPrefix+e.Cfg.FracAltREPrefix:
+			pi.Site = SiteAltRE
+		case hasCommodity && v < e.Cfg.FracAltCommodityPrefix+e.Cfg.FracAltREPrefix+e.Cfg.FracMixedPrefix:
+			pi.MixedAltHost = true
+		}
+		e.Prefixes = append(e.Prefixes, pi)
+		e.byPrefix[p] = pi
+	}
+}
+
+// subPrefixOf carves an unused more-specific out of base (one level
+// deeper, deterministic halves), or reports failure.
+func (e *Ecosystem) subPrefixOf(base netutil.Prefix) (netutil.Prefix, bool) {
+	if base.Bits() >= 24 {
+		return netutil.Prefix{}, false
+	}
+	bits := base.Bits() + 1 + e.rng.Intn(24-base.Bits())
+	sub := netutil.PrefixFrom(base.NthAddr(uint64(e.rng.Intn(int(base.NumAddrs())))), bits)
+	if _, taken := e.byPrefix[sub]; taken || sub == base {
+		return netutil.Prefix{}, false
+	}
+	return sub, true
+}
+
+func (e *Ecosystem) buildMembers() {
+	nextAS := asn.AS(memberASBase)
+	newMember := func(name, region string) *ASInfo {
+		info := e.addAS(nextAS, name, ClassMember, region)
+		nextAS++
+		e.REASNs[info.AS] = true
+		// Gray et al.'s ~9% of ASes damp flapping routes; the
+		// experiment schedule must survive them (§3.3).
+		if e.rng.Float64() < e.Cfg.FracRFD {
+			info.RFD = true
+		}
+		return info
+	}
+
+	// --- U.S. members under regionals, weighted per table ----------
+	totalWeight := 0
+	for _, r := range regionalTable {
+		totalWeight += r.weight
+	}
+	for _, spec := range regionalTable {
+		regional := e.byAS[asn.AS(spec.as)]
+		n := e.Cfg.MembersUS * spec.weight / totalWeight
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			m := newMember(fmt.Sprintf("member-%s-%d", spec.region, i), spec.region)
+			dual := e.rng.Float64() < spec.memberOwnCommodityProb
+			if dual {
+				m.Policy = e.pickPolicy()
+				e.assignPrepends(m, prependProbFor(m.Policy, spec.memberPrependProb))
+				e.wireMemberRE(regional, m)
+				up := e.pickCommodityUpstreamUS()
+				e.wireMemberCommodity(up, m)
+				if e.rng.Float64() < 0.15 {
+					if up2 := e.pickCommodityUpstreamUS(); up2 != up {
+						e.wireMemberCommodity(up2, m)
+					}
+				}
+			} else {
+				e.configureSingleHomed(m)
+				e.wireMemberRE(regional, m)
+				if m.HiddenCommodity {
+					e.wireMemberCommodity(e.pickCommodityUpstreamUS(), m)
+				}
+			}
+			e.originate(m, 1+e.geometric(e.Cfg.MeanExtraPrefixes), ClassParticipant)
+		}
+	}
+
+	// --- International members under NRENs -------------------------
+	weights := make([]int, len(nrenTable))
+	wTotal := 0
+	for i, s := range nrenTable {
+		w := 20
+		if s.providesCommodity {
+			w = 32
+		}
+		if s.usesDT {
+			w = 28
+		}
+		if s.name == "NIKS" {
+			w = 0 // NIKS customers are generated separately
+		}
+		weights[i] = w
+		wTotal += w
+	}
+	for i, spec := range nrenTable {
+		if weights[i] == 0 {
+			continue
+		}
+		nren := e.byAS[asn.AS(spec.as)]
+		n := e.Cfg.MembersIntl * weights[i] / wTotal
+		if n < 1 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			m := newMember(fmt.Sprintf("member-%s-%d", spec.region, j), spec.region)
+			singleProb := e.Cfg.FracSingleHomedOther
+			if spec.providesCommodity {
+				singleProb = e.Cfg.FracSingleHomedProvidesCommodity
+			}
+			if e.rng.Float64() >= singleProb { // dual-homed
+				m.Policy = e.pickPolicy()
+				e.assignPrepends(m, -1)
+				e.wireMemberRE(nren, m)
+				e.wireMemberCommodity(e.pickCommodityUpstreamIntl(), m)
+			} else {
+				e.configureSingleHomed(m)
+				e.wireMemberRE(nren, m)
+				if m.HiddenCommodity {
+					e.wireMemberCommodity(e.pickCommodityUpstreamIntl(), m)
+				}
+			}
+			e.originate(m, 1+e.geometric(e.Cfg.MeanExtraPrefixes), ClassPeerNREN)
+		}
+	}
+
+	// --- NIKS customers (Figure 4 / Table 2 population) -------------
+	for i := 0; i < e.Cfg.NIKSCustomers; i++ {
+		m := newMember(fmt.Sprintf("member-RU-%d", i), "RU")
+		m.Policy = PolicyPreferRE // single-homed; NIKS decides egress
+		e.wireMemberRE(e.NIKS, m)
+		e.originate(m, 2+e.geometric(2), ClassPeerNREN)
+	}
+
+	// --- R&E transit networks' own prefixes -------------------------
+	for _, info := range e.ASes {
+		switch info.Class {
+		case ClassParticipant:
+			e.originate(info, 1+e.rng.Intn(2), ClassParticipant)
+		case ClassPeerNREN:
+			e.originate(info, 1+e.rng.Intn(3), ClassPeerNREN)
+		}
+	}
+}
+
+// prependProbFor maps the regional "members are conditioned to
+// prepend" probability onto the R<C draw. The conditioning is social
+// practice, so it applies to equal-localpref members as well; only
+// deliberately commodity-preferring members keep their own posture.
+func prependProbFor(p REPolicy, memberPrependProb float64) float64 {
+	if p == PolicyPreferCommodity {
+		return -1
+	}
+	return memberPrependProb
+}
+
+// configureSingleHomed fills policy for a member without announced
+// commodity transit.
+func (e *Ecosystem) configureSingleHomed(m *ASInfo) {
+	if e.rng.Float64() < e.Cfg.FracHiddenCommodity {
+		m.HiddenCommodity = true
+		switch v := e.rng.Float64(); {
+		case v < 0.40:
+			m.Policy = PolicyPreferCommodity
+		case v < 0.70:
+			m.Policy = PolicyEqual
+		default:
+			m.Policy = PolicyPreferRE
+		}
+		return
+	}
+	m.Policy = PolicyPreferRE
+}
+
+func (e *Ecosystem) pickCommodityUpstreamUS() *ASInfo {
+	if e.rng.Float64() < 0.20 {
+		if t := e.pickTier1(); t.AS != asDT { // DT stays off the U.S. side (§4.3)
+			return t
+		}
+	}
+	return e.pickTransitUS()
+}
+
+func (e *Ecosystem) pickCommodityUpstreamIntl() *ASInfo {
+	if e.rng.Float64() < 0.20 {
+		t := e.pickTier1()
+		if t.AS != asLumen { // keep international commodity paths long
+			return t
+		}
+	}
+	return e.pickTransitIntl()
+}
+
+func (e *Ecosystem) buildCollectors() {
+	rv := e.addAS(64900, "RouteViews", ClassCollector, "")
+	ris := e.addAS(64901, "RIPE-RIS", ClassCollector, "")
+	e.Net.Speaker(rv.Router).Collector = true
+	e.Net.Speaker(ris.Router).Collector = true
+	e.Collectors = []bgp.RouterID{rv.Router, ris.Router}
+
+	wire := func(col *ASInfo, peerInfo *ASInfo, vrfSplit bool) {
+		peerCfg := bgp.PeerConfig{
+			ClassifyAs:  bgp.ClassPeer,
+			ExportAllow: bgp.NewClassSet(bgp.ClassOwn, bgp.ClassCustomer, bgp.ClassPeer, bgp.ClassProvider, bgp.ClassREPeer),
+		}
+		if vrfSplit {
+			reRouters := make(map[bgp.RouterID]bool)
+			for _, pAS := range peerInfo.REProviders {
+				if up := e.byAS[pAS]; up != nil {
+					reRouters[up.Router] = true
+				}
+			}
+			peerCfg.ExportBestOf = func(r *bgp.Route) bool {
+				return !reRouters[r.From] && r.Class != bgp.ClassREPeer
+			}
+			peerInfo.VRFSplit = true
+		}
+		e.Net.Connect(peerInfo.Router, col.Router,
+			peerCfg,
+			bgp.PeerConfig{ClassifyAs: bgp.ClassPeer, ExportAllow: bgp.NewClassSet()},
+		)
+		for _, seen := range e.CollectorPeerASes {
+			if seen == peerInfo.AS {
+				return
+			}
+		}
+		e.CollectorPeerASes = append(e.CollectorPeerASes, peerInfo.AS)
+	}
+
+	// Tier-1s and transits feed both collectors — public collectors
+	// peer densely with the commodity core, which is why commodity
+	// announcement changes generate so much more observed churn than
+	// R&E ones (Figure 3).
+	for _, t := range tier1Table {
+		wire(rv, e.byAS[asn.AS(t.as)], false)
+		wire(ris, e.byAS[asn.AS(t.as)], false)
+	}
+	for i := 0; i < e.Cfg.TransitsUS; i++ {
+		wire(rv, e.byAS[asn.AS(64100+i)], false)
+		if i%2 == 0 {
+			wire(ris, e.byAS[asn.AS(64100+i)], false)
+		}
+	}
+	for i := 0; i < e.Cfg.TransitsIntl; i++ {
+		wire(ris, e.byAS[asn.AS(64300+i)], false)
+		if i%2 == 0 {
+			wire(rv, e.byAS[asn.AS(64300+i)], false)
+		}
+	}
+	// A few NRENs provide views.
+	for _, name := range []string{"SURF", "DFN", "GARR"} {
+		if info := e.Net.SpeakerByName(name); info != nil {
+			wire(ris, e.byAS[info.AS], false)
+		}
+	}
+
+	// Extra commodity-side feeds: small ASes that exist to give the
+	// collectors the session density RouteViews and RIS actually have.
+	for i := 0; i < e.Cfg.ExtraCollectorFeeds; i++ {
+		info := e.addAS(asn.AS(2_000_000+i), fmt.Sprintf("feed-%d", i), ClassCollectorFeed, "")
+		up := e.pickTransitUS()
+		if i%2 == 1 {
+			up = e.pickTransitIntl()
+		}
+		e.customer(up, info, lpFlat)
+		if e.rng.Float64() < 0.4 {
+			up2 := e.pickTier1()
+			if e.Net.Speaker(info.Router).Peer(up2.Router) == nil {
+				e.customer(up2, info, lpFlat)
+			}
+		}
+		col := rv
+		if i%2 == 1 {
+			col = ris
+		}
+		wire(col, info, false)
+	}
+
+	// Member view peers (§4.1.1): a deterministic spread of members,
+	// the first VRFSplitPeers of which are VRF-split R&E-preferring
+	// dual-homed ASes.
+	var members []*ASInfo
+	for _, info := range e.ASes {
+		if info.Class == ClassMember {
+			members = append(members, info)
+		}
+	}
+	splitLeft := e.Cfg.VRFSplitPeers
+	added := 0
+	for i := 0; i < len(members) && added < e.Cfg.CollectorMemberPeers; i += 1 + len(members)/(e.Cfg.CollectorMemberPeers+1) {
+		m := members[i]
+		vrf := false
+		if splitLeft > 0 && m.Policy == PolicyPreferRE && len(m.CommodityProviders) > 0 && !m.HiddenCommodity {
+			vrf = true
+			splitLeft--
+		}
+		col := rv
+		if added%2 == 1 {
+			col = ris
+		}
+		wire(col, m, vrf)
+		e.MemberViewPeers = append(e.MemberViewPeers, m.AS)
+		added++
+	}
+}

@@ -1,0 +1,232 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+)
+
+// TestCommodityWorldNeverLearnsREPath pins the §3.1 verification: "in
+// the available public BGP data, only R&E networks reported a path to
+// the measurement prefix, and none reported a commodity ASN in the AS
+// path" — for the R&E-origin announcement. Here: after either
+// experiment's announcement, no tier-1 or transit speaker holds a
+// route to the measurement prefix whose origin is the R&E origin.
+func TestCommodityWorldNeverLearnsREPath(t *testing.T) {
+	for _, exp := range []struct {
+		name     string
+		origin   func(e *Ecosystem) bgp.RouterID
+		originAS uint32
+	}{
+		{"SURF", func(e *Ecosystem) bgp.RouterID { return e.MeasSURF.Router }, 1125},
+		{"Internet2", func(e *Ecosystem) bgp.RouterID { return e.Internet2.Router }, 11537},
+	} {
+		e := Build(SmallConfig())
+		net := e.Net
+		net.Originate(e.MeasCommodity.Router, e.MeasPrefix)
+		net.Originate(exp.origin(e), e.MeasPrefix)
+		net.RunToQuiescence()
+
+		for _, info := range e.ASes {
+			if info.Class != ClassTier1 && info.Class != ClassTransit {
+				continue
+			}
+			sp := net.Speaker(info.Router)
+			for _, r := range sp.AdjInAll(e.MeasPrefix) {
+				if uint32(r.Path.Origin()) == exp.originAS {
+					t.Errorf("%s experiment: commodity AS %v learned the R&E path %v",
+						exp.name, info.AS, r.Path)
+				}
+			}
+		}
+	}
+}
+
+// TestREWorldLearnsBothPaths: R&E members must hold both candidate
+// routes (that is the whole measurement design).
+func TestREWorldLearnsBothPaths(t *testing.T) {
+	e := Build(SmallConfig())
+	net := e.Net
+	net.Originate(e.MeasCommodity.Router, e.MeasPrefix)
+	net.Originate(e.Internet2.Router, e.MeasPrefix)
+	net.RunToQuiescence()
+
+	both, reOnly := 0, 0
+	for _, info := range e.ASes {
+		if info.Class != ClassMember {
+			continue
+		}
+		sawRE, sawComm := false, false
+		for _, r := range net.Speaker(info.Router).AdjInAll(e.MeasPrefix) {
+			switch uint32(r.Path.Origin()) {
+			case 11537:
+				sawRE = true
+			case 396955:
+				sawComm = true
+			}
+		}
+		if !sawRE {
+			t.Errorf("member %v has no R&E route", info.AS)
+		}
+		if sawRE && sawComm {
+			both++
+		} else if sawRE {
+			reOnly++
+		}
+	}
+	if both == 0 {
+		t.Fatal("no member holds both routes")
+	}
+	// Default-only importers legitimately hold only the R&E route.
+	if reOnly == 0 {
+		t.Error("expected some default-only members holding R&E only")
+	}
+}
+
+// TestSessionDelaysAssigned checks the churn-realism jitter.
+func TestSessionDelaysAssigned(t *testing.T) {
+	e := Build(SmallConfig())
+	seen := map[bgp.Time]bool{}
+	for _, id := range e.Net.Speakers() {
+		s := e.Net.Speaker(id)
+		for _, nb := range s.Peers() {
+			d := s.Peer(nb).Delay
+			if d < 1 || d > 5 {
+				t.Fatalf("session %d->%d delay %d outside [1,5]", id, nb, d)
+			}
+			seen[d] = true
+		}
+	}
+	if len(seen) < 3 {
+		t.Errorf("delay jitter too uniform: %v", seen)
+	}
+}
+
+// TestRegionsCovered: every member region appears with enough ASes to
+// shade Figure 5 for the headline regions.
+func TestRegionsCovered(t *testing.T) {
+	e := Build(DefaultConfig())
+	counts := map[string]int{}
+	for _, info := range e.ASes {
+		if info.Class == ClassMember {
+			counts[info.Region]++
+		}
+	}
+	for _, region := range []string{"US-NY", "US-CA", "DE", "NL", "NO", "SE", "BR", "TH", "UA", "BY", "RU"} {
+		if counts[region] < 4 {
+			t.Errorf("region %s has %d members, want >=4 (Figure 5 threshold)", region, counts[region])
+		}
+	}
+}
+
+// TestNoCommodityFractionMatchesTable4 checks the generator produces a
+// Table 4 "no commodity" population near the paper's 37%.
+func TestNoCommodityFractionMatchesTable4(t *testing.T) {
+	e := Build(DefaultConfig())
+	noComm, total := 0, 0
+	for _, info := range e.ASes {
+		if info.Class != ClassMember {
+			continue
+		}
+		total++
+		if len(info.CommodityProviders) == 0 || info.HiddenCommodity {
+			noComm++
+		}
+	}
+	frac := float64(noComm) / float64(total)
+	if frac < 0.25 || frac > 0.50 {
+		t.Errorf("no-announced-commodity member fraction = %.2f, want ~0.37", frac)
+	}
+}
+
+// TestExcludedNeighborClasses pins the §2.1/§3.2 scoping: Peer-NET+
+// and Peer-FedNet networks exist, connect to Internet2 as ordinary
+// peers, and their prefixes stay out of the study set.
+func TestExcludedNeighborClasses(t *testing.T) {
+	e := Build(SmallConfig())
+	clouds, feds := 0, 0
+	for _, info := range e.ASes {
+		switch info.Class {
+		case ClassPeerNETPlus:
+			clouds++
+		case ClassFedNet:
+			feds++
+		default:
+			continue
+		}
+		// Internet2 treats them as ordinary peers: it must not
+		// re-export their routes to the R&E fabric.
+		pcAtI2 := e.Net.Speaker(e.Internet2.Router).Peer(info.Router)
+		if pcAtI2 == nil {
+			t.Fatalf("%s has no Internet2 session", info.Name)
+		}
+		if pcAtI2.ClassifyAs != bgp.ClassPeer {
+			t.Errorf("%s classified %v at Internet2, want peer", info.Name, pcAtI2.ClassifyAs)
+		}
+		if len(info.Prefixes) == 0 {
+			t.Errorf("%s has no prefixes", info.Name)
+		}
+	}
+	if clouds == 0 || feds == 0 {
+		t.Fatalf("missing excluded classes: %d clouds, %d feds", clouds, feds)
+	}
+	// Their prefixes live only in ExcludedPrefixes.
+	if len(e.ExcludedPrefixes) == 0 {
+		t.Fatal("no excluded prefixes recorded")
+	}
+	for _, pi := range e.ExcludedPrefixes {
+		if e.PrefixInfoFor(pi.Prefix) != nil {
+			t.Errorf("excluded prefix %s leaked into the study set", pi.Prefix)
+		}
+		if pi.NeighborClass != ClassPeerNETPlus && pi.NeighborClass != ClassFedNet {
+			t.Errorf("excluded prefix %s has class %v", pi.Prefix, pi.NeighborClass)
+		}
+	}
+	for _, pi := range e.Prefixes {
+		if pi.NeighborClass != ClassParticipant && pi.NeighborClass != ClassPeerNREN {
+			t.Errorf("study prefix %s has class %v (must be Participant or Peer-NREN)",
+				pi.Prefix, pi.NeighborClass)
+		}
+	}
+}
+
+// TestCoveredPrefixesGenerated: some member prefixes are entirely
+// covered by another of the same member (the 437 announcements §3.2
+// excludes), and the covered-prefix filter removes exactly those.
+func TestCoveredPrefixesGenerated(t *testing.T) {
+	e := Build(DefaultConfig())
+	all := make([]netutil.Prefix, 0, len(e.Prefixes))
+	for _, pi := range e.Prefixes {
+		all = append(all, pi.Prefix)
+	}
+	kept := netutil.ExcludeCovered(all)
+	excluded := len(all) - len(kept)
+	if excluded == 0 {
+		t.Fatal("no covered prefixes generated")
+	}
+	frac := float64(excluded) / float64(len(all))
+	if frac < 0.005 || frac > 0.06 {
+		t.Errorf("covered fraction = %.3f, want ~0.024 (437/18427)", frac)
+	}
+	// Every excluded prefix really is covered by a kept one.
+	keptSet := map[netutil.Prefix]bool{}
+	for _, p := range kept {
+		keptSet[p] = true
+	}
+	for _, p := range all {
+		if keptSet[p] {
+			continue
+		}
+		coveredBy := false
+		for _, q := range all {
+			if q != p && q.Covers(p) {
+				coveredBy = true
+				break
+			}
+		}
+		if !coveredBy {
+			t.Errorf("excluded prefix %s is not covered by anything", p)
+		}
+	}
+}

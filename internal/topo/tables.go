@@ -1,0 +1,182 @@
+package topo
+
+// nrenSpec describes one national R&E network in the generator's
+// world. The attribute pattern follows §4.3 of the paper: some NRENs
+// also sell commodity transit (so members single-home and the NREN
+// prepends its commodity announcements), while others share a
+// commodity provider with RIPE (Deutsche Telekom) and do not prepend,
+// which makes their commodity paths win tie-breaks.
+type nrenSpec struct {
+	name   string
+	as     uint32
+	region string
+	// providesCommodity: members mostly single-home; the NREN
+	// announces their routes to its commodity providers with prepends.
+	providesCommodity bool
+	// commodityPrepend is the NREN's origin prepending toward its
+	// commodity providers.
+	commodityPrepend int
+	// usesDT homes the NREN's commodity on Deutsche Telekom (AS 3320),
+	// RIPE's own provider, recreating the German-case tie-break loss.
+	usesDT bool
+	// i2Peer marks NRENs that peer with Internet2 directly (REPeer).
+	i2Peer bool
+}
+
+// nrenTable is the Peer-NREN roster. Region codes are ISO 3166-1
+// alpha-2. ASNs for well-known networks are real; others synthetic.
+var nrenTable = []nrenSpec{
+	// SURF reaches Internet2 via GEANT (no direct fabric peering
+	// here), which is what makes U.S. Participants' R&E paths one AS
+	// longer than Peer-NRENs' during the SURF experiment (Figure 8a).
+	{"SURF", 1103, "NL", true, 2, false, false},
+	{"NORDUnet", 2603, "NO", true, 2, false, true},
+	{"SUNET", 1653, "SE", true, 2, false, false},
+	{"Funet", 1741, "FI", true, 2, false, false},
+	{"RENATER", 2200, "FR", true, 2, false, false},
+	{"RedIRIS", 766, "ES", true, 2, false, false},
+	{"AARNet", 7575, "AU", true, 2, false, true},
+	{"REANNZ", 38022, "NZ", true, 2, false, false},
+	{"DFN", 680, "DE", false, 0, true, false},
+	{"RNP", 1916, "BR", false, 0, true, false},
+	{"UniNet", 4621, "TH", false, 0, true, false},
+	{"URAN", 12687, "UA", false, 0, true, false},
+	{"BASNET", 21274, "BY", false, 0, true, false},
+	{"NIKS", 3267, "RU", false, 0, false, false},
+	{"GARR", 137, "IT", false, 1, false, false},
+	{"Janet", 786, "GB", true, 2, false, true},
+	{"SWITCH", 559, "CH", false, 1, false, false},
+	{"CESNET", 2852, "CZ", false, 1, false, false},
+	{"PIONIER", 8501, "PL", false, 1, false, false},
+	{"HEAnet", 1213, "IE", true, 2, false, false},
+	{"BELNET", 2611, "BE", false, 1, false, false},
+	{"FCCN", 1930, "PT", false, 1, false, false},
+	{"GRNET", 5408, "GR", false, 1, false, false},
+	{"RoEduNet", 2614, "RO", false, 0, true, false},
+	{"SANET", 2607, "SK", false, 1, false, false},
+	{"ARNES", 2107, "SI", false, 1, false, false},
+	{"CARNET", 2108, "HR", false, 1, false, false},
+	{"LITNET", 2847, "LT", false, 1, false, false},
+	{"EENet", 3221, "EE", false, 1, false, false},
+	{"SigmaNet", 5538, "LV", false, 1, false, false},
+	{"KIFU", 1955, "HU", false, 1, false, false},
+	{"CANARIE", 6509, "CA", true, 2, false, true},
+	{"SINET", 2907, "JP", true, 2, false, true},
+	{"KREONET", 17579, "KR", false, 1, false, true},
+	{"CERNET", 4538, "CN", false, 0, true, false},
+	{"ERNET", 2697, "IN", false, 0, true, false},
+	{"ANKABUT", 47862, "AE", false, 1, false, false},
+	{"TENET", 2018, "ZA", false, 1, false, false},
+	{"RAAP", 27817, "PE", false, 0, true, false},
+	{"REUNA", 11340, "CL", false, 1, false, false},
+}
+
+// stateSpec describes a U.S. regional (Participant).
+type stateSpec struct {
+	name   string
+	as     uint32
+	region string
+	// providesCommodity: the regional sells commodity transit.
+	providesCommodity bool
+	commodityPrepend  int
+	// memberPrependProb is the probability a dual-homed member of
+	// this regional prepends its own commodity announcements (the
+	// NYSERNet conditioning of §4.3).
+	memberPrependProb float64
+	// memberOwnCommodityProb is the probability a member arranges its
+	// own commodity transit rather than single-homing.
+	memberOwnCommodityProb float64
+	// weight scales how many members attach.
+	weight int
+}
+
+// regionalTable is the Participant roster. NYSERNet and CENIC carry
+// the attributes §4.3 reports; the rest vary.
+var regionalTable = []stateSpec{
+	{"NYSERNet", 3754, "US-NY", false, 0, 0.84, 1.00, 8},
+	{"CENIC", 2152, "US-CA", true, 2, 0.50, 0.22, 13},
+	{"MREN", 64601, "US-IL", true, 2, 0.55, 0.40, 5},
+	{"OARnet", 600, "US-OH", true, 2, 0.60, 0.45, 4},
+	{"MERIT", 237, "US-MI", true, 2, 0.55, 0.40, 4},
+	{"LEARN", 64602, "US-TX", true, 2, 0.50, 0.50, 6},
+	{"FLR", 64603, "US-FL", true, 1, 0.45, 0.55, 5},
+	{"NOX", 64604, "US-MA", false, 0, 0.70, 1.00, 4},
+	{"MAGPI", 64605, "US-PA", false, 0, 0.60, 1.00, 4},
+	{"PNWGP", 101, "US-WA", true, 2, 0.60, 0.35, 4},
+	{"FRGP", 64606, "US-CO", true, 2, 0.55, 0.40, 3},
+	{"MCNC", 64607, "US-NC", true, 2, 0.55, 0.45, 3},
+	{"GPN", 64608, "US-KS", true, 1, 0.50, 0.50, 3},
+	{"OneNet", 64609, "US-OK", true, 1, 0.45, 0.50, 2},
+	{"SOX", 64610, "US-GA", true, 2, 0.55, 0.45, 4},
+	{"UEN", 64611, "US-UT", true, 2, 0.60, 0.35, 2},
+	{"ARE-ON", 64612, "US-AR", true, 1, 0.45, 0.50, 2},
+	{"LONI", 64613, "US-LA", true, 1, 0.45, 0.50, 2},
+	{"KyRON", 64614, "US-KY", true, 1, 0.50, 0.50, 2},
+	{"OSHEAN", 64615, "US-RI", false, 0, 0.65, 1.00, 2},
+	{"CEN", 64616, "US-CT", false, 0, 0.65, 1.00, 2},
+	{"NJEdge", 64617, "US-NJ", false, 0, 0.60, 1.00, 3},
+	{"MDREN", 64618, "US-MD", true, 2, 0.55, 0.40, 3},
+	{"MOREnet", 64619, "US-MO", true, 1, 0.50, 0.45, 2},
+	{"iLight", 64620, "US-IN", true, 2, 0.55, 0.40, 2},
+	{"WiscNet", 64621, "US-WI", true, 2, 0.55, 0.40, 3},
+	{"MnSCU", 64622, "US-MN", true, 2, 0.55, 0.40, 3},
+	{"NebraskaLink", 64623, "US-NE", true, 1, 0.50, 0.50, 2},
+	{"IRON", 64624, "US-ID", true, 1, 0.50, 0.50, 2},
+	{"AREON2", 64625, "US-AZ", true, 2, 0.55, 0.40, 3},
+	{"NMREN", 64626, "US-NM", true, 1, 0.50, 0.50, 2},
+	{"NevadaNet", 64627, "US-NV", true, 1, 0.50, 0.50, 2},
+	{"OREGON-GP", 64628, "US-OR", true, 2, 0.60, 0.35, 3},
+	{"VermontGW", 64629, "US-VT", false, 0, 0.60, 1.00, 1},
+	{"NHREN", 64630, "US-NH", false, 0, 0.60, 1.00, 1},
+	{"MaineREN", 64631, "US-ME", false, 0, 0.60, 1.00, 1},
+	{"WVNET", 64632, "US-WV", true, 1, 0.50, 0.50, 1},
+	{"SCLR", 64633, "US-SC", true, 1, 0.50, 0.50, 2},
+	{"TNII", 64634, "US-TN", true, 2, 0.55, 0.40, 3},
+	{"VA-MARIA", 64635, "US-VA", true, 2, 0.55, 0.40, 4},
+	{"AlaskaREN", 64636, "US-AK", false, 0, 0.55, 1.00, 1},
+	{"HawaiiREN", 64637, "US-HI", true, 1, 0.50, 0.45, 1},
+	{"DakotaREN", 64638, "US-SD", true, 1, 0.50, 0.50, 1},
+	{"NDREN", 64639, "US-ND", true, 1, 0.50, 0.50, 1},
+	{"IowaREN", 64640, "US-IA", true, 1, 0.50, 0.45, 2},
+	{"MSREN", 64641, "US-MS", true, 1, 0.45, 0.50, 1},
+	{"AlabamaREN", 64642, "US-AL", true, 1, 0.50, 0.50, 2},
+	{"DEREN", 64643, "US-DE", false, 0, 0.60, 1.00, 1},
+	{"WyREN", 64644, "US-WY", true, 1, 0.50, 0.50, 1},
+	{"MontanaREN", 64645, "US-MT", true, 1, 0.50, 0.50, 1},
+}
+
+// Well-known commodity ASNs.
+const (
+	asLumen   = 3356 // the commodity announcement's provider (§3.3)
+	asCogent  = 174
+	asArelion = 1299
+	asDT      = 3320 // Deutsche Telekom, RIPE's and DFN's provider
+	asNTT     = 2914
+	asGTT     = 3257
+	asZayo    = 6461
+	asTata    = 6453
+
+	asInternet2 = 11537
+	asGEANT     = 20965
+
+	// Measurement origins (§3.3).
+	asMeasCommodity = 396955
+	asMeasSURF      = 1125
+
+	// RIPE NCC's AS (the §4.3 vantage).
+	asRIPE = 3333
+)
+
+var tier1Table = []struct {
+	name string
+	as   uint32
+}{
+	{"Lumen", asLumen},
+	{"Cogent", asCogent},
+	{"Arelion", asArelion},
+	{"DT", asDT},
+	{"NTT", asNTT},
+	{"GTT", asGTT},
+	{"Zayo", asZayo},
+	{"Tata", asTata},
+}

@@ -1,0 +1,216 @@
+// Package topo builds the synthetic R&E internetwork the reproduction
+// measures: commodity tier-1 and transit ASes, R&E backbones
+// (Internet2, GEANT), national R&E networks (Peer-NRENs), U.S.
+// regionals (Participants), and member edge ASes, each with a
+// ground-truth route-preference policy the inference method is later
+// scored against.
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+)
+
+// Class is the role of an AS in the ecosystem. Participant and
+// PeerNREN mirror Internet2's neighbor classes (§2.1); the others are
+// the commodity substrate and special measurement actors.
+type Class uint8
+
+// AS classes.
+const (
+	// ClassTier1 is a transit-free commodity backbone.
+	ClassTier1 Class = iota
+	// ClassTransit is a mid-tier commodity transit provider.
+	ClassTransit
+	// ClassBackbone is an R&E backbone (Internet2, GEANT).
+	ClassBackbone
+	// ClassPeerNREN is a national R&E network peering with the
+	// backbones (SURF, DFN, NORDUnet, NIKS, ...).
+	ClassPeerNREN
+	// ClassParticipant is a U.S. regional R&E network that aggregates
+	// members and connects them to Internet2 (NYSERNet, CENIC, ...).
+	ClassParticipant
+	// ClassMember is an edge AS: a university, lab, or institute.
+	ClassMember
+	// ClassCollector is a public-view collector (RouteViews/RIS-like).
+	ClassCollector
+	// ClassSpecial covers measurement origins and vantage ASes (RIPE).
+	ClassSpecial
+	// ClassPeerNETPlus is an Internet2 cloud/content peer (§2.1's
+	// Peer-NET+): connected, but not expected to prefer R&E routes
+	// and excluded from the studied prefix set.
+	ClassPeerNETPlus
+	// ClassFedNet is a U.S. federal agency network (§2.1's
+	// Peer-FedNet), likewise excluded from the study.
+	ClassFedNet
+	// ClassCollectorFeed is a commodity-side AS that exists to feed a
+	// public collector (session-density realism for Figure 3).
+	ClassCollectorFeed
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassTier1:
+		return "tier1"
+	case ClassTransit:
+		return "transit"
+	case ClassBackbone:
+		return "backbone"
+	case ClassPeerNREN:
+		return "peer-nren"
+	case ClassParticipant:
+		return "participant"
+	case ClassMember:
+		return "member"
+	case ClassCollector:
+		return "collector"
+	case ClassSpecial:
+		return "special"
+	case ClassPeerNETPlus:
+		return "peer-net+"
+	case ClassFedNet:
+		return "peer-fednet"
+	case ClassCollectorFeed:
+		return "collector-feed"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// REPolicy is the ground-truth egress preference an AS applies between
+// its available R&E and commodity routes — the quantity the paper's
+// method infers.
+type REPolicy uint8
+
+// Policies.
+const (
+	// PolicyPreferRE assigns R&E sessions a higher localpref than
+	// commodity sessions: insensitive to AS path length.
+	PolicyPreferRE REPolicy = iota
+	// PolicyEqual assigns the same localpref to R&E and commodity
+	// sessions, so AS path length breaks the tie — the "Switch to
+	// R&E" population.
+	PolicyEqual
+	// PolicyPreferCommodity assigns commodity a higher localpref —
+	// the "Always commodity" population.
+	PolicyPreferCommodity
+	// PolicyDefaultOnly imports only a default route from the
+	// commodity provider so R&E routes always win on specificity
+	// (the Figure 1 alternative); behaviourally "Always R&E".
+	PolicyDefaultOnly
+	numPolicies
+)
+
+func (p REPolicy) String() string {
+	switch p {
+	case PolicyPreferRE:
+		return "prefer-re"
+	case PolicyEqual:
+		return "equal-localpref"
+	case PolicyPreferCommodity:
+		return "prefer-commodity"
+	case PolicyDefaultOnly:
+		return "default-only-commodity"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// SiteKind models where the systems of one prefix attach. Most
+// prefixes are served by the origin AS's own router; a small fraction
+// live on infrastructure whose egress differs (the paper's mixed
+// prefixes and the interconnection-router case of §4.1.2).
+type SiteKind uint8
+
+// Site kinds.
+const (
+	// SitePrimary prefixes route via the origin AS itself.
+	SitePrimary SiteKind = iota
+	// SiteAltCommodity prefixes are served by equipment whose return
+	// traffic egresses via the origin's commodity provider directly
+	// (e.g. an interconnect router without an R&E route).
+	SiteAltCommodity
+	// SiteAltRE prefixes are served by equipment homed directly on the
+	// R&E provider.
+	SiteAltRE
+)
+
+func (s SiteKind) String() string {
+	switch s {
+	case SitePrimary:
+		return "primary"
+	case SiteAltCommodity:
+		return "alt-commodity"
+	case SiteAltRE:
+		return "alt-re"
+	default:
+		return fmt.Sprintf("site(%d)", uint8(s))
+	}
+}
+
+// ASInfo is everything the generator knows about one AS: topology,
+// announced prefixes, and ground-truth policy.
+type ASInfo struct {
+	AS     asn.AS
+	Router bgp.RouterID
+	Name   string
+	Class  Class
+	// Region is an ISO-like country code ("NL", "DE") or a U.S. state
+	// ("US-NY") for geolocation (Figure 5).
+	Region string
+
+	// Policy is the ground-truth egress preference.
+	Policy REPolicy
+
+	// REPrepend / CommodityPrepend are the extra origin prepends the
+	// AS applies when announcing its prefixes toward R&E and commodity
+	// neighbors respectively (Table 4's signal).
+	REPrepend        int
+	CommodityPrepend int
+
+	// HiddenCommodity marks an AS that uses a commodity provider for
+	// egress but does not announce its prefixes to it, so public BGP
+	// never shows a commodity route (the "unobserved commodity
+	// transit" of §4.2).
+	HiddenCommodity bool
+
+	// VRFSplit marks an AS that exports its commodity VRF to public
+	// collectors even though its policy prefers R&E (§4.1.1).
+	VRFSplit bool
+
+	// RFD marks an AS that applies route-flap damping on its import
+	// sessions (~9% of ASes per Gray et al. 2020).
+	RFD bool
+
+	// ProvidesCommodity marks an NREN/regional that also sells
+	// commodity transit to its members.
+	ProvidesCommodity bool
+
+	// REProviders and CommodityProviders list upstream ASes by role.
+	REProviders        []asn.AS
+	CommodityProviders []asn.AS
+
+	// Prefixes are the prefixes this AS originates, in canonical order.
+	Prefixes []netutil.Prefix
+}
+
+// PrefixInfo describes one originated prefix.
+type PrefixInfo struct {
+	Prefix netutil.Prefix
+	Origin asn.AS
+	// NeighborClass is how Internet2 sees the route: via a Participant
+	// or via a Peer-NREN (the two studied classes, §2.1).
+	NeighborClass Class
+	// Site is where the prefix's systems attach.
+	Site SiteKind
+	// MixedAltHost marks a prefix whose third responsive system sits
+	// on alternate (commodity-egress) infrastructure while the others
+	// follow the origin's policy — the paper's mixed prefixes, with
+	// their ~2:1 R&E:commodity intra-prefix ratio.
+	MixedAltHost bool
+	// Region copies the origin's region.
+	Region string
+}

@@ -1,0 +1,32 @@
+# Build and verification targets. `make check` is the tier-1 gate;
+# `make race` adds the race detector; `make smoke` runs the reduced
+# fault-intensity sweep end to end.
+
+GO ?= go
+
+.PHONY: build check vet test race smoke bench fuzz
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check: build vet test
+
+race:
+	$(GO) test -race ./...
+
+# Reduced-scale fault sweep as a smoke test: exercises the injector,
+# the resilient pipeline, and the report path in one shot.
+smoke:
+	$(GO) test -run '^$$' -bench BenchmarkFaultSweep -benchtime 1x -v .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime 30s ./internal/probe/

@@ -217,3 +217,18 @@ func BenchmarkOriginViews(b *testing.B) {
 		_ = core.ComputeOriginViews(s.Eco)
 	}
 }
+
+// BenchmarkFaultSweep measures the robustness harness: a full
+// three-point fault-intensity sweep, each point rebuilding the world,
+// injecting its seeded schedule, and scoring the inference against
+// generator ground truth.
+func BenchmarkFaultSweep(b *testing.B) {
+	opts := core.DefaultFaultSweepOptions()
+	opts.Intensities = []float64{0, 0.5, 1}
+	var pts []core.FaultSweepPoint
+	for i := 0; i < b.N; i++ {
+		pts = core.RunFaultSweep(opts)
+	}
+	b.StopTimer()
+	b.Logf("\n%s", core.FaultSweepTable(pts))
+}

@@ -6,11 +6,12 @@
 //
 // Usage:
 //
-//	resurvey [-small] [-seed N] [-json dir] [-mrt dir]
+//	resurvey [-small] [-seed N] [-json dir] [-mrt dir] [-faults]
 //
 // -small runs the reduced test-scale ecosystem; -json writes the
 // scamper-style probe results per round; -mrt writes collector RIB
-// and update dumps.
+// and update dumps; -faults additionally runs the fault-intensity
+// sweep and prints the accuracy-vs-intensity table.
 package main
 
 import (
@@ -37,15 +38,16 @@ func main() {
 	mrtDir := flag.String("mrt", "", "directory for MRT collector dumps")
 	nSeeds := flag.Int("seeds", 1, "additionally rerun the survey across N generator seeds (reduced scale) and report spread")
 	dataset := flag.String("dataset", "", "write the gzip-compressed JSON dataset (the public-data-release analog) to this file")
+	faultSweep := flag.Bool("faults", false, "run the fault-intensity sweep (reduced scale) and print accuracy vs intensity")
 	flag.Parse()
 
-	if err := run(*small, *seed, *jsonDir, *mrtDir, *nSeeds, *dataset); err != nil {
+	if err := run(*small, *seed, *jsonDir, *mrtDir, *nSeeds, *dataset, *faultSweep); err != nil {
 		fmt.Fprintln(os.Stderr, "resurvey:", err)
 		os.Exit(1)
 	}
 }
 
-func run(small bool, seed int64, jsonDir, mrtDir string, nSeeds int, datasetPath string) error {
+func run(small bool, seed int64, jsonDir, mrtDir string, nSeeds int, datasetPath string, faultSweep bool) error {
 	opts := core.DefaultSurveyOptions()
 	if small {
 		opts = core.SmallSurveyOptions()
@@ -176,6 +178,18 @@ func run(small bool, seed int64, jsonDir, mrtDir string, nSeeds int, datasetPath
 		100*irrStats.ConformanceRate(), irrStats.Documented, irrStats.Undocumented)
 	if !reg.CoversOrigin(s.Eco.MeasPrefix, 11537) || !reg.CoversOrigin(s.Eco.MeasPrefix, 396955) {
 		return fmt.Errorf("measurement prefix not covered by IRR route objects")
+	}
+
+	if faultSweep {
+		// Robustness: how much fault intensity the inference tolerates
+		// before Table 1's shape breaks, scored against generator ground
+		// truth. Runs at reduced scale with fresh worlds per point; the
+		// topology seed carries over so the sweep tracks the main run.
+		fmt.Println()
+		fmt.Println("running fault-intensity sweep (reduced scale)...")
+		fopts := core.DefaultFaultSweepOptions()
+		fopts.Survey.Topology.Seed = seed
+		fmt.Println(core.FaultSweepTable(core.RunFaultSweep(fopts)))
 	}
 
 	if nSeeds > 1 {

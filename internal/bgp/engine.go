@@ -83,6 +83,14 @@ type Network struct {
 	// window the counts.
 	Churn ChurnLog
 
+	// CollectorFeedDown, when set, reports whether the archive feed of
+	// the given collector is down at a virtual time. Updates delivered
+	// to that collector during a gap are processed normally (the BGP
+	// session itself stays up) but are not recorded in Churn — the
+	// collector-outage failure mode of public archives, where update
+	// files go missing while routing continues.
+	CollectorFeedDown func(collector RouterID, at Time) bool
+
 	eventsProcessed int
 
 	// solver caches the static solver's RouterID-indexed adjacency;
@@ -508,7 +516,7 @@ func (n *Network) deliver(e *event) {
 	}
 
 	n.Churn.TotalMessages++
-	if s.Collector {
+	if s.Collector && (n.CollectorFeedDown == nil || !n.CollectorFeedDown(s.ID, n.clock)) {
 		pcIn := s.peers[e.from]
 		var peerAS asn.AS
 		if pcIn != nil {

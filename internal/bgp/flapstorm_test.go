@@ -1,0 +1,86 @@
+package bgp
+
+import (
+	"testing"
+
+	"repro/internal/netutil"
+)
+
+// Flap-storm regression: repeated SetSessionDown/SetSessionUp cycles —
+// the fault injector's storm shape — must drive the receiver's RFD
+// penalty past the suppress threshold, and the suppressed route must
+// return once the reuse timer fires. RunToQuiescence must terminate
+// throughout (the reuse recheck must not self-perpetuate).
+func TestFlapStormRFDSuppressionAndRecovery(t *testing.T) {
+	net := NewNetwork()
+	net.AddSpeaker(1, 100, "provider")
+	net.AddSpeaker(2, 200, "member")
+	net.Connect(2, 1,
+		PeerConfig{ClassifyAs: ClassCustomer, ImportLocalPref: LocalPrefCustomer, ExportAllow: GaoRexfordExport(ClassCustomer)},
+		PeerConfig{ClassifyAs: ClassProvider, ImportLocalPref: LocalPrefProvider, ExportAllow: GaoRexfordExport(ClassProvider), RFD: DefaultRFD()},
+	)
+	p := netutil.MustParsePrefix("198.51.100.0/24")
+	net.Originate(2, p)
+	net.RunToQuiescence()
+	if net.Speaker(1).Best(p) == nil {
+		t.Fatal("no route before the storm")
+	}
+
+	// Storm: rapid down/up cycles 30 s apart, the injector's cadence.
+	// Each re-up re-announces the route through the damped session.
+	for i := 0; i < 4; i++ {
+		net.SetSessionDown(1, 2)
+		net.Run(net.Now() + 30)
+		net.SetSessionUp(1, 2)
+		net.Run(net.Now() + 30)
+	}
+	if best := net.Speaker(1).Best(p); best != nil {
+		t.Fatalf("storm did not trigger RFD suppression: %v", best)
+	}
+
+	// The session is healthy again; draining must terminate and the
+	// reuse timer must bring the route back.
+	events := net.RunToQuiescence()
+	if best := net.Speaker(1).Best(p); best == nil {
+		t.Fatal("route did not recover after the storm")
+	}
+	if events == 0 {
+		t.Fatal("quiescence drained no events — reuse recheck never fired")
+	}
+	// A second drain from the recovered state must be a no-op.
+	if extra := net.RunToQuiescence(); extra != 0 {
+		t.Fatalf("network not quiescent after recovery: %d residual events", extra)
+	}
+}
+
+// Storms alternating with quiet periods: suppression must engage only
+// while penalties are fresh, and every storm must end in recovery —
+// the oscillating shape the fault sweep leans on.
+func TestRepeatedFlapStormsAlwaysRecover(t *testing.T) {
+	net := NewNetwork()
+	net.AddSpeaker(1, 100, "provider")
+	net.AddSpeaker(2, 200, "member")
+	net.Connect(2, 1,
+		PeerConfig{ClassifyAs: ClassCustomer, ImportLocalPref: LocalPrefCustomer, ExportAllow: GaoRexfordExport(ClassCustomer)},
+		PeerConfig{ClassifyAs: ClassProvider, ImportLocalPref: LocalPrefProvider, ExportAllow: GaoRexfordExport(ClassProvider), RFD: DefaultRFD()},
+	)
+	p := netutil.MustParsePrefix("203.0.113.0/24")
+	net.Originate(2, p)
+	net.RunToQuiescence()
+
+	for storm := 0; storm < 3; storm++ {
+		for i := 0; i < 5; i++ {
+			net.SetSessionDown(1, 2)
+			net.Run(net.Now() + 30)
+			net.SetSessionUp(1, 2)
+			net.Run(net.Now() + 30)
+		}
+		net.RunToQuiescence()
+		if net.Speaker(1).Best(p) == nil {
+			t.Fatalf("storm %d: route never recovered", storm)
+		}
+		// Quiet hour between storms: penalties decay below suppress.
+		net.Run(net.Now() + 3600)
+		net.AdvanceTo(net.Now() + 3600)
+	}
+}

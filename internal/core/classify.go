@@ -73,6 +73,12 @@ const (
 	InfMixed
 	// InfOscillating: multiple transitions between route types.
 	InfOscillating
+	// InfInsufficientData marks prefixes that responded in some rounds
+	// but in fewer than the configured evidence quorum — the
+	// degradation-aware outcome, distinct from total loss, used by the
+	// resilient pipeline instead of silently mislabeling a sparse
+	// sequence.
+	InfInsufficientData
 	numInferences
 )
 
@@ -92,6 +98,8 @@ func (i Inference) String() string {
 		return "Mixed R&E + commodity"
 	case InfOscillating:
 		return "Oscillating"
+	case InfInsufficientData:
+		return "Insufficient data"
 	default:
 		return fmt.Sprintf("inference(%d)", uint8(i))
 	}
@@ -165,6 +173,79 @@ func Classify(seq []RoundObs) Inference {
 	default:
 		return InfOscillating
 	}
+}
+
+// RobustResult is the degradation-aware classification outcome.
+type RobustResult struct {
+	Inference Inference
+	// Confidence in [0, 1]: the observed-round fraction, halved when a
+	// route-type transition spans unobserved rounds (the transition
+	// point — and hence the switch configuration — is then ambiguous).
+	Confidence float64
+	// Observed is how many rounds produced a response.
+	Observed int
+}
+
+// ClassifyRobust classifies a sequence that may contain loss rounds,
+// gated by an evidence quorum. Unlike Classify — which excludes any
+// prefix with a single lost round, the paper's strict rule — it
+// compresses the observed rounds and classifies those, provided at
+// least quorum rounds responded:
+//
+//   - no round responded → InfUnresponsive
+//   - fewer than quorum rounds responded → InfInsufficientData
+//   - otherwise the compressed sequence's Classify result
+//
+// Compression cannot invent transitions, so a sparse Always-R&E prefix
+// can never come back as a spurious Switch; at worst a transition
+// hidden inside a loss gap halves the confidence. A quorum <= 0
+// reproduces Classify exactly.
+func ClassifyRobust(seq []RoundObs, quorum int) RobustResult {
+	if quorum <= 0 {
+		r := RobustResult{Inference: Classify(seq), Observed: 0}
+		for _, o := range seq {
+			if o != ObsLoss {
+				r.Observed++
+			}
+		}
+		if r.Inference != InfUnresponsive {
+			r.Confidence = 1
+		}
+		return r
+	}
+	compressed := make([]RoundObs, 0, len(seq))
+	gapBefore := make([]bool, 0, len(seq)) // loss gap since previous observation
+	gap := false
+	for _, o := range seq {
+		if o == ObsLoss {
+			gap = true
+			continue
+		}
+		compressed = append(compressed, o)
+		gapBefore = append(gapBefore, gap)
+		gap = false
+	}
+	r := RobustResult{Observed: len(compressed)}
+	if len(seq) > 0 {
+		r.Confidence = float64(len(compressed)) / float64(len(seq))
+	}
+	switch {
+	case len(compressed) == 0:
+		r.Inference = InfUnresponsive
+		r.Confidence = 0
+		return r
+	case len(compressed) < quorum:
+		r.Inference = InfInsufficientData
+		return r
+	}
+	r.Inference = Classify(compressed)
+	for i := 1; i < len(compressed); i++ {
+		if compressed[i] != compressed[i-1] && gapBefore[i] {
+			r.Confidence /= 2
+			break
+		}
+	}
+	return r
 }
 
 // SwitchConfig returns the index of the first round in which the

@@ -1,0 +1,93 @@
+package core
+
+import "testing"
+
+func TestClassifyRobustQuorumGate(t *testing.T) {
+	const quorum = 6
+	tests := []struct {
+		seq     string
+		want    Inference
+		obs     int
+		minConf float64
+		maxConf float64
+	}{
+		// Fully observed sequences match Classify.
+		{"RRRRRRRRR", InfAlwaysRE, 9, 1, 1},
+		{"CCCCCRRRR", InfSwitchToRE, 9, 1, 1},
+		// Sparse but above quorum: the paper class, reduced confidence.
+		{"RRLRRRLRR", InfAlwaysRE, 7, 7.0 / 9, 7.0 / 9},
+		{"CCCLCRRRR", InfSwitchToRE, 8, 8.0 / 9, 8.0 / 9}, // gap inside the C run: transition observed
+		{"CCCCLRRRR", InfSwitchToRE, 8, 4.0 / 9, 4.0 / 9}, // transition spans the gap: halved
+		{"CCCCCLRRR", InfSwitchToRE, 8, 4.0 / 9, 4.0 / 9},
+		// Below quorum: insufficient data, never a guess.
+		{"RRRRRLLLL", InfInsufficientData, 5, 5.0 / 9, 5.0 / 9},
+		{"RLLLLLLLL", InfInsufficientData, 1, 1.0 / 9, 1.0 / 9},
+		{"CLLLLLLLR", InfInsufficientData, 2, 2.0 / 9, 2.0 / 9},
+		// Nothing observed: plain unresponsive.
+		{"LLLLLLLLL", InfUnresponsive, 0, 0, 0},
+		{"", InfUnresponsive, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		got := ClassifyRobust(seq(tt.seq), quorum)
+		if got.Inference != tt.want || got.Observed != tt.obs {
+			t.Errorf("ClassifyRobust(%q) = %v/%d observed, want %v/%d",
+				tt.seq, got.Inference, got.Observed, tt.want, tt.obs)
+		}
+		if got.Confidence < tt.minConf || got.Confidence > tt.maxConf {
+			t.Errorf("ClassifyRobust(%q) confidence %v, want [%v,%v]",
+				tt.seq, got.Confidence, tt.minConf, tt.maxConf)
+		}
+	}
+}
+
+// A prefix responsive in only k of 9 configs must get InsufficientData
+// below quorum and its true class above quorum — and never a spurious
+// Switch label, whatever k.
+func TestClassifyRobustNeverSpuriousSwitch(t *testing.T) {
+	const quorum = 6
+	// Ground truth Always R&E; vary which k rounds respond.
+	for mask := 0; mask < 1<<9; mask++ {
+		s := make([]RoundObs, 9)
+		k := 0
+		for i := 0; i < 9; i++ {
+			if mask&(1<<i) != 0 {
+				s[i] = ObsRE
+				k++
+			} else {
+				s[i] = ObsLoss
+			}
+		}
+		got := ClassifyRobust(s, quorum)
+		switch {
+		case k == 0 && got.Inference != InfUnresponsive:
+			t.Fatalf("mask %09b: %v, want unresponsive", mask, got.Inference)
+		case k > 0 && k < quorum && got.Inference != InfInsufficientData:
+			t.Fatalf("mask %09b (k=%d): %v, want insufficient data", mask, k, got.Inference)
+		case k >= quorum && got.Inference != InfAlwaysRE:
+			t.Fatalf("mask %09b (k=%d): %v, want Always R&E", mask, k, got.Inference)
+		}
+		if got.Inference == InfSwitchToRE || got.Inference == InfSwitchToCommodity {
+			t.Fatalf("mask %09b: spurious switch label %v", mask, got.Inference)
+		}
+	}
+}
+
+// Quorum 0 must reproduce the strict paper rule bit-for-bit.
+func TestClassifyRobustZeroQuorumIsClassify(t *testing.T) {
+	for _, s := range []string{
+		"RRRRRRRRR", "CCCCCRRRR", "RRRRLRRRR", "LLLLLLLLL", "CCRRCCRRR", "MMMMMMMMM", "",
+	} {
+		want := Classify(seq(s))
+		got := ClassifyRobust(seq(s), 0)
+		if got.Inference != want {
+			t.Errorf("ClassifyRobust(%q, 0) = %v, want %v", s, got.Inference, want)
+		}
+		wantConf := 1.0
+		if want == InfUnresponsive {
+			wantConf = 0
+		}
+		if got.Confidence != wantConf {
+			t.Errorf("ClassifyRobust(%q, 0) confidence %v, want %v", s, got.Confidence, wantConf)
+		}
+	}
+}

@@ -59,7 +59,8 @@ func Compare(eco *topo.Ecosystem, surf, i2 *Result) *Comparison {
 		}
 		ia, ib := a.Inference, b.Inference
 		switch {
-		case ia == InfUnresponsive || ib == InfUnresponsive:
+		case ia == InfUnresponsive || ib == InfUnresponsive ||
+			ia == InfInsufficientData || ib == InfInsufficientData:
 			c.PacketLoss++
 			continue
 		case ia == InfMixed || ib == InfMixed:

@@ -56,6 +56,16 @@ type ExperimentConfig struct {
 	// "Oscillating" rows (§4: "an outage during our experiment caused
 	// their route to our host to revert to commodity").
 	Outages []Outage
+	// Quorum is the minimum number of responsive rounds required to
+	// classify a prefix; sparser prefixes get InfInsufficientData
+	// instead of a paper class. 0 keeps the paper's strict rule (any
+	// lost round → unresponsive) bit-for-bit.
+	Quorum int
+	// Advance, when non-nil, replaces net.Run inside the measured
+	// window — the fault injector's hook for applying scheduled
+	// session actions at their virtual times while the network drains
+	// toward each probing round. Nil means plain net.Run.
+	Advance func(net *bgp.Network, to bgp.Time)
 }
 
 // Outage takes the session between A and B down just before the
@@ -81,6 +91,11 @@ type PrefixResult struct {
 	Prefix    netutil.Prefix
 	Seq       []RoundObs
 	Inference Inference
+	// Confidence and Observed carry the degradation-aware evidence
+	// accounting (see ClassifyRobust); under the strict paper rule
+	// (Quorum 0) Confidence is 1 for every characterized prefix.
+	Confidence float64
+	Observed   int
 }
 
 // Result is one experiment's complete output.
@@ -150,7 +165,7 @@ func (x *Experiment) Run() *Result {
 	for _, nb := range commSessions {
 		net.SetPrefixPrepend(x.Cfg.CommodityOrigin, nb, meas, first.Commodity)
 	}
-	net.Run(x.Cfg.Start)
+	x.advance(x.Cfg.Start)
 
 	churnStart := len(net.Churn.Records)
 
@@ -199,7 +214,7 @@ func (x *Experiment) Run() *Result {
 
 		// Let BGP converge during the hour's wait, then probe.
 		probeAt := t + x.Cfg.RoundGap
-		net.Run(probeAt)
+		x.advance(probeAt)
 		net.AdvanceTo(probeAt)
 		round := x.Prober.Run(cfg.Label(), probeAt, x.Sel)
 		res.Rounds = append(res.Rounds, round)
@@ -220,6 +235,16 @@ func (x *Experiment) Run() *Result {
 	x.classify(res)
 	x.snapshotCollectors(res, net.Churn.Records[churnStart:churnEnd])
 	return res
+}
+
+// advance drains the network to `to`, via the injector hook when one
+// is configured.
+func (x *Experiment) advance(to bgp.Time) {
+	if x.Cfg.Advance != nil {
+		x.Cfg.Advance(x.Eco.Net, to)
+		return
+	}
+	x.Eco.Net.Run(to)
 }
 
 // reSessions lists the neighbors over which the R&E origin announces
@@ -247,7 +272,13 @@ func (x *Experiment) classify(res *Result) {
 		for i := range res.Rounds {
 			seq[i] = ObserveRound(perRound[i][p])
 		}
-		res.PerPrefix[p] = &PrefixResult{Prefix: p, Seq: seq, Inference: Classify(seq)}
+		rr := ClassifyRobust(seq, x.Cfg.Quorum)
+		res.PerPrefix[p] = &PrefixResult{
+			Prefix: p, Seq: seq,
+			Inference:  rr.Inference,
+			Confidence: rr.Confidence,
+			Observed:   rr.Observed,
+		}
 	}
 }
 

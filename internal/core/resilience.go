@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/faults"
+	"repro/internal/netutil"
+	"repro/internal/probe"
+	"repro/internal/report"
+)
+
+// This file caps the fault-injection subsystem: a fault-intensity
+// sweep that rebuilds the world at each point, injects a seeded
+// schedule of session faults, brownouts, and collector gaps, runs the
+// Internet2-style experiment through the resilient pipeline, and
+// scores the inferences against the generator's installed policies —
+// the exact ground truth the paper could only approximate with
+// operator email (§4.1.2). It quantifies how much fault intensity
+// Table 1's shape tolerates.
+
+// FaultSweepOptions configures RunFaultSweep.
+type FaultSweepOptions struct {
+	// Survey is the world configuration rebuilt fresh at every
+	// intensity point, so points are independent and each is exactly
+	// reproducible.
+	Survey SurveyOptions
+	// Intensities are the sweep points, typically starting at 0 (the
+	// strict baseline pipeline, bit-for-bit).
+	Intensities []float64
+	// FaultSeed drives schedule generation at every point.
+	FaultSeed int64
+	// Quorum is the evidence quorum applied at nonzero intensity
+	// (rounds that must respond before a prefix is classified).
+	Quorum int
+	// Retry is the prober retry policy applied at nonzero intensity.
+	Retry probe.RetryPolicy
+}
+
+// DefaultFaultSweepOptions sweeps six intensity points over the small
+// topology with the resilience layer at its default settings.
+func DefaultFaultSweepOptions() FaultSweepOptions {
+	return FaultSweepOptions{
+		Survey:      SmallSurveyOptions(),
+		Intensities: []float64{0, 0.1, 0.25, 0.5, 0.75, 1},
+		FaultSeed:   1789,
+		Quorum:      6,
+		Retry:       probe.DefaultRetryPolicy(),
+	}
+}
+
+// FaultSweepPoint is one intensity point's outcome.
+type FaultSweepPoint struct {
+	Intensity float64
+	// Schedule fault volumes, for the report.
+	SessionFaults int
+	Brownouts     int
+	FeedGaps      int
+
+	Result  *Result
+	Summary *SurveySummary
+	// OutageClasses counts prefixes labeled Switch-to-commodity or
+	// Oscillating — the Table 1 rows the paper attributes to outages,
+	// and the first part of the table's shape to move as session
+	// faults rise.
+	OutageClasses int
+	// Validation scores the characterized prefixes against generator
+	// ground truth; Accuracy is its correct/(correct+wrong) headline.
+	Validation *Validation
+	Accuracy   float64
+	// MeanConfidence averages PrefixResult.Confidence over
+	// characterized (non-unresponsive, non-insufficient) prefixes.
+	MeanConfidence float64
+}
+
+// RunFaultSweep measures inference quality as fault intensity rises.
+// At intensity 0 the entire fault and resilience subsystem is disabled
+// — no schedule, no retry, quorum 0 — so the first point reproduces
+// the baseline pipeline bit-for-bit. At nonzero intensity the injector
+// drives the schedule through the experiment while the retry policy
+// and evidence quorum defend the classification.
+func RunFaultSweep(opts FaultSweepOptions) []FaultSweepPoint {
+	if len(opts.Intensities) == 0 {
+		opts.Intensities = DefaultFaultSweepOptions().Intensities
+	}
+	points := make([]FaultSweepPoint, 0, len(opts.Intensities))
+	for _, intensity := range opts.Intensities {
+		points = append(points, runFaultPoint(opts, intensity))
+	}
+	return points
+}
+
+func runFaultPoint(opts FaultSweepOptions, intensity float64) FaultSweepPoint {
+	s := NewSurvey(opts.Survey)
+	start := bgp.Time(9 * 3600)
+	x := NewInternet2Experiment(s.Eco, s.World, s.Prober, s.Sel, start)
+
+	pt := FaultSweepPoint{Intensity: intensity}
+	if intensity > 0 {
+		window := faults.Window{
+			Start: start,
+			End:   start + bgp.Time(len(Schedule())+1)*x.Cfg.RoundGap,
+		}
+		sched := faults.Generate(s.Eco, window, faults.Config{Seed: opts.FaultSeed, Intensity: intensity})
+		pt.SessionFaults = len(sched.Sessions)
+		pt.Brownouts = len(sched.Brownouts)
+		pt.FeedGaps = len(sched.FeedGaps)
+
+		inj := faults.NewInjector(sched)
+		inj.Install(s.World, s.Eco.Net)
+		x.Cfg.Advance = inj.Advance
+		x.Cfg.Quorum = opts.Quorum
+		s.Prober.Retry = opts.Retry
+		pt.Result = x.Run()
+		inj.Finish(s.Eco.Net)
+		inj.Uninstall(s.World, s.Eco.Net)
+	} else {
+		pt.Result = x.Run()
+	}
+
+	pt.Summary = Summarize(s.Eco, pt.Result)
+	pt.Validation = Validate(s.Eco, pt.Result)
+	pt.Accuracy = pt.Validation.Accuracy()
+	pt.OutageClasses = pt.Summary.PrefixCount[InfSwitchToCommodity] + pt.Summary.PrefixCount[InfOscillating]
+
+	// Sum in canonical prefix order: map iteration order would make
+	// the float total differ in the last ulp between identical runs.
+	prefixes := make([]netutil.Prefix, 0, len(pt.Result.PerPrefix))
+	for p := range pt.Result.PerPrefix {
+		prefixes = append(prefixes, p)
+	}
+	netutil.SortPrefixes(prefixes)
+	characterized, confSum := 0, 0.0
+	for _, p := range prefixes {
+		pr := pt.Result.PerPrefix[p]
+		if pr.Inference == InfUnresponsive || pr.Inference == InfInsufficientData {
+			continue
+		}
+		characterized++
+		confSum += pr.Confidence
+	}
+	if characterized > 0 {
+		pt.MeanConfidence = confSum / float64(characterized)
+	}
+	return pt
+}
+
+// FaultSweepTable renders the accuracy-vs-intensity report.
+func FaultSweepTable(points []FaultSweepPoint) *report.Table {
+	t := &report.Table{
+		Title: "Fault sweep: inference quality vs fault intensity",
+		Headers: []string{"Intensity", "Faults (sess/brown/gap)", "Characterized",
+			"Outage classes", "Insufficient", "Unresponsive", "Accuracy", "Mean conf"},
+	}
+	for _, pt := range points {
+		t.AddRow(
+			fmt.Sprintf("%.2f", pt.Intensity),
+			fmt.Sprintf("%d/%d/%d", pt.SessionFaults, pt.Brownouts, pt.FeedGaps),
+			itoa(pt.Summary.TotalPrefixes),
+			itoa(pt.OutageClasses),
+			itoa(pt.Summary.InsufficientData),
+			itoa(pt.Summary.Unresponsive),
+			fmt.Sprintf("%.1f%%", 100*pt.Accuracy),
+			fmt.Sprintf("%.2f", pt.MeanConfidence),
+		)
+	}
+	return t
+}

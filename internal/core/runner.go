@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/rand"
+
 	"repro/internal/bgp"
 	"repro/internal/netutil"
 	"repro/internal/probe"
@@ -16,6 +18,9 @@ type Survey struct {
 	World  *simnet.World
 	Sel    *seeds.Selection
 	Prober *probe.Prober
+	// Opts are the options the survey was built with; RunBoth reads
+	// OutageSeed from here.
+	Opts SurveyOptions
 
 	SURF      *Result
 	Internet2 *Result
@@ -28,6 +33,11 @@ type SurveyOptions struct {
 	Catalog  seeds.CatalogConfig
 	// TargetsPerPrefix is the responsive-address goal (§3.2: three).
 	TargetsPerPrefix int
+	// OutageSeed controls how the injected mid-experiment outages are
+	// divided between the SURF and Internet2 runs: 0 keeps the
+	// historical in-order halves split; any other value shuffles the
+	// list deterministically before splitting (see SplitOutages).
+	OutageSeed int64
 }
 
 // DefaultSurveyOptions returns the paper-scale configuration.
@@ -74,7 +84,27 @@ func NewSurvey(opts SurveyOptions) *Survey {
 		World:  world,
 		Sel:    sel,
 		Prober: probe.NewProber(world),
+		Opts:   opts,
 	}
+}
+
+// SplitOutages deterministically divides an outage list between the
+// two experiments. Seed 0 preserves the historical behaviour — the
+// first half (rounded down) goes to the first experiment, the rest to
+// the second — while any nonzero seed applies a deterministic shuffle
+// before the same split, so reruns with the same seed reproduce the
+// same assignment.
+func SplitOutages(outages []Outage, seed int64) (first, second []Outage) {
+	n := len(outages)
+	if n == 0 {
+		return nil, nil
+	}
+	split := append([]Outage(nil), outages...)
+	if seed != 0 {
+		rng := rand.New(rand.NewSource(seed)) // #nosec deterministic split
+		rng.Shuffle(n, func(i, j int) { split[i], split[j] = split[j], split[i] })
+	}
+	return split[:n/2], split[n/2:]
 }
 
 // RunBoth executes the SURF experiment, tears down its R&E
@@ -82,20 +112,16 @@ func NewSurvey(opts SurveyOptions) *Survey {
 // later, mirroring §3.1's 30 May and 5 June runs. A few member R&E
 // sessions fail mid-experiment, as happened during the real runs.
 func (s *Survey) RunBoth() {
-	outages := s.pickOutages()
+	surfOutages, i2Outages := SplitOutages(s.pickOutages(), s.Opts.OutageSeed)
 	surfStart := bgp.Time(9 * 3600)
 	x1 := NewSURFExperiment(s.Eco, s.World, s.Prober, s.Sel, surfStart)
-	if len(outages) > 0 {
-		x1.Cfg.Outages = outages[:len(outages)/2]
-	}
+	x1.Cfg.Outages = surfOutages
 	s.SURF = x1.Run()
 	x1.TeardownRE()
 
 	i2Start := s.Eco.Net.Now() + 7*24*3600
 	x2 := NewInternet2Experiment(s.Eco, s.World, s.Prober, s.Sel, i2Start)
-	if len(outages) > 0 {
-		x2.Cfg.Outages = outages[len(outages)/2:]
-	}
+	x2.Cfg.Outages = i2Outages
 	s.Internet2 = x2.Run()
 }
 

@@ -22,6 +22,9 @@ type SurveySummary struct {
 	TotalASes     int
 	// Unresponsive counts prefixes excluded for loss.
 	Unresponsive int
+	// InsufficientData counts prefixes excluded for failing the
+	// evidence quorum (always 0 under the strict paper rule).
+	InsufficientData int
 	// MultiCategoryASes counts origin ASes appearing in more than one
 	// category — why Table 1's AS percentages sum past 100%.
 	MultiCategoryASes int
@@ -44,6 +47,10 @@ func Summarize(eco *topo.Ecosystem, res *Result) *SurveySummary {
 	for _, pr := range res.PerPrefix {
 		if pr.Inference == InfUnresponsive {
 			s.Unresponsive++
+			continue
+		}
+		if pr.Inference == InfInsufficientData {
+			s.InsufficientData++
 			continue
 		}
 		pi := eco.PrefixInfoFor(pr.Prefix)
@@ -137,7 +144,7 @@ func MixedRatio(res *Result) (re, commodity int) {
 func InferencesByAS(eco *topo.Ecosystem, res *Result) map[asn.AS]Inference {
 	counts := make(map[asn.AS]map[Inference]int)
 	for _, pr := range res.PerPrefix {
-		if pr.Inference == InfUnresponsive {
+		if pr.Inference == InfUnresponsive || pr.Inference == InfInsufficientData {
 			continue
 		}
 		pi := eco.PrefixInfoFor(pr.Prefix)

@@ -66,7 +66,8 @@ func Validate(eco *topo.Ecosystem, res *Result) *Validation {
 	v := &Validation{ByVerdict: make(map[Verdict]int)}
 	for _, pr := range res.PerPrefix {
 		if pr.Inference == InfUnresponsive || pr.Inference == InfMixed ||
-			pr.Inference == InfOscillating || pr.Inference == InfSwitchToCommodity {
+			pr.Inference == InfOscillating || pr.Inference == InfSwitchToCommodity ||
+			pr.Inference == InfInsufficientData {
 			continue
 		}
 		pi := eco.PrefixInfoFor(pr.Prefix)

@@ -1,0 +1,295 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// seeded generator that turns a single Intensity knob into a concrete
+// schedule of BGP session faults (maintenance windows and flap storms),
+// probe-path brownouts (correlated burst loss per AS, generalising the
+// i.i.d. ProbeLossProb), and collector feed gaps — the hostile
+// substrate the paper's inference had to survive (§3.2's
+// Mixed/Unresponsive accounting, the outage-born Switch-to-commodity
+// and Oscillating rows of Table 1) — plus an injector that drives the
+// schedule through a running experiment.
+//
+// Determinism is the point: Generate(eco, window, Config{Seed, I})
+// yields byte-identical schedules for equal inputs, so a fault-
+// intensity sweep is exactly reproducible and Intensity 0 is a strict
+// no-op (an empty schedule; the injector then never touches the
+// network, the world, or the collector feeds).
+package faults
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// Config parametrizes schedule generation.
+type Config struct {
+	// Seed drives all random choices; equal seeds give identical
+	// schedules.
+	Seed int64
+	// Intensity in [0, 1] scales every fault class at once: the
+	// fraction of member ASes suffering session faults and brownouts,
+	// the burst loss probability, and the collector gap probability.
+	// 0 disables the subsystem entirely.
+	Intensity float64
+}
+
+// Window bounds the experiment interval faults are injected into.
+type Window struct {
+	Start, End bgp.Time
+}
+
+// span returns the window length (0 for degenerate windows).
+func (w Window) span() int64 {
+	if w.End <= w.Start {
+		return 0
+	}
+	return int64(w.End - w.Start)
+}
+
+// SessionFault is one BGP session event sequence: Flaps rapid down/up
+// cycles (a flap storm, the RFD trigger) followed by a final outage
+// from Down to Up (a maintenance window when Flaps is 0).
+type SessionFault struct {
+	// A, B identify the session (provider router, member router).
+	A, B bgp.RouterID
+	// Member is the AS whose reachability the fault degrades.
+	Member asn.AS
+	// Down, Up bound the final outage window.
+	Down, Up bgp.Time
+	// Flaps is the number of extra rapid down/up cycles immediately
+	// before Down (30 s down, 30 s up each).
+	Flaps int
+}
+
+// Brownout is a correlated burst-loss window over all prefixes of one
+// member AS.
+type Brownout struct {
+	Origin   asn.AS
+	Prefixes []netutil.Prefix
+	From, To bgp.Time
+	// Loss is the per-probe drop probability inside the window.
+	Loss float64
+	// Salt decorrelates this window's per-probe hash draws from other
+	// windows.
+	Salt uint64
+}
+
+// FeedGap is a collector archive outage: the collector keeps routing
+// but its update feed records nothing during the window.
+type FeedGap struct {
+	Collector bgp.RouterID
+	From, To  bgp.Time
+}
+
+// Schedule is a fully materialized fault plan for one experiment.
+type Schedule struct {
+	Window    Window
+	Sessions  []SessionFault
+	Brownouts []Brownout
+	FeedGaps  []FeedGap
+}
+
+// Empty reports whether the schedule injects nothing (always true at
+// Intensity 0).
+func (s *Schedule) Empty() bool {
+	return s == nil || (len(s.Sessions) == 0 && len(s.Brownouts) == 0 && len(s.FeedGaps) == 0)
+}
+
+// Per-class intensity scaling. At Intensity 1, roughly one member in
+// seven loses a session, one in five browns out, and most collectors
+// drop part of their feed — far beyond any production failure rate, so
+// the sweep's high end genuinely stresses the inference.
+const (
+	sessionFaultFrac = 0.15
+	brownoutFrac     = 0.20
+	feedGapFrac      = 0.60
+	flapStormFrac    = 0.5 // of session faults; the rest are maintenance windows
+)
+
+// Generate builds the deterministic fault schedule for an ecosystem
+// and experiment window. Intensity is clamped to [0, 1]; at or below 0
+// the schedule is empty.
+func Generate(eco *topo.Ecosystem, w Window, cfg Config) *Schedule {
+	s := &Schedule{Window: w}
+	intensity := cfg.Intensity
+	if intensity > 1 {
+		intensity = 1
+	}
+	if intensity <= 0 || w.span() <= 0 {
+		return s
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed)) // #nosec deterministic simulation
+	span := w.span()
+
+	// Session faults and brownouts over members, in ascending AS order
+	// (eco.ASes is sorted) so the draw sequence is reproducible.
+	for _, info := range eco.ASes {
+		if info.Class != topo.ClassMember {
+			continue
+		}
+		if rng.Float64() < sessionFaultFrac*intensity {
+			if sf, ok := sessionFaultFor(eco, info, w, rng); ok {
+				s.Sessions = append(s.Sessions, sf)
+			}
+		}
+		if rng.Float64() < brownoutFrac*intensity && len(info.Prefixes) > 0 {
+			from := w.Start + bgp.Time(rng.Int63n(span))
+			dur := bgp.Time(1800 + rng.Int63n(2*3600))
+			to := from + dur
+			if to > w.End {
+				to = w.End
+			}
+			s.Brownouts = append(s.Brownouts, Brownout{
+				Origin:   info.AS,
+				Prefixes: append([]netutil.Prefix(nil), info.Prefixes...),
+				From:     from,
+				To:       to,
+				Loss:     0.5 + 0.5*intensity,
+				Salt:     uint64(cfg.Seed)<<32 ^ uint64(info.AS),
+			})
+		}
+	}
+
+	// Collector feed gaps.
+	for _, col := range eco.Collectors {
+		if rng.Float64() >= feedGapFrac*intensity {
+			continue
+		}
+		from := w.Start + bgp.Time(rng.Int63n(span))
+		to := from + bgp.Time(3600+rng.Int63n(2*3600))
+		if to > w.End {
+			to = w.End
+		}
+		s.FeedGaps = append(s.FeedGaps, FeedGap{Collector: col, From: from, To: to})
+	}
+	return s
+}
+
+// sessionFaultFor picks which of the member's upstream sessions fails
+// and shapes the outage.
+func sessionFaultFor(eco *topo.Ecosystem, info *topo.ASInfo, w Window, rng *rand.Rand) (SessionFault, bool) {
+	var upstreams []asn.AS
+	upstreams = append(upstreams, info.REProviders...)
+	upstreams = append(upstreams, info.CommodityProviders...)
+	if len(upstreams) == 0 {
+		return SessionFault{}, false
+	}
+	up := eco.AS(upstreams[rng.Intn(len(upstreams))])
+	if up == nil {
+		return SessionFault{}, false
+	}
+	span := w.span()
+	sf := SessionFault{A: up.Router, B: info.Router, Member: info.AS}
+	sf.Down = w.Start + bgp.Time(rng.Int63n(span))
+	sf.Up = sf.Down + bgp.Time(1800+rng.Int63n(7200))
+	if sf.Up > w.End {
+		sf.Up = w.End
+	}
+	if rng.Float64() < flapStormFrac {
+		sf.Flaps = 2 + rng.Intn(4)
+	}
+	return sf, true
+}
+
+// Action is one session state change at a virtual time.
+type Action struct {
+	At   bgp.Time
+	A, B bgp.RouterID
+	Down bool
+}
+
+// Actions expands the session faults into a time-sorted action list.
+// Flap-storm cycles precede the main outage window: cycle i goes down
+// at Down-60s*(Flaps-i) and up 30 s later, so the storm finishes just
+// as the real outage begins.
+func (s *Schedule) Actions() []Action {
+	var out []Action
+	for _, sf := range s.Sessions {
+		for i := 0; i < sf.Flaps; i++ {
+			at := sf.Down - bgp.Time(60*(sf.Flaps-i))
+			if at < s.Window.Start {
+				at = s.Window.Start
+			}
+			out = append(out, Action{At: at, A: sf.A, B: sf.B, Down: true})
+			out = append(out, Action{At: at + 30, A: sf.A, B: sf.B, Down: false})
+		}
+		out = append(out, Action{At: sf.Down, A: sf.A, B: sf.B, Down: true})
+		out = append(out, Action{At: sf.Up, A: sf.A, B: sf.B, Down: false})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Injector drives a schedule through a running experiment. It is
+// single-use: create one per experiment run.
+type Injector struct {
+	schedule *Schedule
+	actions  []Action
+	next     int
+}
+
+// NewInjector prepares the action cursor for a schedule.
+func NewInjector(s *Schedule) *Injector {
+	return &Injector{schedule: s, actions: s.Actions()}
+}
+
+// Install arms the data-plane and collector fault classes: brownout
+// windows on the world and the feed-gap filter on the network. Session
+// faults are applied incrementally by Advance. With an empty schedule
+// Install changes nothing.
+func (in *Injector) Install(w *simnet.World, net *bgp.Network) {
+	for _, b := range in.schedule.Brownouts {
+		w.AddBrownout(b.Prefixes, b.From, b.To, b.Loss, b.Salt)
+	}
+	if len(in.schedule.FeedGaps) > 0 {
+		gaps := in.schedule.FeedGaps
+		net.CollectorFeedDown = func(col bgp.RouterID, at bgp.Time) bool {
+			for _, g := range gaps {
+				if g.Collector == col && at >= g.From && at < g.To {
+					return true
+				}
+			}
+			return false
+		}
+	}
+}
+
+// Uninstall removes the brownouts and the feed-gap filter, so the next
+// experiment on the same world starts clean.
+func (in *Injector) Uninstall(w *simnet.World, net *bgp.Network) {
+	w.ClearBrownouts()
+	net.CollectorFeedDown = nil
+}
+
+// Advance applies every session action due at or before `to`, running
+// the network up to each action time first, then drains the network to
+// `to`. With no pending actions it is exactly net.Run(to).
+func (in *Injector) Advance(net *bgp.Network, to bgp.Time) {
+	for in.next < len(in.actions) && in.actions[in.next].At <= to {
+		a := in.actions[in.next]
+		in.next++
+		if a.At > net.Now() {
+			net.Run(a.At)
+			net.AdvanceTo(a.At)
+		}
+		if a.Down {
+			net.SetSessionDown(a.A, a.B)
+		} else {
+			net.SetSessionUp(a.A, a.B)
+		}
+	}
+	net.Run(to)
+}
+
+// Finish applies any remaining actions (restoring sessions whose Up
+// falls past the probed window) and drains the network, leaving it
+// healthy for a subsequent experiment.
+func (in *Injector) Finish(net *bgp.Network) {
+	in.Advance(net, bgp.MaxTime)
+	net.RunToQuiescence()
+}

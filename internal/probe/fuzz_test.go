@@ -13,6 +13,14 @@ func FuzzReadJSON(f *testing.F) {
 	f.Add(`{"type":"ping","method":"icmp-echo","src":"163.253.63.63","dst":"16.0.0.1","config":"4-0","start_sec":100,"responded":true,"rx_ifname":"ens3f1np1.1001","rtt":12.5}`)
 	f.Add(`{"dst":"10.0.0.1","config":"0-0"}` + "\n" + `{"dst":"10.0.0.2","config":"0-0"}`)
 	f.Add(`{`)
+	// Hostile archives: negative RTT, duplicated (dst, config) pairs,
+	// rounds whose records arrive out of order, negative retry counts,
+	// and RTTs at the edge of float parsing.
+	f.Add(`{"dst":"10.0.0.1","config":"4-0","rtt":-12.5,"responded":true}`)
+	f.Add(`{"dst":"10.0.0.1","config":"4-0","start_sec":100}` + "\n" + `{"dst":"10.0.0.1","config":"4-0","start_sec":200}`)
+	f.Add(`{"dst":"10.0.0.1","config":"0-4","start_sec":500}` + "\n" + `{"dst":"10.0.0.2","config":"0-4","start_sec":100}`)
+	f.Add(`{"dst":"10.0.0.1","config":"2-2","retries":-3,"responded":false}`)
+	f.Add(`{"dst":"10.0.0.1","config":"1-1","rtt":1e308,"responded":true}`)
 	f.Fuzz(func(t *testing.T, text string) {
 		rounds, err := ReadJSON(strings.NewReader(text), func(addr uint32) (netutil.Prefix, bool) {
 			return netutil.PrefixFrom(addr, 24), true

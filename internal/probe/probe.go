@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/bgp"
 	"repro/internal/netutil"
@@ -26,6 +27,10 @@ type Record struct {
 	Responded bool
 	VLAN      simnet.VLAN
 	RTTms     float64
+	// Retries is how many extra attempts the prober made after the
+	// first probe went unanswered (0 when retries are disabled or the
+	// first probe responded).
+	Retries int
 }
 
 // Round is one active-probing window under a fixed BGP configuration.
@@ -36,6 +41,30 @@ type Round struct {
 	Records []Record
 }
 
+// RetryPolicy caps re-probing of unresponsive targets inside a round.
+// The zero value disables retries entirely, leaving Run's probe and
+// pacing sequence exactly as without the policy.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per target, first probe included;
+	// values <= 1 disable retries.
+	MaxAttempts int
+	// BaseBackoff is the wait (virtual seconds) before the first
+	// retry; each further retry doubles it, capped at MaxBackoff.
+	BaseBackoff bgp.Time
+	// MaxBackoff caps the per-retry backoff growth.
+	MaxBackoff bgp.Time
+	// Budget bounds how far past a target's first probe its last retry
+	// may be sent, keeping the round inside its time budget.
+	Budget bgp.Time
+}
+
+// DefaultRetryPolicy is the resilience layer's configuration: up to two
+// retries with 2 s → 4 s backoff, all within two minutes of the first
+// probe — small against the hourly round spacing.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 2, MaxBackoff: 30, Budget: 120}
+}
+
 // Prober paces probes through a World.
 type Prober struct {
 	World *simnet.World
@@ -43,6 +72,10 @@ type Prober struct {
 	PPS int
 	// SrcAddr labels the JSON output (163.253.63.63 in Figure 2).
 	SrcAddr string
+	// Retry re-probes unanswered targets with capped exponential
+	// backoff. The zero value keeps the historical single-shot
+	// behaviour bit-for-bit.
+	Retry RetryPolicy
 }
 
 // NewProber returns a prober with the paper's configuration.
@@ -68,6 +101,28 @@ func (pr *Prober) Run(config string, start bgp.Time, sel *seeds.Selection) *Roun
 		for _, tgt := range sel.Targets[p] {
 			at := start + bgp.Time(sent/rate)
 			res := pr.World.Probe(tgt.Addr, tgt.Proto, at)
+			sent++
+			retries := 0
+			if !res.Responded && pr.Retry.MaxAttempts > 1 {
+				backoff := pr.Retry.BaseBackoff
+				if backoff <= 0 {
+					backoff = 1
+				}
+				when := at
+				for a := 1; a < pr.Retry.MaxAttempts && !res.Responded; a++ {
+					when += backoff
+					if pr.Retry.Budget > 0 && when > at+pr.Retry.Budget {
+						break
+					}
+					res = pr.World.Probe(tgt.Addr, tgt.Proto, when)
+					sent++ // retries consume pacing slots too
+					retries++
+					backoff *= 2
+					if pr.Retry.MaxBackoff > 0 && backoff > pr.Retry.MaxBackoff {
+						backoff = pr.Retry.MaxBackoff
+					}
+				}
+			}
 			rec := Record{
 				Prefix:    p,
 				Dst:       tgt.Addr,
@@ -76,6 +131,7 @@ func (pr *Prober) Run(config string, start bgp.Time, sel *seeds.Selection) *Roun
 				SentAt:    at,
 				Responded: res.Responded,
 				VLAN:      res.VLAN,
+				Retries:   retries,
 			}
 			if res.Responded {
 				// Synthetic RTT: per-AS-hop serialization plus a small
@@ -83,7 +139,6 @@ func (pr *Prober) Run(config string, start bgp.Time, sel *seeds.Selection) *Roun
 				rec.RTTms = 4.0 + 7.5*float64(res.Hops) + float64(tgt.Addr%97)/10
 			}
 			round.Records = append(round.Records, rec)
-			sent++
 		}
 	}
 	round.End = start + bgp.Time(sent/rate) + 1
@@ -106,6 +161,7 @@ type jsonProbe struct {
 	Responded bool    `json:"responded"`
 	RxIfname  string  `json:"rx_ifname,omitempty"`
 	RTT       float64 `json:"rtt,omitempty"`
+	Retries   int     `json:"retries,omitempty"`
 }
 
 func methodOf(p simnet.Proto) string {
@@ -135,6 +191,7 @@ func (pr *Prober) WriteJSON(w io.Writer, r *Round) error {
 			Responded: rec.Responded,
 			RxIfname:  rec.VLAN.Interface(),
 			RTT:       rec.RTTms,
+			Retries:   rec.Retries,
 		}
 		if err := enc.Encode(jp); err != nil {
 			return fmt.Errorf("probe: encoding %s: %w", jp.Dst, err)
@@ -146,9 +203,20 @@ func (pr *Prober) WriteJSON(w io.Writer, r *Round) error {
 // ReadJSON parses newline-delimited probe JSON back into records,
 // recovering config labels; the inverse of WriteJSON modulo prefix
 // attribution (restored via the supplied prefix resolver).
+//
+// The reader is hardened against hostile or corrupted archives:
+// negative and non-finite RTTs are zeroed, repeated (config, dst)
+// records keep only the first occurrence, retry counts are clamped to
+// non-negative, and round Start/End are rebuilt as the min/max probe
+// time so out-of-order record streams still yield coherent windows.
 func ReadJSON(r io.Reader, resolve func(addr uint32) (netutil.Prefix, bool)) ([]Round, error) {
+	type dupKey struct {
+		config string
+		dst    uint32
+	}
 	dec := json.NewDecoder(r)
 	byConfig := make(map[string]*Round)
+	seen := make(map[dupKey]bool)
 	var order []string
 	for dec.More() {
 		var jp jsonProbe
@@ -158,6 +226,11 @@ func ReadJSON(r io.Reader, resolve func(addr uint32) (netutil.Prefix, bool)) ([]
 		addr, err := parseAddr(jp.Dst)
 		if err != nil {
 			return nil, err
+		}
+		if k := (dupKey{jp.Config, addr}); seen[k] {
+			continue
+		} else {
+			seen[k] = true
 		}
 		rd := byConfig[jp.Config]
 		if rd == nil {
@@ -172,6 +245,13 @@ func ReadJSON(r io.Reader, resolve func(addr uint32) (netutil.Prefix, bool)) ([]
 			SentAt:    bgp.Time(jp.StartSec),
 			Responded: jp.Responded,
 			RTTms:     jp.RTT,
+			Retries:   jp.Retries,
+		}
+		if rec.RTTms < 0 || math.IsNaN(rec.RTTms) || math.IsInf(rec.RTTms, 0) {
+			rec.RTTms = 0
+		}
+		if rec.Retries < 0 {
+			rec.Retries = 0
 		}
 		switch jp.RxIfname {
 		case simnet.VLANRE.Interface():
@@ -183,6 +263,9 @@ func ReadJSON(r io.Reader, resolve func(addr uint32) (netutil.Prefix, bool)) ([]
 			if p, ok := resolve(addr); ok {
 				rec.Prefix = p
 			}
+		}
+		if rec.SentAt < rd.Start {
+			rd.Start = rec.SentAt
 		}
 		if rec.SentAt > rd.End {
 			rd.End = rec.SentAt

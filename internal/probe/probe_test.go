@@ -120,6 +120,160 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// A zero-value RetryPolicy must leave Run's output bit-for-bit
+// identical to the historical single-shot prober.
+func TestRetryZeroPolicyIsNoOp(t *testing.T) {
+	eco, w, sel, pr := setup(t)
+	w.RETerminals = map[bgp.RouterID]bool{eco.Internet2.Router: true}
+	w.CommodityTerminals = map[bgp.RouterID]bool{eco.MeasCommodity.Router: true}
+
+	base := pr.Run("0-0", 1000, sel)
+
+	eco2, w2, sel2, pr2 := setup(t)
+	w2.RETerminals = map[bgp.RouterID]bool{eco2.Internet2.Router: true}
+	w2.CommodityTerminals = map[bgp.RouterID]bool{eco2.MeasCommodity.Router: true}
+	pr2.Retry = RetryPolicy{} // explicit zero value
+	again := pr2.Run("0-0", 1000, sel2)
+
+	if base.End != again.End || len(base.Records) != len(again.Records) {
+		t.Fatalf("round shape diverged: %+v vs %+v", base, again)
+	}
+	for i := range base.Records {
+		if base.Records[i] != again.Records[i] {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, base.Records[i], again.Records[i])
+		}
+	}
+}
+
+// Under heavy i.i.d. loss, retries must recover a visible share of the
+// unanswered probes and stamp their records with the attempt count.
+func TestRetryRecoversLoss(t *testing.T) {
+	lossy := func(retry RetryPolicy) *Round {
+		eco := topo.Build(topo.SmallConfig())
+		cfg := simnet.DefaultWorldConfig()
+		cfg.ProbeLossProb = 0.4
+		w := simnet.BuildWorld(eco, cfg)
+		cat := seeds.BuildCatalog(eco, w, seeds.DefaultCatalogConfig())
+		var prefixes []netutil.Prefix
+		for _, pi := range eco.Prefixes {
+			prefixes = append(prefixes, pi.Prefix)
+		}
+		prefixes = netutil.ExcludeCovered(prefixes)
+		sel := seeds.Select(cat, prefixes, func(a uint32, p simnet.Proto) bool {
+			return w.Responsive(a, p, 0)
+		}, 3)
+		eco.Net.Originate(eco.MeasCommodity.Router, eco.MeasPrefix)
+		eco.Net.Originate(eco.Internet2.Router, eco.MeasPrefix)
+		eco.Net.RunToQuiescence()
+		w.RETerminals = map[bgp.RouterID]bool{eco.Internet2.Router: true}
+		w.CommodityTerminals = map[bgp.RouterID]bool{eco.MeasCommodity.Router: true}
+		pr := NewProber(w)
+		pr.Retry = retry
+		return pr.Run("0-0", 1000, sel)
+	}
+
+	count := func(r *Round) (responded, retried int) {
+		for _, rec := range r.Records {
+			if rec.Responded {
+				responded++
+			}
+			if rec.Retries > 0 {
+				retried++
+			}
+		}
+		return
+	}
+
+	noRetry := lossy(RetryPolicy{})
+	withRetry := lossy(DefaultRetryPolicy())
+	gotBase, retriedBase := count(noRetry)
+	gotRetry, retried := count(withRetry)
+	if retriedBase != 0 {
+		t.Errorf("zero policy recorded %d retried probes", retriedBase)
+	}
+	if retried == 0 {
+		t.Error("retry policy under 40%% loss never retried")
+	}
+	if gotRetry <= gotBase {
+		t.Errorf("retries did not improve response rate: %d vs %d of %d",
+			gotRetry, gotBase, len(withRetry.Records))
+	}
+}
+
+// Retries past the round budget must be skipped. With total loss, the
+// retry count per record is set purely by policy arithmetic.
+func TestRetryRespectsBudget(t *testing.T) {
+	run := func(retry RetryPolicy) *Round {
+		eco := topo.Build(topo.SmallConfig())
+		cfg := simnet.DefaultWorldConfig()
+		cfg.ProbeLossProb = 1.0 // nothing ever answers
+		w := simnet.BuildWorld(eco, cfg)
+		cat := seeds.BuildCatalog(eco, w, seeds.DefaultCatalogConfig())
+		var prefixes []netutil.Prefix
+		for _, pi := range eco.Prefixes {
+			prefixes = append(prefixes, pi.Prefix)
+		}
+		prefixes = netutil.ExcludeCovered(prefixes)
+		// Selection responsiveness check bypasses World.Probe, so use
+		// loss-free responsiveness to still get targets.
+		sel := seeds.Select(cat, prefixes, func(a uint32, p simnet.Proto) bool {
+			return w.Responsive(a, p, 0)
+		}, 1)
+		pr := NewProber(w)
+		pr.Retry = retry
+		return pr.Run("0-0", 1000, sel)
+	}
+
+	// First retry at +100 exceeds the 50 s budget: no retries at all.
+	tight := run(RetryPolicy{MaxAttempts: 5, BaseBackoff: 100, MaxBackoff: 400, Budget: 50})
+	for _, rec := range tight.Records {
+		if rec.Retries != 0 {
+			t.Fatalf("retry sent past budget: %+v", rec)
+		}
+	}
+	// Generous budget: every record burns all MaxAttempts-1 retries.
+	loose := run(RetryPolicy{MaxAttempts: 3, BaseBackoff: 2, MaxBackoff: 30, Budget: 600})
+	if len(loose.Records) == 0 {
+		t.Fatal("no records probed")
+	}
+	for _, rec := range loose.Records {
+		if rec.Retries != 2 {
+			t.Fatalf("want 2 retries under total loss, got %+v", rec)
+		}
+	}
+}
+
+func TestReadJSONHardening(t *testing.T) {
+	input := strings.Join([]string{
+		`{"dst":"10.0.0.1","config":"4-0","start_sec":900,"responded":true,"rtt":-3.5,"retries":-2}`,
+		`{"dst":"10.0.0.1","config":"4-0","start_sec":950,"responded":false}`, // duplicate (dst, config): dropped
+		`{"dst":"10.0.0.2","config":"4-0","start_sec":100,"responded":true,"rtt":9.5}`, // out of order: Start must drop to 100
+	}, "\n")
+	rounds, err := ReadJSON(strings.NewReader(input), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 1 {
+		t.Fatalf("rounds = %+v", rounds)
+	}
+	rd := rounds[0]
+	if len(rd.Records) != 2 {
+		t.Fatalf("duplicate not dropped: %d records", len(rd.Records))
+	}
+	if rd.Records[0].RTTms != 0 {
+		t.Errorf("negative RTT not zeroed: %v", rd.Records[0].RTTms)
+	}
+	if rd.Records[0].Retries != 0 {
+		t.Errorf("negative retries not clamped: %v", rd.Records[0].Retries)
+	}
+	if !rd.Records[0].Responded {
+		t.Error("keep-first dedupe kept the wrong record")
+	}
+	if rd.Start != 100 || rd.End != 900 {
+		t.Errorf("round window [%d,%d], want [100,900]", rd.Start, rd.End)
+	}
+}
+
 func TestReadJSONBadInput(t *testing.T) {
 	if _, err := ReadJSON(strings.NewReader(`{"dst":"not-an-ip"}`), nil); err == nil {
 		t.Error("bad address should error")

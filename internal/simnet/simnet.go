@@ -145,10 +145,22 @@ type World struct {
 	RETerminals        map[bgp.RouterID]bool
 	CommodityTerminals map[bgp.RouterID]bool
 
-	cfg     WorldConfig
-	hosts   map[uint32]*Host
-	byPfx   map[netutil.Prefix][]*Host
-	lossRNG *rand.Rand
+	cfg       WorldConfig
+	hosts     map[uint32]*Host
+	byPfx     map[netutil.Prefix][]*Host
+	lossRNG   *rand.Rand
+	brownouts map[netutil.Prefix][]brownout
+}
+
+// brownout is a correlated burst-loss window: every probe toward the
+// prefix inside [from, to) is dropped with probability loss. Unlike
+// the i.i.d. ProbeLossProb, the window is shared by all hosts of the
+// failure domain (typically all prefixes of one AS), so losses cluster
+// in time the way real path brownouts do.
+type brownout struct {
+	from, to bgp.Time
+	loss     float64
+	salt     uint64
 }
 
 // BuildWorld populates hosts for every prefix of the ecosystem.
@@ -282,6 +294,47 @@ func (w *World) InjectDormancy(start, end bgp.Time, rngSeed int64) {
 	}
 }
 
+// AddBrownout installs a correlated burst-loss window over a set of
+// prefixes (one failure domain, e.g. all prefixes of an AS). Probes
+// toward those prefixes during [from, to) are dropped with probability
+// loss, decided by a deterministic hash of (salt, dst, t) so outcomes
+// do not depend on probe order or retry count.
+func (w *World) AddBrownout(prefixes []netutil.Prefix, from, to bgp.Time, loss float64, salt uint64) {
+	if to <= from || loss <= 0 {
+		return
+	}
+	if w.brownouts == nil {
+		w.brownouts = make(map[netutil.Prefix][]brownout)
+	}
+	for _, p := range prefixes {
+		w.brownouts[p] = append(w.brownouts[p], brownout{from: from, to: to, loss: loss, salt: salt})
+	}
+}
+
+// ClearBrownouts removes all brownout windows (between experiments).
+func (w *World) ClearBrownouts() { w.brownouts = nil }
+
+// brownedOut reports whether a probe to dst (inside prefix p) at time
+// t is lost to an active brownout window.
+func (w *World) brownedOut(p netutil.Prefix, dst uint32, t bgp.Time) bool {
+	for _, b := range w.brownouts[p] {
+		if t >= b.from && t < b.to && hash01(b.salt^uint64(dst)<<32^uint64(t)) < b.loss {
+			return true
+		}
+	}
+	return false
+}
+
+// hash01 maps a 64-bit key to [0, 1) via a splitmix64-style mix,
+// giving order-independent deterministic Bernoulli draws.
+func hash01(x uint64) float64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
 // ClearDormancy removes all quiet windows (between experiments).
 func (w *World) ClearDormancy() {
 	for _, hs := range w.byPfx {
@@ -310,6 +363,9 @@ type ProbeResult struct {
 func (w *World) Probe(dst uint32, proto Proto, t bgp.Time) ProbeResult {
 	h, ok := w.hosts[dst]
 	if !ok || h.Proto != proto || h.dormant(t) {
+		return ProbeResult{}
+	}
+	if w.brownedOut(h.Prefix, dst, t) {
 		return ProbeResult{}
 	}
 	if w.cfg.ProbeLossProb > 0 && w.lossRNG.Float64() < w.cfg.ProbeLossProb {

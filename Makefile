@@ -25,8 +25,15 @@ race:
 smoke:
 	$(GO) test -run '^$$' -bench BenchmarkFaultSweep -benchtime 1x -v .
 
+# Full benchmark run across all packages, converted to a committed
+# JSON baseline. Two steps (temp file, then convert) so a failing test
+# run is not swallowed by the pipe. BENCHTIME=1x gives a fast smoke.
+BENCHTIME ?= 1s
+
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... > bench.out.tmp
+	$(GO) run ./cmd/benchjson < bench.out.tmp > BENCH_baseline.json
+	rm -f bench.out.tmp
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime 30s ./internal/probe/

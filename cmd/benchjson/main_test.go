@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkFaultSweep-8   	       1	1234567890 ns/op	 2048000 B/op	   12345 allocs/op
+BenchmarkThroughput-8   	     100	   1000000 ns/op	  512.00 MB/s
+PASS
+ok  	repro	2.345s
+pkg: repro/internal/telemetry
+BenchmarkNoopRegistry-8 	126354847	         9.576 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/telemetry	1.410s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", rep.Goos, rep.Goarch)
+	}
+	if rep.CPU != "Intel(R) Xeon(R) CPU" {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("%d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	fs := rep.Benchmarks[0]
+	if fs.Name != "BenchmarkFaultSweep-8" || fs.Pkg != "repro" {
+		t.Errorf("first bench = %q pkg %q", fs.Name, fs.Pkg)
+	}
+	if fs.Iterations != 1 || fs.NsPerOp != 1234567890 ||
+		fs.BytesPerOp != 2048000 || fs.AllocsPerOp != 12345 {
+		t.Errorf("first bench values: %+v", fs)
+	}
+
+	tp := rep.Benchmarks[1]
+	if tp.Extra["MB/s"] != 512 {
+		t.Errorf("MB/s = %v, want 512", tp.Extra["MB/s"])
+	}
+
+	noop := rep.Benchmarks[2]
+	if noop.Pkg != "repro/internal/telemetry" {
+		t.Errorf("pkg context not tracked: %q", noop.Pkg)
+	}
+	if noop.NsPerOp != 9.576 || noop.BytesPerOp != 0 || noop.AllocsPerOp != 0 {
+		t.Errorf("noop bench values: %+v", noop)
+	}
+}
+
+func TestParseIgnoresMalformed(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkBroken-8 notanumber ns/op\nBenchmarkOdd-8 10 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("malformed lines parsed: %+v", rep.Benchmarks)
+	}
+}

@@ -6,17 +6,28 @@
 //
 // Usage:
 //
-//	resurvey [-small] [-seed N] [-json dir] [-mrt dir] [-faults]
+//	resurvey [-small] [-seed N] [-json dir] [-mrt dir] [-faults I]
+//	         [-manifest out.json] [-metrics] [-pprof addr]
 //
 // -small runs the reduced test-scale ecosystem; -json writes the
 // scamper-style probe results per round; -mrt writes collector RIB
-// and update dumps; -faults additionally runs the fault-intensity
-// sweep and prints the accuracy-vs-intensity table.
+// and update dumps; -faults I (intensity in (0, 1]) additionally runs
+// the fault-intensity sweep up to I and prints the
+// accuracy-vs-intensity table.
+//
+// Observability: -manifest snapshots the run (seed, options, version,
+// phase durations, every metric) to deterministic JSON; -metrics
+// prints a Prometheus-style text exposition at exit; -pprof serves
+// net/http/pprof on the given address for live profiling.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
@@ -29,191 +40,274 @@ import (
 	"repro/internal/irr"
 	"repro/internal/netutil"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
+// options bundles every flag of one invocation.
+type options struct {
+	Small    bool
+	Seed     int64
+	JSONDir  string
+	MRTDir   string
+	NSeeds   int
+	Dataset  string
+	Faults   float64
+	Manifest string
+	Metrics  bool
+	PProf    string
+	ZeroTime bool
+}
+
 func main() {
-	small := flag.Bool("small", false, "run the reduced-scale ecosystem")
-	seed := flag.Int64("seed", 1, "topology generator seed")
-	jsonDir := flag.String("json", "", "directory for scamper-style probe JSON")
-	mrtDir := flag.String("mrt", "", "directory for MRT collector dumps")
-	nSeeds := flag.Int("seeds", 1, "additionally rerun the survey across N generator seeds (reduced scale) and report spread")
-	dataset := flag.String("dataset", "", "write the gzip-compressed JSON dataset (the public-data-release analog) to this file")
-	faultSweep := flag.Bool("faults", false, "run the fault-intensity sweep (reduced scale) and print accuracy vs intensity")
+	var o options
+	flag.BoolVar(&o.Small, "small", false, "run the reduced-scale ecosystem")
+	flag.Int64Var(&o.Seed, "seed", 1, "topology generator seed")
+	flag.StringVar(&o.JSONDir, "json", "", "directory for scamper-style probe JSON")
+	flag.StringVar(&o.MRTDir, "mrt", "", "directory for MRT collector dumps")
+	flag.IntVar(&o.NSeeds, "seeds", 1, "additionally rerun the survey across N generator seeds (reduced scale) and report spread")
+	flag.StringVar(&o.Dataset, "dataset", "", "write the gzip-compressed JSON dataset (the public-data-release analog) to this file")
+	flag.Float64Var(&o.Faults, "faults", 0, "max fault intensity in (0, 1]: run the fault-intensity sweep (reduced scale) up to this intensity; 0 disables")
+	flag.StringVar(&o.Manifest, "manifest", "", "write a run manifest (seed, options, phase durations, all metrics) to this file as deterministic JSON")
+	flag.BoolVar(&o.Metrics, "metrics", false, "print a Prometheus-style metrics exposition at exit")
+	flag.StringVar(&o.PProf, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
+	flag.BoolVar(&o.ZeroTime, "zerotime", false, "zero wall-time fields in the manifest, for byte-stable run comparisons")
 	flag.Parse()
 
-	if err := run(*small, *seed, *jsonDir, *mrtDir, *nSeeds, *dataset, *faultSweep); err != nil {
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "resurvey:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "resurvey:", err)
 		os.Exit(1)
 	}
 }
 
-func run(small bool, seed int64, jsonDir, mrtDir string, nSeeds int, datasetPath string, faultSweep bool) error {
+// validate rejects flag combinations the pipeline cannot honour.
+func (o options) validate() error {
+	if math.IsNaN(o.Faults) || math.IsInf(o.Faults, 0) || o.Faults < 0 || o.Faults > 1 {
+		return fmt.Errorf("-faults intensity %v out of range: want 0 (off) or a value in (0, 1]", o.Faults)
+	}
+	if o.NSeeds < 1 {
+		return fmt.Errorf("-seeds %d out of range: want >= 1", o.NSeeds)
+	}
+	return nil
+}
+
+// sweepIntensities selects the fault-sweep points for a max intensity:
+// the default ladder truncated at max, with max itself as the final
+// point.
+func sweepIntensities(max float64) []float64 {
+	var out []float64
+	for _, i := range core.DefaultFaultSweepOptions().Intensities {
+		if i < max {
+			out = append(out, i)
+		}
+	}
+	return append(out, max)
+}
+
+// manifestOptions is the run configuration recorded in the manifest.
+type manifestOptions struct {
+	Small  bool               `json:"small"`
+	Faults float64            `json:"faults"`
+	NSeeds int                `json:"n_seeds"`
+	Survey core.SurveyOptions `json:"survey"`
+}
+
+func run(w io.Writer, o options) error {
+	// Telemetry is opt-in: without -manifest or -metrics the registry
+	// stays nil and every instrumented path is a no-op.
+	var reg *telemetry.Registry
+	if o.Manifest != "" || o.Metrics {
+		reg = telemetry.New()
+	}
+	if o.PProf != "" {
+		go func() {
+			if err := http.ListenAndServe(o.PProf, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "resurvey: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(w, "pprof listening on http://%s/debug/pprof/\n", o.PProf)
+	}
+
 	opts := core.DefaultSurveyOptions()
-	if small {
+	if o.Small {
 		opts = core.SmallSurveyOptions()
 	}
-	opts.Topology.Seed = seed
+	opts.Topology.Seed = o.Seed
 
-	fmt.Printf("building ecosystem (seed %d)...\n", seed)
+	buildSpan := reg.StartSpan("build")
+	fmt.Fprintf(w, "building ecosystem (seed %d)...\n", o.Seed)
 	s := core.NewSurvey(opts)
+	s.SetMetrics(reg)
+	buildSpan.End()
 	st := s.Sel.Stats
-	fmt.Printf("  %d R&E-connected origin ASes; %d prefixes announced, %d excluded as entirely covered (§3.2), %d probed\n",
+	fmt.Fprintf(w, "  %d R&E-connected origin ASes; %d prefixes announced, %d excluded as entirely covered (§3.2), %d probed\n",
 		countASes(s), len(s.Eco.Prefixes), len(s.Eco.Prefixes)-st.Prefixes, st.Prefixes)
-	fmt.Printf("  %d with ISI seeds (%s), %d responsive (%s), %d with three targets (%s)\n\n",
+	fmt.Fprintf(w, "  %d with ISI seeds (%s), %d responsive (%s), %d with three targets (%s)\n\n",
 		st.WithISISeed, report.Pct(st.WithISISeed, st.Prefixes),
 		st.Responsive, report.Pct(st.Responsive, st.Prefixes),
 		st.WithMaxTargets, report.Pct(st.WithMaxTargets, st.Responsive))
 
-	fmt.Println("running SURF and Internet2 experiments...")
+	fmt.Fprintln(w, "running SURF and Internet2 experiments...")
 	s.RunBoth()
-	fmt.Println()
+	fmt.Fprintln(w)
+
+	analysisSpan := reg.StartSpan("analysis")
 
 	// Table 1 for both experiments.
 	surfSum := core.Summarize(s.Eco, s.SURF)
 	juneSum := core.Summarize(s.Eco, s.Internet2)
-	fmt.Println(surfSum.Table())
-	fmt.Println(juneSum.Table())
-	fmt.Printf("ASes in multiple Table 1 categories: %d (SURF), %d (Internet2) — why the AS columns exceed 100%%\n\n",
+	fmt.Fprintln(w, surfSum.Table())
+	fmt.Fprintln(w, juneSum.Table())
+	fmt.Fprintf(w, "ASes in multiple Table 1 categories: %d (SURF), %d (Internet2) — why the AS columns exceed 100%%\n\n",
 		surfSum.MultiCategoryASes, juneSum.MultiCategoryASes)
-	fmt.Println(core.ProviderBreakdownTable(core.BreakdownByProvider(s.Eco, s.Internet2), 10))
+	fmt.Fprintln(w, core.ProviderBreakdownTable(core.BreakdownByProvider(s.Eco, s.Internet2), 10))
 
 	re, comm := core.MixedRatio(s.Internet2)
 	if comm > 0 {
-		fmt.Printf("mixed-prefix response ratio R&E:commodity = %d:%d (~%.1f:1; paper ~2:1)\n\n", re, comm, float64(re)/float64(comm))
+		fmt.Fprintf(w, "mixed-prefix response ratio R&E:commodity = %d:%d (~%.1f:1; paper ~2:1)\n\n", re, comm, float64(re)/float64(comm))
 	}
 
 	// Table 2.
 	cmp := core.Compare(s.Eco, s.SURF, s.Internet2)
-	fmt.Println(cmp.Table())
-	fmt.Printf("differences attributable to NIKS-style transit: %d of %d\n\n", cmp.DifferencesViaNIKS, cmp.Different)
+	fmt.Fprintln(w, cmp.Table())
+	fmt.Fprintf(w, "differences attributable to NIKS-style transit: %d of %d\n\n", cmp.DifferencesViaNIKS, cmp.Different)
 
 	// Table 3.
 	cong := core.Congruence(s.Eco, s.Internet2, 11537, 396955)
-	fmt.Println(cong.Table())
-	fmt.Printf("incongruent ASes explained by VRF-split exports: %d\n\n", cong.VRFExplained)
+	fmt.Fprintln(w, cong.Table())
+	fmt.Fprintf(w, "incongruent ASes explained by VRF-split exports: %d\n\n", cong.VRFExplained)
 
 	// Looking-glass corroboration (the §2.2/§4.1 channel).
 	lgv := core.ValidateAgainstLookingGlasses(s.Eco, s.Internet2, 11537, 15)
-	fmt.Printf("looking-glass corroboration: %d agree, %d disagree, %d indeterminate (of %d glasses sampled)\n",
+	fmt.Fprintf(w, "looking-glass corroboration: %d agree, %d disagree, %d indeterminate (of %d glasses sampled)\n",
 		lgv.Agreements, lgv.Disagreements, lgv.Indeterminate, len(lgv.Rows))
 
 	// Ground truth (the §4.1.2 analogue).
 	for _, res := range []*core.Result{s.SURF, s.Internet2} {
 		v := core.Validate(s.Eco, res)
-		fmt.Printf("%s — inference vs installed policy: accuracy %.1f%% over %d prefixes\n",
+		fmt.Fprintf(w, "%s — inference vs installed policy: accuracy %.1f%% over %d prefixes\n",
 			res.Name, 100*v.Accuracy(), v.Evaluated)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	// Table 4 + Figure 5 share the origin views.
-	fmt.Println("solving converged member-prefix routing for collector and RIPE views...")
+	fmt.Fprintln(w, "solving converged member-prefix routing for collector and RIPE views...")
+	viewsSpan := reg.StartSpan("origin-views")
 	views := core.ComputeOriginViews(s.Eco)
+	viewsSpan.End()
 	pa := core.AnalyzePrepending(s.Eco, s.Internet2, views)
-	fmt.Println(pa.Table())
+	fmt.Fprintln(w, pa.Table())
 
 	// The implication (§1, §4.2): what inferred preferences buy a
 	// routing model over Gao-Rexford, prepend-signal, and
 	// IRR-documentation baselines.
-	reg := irr.FromEcosystem(s.Eco, irr.DefaultGenConfig())
-	pe := core.EvaluatePredictors(s.Eco, s.SURF, s.Internet2, views, reg)
-	fmt.Println(pe.Table())
+	reg2 := irr.FromEcosystem(s.Eco, irr.DefaultGenConfig())
+	pe := core.EvaluatePredictors(s.Eco, s.SURF, s.Internet2, views, reg2)
+	fmt.Fprintln(w, pe.Table())
 
 	ra := core.AnalyzeRIPE(s.Eco, views, core.BuildGeoDB(s.Eco))
-	fmt.Printf("RIPE (equal localpref) reached %s of R&E prefixes and %s of ASes over R&E routes (paper: 64.0%% / 63.9%%)\n",
+	fmt.Fprintf(w, "RIPE (equal localpref) reached %s of R&E prefixes and %s of ASes over R&E routes (paper: 64.0%% / 63.9%%)\n",
 		report.Pct(ra.PrefixesViaRE, ra.Prefixes), report.Pct(ra.ASesViaRE, ra.ASes))
 	eu, us := ra.Series()
-	fmt.Println(eu)
-	fmt.Println(us)
-	fmt.Println()
+	fmt.Fprintln(w, eu)
+	fmt.Fprintln(w, us)
+	fmt.Fprintln(w)
 
 	// Figure 3.
-	fmt.Println(core.BuildChurnTimeline(s.SURF, 1125))
-	fmt.Println(core.BuildChurnTimeline(s.Internet2, 11537))
+	fmt.Fprintln(w, core.BuildChurnTimeline(s.SURF, 1125))
+	fmt.Fprintln(w, core.BuildChurnTimeline(s.Internet2, 11537))
 
 	// Figure 7 (and its empirical closure: the FSM seeded with actual
 	// path lengths predicts the observed switch rounds).
-	fmt.Println(core.Figure7Table())
+	fmt.Fprintln(w, core.Figure7Table())
 	sm := core.EvaluateSwitchModel(s.Eco, s.Internet2)
-	fmt.Printf("Appendix A model vs data: %.1f%% of %d switch timings predicted exactly (%d off-by-one, %d other)\n\n",
+	fmt.Fprintf(w, "Appendix A model vs data: %.1f%% of %d switch timings predicted exactly (%d off-by-one, %d other)\n\n",
 		100*sm.ExactRate(), sm.Total(), sm.OffByOne, sm.Other)
 
 	// Figure 8.
 	sw := core.SwitchPrefixes(s.SURF, s.Internet2)
-	fmt.Printf("Figure 8: %d prefixes switched to R&E in both experiments\n", len(sw))
+	fmt.Fprintf(w, "Figure 8: %d prefixes switched to R&E in both experiments\n", len(sw))
 	for _, res := range []*core.Result{s.SURF, s.Internet2} {
 		cdf := core.BuildSwitchCDF(s.Eco, res, sw)
 		p, n := cdf.Series()
-		fmt.Println(p)
-		fmt.Println(n)
+		fmt.Fprintln(w, p)
+		fmt.Fprintln(w, n)
 	}
 
 	// §1's performance implication: the latency cost of commodity
 	// detours at the commodity-favoured end of the schedule.
 	lat := core.AnalyzeLatency(s.Internet2)
 	if len(lat) > 0 && lat[0].NCommodity > 0 && lat[0].NRE > 0 {
-		fmt.Printf("latency at config %s: median R&E %.1f ms vs commodity %.1f ms (detour penalty %.1f ms, synthetic per-hop RTTs)\n\n",
+		fmt.Fprintf(w, "latency at config %s: median R&E %.1f ms vs commodity %.1f ms (detour penalty %.1f ms, synthetic per-hop RTTs)\n\n",
 			lat[0].Config, lat[0].MedianRE, lat[0].MedianCommodity, lat[0].DetourPenalty())
 	}
 
 	// Design ablations: schedule subsets, target budgets, and the
 	// pacing that keeps route-flap damping quiet (run at reduced scale
 	// so it stays cheap).
-	fmt.Println()
-	fmt.Println(core.RoundsAblationTable(core.AblateRounds(s.Internet2, core.StandardSubsets())))
-	fmt.Println(core.TargetsAblationTable(core.AblateTargets(s.Internet2, []int{1, 2, 3})))
-	fmt.Println(core.GapAblationTable(core.AblateRoundGap([]int{600, 1800, 3600}, core.SmallSurveyOptions())))
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, core.RoundsAblationTable(core.AblateRounds(s.Internet2, core.StandardSubsets())))
+	fmt.Fprintln(w, core.TargetsAblationTable(core.AblateTargets(s.Internet2, []int{1, 2, 3})))
+	fmt.Fprintln(w, core.GapAblationTable(core.AblateRoundGap([]int{600, 1800, 3600}, core.SmallSurveyOptions())))
 
 	// What a third party recovers from the public views alone:
 	// Gao-style relationship inference scored against the generator's
 	// wiring (the modeling baseline the paper's method goes beyond).
 	relAcc, relEdges, relPaths := relationshipAccuracy(s, views)
-	fmt.Printf("AS-relationship inference (Gao-style) from collector paths: %.1f%% of %d adjacent edges correct (%d paths)\n",
+	fmt.Fprintf(w, "AS-relationship inference (Gao-style) from collector paths: %.1f%% of %d adjacent edges correct (%d paths)\n",
 		100*relAcc, relEdges, relPaths)
 
 	// IRR documented-vs-deployed policy (the §2.2 lineage: Wang & Gao
 	// 2003, Kastanakis et al. 2023): how far registry documentation
 	// gets a modeler compared with the data-plane inference above.
-	irrStats := irr.CompareDocumented(s.Eco, reg)
-	fmt.Printf("IRR aut-num conformance with deployed policy: %.1f%% of %d documented members (%d undocumented; literature ~83%%)\n",
+	irrStats := irr.CompareDocumented(s.Eco, reg2)
+	fmt.Fprintf(w, "IRR aut-num conformance with deployed policy: %.1f%% of %d documented members (%d undocumented; literature ~83%%)\n",
 		100*irrStats.ConformanceRate(), irrStats.Documented, irrStats.Undocumented)
-	if !reg.CoversOrigin(s.Eco.MeasPrefix, 11537) || !reg.CoversOrigin(s.Eco.MeasPrefix, 396955) {
+	if !reg2.CoversOrigin(s.Eco.MeasPrefix, 11537) || !reg2.CoversOrigin(s.Eco.MeasPrefix, 396955) {
 		return fmt.Errorf("measurement prefix not covered by IRR route objects")
 	}
+	analysisSpan.End()
 
-	if faultSweep {
+	if o.Faults > 0 {
 		// Robustness: how much fault intensity the inference tolerates
 		// before Table 1's shape breaks, scored against generator ground
 		// truth. Runs at reduced scale with fresh worlds per point; the
 		// topology seed carries over so the sweep tracks the main run.
-		fmt.Println()
-		fmt.Println("running fault-intensity sweep (reduced scale)...")
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "running fault-intensity sweep (reduced scale, up to %.2f)...\n", o.Faults)
 		fopts := core.DefaultFaultSweepOptions()
-		fopts.Survey.Topology.Seed = seed
-		fmt.Println(core.FaultSweepTable(core.RunFaultSweep(fopts)))
+		fopts.Survey.Topology.Seed = o.Seed
+		fopts.Intensities = sweepIntensities(o.Faults)
+		fopts.Metrics = reg
+		fmt.Fprintln(w, core.FaultSweepTable(core.RunFaultSweep(fopts)))
 	}
 
-	if nSeeds > 1 {
+	if o.NSeeds > 1 {
 		var seedList []int64
-		for i := 0; i < nSeeds; i++ {
-			seedList = append(seedList, seed+int64(i))
+		for i := 0; i < o.NSeeds; i++ {
+			seedList = append(seedList, o.Seed+int64(i))
 		}
-		fmt.Println(core.RunMultiSeed(core.SmallSurveyOptions(), seedList).Table())
+		fmt.Fprintln(w, core.RunMultiSeed(core.SmallSurveyOptions(), seedList).Table())
 	}
 
-	if jsonDir != "" {
-		if err := writeJSON(s, jsonDir); err != nil {
+	if o.JSONDir != "" {
+		if err := writeJSON(s, o.JSONDir); err != nil {
 			return err
 		}
-		fmt.Printf("\nprobe JSON written to %s\n", jsonDir)
+		fmt.Fprintf(w, "\nprobe JSON written to %s\n", o.JSONDir)
 	}
-	if mrtDir != "" {
-		if err := writeMRT(s, mrtDir); err != nil {
+	if o.MRTDir != "" {
+		if err := writeMRT(s, o.MRTDir); err != nil {
 			return err
 		}
-		fmt.Printf("MRT dumps written to %s\n", mrtDir)
+		fmt.Fprintf(w, "MRT dumps written to %s\n", o.MRTDir)
 	}
-	if datasetPath != "" {
-		f, err := os.Create(datasetPath)
+	if o.Dataset != "" {
+		f, err := os.Create(o.Dataset)
 		if err != nil {
 			return err
 		}
@@ -224,9 +318,48 @@ func run(small bool, seed int64, jsonDir, mrtDir string, nSeeds int, datasetPath
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("dataset written to %s\n", datasetPath)
+		fmt.Fprintf(w, "dataset written to %s\n", o.Dataset)
+	}
+
+	if o.Manifest != "" {
+		if err := writeManifest(reg, o, opts); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "manifest written to %s\n", o.Manifest)
+	}
+	if o.Metrics {
+		fmt.Fprintln(w)
+		if err := reg.WriteProm(w); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// writeManifest snapshots the registry to the manifest file.
+func writeManifest(reg *telemetry.Registry, o options, opts core.SurveyOptions) error {
+	m, err := reg.Snapshot(telemetry.SnapshotOptions{
+		Seed: o.Seed,
+		Options: manifestOptions{
+			Small:  o.Small,
+			Faults: o.Faults,
+			NSeeds: o.NSeeds,
+			Survey: opts,
+		},
+		ZeroDurations: o.ZeroTime,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(o.Manifest)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // countASes counts distinct R&E-connected origin ASes (the paper's

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -9,7 +12,127 @@ import (
 	"repro/internal/core"
 	"repro/internal/netutil"
 	"repro/internal/probe"
+	"repro/internal/telemetry"
 )
+
+// TestFaultsFlagValidation checks -faults rejects out-of-range
+// intensities with a usage error before any work starts.
+func TestFaultsFlagValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.01, 5, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		o := options{NSeeds: 1, Faults: bad}
+		if err := o.validate(); err == nil {
+			t.Errorf("-faults %v accepted, want usage error", bad)
+		}
+	}
+	for _, good := range []float64{0, 0.1, 0.5, 1} {
+		o := options{NSeeds: 1, Faults: good}
+		if err := o.validate(); err != nil {
+			t.Errorf("-faults %v rejected: %v", good, err)
+		}
+	}
+	if err := (options{NSeeds: 0}).validate(); err == nil {
+		t.Error("-seeds 0 accepted, want usage error")
+	}
+}
+
+func TestSweepIntensities(t *testing.T) {
+	got := sweepIntensities(0.5)
+	want := []float64{0, 0.1, 0.25, 0.5}
+	if len(got) != len(want) {
+		t.Fatalf("sweepIntensities(0.5) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweepIntensities(0.5) = %v, want %v", got, want)
+		}
+	}
+	// A max between ladder points becomes the final point itself.
+	got = sweepIntensities(0.3)
+	if got[len(got)-1] != 0.3 {
+		t.Fatalf("sweepIntensities(0.3) = %v, want final point 0.3", got)
+	}
+}
+
+// TestManifestGolden runs the reduced pipeline twice with the same
+// seed and -zerotime and requires byte-identical manifests, then
+// checks the promised counts are present and nonzero.
+func TestManifestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full reduced pipeline twice")
+	}
+	dir := t.TempDir()
+	paths := [2]string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}
+	for _, p := range paths {
+		o := options{
+			Small:    true,
+			Seed:     1,
+			NSeeds:   1,
+			Faults:   0.5,
+			Manifest: p,
+			ZeroTime: true,
+		}
+		if err := run(io.Discard, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("manifests differ between identical runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+
+	f, err := os.Open(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := telemetry.ReadManifest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed != 1 {
+		t.Errorf("manifest seed = %d, want 1", m.Seed)
+	}
+	if m.Version == "" {
+		t.Error("manifest version empty")
+	}
+	// The acceptance counts: BGP decisions, probe retries (the sweep
+	// runs at intensity > 0), and at least one classification label.
+	for _, name := range []string{
+		"bgp_decision_runs_total",
+		"bgp_best_path_changes_total",
+		"probe_probes_sent_total",
+		"probe_retries_total",
+	} {
+		if m.Counter(name) <= 0 {
+			t.Errorf("manifest counter %s = %d, want > 0", name, m.Counter(name))
+		}
+	}
+	labelled := int64(0)
+	for _, c := range m.Metrics.Counters {
+		if len(c.Name) > len("core_classifications_total") &&
+			c.Name[:len("core_classifications_total")] == "core_classifications_total" {
+			labelled += c.Value
+		}
+	}
+	if labelled <= 0 {
+		t.Errorf("no core_classifications_total{label=...} counts recorded")
+	}
+	if len(m.Phases) == 0 {
+		t.Error("manifest has no phase records")
+	}
+	for _, ph := range m.Phases {
+		if ph.StartMS != 0 || ph.DurationMS != 0 {
+			t.Errorf("phase %s has nonzero wall time under -zerotime: %+v", ph.Path, ph)
+		}
+	}
+}
 
 // TestArtifactWriters runs a reduced survey and checks the JSON and
 // MRT side outputs are complete and parseable.

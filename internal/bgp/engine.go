@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/asn"
 	"repro/internal/netutil"
+	"repro/internal/telemetry"
 )
 
 // event is a BGP update in flight: an announcement (route != nil) or a
@@ -93,10 +94,39 @@ type Network struct {
 
 	eventsProcessed int
 
+	// metrics holds the pre-resolved instrumentation counters; the
+	// zero value (nil counters) is the free disabled path. Speakers
+	// share it by pointer, so SetMetrics enables the whole network at
+	// once.
+	metrics netMetrics
+
 	// solver caches the static solver's RouterID-indexed adjacency;
 	// AddSpeaker/Connect invalidate it.
 	solver      *solverIndex
 	solverStale bool
+}
+
+// netMetrics caches the dynamic engine's hot-path counters so the
+// per-event cost is one nil check when telemetry is disabled and one
+// atomic add when enabled.
+type netMetrics struct {
+	decisionRuns     *telemetry.Counter
+	bestChanges      *telemetry.Counter
+	updatesDelivered *telemetry.Counter
+	rfdPenalties     *telemetry.Counter
+	rfdSuppressions  *telemetry.Counter
+}
+
+// SetMetrics wires the network (and every speaker, present and
+// future) to the registry. A nil registry disables instrumentation.
+func (n *Network) SetMetrics(r *telemetry.Registry) {
+	n.metrics = netMetrics{
+		decisionRuns:     r.Counter("bgp_decision_runs_total"),
+		bestChanges:      r.Counter("bgp_best_path_changes_total"),
+		updatesDelivered: r.Counter("bgp_updates_delivered_total"),
+		rfdPenalties:     r.Counter("bgp_rfd_penalties_total"),
+		rfdSuppressions:  r.Counter("bgp_rfd_suppressions_total"),
+	}
 }
 
 // NewNetwork returns an empty network with a 1-second default hop
@@ -132,6 +162,7 @@ func (n *Network) AddSpeaker(id RouterID, as asn.AS, name string) *Speaker {
 		panic(fmt.Sprintf("bgp: duplicate speaker name %q", name))
 	}
 	s := newSpeaker(id, as, name)
+	s.metrics = &n.metrics
 	n.speakers[id] = s
 	n.solverStale = true
 	n.order = append(n.order, id)
@@ -376,7 +407,11 @@ func (s *Speaker) exportablePrefixes() []netutil.Prefix {
 // decideAndExport reruns the decision at s for p and, on change,
 // exports to every neighbor.
 func (n *Network) decideAndExport(s *Speaker, p netutil.Prefix) {
+	n.metrics.decisionRuns.Inc()
 	_, changed := s.runDecision(p)
+	if changed {
+		n.metrics.bestChanges.Inc()
+	}
 	if !changed {
 		// Even without a loc-RIB change, a VRF-filtered export may
 		// have changed; handle those sessions.
@@ -516,6 +551,7 @@ func (n *Network) deliver(e *event) {
 	}
 
 	n.Churn.TotalMessages++
+	n.metrics.updatesDelivered.Inc()
 	if s.Collector && (n.CollectorFeedDown == nil || !n.CollectorFeedDown(s.ID, n.clock)) {
 		pcIn := s.peers[e.from]
 		var peerAS asn.AS

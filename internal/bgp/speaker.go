@@ -49,6 +49,10 @@ type Speaker struct {
 	// MRAI batching state per (prefix, neighbor).
 	mraiLast    map[ribKey]Time
 	mraiPending map[ribKey]bool
+
+	// metrics points at the owning network's counter set (nil-safe
+	// counters; see Network.SetMetrics).
+	metrics *netMetrics
 }
 
 func newSpeaker(id RouterID, as asn.AS, name string) *Speaker {
@@ -300,7 +304,13 @@ func (s *Speaker) rfdFlap(k ribKey, cfg *RFDConfig, now Time) {
 		st = &rfdState{lastUpdate: now}
 		s.rfd[k] = st
 	}
+	if s.metrics != nil {
+		s.metrics.rfdPenalties.Inc()
+	}
 	if st.Flap(now, cfg) {
+		if s.metrics != nil && !s.suppressed[k] {
+			s.metrics.rfdSuppressions.Inc()
+		}
 		s.suppressed[k] = true
 	} else {
 		delete(s.suppressed, k)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/seeds"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -84,6 +85,10 @@ type Experiment struct {
 	Prober *probe.Prober
 	Sel    *seeds.Selection
 	Cfg    ExperimentConfig
+	// Metrics, when non-nil, records phase spans (experiment →
+	// prepend-config → round) and classification counters. Nil is the
+	// free disabled path.
+	Metrics *telemetry.Registry
 }
 
 // PrefixResult is the per-prefix outcome.
@@ -128,6 +133,8 @@ type PeerView struct {
 // the schedule, waiting RoundGap between changes and probing before
 // each next change, exactly as §3.3 describes.
 func (x *Experiment) Run() *Result {
+	expSpan := x.Metrics.StartSpan("experiment:" + x.Cfg.Name)
+	defer expSpan.End()
 	net := x.Eco.Net
 	meas := x.Eco.MeasPrefix
 	res := &Result{
@@ -193,6 +200,7 @@ func (x *Experiment) Run() *Result {
 
 	t := x.Cfg.Start
 	for i, cfg := range Schedule() {
+		cfgSpan := x.Metrics.StartSpan("config:" + cfg.Label())
 		// Apply the configuration.
 		net.AdvanceTo(t)
 		for _, o := range x.Cfg.Outages {
@@ -216,9 +224,12 @@ func (x *Experiment) Run() *Result {
 		probeAt := t + x.Cfg.RoundGap
 		x.advance(probeAt)
 		net.AdvanceTo(probeAt)
+		roundSpan := x.Metrics.StartSpan("round")
 		round := x.Prober.Run(cfg.Label(), probeAt, x.Sel)
+		roundSpan.End()
 		res.Rounds = append(res.Rounds, round)
 		t = probeAt
+		cfgSpan.End()
 	}
 	// Drain any stragglers before snapshotting collector state, then
 	// restore any sessions still down so the next experiment starts
@@ -259,6 +270,8 @@ func (x *Experiment) commoditySessions() []bgp.RouterID {
 
 // classify reduces rounds to per-prefix sequences and categories.
 func (x *Experiment) classify(res *Result) {
+	sp := x.Metrics.StartSpan("classify")
+	defer sp.End()
 	perRound := make([]map[netutil.Prefix][]probe.Record, len(res.Rounds))
 	for i, rd := range res.Rounds {
 		m := make(map[netutil.Prefix][]probe.Record)
@@ -267,12 +280,23 @@ func (x *Experiment) classify(res *Result) {
 		}
 		perRound[i] = m
 	}
+	// Pre-resolve the per-label outcome counters (all nil when
+	// telemetry is disabled).
+	var byLabel [numInferences]*telemetry.Counter
+	for inf := Inference(0); inf < numInferences; inf++ {
+		byLabel[inf] = x.Metrics.Counter(telemetry.Label("core_classifications_total", "label", inf.String()))
+	}
+	quorumFailures := x.Metrics.Counter("core_quorum_failures_total")
 	for p := range x.Sel.Targets {
 		seq := make([]RoundObs, len(res.Rounds))
 		for i := range res.Rounds {
 			seq[i] = ObserveRound(perRound[i][p])
 		}
 		rr := ClassifyRobust(seq, x.Cfg.Quorum)
+		byLabel[rr.Inference].Inc()
+		if rr.Inference == InfInsufficientData {
+			quorumFailures.Inc()
+		}
 		res.PerPrefix[p] = &PrefixResult{
 			Prefix: p, Seq: seq,
 			Inference:  rr.Inference,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/netutil"
 	"repro/internal/probe"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 // This file caps the fault-injection subsystem: a fault-intensity
@@ -35,6 +36,10 @@ type FaultSweepOptions struct {
 	Quorum int
 	// Retry is the prober retry policy applied at nonzero intensity.
 	Retry probe.RetryPolicy
+	// Metrics, when non-nil, instruments every sweep point's world and
+	// records per-intensity score gauges (faultsweep_accuracy,
+	// faultsweep_mean_confidence, faultsweep_outage_classes).
+	Metrics *telemetry.Registry
 }
 
 // DefaultFaultSweepOptions sweeps six intensity points over the small
@@ -91,9 +96,14 @@ func RunFaultSweep(opts FaultSweepOptions) []FaultSweepPoint {
 }
 
 func runFaultPoint(opts FaultSweepOptions, intensity float64) FaultSweepPoint {
+	lbl := fmt.Sprintf("%.2f", intensity)
+	sp := opts.Metrics.StartSpan("faultsweep:intensity=" + lbl)
+	defer sp.End()
 	s := NewSurvey(opts.Survey)
+	s.SetMetrics(opts.Metrics)
 	start := bgp.Time(9 * 3600)
 	x := NewInternet2Experiment(s.Eco, s.World, s.Prober, s.Sel, start)
+	x.Metrics = opts.Metrics
 
 	pt := FaultSweepPoint{Intensity: intensity}
 	if intensity > 0 {
@@ -107,6 +117,7 @@ func runFaultPoint(opts FaultSweepOptions, intensity float64) FaultSweepPoint {
 		pt.FeedGaps = len(sched.FeedGaps)
 
 		inj := faults.NewInjector(sched)
+		inj.SetMetrics(opts.Metrics)
 		inj.Install(s.World, s.Eco.Net)
 		x.Cfg.Advance = inj.Advance
 		x.Cfg.Quorum = opts.Quorum
@@ -142,6 +153,9 @@ func runFaultPoint(opts FaultSweepOptions, intensity float64) FaultSweepPoint {
 	if characterized > 0 {
 		pt.MeanConfidence = confSum / float64(characterized)
 	}
+	opts.Metrics.Gauge(telemetry.Label("faultsweep_accuracy", "intensity", lbl)).Set(pt.Accuracy)
+	opts.Metrics.Gauge(telemetry.Label("faultsweep_mean_confidence", "intensity", lbl)).Set(pt.MeanConfidence)
+	opts.Metrics.Gauge(telemetry.Label("faultsweep_outage_classes", "intensity", lbl)).Set(float64(pt.OutageClasses))
 	return pt
 }
 

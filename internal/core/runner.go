@@ -8,6 +8,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/seeds"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -21,9 +22,22 @@ type Survey struct {
 	// Opts are the options the survey was built with; RunBoth reads
 	// OutageSeed from here.
 	Opts SurveyOptions
+	// Metrics, when set via SetMetrics, instruments the network, the
+	// prober, and both experiments. Nil (the default) disables
+	// telemetry at zero cost.
+	Metrics *telemetry.Registry
 
 	SURF      *Result
 	Internet2 *Result
+}
+
+// SetMetrics wires the whole survey — BGP engine, prober, and the
+// experiments RunBoth creates — to one registry. Call it before
+// RunBoth; a nil registry disables instrumentation.
+func (s *Survey) SetMetrics(r *telemetry.Registry) {
+	s.Metrics = r
+	s.Eco.Net.SetMetrics(r)
+	s.Prober.SetMetrics(r)
 }
 
 // SurveyOptions bundles the generator knobs.
@@ -116,12 +130,14 @@ func (s *Survey) RunBoth() {
 	surfStart := bgp.Time(9 * 3600)
 	x1 := NewSURFExperiment(s.Eco, s.World, s.Prober, s.Sel, surfStart)
 	x1.Cfg.Outages = surfOutages
+	x1.Metrics = s.Metrics
 	s.SURF = x1.Run()
 	x1.TeardownRE()
 
 	i2Start := s.Eco.Net.Now() + 7*24*3600
 	x2 := NewInternet2Experiment(s.Eco, s.World, s.Prober, s.Sel, i2Start)
 	x2.Cfg.Outages = i2Outages
+	x2.Metrics = s.Metrics
 	s.Internet2 = x2.Run()
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/netutil"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -231,11 +232,33 @@ type Injector struct {
 	schedule *Schedule
 	actions  []Action
 	next     int
+	metrics  injectorMetrics
+}
+
+// injectorMetrics counts injected events by kind; nil counters (no
+// registry) are free.
+type injectorMetrics struct {
+	sessionDown *telemetry.Counter
+	sessionUp   *telemetry.Counter
+	brownouts   *telemetry.Counter
+	feedGaps    *telemetry.Counter
 }
 
 // NewInjector prepares the action cursor for a schedule.
 func NewInjector(s *Schedule) *Injector {
 	return &Injector{schedule: s, actions: s.Actions()}
+}
+
+// SetMetrics wires the injector to the registry; injected events are
+// counted by kind under faults_injected_total. A nil registry
+// disables instrumentation.
+func (in *Injector) SetMetrics(r *telemetry.Registry) {
+	in.metrics = injectorMetrics{
+		sessionDown: r.Counter(telemetry.Label("faults_injected_total", "kind", "session_down")),
+		sessionUp:   r.Counter(telemetry.Label("faults_injected_total", "kind", "session_up")),
+		brownouts:   r.Counter(telemetry.Label("faults_injected_total", "kind", "brownout")),
+		feedGaps:    r.Counter(telemetry.Label("faults_injected_total", "kind", "feed_gap")),
+	}
 }
 
 // Install arms the data-plane and collector fault classes: brownout
@@ -245,7 +268,9 @@ func NewInjector(s *Schedule) *Injector {
 func (in *Injector) Install(w *simnet.World, net *bgp.Network) {
 	for _, b := range in.schedule.Brownouts {
 		w.AddBrownout(b.Prefixes, b.From, b.To, b.Loss, b.Salt)
+		in.metrics.brownouts.Inc()
 	}
+	in.metrics.feedGaps.Add(int64(len(in.schedule.FeedGaps)))
 	if len(in.schedule.FeedGaps) > 0 {
 		gaps := in.schedule.FeedGaps
 		net.CollectorFeedDown = func(col bgp.RouterID, at bgp.Time) bool {
@@ -278,8 +303,10 @@ func (in *Injector) Advance(net *bgp.Network, to bgp.Time) {
 			net.AdvanceTo(a.At)
 		}
 		if a.Down {
+			in.metrics.sessionDown.Inc()
 			net.SetSessionDown(a.A, a.B)
 		} else {
+			in.metrics.sessionUp.Inc()
 			net.SetSessionUp(a.A, a.B)
 		}
 	}

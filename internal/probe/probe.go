@@ -15,6 +15,7 @@ import (
 	"repro/internal/netutil"
 	"repro/internal/seeds"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // Record is the outcome of one probe.
@@ -76,6 +77,36 @@ type Prober struct {
 	// backoff. The zero value keeps the historical single-shot
 	// behaviour bit-for-bit.
 	Retry RetryPolicy
+
+	// metrics holds the pre-resolved instrumentation counters; the
+	// zero value (nil counters) is the free disabled path.
+	metrics proberMetrics
+}
+
+// proberMetrics caches the prober's counters so Run pays one nil
+// check per probe when telemetry is disabled.
+type proberMetrics struct {
+	sent           *telemetry.Counter
+	retries        *telemetry.Counter
+	backoffSeconds *telemetry.Counter
+	respRE         *telemetry.Counter
+	respCommodity  *telemetry.Counter
+	unanswered     *telemetry.Counter
+	rtt            *telemetry.Histogram
+}
+
+// SetMetrics wires the prober to the registry. A nil registry
+// disables instrumentation.
+func (pr *Prober) SetMetrics(r *telemetry.Registry) {
+	pr.metrics = proberMetrics{
+		sent:           r.Counter("probe_probes_sent_total"),
+		retries:        r.Counter("probe_retries_total"),
+		backoffSeconds: r.Counter("probe_backoff_seconds_total"),
+		respRE:         r.Counter(telemetry.Label("probe_responses_total", "vlan", "re")),
+		respCommodity:  r.Counter(telemetry.Label("probe_responses_total", "vlan", "commodity")),
+		unanswered:     r.Counter("probe_unanswered_total"),
+		rtt:            r.Histogram("probe_rtt_ms", telemetry.DefaultLatencyBounds...),
+	}
 }
 
 // NewProber returns a prober with the paper's configuration.
@@ -102,6 +133,7 @@ func (pr *Prober) Run(config string, start bgp.Time, sel *seeds.Selection) *Roun
 			at := start + bgp.Time(sent/rate)
 			res := pr.World.Probe(tgt.Addr, tgt.Proto, at)
 			sent++
+			pr.metrics.sent.Inc()
 			retries := 0
 			if !res.Responded && pr.Retry.MaxAttempts > 1 {
 				backoff := pr.Retry.BaseBackoff
@@ -117,6 +149,9 @@ func (pr *Prober) Run(config string, start bgp.Time, sel *seeds.Selection) *Roun
 					res = pr.World.Probe(tgt.Addr, tgt.Proto, when)
 					sent++ // retries consume pacing slots too
 					retries++
+					pr.metrics.sent.Inc()
+					pr.metrics.retries.Inc()
+					pr.metrics.backoffSeconds.Add(int64(backoff))
 					backoff *= 2
 					if pr.Retry.MaxBackoff > 0 && backoff > pr.Retry.MaxBackoff {
 						backoff = pr.Retry.MaxBackoff
@@ -137,6 +172,15 @@ func (pr *Prober) Run(config string, start bgp.Time, sel *seeds.Selection) *Roun
 				// Synthetic RTT: per-AS-hop serialization plus a small
 				// deterministic spread; flavour only.
 				rec.RTTms = 4.0 + 7.5*float64(res.Hops) + float64(tgt.Addr%97)/10
+				switch res.VLAN {
+				case simnet.VLANRE:
+					pr.metrics.respRE.Inc()
+				case simnet.VLANCommodity:
+					pr.metrics.respCommodity.Inc()
+				}
+				pr.metrics.rtt.Observe(rec.RTTms)
+			} else {
+				pr.metrics.unanswered.Inc()
 			}
 			round.Records = append(round.Records, rec)
 		}

@@ -246,7 +246,7 @@ func TestRetryRespectsBudget(t *testing.T) {
 func TestReadJSONHardening(t *testing.T) {
 	input := strings.Join([]string{
 		`{"dst":"10.0.0.1","config":"4-0","start_sec":900,"responded":true,"rtt":-3.5,"retries":-2}`,
-		`{"dst":"10.0.0.1","config":"4-0","start_sec":950,"responded":false}`, // duplicate (dst, config): dropped
+		`{"dst":"10.0.0.1","config":"4-0","start_sec":950,"responded":false}`,          // duplicate (dst, config): dropped
 		`{"dst":"10.0.0.2","config":"4-0","start_sec":100,"responded":true,"rtt":9.5}`, // out of order: Start must drop to 100
 	}, "\n")
 	rounds, err := ReadJSON(strings.NewReader(input), nil)

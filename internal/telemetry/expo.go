@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders every metric in the Prometheus text exposition
+// format (one # TYPE header per base metric name, series sorted by
+// key), the `resurvey -metrics` exit dump. Labeled series created via
+// Label share a base name and one header. A nil registry writes
+// nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	lastType := ""
+	header := func(name, kind string) {
+		base := baseName(name)
+		key := kind + " " + base
+		if key != lastType {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", base, kind)
+			lastType = key
+		}
+	}
+	for _, name := range r.sortedCounterNames() {
+		header(name, "counter")
+		fmt.Fprintf(bw, "%s %d\n", name, r.counters[name].Value())
+	}
+	for _, name := range r.sortedGaugeNames() {
+		header(name, "gauge")
+		fmt.Fprintf(bw, "%s %s\n", name, formatValue(r.gauges[name].Value()))
+	}
+	for _, name := range r.sortedHistNames() {
+		h := r.hists[name]
+		header(name, "histogram")
+		cum := int64(0)
+		for i := range h.buckets {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatBound(h.bounds[i])
+			}
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(bw, "%s %d\n", Label(name+"_bucket", "le", le), cum)
+		}
+		fmt.Fprintf(bw, "%s_sum %s\n", name, formatValue(h.Sum()))
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count())
+	}
+	return bw.Flush()
+}
+
+// baseName strips a {label="..."} suffix from a registry key.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime/debug"
+	"strconv"
+)
+
+// Version is the subsystem's base version; BuildVersion appends the
+// VCS revision when the binary carries one, giving a git-describe
+// style identifier without shelling out.
+var Version = "v0.2.0"
+
+// BuildVersion returns Version, extended with the embedded VCS
+// revision ("v0.2.0+3f2c059a1b2c" / "-dirty") when the Go toolchain
+// stamped one into the binary.
+func BuildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return Version
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return Version
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	v := Version + "+" + rev
+	if dirty {
+		v += "-dirty"
+	}
+	return v
+}
+
+// CounterValue is one counter in a manifest, sorted by name.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a manifest, sorted by name.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// BucketValue is one histogram bucket; LE is the upper bound
+// rendered as a string ("+Inf" for the overflow bucket) because JSON
+// has no infinity literal.
+type BucketValue struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramValue is one histogram in a manifest, sorted by name.
+type HistogramValue struct {
+	Name    string        `json:"name"`
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketValue `json:"buckets"`
+}
+
+// MetricsSnapshot holds every metric value at snapshot time.
+type MetricsSnapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Manifest snapshots one run: what was run (seed, options, version)
+// and what happened (phase durations, every metric value). Its JSON
+// encoding is deterministic — fixed field order, name-sorted metric
+// lists, seq-sorted phases — so two runs with the same seed and build
+// produce byte-identical manifests once wall-time fields are zeroed.
+type Manifest struct {
+	Version string          `json:"version"`
+	Seed    int64           `json:"seed"`
+	Options json.RawMessage `json:"options"`
+	Phases  []SpanRecord    `json:"phases"`
+	Metrics MetricsSnapshot `json:"metrics"`
+}
+
+// SnapshotOptions parametrizes Snapshot.
+type SnapshotOptions struct {
+	// Version labels the build; empty uses BuildVersion().
+	Version string
+	// Seed is the run's topology seed.
+	Seed int64
+	// Options is an arbitrary JSON-marshalable record of the run's
+	// configuration (flags, survey options); nil encodes as null.
+	Options any
+	// ZeroDurations zeroes every wall-time field (span StartMS /
+	// DurationMS), the mode golden tests and manifest diffs use to
+	// compare runs byte for byte.
+	ZeroDurations bool
+}
+
+// Snapshot captures the registry into a Manifest. It is an error to
+// snapshot a nil registry.
+func (r *Registry) Snapshot(opts SnapshotOptions) (*Manifest, error) {
+	if r == nil {
+		return nil, fmt.Errorf("telemetry: snapshot of nil registry")
+	}
+	var rawOpts json.RawMessage
+	if opts.Options != nil {
+		b, err := json.Marshal(opts.Options)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: marshal options: %w", err)
+		}
+		rawOpts = b
+	} else {
+		rawOpts = json.RawMessage("null")
+	}
+	version := opts.Version
+	if version == "" {
+		version = BuildVersion()
+	}
+	m := &Manifest{
+		Version: version,
+		Seed:    opts.Seed,
+		Options: rawOpts,
+		Phases:  r.Phases(),
+	}
+	if opts.ZeroDurations {
+		for i := range m.Phases {
+			m.Phases[i].StartMS = 0
+			m.Phases[i].DurationMS = 0
+		}
+	}
+	if m.Phases == nil {
+		m.Phases = []SpanRecord{}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.Metrics.Counters = make([]CounterValue, 0, len(r.counters))
+	for _, name := range r.sortedCounterNames() {
+		m.Metrics.Counters = append(m.Metrics.Counters, CounterValue{Name: name, Value: r.counters[name].Value()})
+	}
+	m.Metrics.Gauges = make([]GaugeValue, 0, len(r.gauges))
+	for _, name := range r.sortedGaugeNames() {
+		m.Metrics.Gauges = append(m.Metrics.Gauges, GaugeValue{Name: name, Value: r.gauges[name].Value()})
+	}
+	m.Metrics.Histograms = make([]HistogramValue, 0, len(r.hists))
+	for _, name := range r.sortedHistNames() {
+		h := r.hists[name]
+		hv := HistogramValue{Name: name, Count: h.Count(), Sum: h.Sum()}
+		for i := range h.buckets {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatBound(h.bounds[i])
+			}
+			hv.Buckets = append(hv.Buckets, BucketValue{LE: le, Count: h.buckets[i].Load()})
+		}
+		m.Metrics.Histograms = append(m.Metrics.Histograms, hv)
+	}
+	return m, nil
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// WriteJSON writes the manifest as indented JSON with a trailing
+// newline.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("telemetry: encode manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest parses a manifest written by WriteJSON.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("telemetry: decode manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// Counter returns the named counter's value from the snapshot (0 when
+// absent), the accessor manifest-diffing tools use.
+func (m *Manifest) Counter(name string) int64 {
+	for _, c := range m.Metrics.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value from the snapshot (0, false
+// when absent).
+func (m *Manifest) Gauge(name string) (float64, bool) {
+	for _, g := range m.Metrics.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}

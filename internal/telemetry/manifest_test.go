@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// populate drives a registry through an identical instrumentation
+// sequence.
+func populate(r *Registry) {
+	sp := r.StartSpan("experiment:x")
+	cfg := r.StartSpan("config:4-0")
+	r.Counter("bgp_decision_runs_total").Add(17)
+	r.Counter(Label("core_classifications_total", "label", "Always R&E")).Add(9)
+	r.Gauge(Label("faultsweep_accuracy", "intensity", "0.50")).Set(0.875)
+	h := r.Histogram("probe_rtt_ms", 10, 100)
+	h.Observe(12)
+	h.Observe(3)
+	cfg.End()
+	sp.End()
+}
+
+// TestManifestDeterminism: two registries fed the same sequence
+// snapshot to byte-identical JSON once wall times are zeroed.
+func TestManifestDeterminism(t *testing.T) {
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		r := New()
+		populate(r)
+		m, err := r.Snapshot(SnapshotOptions{
+			Version:       "vtest",
+			Seed:          42,
+			Options:       map[string]any{"small": true, "faults": 0.5},
+			ZeroDurations: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteJSON(&bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Errorf("manifests differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", bufs[0].String(), bufs[1].String())
+	}
+}
+
+// TestManifestRoundTrip checks WriteJSON/ReadManifest and the
+// accessors used for diffing.
+func TestManifestRoundTrip(t *testing.T) {
+	r := New()
+	r.SetClock((&fakeClock{t: time.Unix(100, 0)}).now)
+	populate(r)
+	m, err := r.Snapshot(SnapshotOptions{Seed: 7, Options: struct {
+		Small bool `json:"small"`
+	}{true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version == "" {
+		t.Error("empty version")
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 7 {
+		t.Errorf("seed = %d", got.Seed)
+	}
+	if got.Counter("bgp_decision_runs_total") != 17 {
+		t.Errorf("counter = %d", got.Counter("bgp_decision_runs_total"))
+	}
+	if got.Counter("absent_total") != 0 {
+		t.Error("absent counter nonzero")
+	}
+	if v, ok := got.Gauge(Label("faultsweep_accuracy", "intensity", "0.50")); !ok || v != 0.875 {
+		t.Errorf("gauge = %v, %v", v, ok)
+	}
+	if len(got.Phases) != 2 {
+		t.Fatalf("phases = %d", len(got.Phases))
+	}
+	if got.Phases[0].Path != "experiment:x" || got.Phases[0].DurationMS <= 0 {
+		t.Errorf("phase 0 = %+v", got.Phases[0])
+	}
+	if len(got.Metrics.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(got.Metrics.Histograms))
+	}
+	h := got.Metrics.Histograms[0]
+	if h.Count != 2 || h.Sum != 15 || len(h.Buckets) != 3 {
+		t.Errorf("histogram = %+v", h)
+	}
+	if h.Buckets[2].LE != "+Inf" {
+		t.Errorf("last bucket LE = %q", h.Buckets[2].LE)
+	}
+}

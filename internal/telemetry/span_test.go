@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock yields strictly increasing times, one second per call,
+// making span durations deterministic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(time.Second)
+	return f.t
+}
+
+// TestSpanNesting verifies paths, depths, and start ordering for the
+// experiment → prepend-config → round shape the pipeline produces.
+func TestSpanNesting(t *testing.T) {
+	r := New()
+	r.SetClock((&fakeClock{t: time.Unix(0, 0)}).now)
+
+	exp := r.StartSpan("experiment:test")
+	for _, cfg := range []string{"4-0", "3-0"} {
+		c := r.StartSpan("config:" + cfg)
+		rd := r.StartSpan("round")
+		rd.End()
+		c.End()
+	}
+	exp.End()
+
+	ph := r.Phases()
+	wantPaths := []string{
+		"experiment:test",
+		"experiment:test/config:4-0",
+		"experiment:test/config:4-0/round",
+		"experiment:test/config:3-0",
+		"experiment:test/config:3-0/round",
+	}
+	wantDepths := []int{0, 1, 2, 1, 2}
+	if len(ph) != len(wantPaths) {
+		t.Fatalf("got %d phases, want %d: %+v", len(ph), len(wantPaths), ph)
+	}
+	for i, p := range ph {
+		if p.Path != wantPaths[i] {
+			t.Errorf("phase %d path = %q, want %q", i, p.Path, wantPaths[i])
+		}
+		if p.Depth != wantDepths[i] {
+			t.Errorf("phase %d depth = %d, want %d", i, p.Depth, wantDepths[i])
+		}
+		if p.Seq != i {
+			t.Errorf("phase %d seq = %d", i, p.Seq)
+		}
+		if p.DurationMS <= 0 {
+			t.Errorf("phase %d duration = %v", i, p.DurationMS)
+		}
+	}
+	// The experiment span encloses its children: started first, ended
+	// last, so its duration must be the largest.
+	for _, p := range ph[1:] {
+		if p.DurationMS >= ph[0].DurationMS {
+			t.Errorf("child %q (%v ms) not shorter than root (%v ms)", p.Path, p.DurationMS, ph[0].DurationMS)
+		}
+	}
+}
+
+// TestSpanMisnesting checks that ending a parent with live children
+// closes the children too, and that double End is harmless.
+func TestSpanMisnesting(t *testing.T) {
+	r := New()
+	r.SetClock((&fakeClock{t: time.Unix(0, 0)}).now)
+
+	a := r.StartSpan("a")
+	b := r.StartSpan("b")
+	_ = r.StartSpan("c") // never explicitly ended
+	a.End()              // closes c, b, a
+	b.End()              // already closed: no-op
+	ph := r.Phases()
+	if len(ph) != 3 {
+		t.Fatalf("got %d phases, want 3: %+v", len(ph), ph)
+	}
+	if ph[0].Path != "a" || ph[1].Path != "a/b" || ph[2].Path != "a/b/c" {
+		t.Errorf("paths = %q %q %q", ph[0].Path, ph[1].Path, ph[2].Path)
+	}
+	next := r.StartSpan("next")
+	next.End()
+	ph = r.Phases()
+	if last := ph[len(ph)-1]; last.Path != "next" || last.Depth != 0 {
+		t.Errorf("post-collapse span = %+v, want top-level", last)
+	}
+}
+
+// TestSpanConcurrency ensures StartSpan/End are race-free when called
+// from multiple goroutines (ordering is unspecified; safety is not).
+func TestSpanConcurrency(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := r.StartSpan("work")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Phases()); got != 8*200 {
+		t.Errorf("recorded %d spans, want %d", got, 8*200)
+	}
+}

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounters hammers one counter and one labeled family
+// from many goroutines; run under -race this is the concurrency-
+// safety proof, and the total must come out exact.
+func TestConcurrentCounters(t *testing.T) {
+	r := New()
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			lbl := r.Counter(Label("by_worker_total", "worker", string(rune('a'+w%4))))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				lbl.Add(2)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*perWorker {
+		t.Errorf("shared_total = %d, want %d", got, workers*perWorker)
+	}
+	sum := int64(0)
+	for _, l := range []string{"a", "b", "c", "d"} {
+		sum += r.Counter(Label("by_worker_total", "worker", l)).Value()
+	}
+	if want := int64(workers * perWorker * 2); sum != want {
+		t.Errorf("labeled sum = %d, want %d", sum, want)
+	}
+}
+
+// TestConcurrentHistogram checks parallel observes keep count, sum,
+// and bucket totals consistent.
+func TestConcurrentHistogram(t *testing.T) {
+	r := New()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := r.Histogram("rtt_ms", 10, 100)
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := r.Histogram("rtt_ms", 10, 100)
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	var bucketSum int64
+	for i := range h.buckets {
+		bucketSum += h.buckets[i].Load()
+	}
+	if bucketSum != h.Count() {
+		t.Errorf("bucket sum %d != count %d", bucketSum, h.Count())
+	}
+	// Each worker observes 0..199 five times: 0..10 → first bucket.
+	wantFirst := int64(workers * perWorker / 200 * 11)
+	if got := h.buckets[0].Load(); got != wantFirst {
+		t.Errorf("le=10 bucket = %d, want %d", got, wantFirst)
+	}
+	wantSum := float64(workers) * float64(perWorker/200) * (199 * 200 / 2)
+	if h.Sum() != wantSum {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+// TestConcurrentGauge checks Add under contention is exact.
+func TestConcurrentGauge(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := r.Gauge("level")
+			for i := 0; i < 1000; i++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Gauge("level").Value(); got != 4000 {
+		t.Errorf("gauge = %v, want 4000", got)
+	}
+}
+
+// TestNilSafety drives the entire API through a nil registry: every
+// call must be a no-op, none may panic.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(5)
+	if r.Counter("x").Value() != 0 {
+		t.Error("nil counter not zero")
+	}
+	r.Gauge("g").Set(3)
+	r.Gauge("g").Add(1)
+	if r.Gauge("g").Value() != 0 {
+		t.Error("nil gauge not zero")
+	}
+	h := r.Histogram("h", 1, 2)
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram not zero")
+	}
+	sp := r.StartSpan("phase")
+	sp.End()
+	if r.Phases() != nil {
+		t.Error("nil registry has phases")
+	}
+	if err := r.WriteProm(&strings.Builder{}); err != nil {
+		t.Errorf("nil WriteProm: %v", err)
+	}
+	if _, err := r.Snapshot(SnapshotOptions{}); err == nil {
+		t.Error("nil Snapshot should error")
+	}
+	r.SetClock(nil)
+}
+
+// TestLabel pins the registry-key convention.
+func TestLabel(t *testing.T) {
+	if got := Label("m_total", "kind", "brownout"); got != `m_total{kind="brownout"}` {
+		t.Errorf("Label = %q", got)
+	}
+	if got := baseName(`m_total{kind="brownout"}`); got != "m_total" {
+		t.Errorf("baseName = %q", got)
+	}
+}
+
+// TestWriteProm checks exposition shape: one TYPE header per base
+// name, cumulative histogram buckets.
+func TestWriteProm(t *testing.T) {
+	r := New()
+	r.Counter(Label("cls_total", "label", "re")).Add(3)
+	r.Counter(Label("cls_total", "label", "commodity")).Add(2)
+	r.Gauge("acc").Set(0.75)
+	h := r.Histogram("lat_ms", 10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "# TYPE cls_total counter") != 1 {
+		t.Errorf("want exactly one cls_total header:\n%s", out)
+	}
+	for _, want := range []string{
+		`cls_total{label="commodity"} 2`,
+		`cls_total{label="re"} 3`,
+		"acc 0.75",
+		`lat_ms_bucket{le="10"} 1`,
+		`lat_ms_bucket{le="100"} 2`,
+		`lat_ms_bucket{le="+Inf"} 3`,
+		"lat_ms_sum 555",
+		"lat_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package repro
 // paper's full scale.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -231,4 +232,23 @@ func BenchmarkFaultSweep(b *testing.B) {
 	}
 	b.StopTimer()
 	b.Logf("\n%s", core.FaultSweepTable(pts))
+}
+
+// BenchmarkParallelSweep measures the sharded fault-intensity sweep at
+// increasing worker counts. The sweep points are independent
+// world-rebuild-and-score runs, so wall clock should fall roughly
+// linearly with workers up to the point count (four intensities here);
+// the deterministic merge keeps the output identical at every width.
+func BenchmarkParallelSweep(b *testing.B) {
+	intensities := core.SweepIntensities(0.5)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := core.DefaultFaultSweepOptions()
+			opts.Intensities = intensities
+			opts.Workers = workers
+			for i := 0; i < b.N; i++ {
+				_ = core.RunFaultSweep(opts)
+			}
+		})
+	}
 }

@@ -7,8 +7,13 @@
 //
 // Usage:
 //
-//	reinfer [file.json ...]          (stdin when no files given)
+//	reinfer [-workers N] [-manifest out.json] [-metrics] [file.json ...]
+//	                                 (stdin when no files given)
 //	reinfer -compare a.json b.json   (Table 2-style comparison)
+//
+// The shared flags behave exactly as in resurvey: -workers bounds the
+// classification shard workers (0 = GOMAXPROCS, output identical for
+// any value); -manifest/-metrics snapshot the classification counters.
 package main
 
 import (
@@ -17,16 +22,26 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/cliconf"
 	"repro/internal/core"
 	"repro/internal/netutil"
+	"repro/internal/parallel"
 	"repro/internal/probe"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	var cfg cliconf.Config
+	cliconf.Register(flag.CommandLine, &cfg, cliconf.FlagWorkers|cliconf.FlagObservability)
 	compare := flag.Bool("compare", false, "compare two experiments' inferences prefix by prefix")
 	flag.Parse()
 
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "reinfer:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	var err error
 	if *compare {
 		if flag.NArg() != 2 {
@@ -35,7 +50,7 @@ func main() {
 			err = runCompare(flag.Arg(0), flag.Arg(1))
 		}
 	} else {
-		err = run(flag.Args())
+		err = run(cfg, flag.Args())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reinfer:", err)
@@ -131,7 +146,9 @@ func runCompare(fileA, fileB string) error {
 	return nil
 }
 
-func run(files []string) error {
+func run(c cliconf.Config, files []string) error {
+	reg := c.NewRegistry()
+	reg.SetWorkers(parallel.Workers(c.Workers))
 	var readers []io.Reader
 	if len(files) == 0 {
 		readers = append(readers, os.Stdin)
@@ -184,13 +201,34 @@ func run(files []string) error {
 		}
 	}
 
+	// Classify in parallel over fixed-size shards of the canonical
+	// prefix order; per-prefix classification is pure, so the shard
+	// merge is identical for any -workers value.
+	prefixes := make([]netutil.Prefix, 0, len(perPrefix))
+	for p := range perPrefix {
+		prefixes = append(prefixes, p)
+	}
+	netutil.SortPrefixes(prefixes)
+	shards, timings := parallel.CollectTimed(len(prefixes), 64, c.Workers,
+		func(s parallel.Shard) []core.Inference {
+			out := make([]core.Inference, 0, s.Items())
+			for _, p := range prefixes[s.Lo:s.Hi] {
+				out = append(out, core.Classify(perPrefix[p]))
+			}
+			return out
+		})
+	for _, t := range timings {
+		reg.AddShardTiming("classify", t.Shard, t.Items, t.Duration)
+	}
 	counts := make(map[core.Inference]int)
 	total := 0
-	for _, seq := range perPrefix {
-		inf := core.Classify(seq)
-		counts[inf]++
-		if inf != core.InfUnresponsive {
-			total++
+	for _, sh := range shards {
+		for _, inf := range sh {
+			counts[inf]++
+			reg.Counter(telemetry.Label("core_classifications_total", "label", inf.String())).Inc()
+			if inf != core.InfUnresponsive {
+				total++
+			}
 		}
 	}
 	t := &report.Table{
@@ -206,5 +244,10 @@ func run(files []string) error {
 	t.AddRow("(excluded: packet loss)", fmt.Sprint(counts[core.InfUnresponsive]), "")
 	t.AddRow("Total classified:", fmt.Sprint(total), "")
 	fmt.Println(t)
-	return nil
+	if err := c.WriteManifest(reg, struct {
+		Files []string `json:"files"`
+	}{Files: files}); err != nil {
+		return err
+	}
+	return c.DumpMetrics(os.Stdout, reg)
 }

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/cliconf"
 	"repro/internal/core"
 )
 
@@ -70,10 +71,10 @@ func TestRunCompareEndToEnd(t *testing.T) {
 func TestRunFiles(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFixture(t, dir, "one.json", false)
-	if err := run([]string{path}); err != nil {
+	if err := run(cliconf.Config{Workers: 2}, []string{path}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{filepath.Join(dir, "nope.json")}); err == nil {
+	if err := run(cliconf.Config{}, []string{filepath.Join(dir, "nope.json")}); err == nil {
 		t.Error("missing file should error")
 	}
 	// Empty input yields a diagnosed error.
@@ -81,7 +82,7 @@ func TestRunFiles(t *testing.T) {
 	if err := os.WriteFile(empty, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{empty}); err == nil {
+	if err := run(cliconf.Config{}, []string{empty}); err == nil {
 		t.Error("empty input should error")
 	}
 }

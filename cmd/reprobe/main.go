@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	reprobe [-small] [-seed N] [-config 0-0] [-experiment internet2|surf]
+//	reprobe [-small] [-seed N] [-workers N] [-config 0-0]
+//	        [-experiment internet2|surf]
+//
+// The shared flags (-small, -seed, -workers) behave exactly as in
+// resurvey; -workers bounds the probing shard workers (0 = GOMAXPROCS)
+// and the output is byte-identical for any value.
 package main
 
 import (
@@ -13,33 +18,36 @@ import (
 	"os"
 
 	"repro/internal/bgp"
+	"repro/internal/cliconf"
 	"repro/internal/core"
-	"repro/internal/netutil"
-	"repro/internal/probe"
-	"repro/internal/seeds"
-	"repro/internal/simnet"
-	"repro/internal/topo"
 )
 
 func main() {
-	small := flag.Bool("small", true, "use the reduced-scale ecosystem")
-	seed := flag.Int64("seed", 1, "generator seed")
+	// reprobe historically defaults to the reduced-scale ecosystem —
+	// the Config value at Register time is the flag default.
+	cfg := cliconf.Config{Small: true, Seed: 1}
+	cliconf.Register(flag.CommandLine, &cfg, cliconf.FlagSmall|cliconf.FlagSeed|cliconf.FlagWorkers)
 	configLabel := flag.String("config", "0-0", "prepend configuration (e.g. 4-0, 0-2)")
 	experiment := flag.String("experiment", "internet2", "which R&E origin announces: internet2 or surf")
 	flag.Parse()
 
-	if err := run(*small, *seed, *configLabel, *experiment); err != nil {
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "reprobe:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(cfg, *configLabel, *experiment); err != nil {
 		fmt.Fprintln(os.Stderr, "reprobe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(small bool, seed int64, configLabel, experiment string) error {
+func run(c cliconf.Config, configLabel, experiment string) error {
 	var cfg core.PrependConfig
 	found := false
-	for _, c := range core.Schedule() {
-		if c.Label() == configLabel {
-			cfg, found = c, true
+	for _, pc := range core.Schedule() {
+		if pc.Label() == configLabel {
+			cfg, found = pc, true
 			break
 		}
 	}
@@ -47,21 +55,10 @@ func run(small bool, seed int64, configLabel, experiment string) error {
 		return fmt.Errorf("unknown config %q (want one of the 4-0..0-4 schedule)", configLabel)
 	}
 
-	gen := topo.DefaultConfig()
-	if small {
-		gen = topo.SmallConfig()
-	}
-	gen.Seed = seed
-	eco := topo.Build(gen)
-	world := simnet.BuildWorld(eco, simnet.DefaultWorldConfig())
-	cat := seeds.BuildCatalog(eco, world, seeds.DefaultCatalogConfig())
-	var prefixes []netutil.Prefix
-	for _, pi := range eco.Prefixes {
-		prefixes = append(prefixes, pi.Prefix)
-	}
-	sel := seeds.Select(cat, prefixes, func(a uint32, p simnet.Proto) bool {
-		return world.Responsive(a, p, 0)
-	}, 3)
+	// The pipeline builds the same survey resurvey uses: world, probe
+	// seed selection (with §3.2 coverage exclusion), prober, workers.
+	s := c.Pipeline(nil).NewSurvey()
+	eco, world := s.Eco, s.World
 
 	var reOrigin bgp.RouterID
 	switch experiment {
@@ -87,9 +84,8 @@ func run(small bool, seed int64, configLabel, experiment string) error {
 	world.RETerminals = map[bgp.RouterID]bool{reOrigin: true}
 	world.CommodityTerminals = map[bgp.RouterID]bool{eco.MeasCommodity.Router: true}
 
-	prober := probe.NewProber(world)
-	round := prober.Run(cfg.Label(), net.Now(), sel)
+	round := s.Prober.Run(cfg.Label(), net.Now(), s.Sel)
 	fmt.Fprintf(os.Stderr, "reprobe: %d probes in config %s (%d prefixes)\n",
-		len(round.Records), cfg.Label(), len(sel.Targets))
-	return prober.WriteJSON(os.Stdout, round)
+		len(round.Records), cfg.Label(), len(s.Sel.Targets))
+	return s.Prober.WriteJSON(os.Stdout, round)
 }

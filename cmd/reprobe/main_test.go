@@ -2,7 +2,9 @@ package main
 
 import (
 	"os"
+
 	"path/filepath"
+	"repro/internal/cliconf"
 	"testing"
 )
 
@@ -15,7 +17,7 @@ func TestRunProducesJSON(t *testing.T) {
 	}
 	old := os.Stdout
 	os.Stdout = f
-	err = run(true, 1, "0-2", "internet2")
+	err = run(cliconf.Config{Small: true, Seed: 1, Workers: 2}, "0-2", "internet2")
 	os.Stdout = old
 	f.Close()
 	if err != nil {
@@ -36,10 +38,10 @@ func TestRunProducesJSON(t *testing.T) {
 }
 
 func TestRunRejectsBadArgs(t *testing.T) {
-	if err := run(true, 1, "9-9", "internet2"); err == nil {
+	if err := run(cliconf.Config{Small: true, Seed: 1}, "9-9", "internet2"); err == nil {
 		t.Error("bad config accepted")
 	}
-	if err := run(true, 1, "0-0", "marsnet"); err == nil {
+	if err := run(cliconf.Config{Small: true, Seed: 1}, "0-0", "marsnet"); err == nil {
 		t.Error("bad experiment accepted")
 	}
 }

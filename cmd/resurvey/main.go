@@ -6,26 +6,28 @@
 //
 // Usage:
 //
-//	resurvey [-small] [-seed N] [-json dir] [-mrt dir] [-faults I]
-//	         [-manifest out.json] [-metrics] [-pprof addr]
+//	resurvey [-small] [-seed N] [-workers N] [-json dir] [-mrt dir]
+//	         [-faults I] [-manifest out.json] [-metrics] [-pprof addr]
 //
 // -small runs the reduced test-scale ecosystem; -json writes the
 // scamper-style probe results per round; -mrt writes collector RIB
 // and update dumps; -faults I (intensity in (0, 1]) additionally runs
 // the fault-intensity sweep up to I and prints the
-// accuracy-vs-intensity table.
+// accuracy-vs-intensity table; -workers N bounds the shard workers of
+// the probing, classification, and fault-sweep loops (0 = GOMAXPROCS)
+// — output is byte-identical for any value.
 //
 // Observability: -manifest snapshots the run (seed, options, version,
-// phase durations, every metric) to deterministic JSON; -metrics
-// prints a Prometheus-style text exposition at exit; -pprof serves
-// net/http/pprof on the given address for live profiling.
+// phase durations, worker/shard timings, every metric) to
+// deterministic JSON; -metrics prints a Prometheus-style text
+// exposition at exit; -pprof serves net/http/pprof on the given
+// address for live profiling.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -35,42 +37,33 @@ import (
 	"repro/internal/asn"
 	"repro/internal/asrel"
 	"repro/internal/bgp"
+	"repro/internal/cliconf"
 	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/irr"
 	"repro/internal/netutil"
 	"repro/internal/report"
-	"repro/internal/telemetry"
 )
 
-// options bundles every flag of one invocation.
+// options bundles every flag of one invocation: the shared pipeline
+// flags (cliconf) plus resurvey's own artifact outputs.
 type options struct {
-	Small    bool
-	Seed     int64
-	JSONDir  string
-	MRTDir   string
-	NSeeds   int
-	Dataset  string
-	Faults   float64
-	Manifest string
-	Metrics  bool
-	PProf    string
-	ZeroTime bool
+	cliconf.Config
+	JSONDir string
+	MRTDir  string
+	NSeeds  int
+	Dataset string
+	PProf   string
 }
 
 func main() {
-	var o options
-	flag.BoolVar(&o.Small, "small", false, "run the reduced-scale ecosystem")
-	flag.Int64Var(&o.Seed, "seed", 1, "topology generator seed")
+	o := options{Config: cliconf.Config{Seed: 1}}
+	cliconf.Register(flag.CommandLine, &o.Config, cliconf.FlagAll)
 	flag.StringVar(&o.JSONDir, "json", "", "directory for scamper-style probe JSON")
 	flag.StringVar(&o.MRTDir, "mrt", "", "directory for MRT collector dumps")
 	flag.IntVar(&o.NSeeds, "seeds", 1, "additionally rerun the survey across N generator seeds (reduced scale) and report spread")
 	flag.StringVar(&o.Dataset, "dataset", "", "write the gzip-compressed JSON dataset (the public-data-release analog) to this file")
-	flag.Float64Var(&o.Faults, "faults", 0, "max fault intensity in (0, 1]: run the fault-intensity sweep (reduced scale) up to this intensity; 0 disables")
-	flag.StringVar(&o.Manifest, "manifest", "", "write a run manifest (seed, options, phase durations, all metrics) to this file as deterministic JSON")
-	flag.BoolVar(&o.Metrics, "metrics", false, "print a Prometheus-style metrics exposition at exit")
 	flag.StringVar(&o.PProf, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
-	flag.BoolVar(&o.ZeroTime, "zerotime", false, "zero wall-time fields in the manifest, for byte-stable run comparisons")
 	flag.Parse()
 
 	if err := o.validate(); err != nil {
@@ -86,8 +79,8 @@ func main() {
 
 // validate rejects flag combinations the pipeline cannot honour.
 func (o options) validate() error {
-	if math.IsNaN(o.Faults) || math.IsInf(o.Faults, 0) || o.Faults < 0 || o.Faults > 1 {
-		return fmt.Errorf("-faults intensity %v out of range: want 0 (off) or a value in (0, 1]", o.Faults)
+	if err := o.Config.Validate(); err != nil {
+		return err
 	}
 	if o.NSeeds < 1 {
 		return fmt.Errorf("-seeds %d out of range: want >= 1", o.NSeeds)
@@ -95,17 +88,10 @@ func (o options) validate() error {
 	return nil
 }
 
-// sweepIntensities selects the fault-sweep points for a max intensity:
-// the default ladder truncated at max, with max itself as the final
-// point.
+// sweepIntensities selects the fault-sweep points for a max intensity
+// (kept as a thin alias of the pipeline's ladder for the tests).
 func sweepIntensities(max float64) []float64 {
-	var out []float64
-	for _, i := range core.DefaultFaultSweepOptions().Intensities {
-		if i < max {
-			out = append(out, i)
-		}
-	}
-	return append(out, max)
+	return core.SweepIntensities(max)
 }
 
 // manifestOptions is the run configuration recorded in the manifest.
@@ -119,10 +105,7 @@ type manifestOptions struct {
 func run(w io.Writer, o options) error {
 	// Telemetry is opt-in: without -manifest or -metrics the registry
 	// stays nil and every instrumented path is a no-op.
-	var reg *telemetry.Registry
-	if o.Manifest != "" || o.Metrics {
-		reg = telemetry.New()
-	}
+	reg := o.NewRegistry()
 	if o.PProf != "" {
 		go func() {
 			if err := http.ListenAndServe(o.PProf, nil); err != nil {
@@ -132,16 +115,12 @@ func run(w io.Writer, o options) error {
 		fmt.Fprintf(w, "pprof listening on http://%s/debug/pprof/\n", o.PProf)
 	}
 
-	opts := core.DefaultSurveyOptions()
-	if o.Small {
-		opts = core.SmallSurveyOptions()
-	}
-	opts.Topology.Seed = o.Seed
+	pl := o.Pipeline(reg)
+	opts := pl.SurveyOptions()
 
 	buildSpan := reg.StartSpan("build")
 	fmt.Fprintf(w, "building ecosystem (seed %d)...\n", o.Seed)
-	s := core.NewSurvey(opts)
-	s.SetMetrics(reg)
+	s := pl.NewSurvey()
 	buildSpan.End()
 	st := s.Sel.Stats
 	fmt.Fprintf(w, "  %d R&E-connected origin ASes; %d prefixes announced, %d excluded as entirely covered (§3.2), %d probed\n",
@@ -279,11 +258,7 @@ func run(w io.Writer, o options) error {
 		// topology seed carries over so the sweep tracks the main run.
 		fmt.Fprintln(w)
 		fmt.Fprintf(w, "running fault-intensity sweep (reduced scale, up to %.2f)...\n", o.Faults)
-		fopts := core.DefaultFaultSweepOptions()
-		fopts.Survey.Topology.Seed = o.Seed
-		fopts.Intensities = sweepIntensities(o.Faults)
-		fopts.Metrics = reg
-		fmt.Fprintln(w, core.FaultSweepTable(core.RunFaultSweep(fopts)))
+		fmt.Fprintln(w, core.FaultSweepTable(pl.RunFaultSweep()))
 	}
 
 	if o.NSeeds > 1 {
@@ -322,44 +297,17 @@ func run(w io.Writer, o options) error {
 	}
 
 	if o.Manifest != "" {
-		if err := writeManifest(reg, o, opts); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "manifest written to %s\n", o.Manifest)
-	}
-	if o.Metrics {
-		fmt.Fprintln(w)
-		if err := reg.WriteProm(w); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// writeManifest snapshots the registry to the manifest file.
-func writeManifest(reg *telemetry.Registry, o options, opts core.SurveyOptions) error {
-	m, err := reg.Snapshot(telemetry.SnapshotOptions{
-		Seed: o.Seed,
-		Options: manifestOptions{
+		if err := o.WriteManifest(reg, manifestOptions{
 			Small:  o.Small,
 			Faults: o.Faults,
 			NSeeds: o.NSeeds,
 			Survey: opts,
-		},
-		ZeroDurations: o.ZeroTime,
-	})
-	if err != nil {
-		return err
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "manifest written to %s\n", o.Manifest)
 	}
-	f, err := os.Create(o.Manifest)
-	if err != nil {
-		return err
-	}
-	if err := m.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return o.DumpMetrics(w, reg)
 }
 
 // countASes counts distinct R&E-connected origin ASes (the paper's

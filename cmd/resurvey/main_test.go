@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/cliconf"
 	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/netutil"
@@ -19,13 +20,13 @@ import (
 // intensities with a usage error before any work starts.
 func TestFaultsFlagValidation(t *testing.T) {
 	for _, bad := range []float64{-0.1, 1.01, 5, math.NaN(), math.Inf(1), math.Inf(-1)} {
-		o := options{NSeeds: 1, Faults: bad}
+		o := options{NSeeds: 1, Config: cliconf.Config{Faults: bad}}
 		if err := o.validate(); err == nil {
 			t.Errorf("-faults %v accepted, want usage error", bad)
 		}
 	}
 	for _, good := range []float64{0, 0.1, 0.5, 1} {
-		o := options{NSeeds: 1, Faults: good}
+		o := options{NSeeds: 1, Config: cliconf.Config{Faults: good}}
 		if err := o.validate(); err != nil {
 			t.Errorf("-faults %v rejected: %v", good, err)
 		}
@@ -64,12 +65,14 @@ func TestManifestGolden(t *testing.T) {
 	paths := [2]string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}
 	for _, p := range paths {
 		o := options{
-			Small:    true,
-			Seed:     1,
-			NSeeds:   1,
-			Faults:   0.5,
-			Manifest: p,
-			ZeroTime: true,
+			NSeeds: 1,
+			Config: cliconf.Config{
+				Small:    true,
+				Seed:     1,
+				Faults:   0.5,
+				Manifest: p,
+				ZeroTime: true,
+			},
 		}
 		if err := run(io.Discard, o); err != nil {
 			t.Fatal(err)
@@ -231,5 +234,78 @@ func TestRelationshipAccuracy(t *testing.T) {
 	}
 	if acc < 0.85 {
 		t.Errorf("relationship accuracy = %.3f", acc)
+	}
+}
+
+// TestWorkersDeterminismMatrix is the tentpole acceptance check: the
+// same run at -workers 1, 2, and 8 must produce byte-identical
+// -zerotime manifests AND byte-identical stdout (every table, every
+// classification) — parallelism must be invisible in the output.
+func TestWorkersDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full reduced pipeline once per worker count")
+	}
+	dir := t.TempDir()
+	workerCounts := []int{1, 2, 8}
+	manifests := make([][]byte, len(workerCounts))
+	stdouts := make([][]byte, len(workerCounts))
+	// One shared manifest path (re-read between runs): stdout echoes
+	// the path, so per-worker filenames would trivially differ.
+	p := filepath.Join(dir, "m.json")
+	for i, n := range workerCounts {
+		o := options{
+			NSeeds: 1,
+			Config: cliconf.Config{
+				Small:    true,
+				Seed:     1,
+				Workers:  n,
+				Faults:   0.5,
+				Manifest: p,
+				ZeroTime: true,
+			},
+		}
+		var out bytes.Buffer
+		if err := run(&out, o); err != nil {
+			t.Fatalf("workers=%d: %v", n, err)
+		}
+		m, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		manifests[i], stdouts[i] = m, out.Bytes()
+	}
+	for i := 1; i < len(workerCounts); i++ {
+		if !bytes.Equal(manifests[0], manifests[i]) {
+			t.Errorf("manifest differs between -workers %d and -workers %d",
+				workerCounts[0], workerCounts[i])
+		}
+		if !bytes.Equal(stdouts[0], stdouts[i]) {
+			t.Errorf("stdout differs between -workers %d and -workers %d",
+				workerCounts[0], workerCounts[i])
+		}
+	}
+	// The manifest must actually carry the parallel section: shard
+	// records for every sharded phase, with deterministic item counts.
+	m, err := telemetry.ReadManifest(bytes.NewReader(manifests[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Parallel.Workers != 0 {
+		t.Errorf("parallel.workers = %d under -zerotime, want 0", m.Parallel.Workers)
+	}
+	phases := map[string]bool{}
+	for _, sh := range m.Parallel.Shards {
+		phases[sh.Phase] = true
+		if sh.Items <= 0 || sh.Calls <= 0 {
+			t.Errorf("shard %s/%d has items=%d calls=%d, want > 0", sh.Phase, sh.Shard, sh.Items, sh.Calls)
+		}
+		if sh.DurationMS != 0 {
+			t.Errorf("shard %s/%d has nonzero duration under -zerotime", sh.Phase, sh.Shard)
+		}
+	}
+	for _, want := range []string{"probe", "classify", "faultsweep"} {
+		if !phases[want] {
+			t.Errorf("manifest parallel section missing phase %q", want)
+		}
 	}
 }

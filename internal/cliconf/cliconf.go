@@ -1,0 +1,153 @@
+// Package cliconf is the shared flag surface of the reproduction's
+// binaries. cmd/resurvey, cmd/reprobe, and cmd/reinfer used to parse
+// -seed, -faults, -manifest, -metrics (and now -workers) each with
+// their own copies; cliconf registers them once with identical names,
+// semantics, and validation, and converts the parsed Config into
+// core.Pipeline options so every binary constructs its pipeline the
+// same way.
+package cliconf
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Config holds the shared flag values. Commands embed it in their own
+// options struct and register the subset of flags they support; field
+// values at Register time become the flag defaults, so a command can
+// keep its historical defaults (reprobe defaults -small to true).
+type Config struct {
+	Small    bool
+	Seed     int64
+	Workers  int
+	Faults   float64
+	Manifest string
+	Metrics  bool
+	ZeroTime bool
+}
+
+// Flags selects which shared flags Register installs.
+type Flags uint
+
+const (
+	// FlagSmall registers -small.
+	FlagSmall Flags = 1 << iota
+	// FlagSeed registers -seed.
+	FlagSeed
+	// FlagWorkers registers -workers.
+	FlagWorkers
+	// FlagFaults registers -faults.
+	FlagFaults
+	// FlagObservability registers -manifest, -metrics, and -zerotime.
+	FlagObservability
+
+	// FlagAll registers every shared flag.
+	FlagAll = FlagSmall | FlagSeed | FlagWorkers | FlagFaults | FlagObservability
+)
+
+// Register installs the selected shared flags on fs, with defaults
+// taken from c's current field values.
+func Register(fs *flag.FlagSet, c *Config, which Flags) {
+	if which&FlagSmall != 0 {
+		fs.BoolVar(&c.Small, "small", c.Small, "run the reduced-scale ecosystem")
+	}
+	if which&FlagSeed != 0 {
+		fs.Int64Var(&c.Seed, "seed", c.Seed, "session seed: drives topology generation and every derived stream (probe loss, fault schedules)")
+	}
+	if which&FlagWorkers != 0 {
+		fs.IntVar(&c.Workers, "workers", c.Workers, "parallel shard workers (0 = GOMAXPROCS); output is byte-identical for any value")
+	}
+	if which&FlagFaults != 0 {
+		fs.Float64Var(&c.Faults, "faults", c.Faults, "max fault intensity in (0, 1]: run the fault-intensity sweep (reduced scale) up to this intensity; 0 disables")
+	}
+	if which&FlagObservability != 0 {
+		fs.StringVar(&c.Manifest, "manifest", c.Manifest, "write a run manifest (seed, options, phase durations, all metrics) to this file as deterministic JSON")
+		fs.BoolVar(&c.Metrics, "metrics", c.Metrics, "print a Prometheus-style metrics exposition at exit")
+		fs.BoolVar(&c.ZeroTime, "zerotime", c.ZeroTime, "zero wall-time fields in the manifest, for byte-stable run comparisons")
+	}
+}
+
+// Validate rejects flag values the pipeline cannot honour, identically
+// in every binary.
+func (c Config) Validate() error {
+	if math.IsNaN(c.Faults) || math.IsInf(c.Faults, 0) || c.Faults < 0 || c.Faults > 1 {
+		return fmt.Errorf("-faults intensity %v out of range: want 0 (off) or a value in (0, 1]", c.Faults)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("-workers %d out of range: want >= 0 (0 = GOMAXPROCS)", c.Workers)
+	}
+	return nil
+}
+
+// NewRegistry returns a live telemetry registry when any flag needs
+// one (-manifest or -metrics), nil otherwise — nil keeps the whole
+// instrumented pipeline at its zero-cost disabled path.
+func (c Config) NewRegistry() *telemetry.Registry {
+	if c.Manifest == "" && !c.Metrics {
+		return nil
+	}
+	return telemetry.New()
+}
+
+// PipelineOptions converts the parsed flags into core.Pipeline
+// options, wiring reg (from NewRegistry; nil is fine) as the metrics
+// sink.
+func (c Config) PipelineOptions(reg *telemetry.Registry) []core.PipelineOption {
+	opts := []core.PipelineOption{
+		core.WithSeed(c.Seed),
+		core.WithWorkers(c.Workers),
+		core.WithFaults(c.Faults),
+		core.WithMetrics(reg),
+	}
+	if c.Small {
+		opts = append(opts, core.WithSmall())
+	}
+	return opts
+}
+
+// Pipeline builds the core.Pipeline the flags describe; extra options
+// append after (and can thus override) the flag-derived ones.
+func (c Config) Pipeline(reg *telemetry.Registry, extra ...core.PipelineOption) *core.Pipeline {
+	return core.NewPipeline(append(c.PipelineOptions(reg), extra...)...)
+}
+
+// WriteManifest snapshots reg to the -manifest path (a no-op without
+// the flag), honouring -zerotime, with options recorded verbatim.
+func (c Config) WriteManifest(reg *telemetry.Registry, options any) error {
+	if c.Manifest == "" {
+		return nil
+	}
+	m, err := reg.Snapshot(telemetry.SnapshotOptions{
+		Seed:          c.Seed,
+		Options:       options,
+		ZeroDurations: c.ZeroTime,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(c.Manifest)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DumpMetrics writes the Prometheus text exposition to w when
+// -metrics was given (a no-op otherwise).
+func (c Config) DumpMetrics(w io.Writer, reg *telemetry.Registry) error {
+	if !c.Metrics {
+		return nil
+	}
+	fmt.Fprintln(w)
+	return reg.WriteProm(w)
+}

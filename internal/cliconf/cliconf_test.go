@@ -1,0 +1,103 @@
+package cliconf
+
+import (
+	"flag"
+	"math"
+	"testing"
+)
+
+func TestRegisterKeepsFieldDefaults(t *testing.T) {
+	// Commands seed the Config with their historical defaults before
+	// Register; parsing no flags must leave those values intact.
+	c := Config{Small: true, Seed: 7}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	Register(fs, &c, FlagAll)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Small || c.Seed != 7 || c.Workers != 0 || c.Faults != 0 {
+		t.Errorf("defaults clobbered: %+v", c)
+	}
+}
+
+func TestRegisterParsesSharedFlags(t *testing.T) {
+	var c Config
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	Register(fs, &c, FlagAll)
+	args := []string{
+		"-small", "-seed", "42", "-workers", "8", "-faults", "0.5",
+		"-manifest", "m.json", "-metrics", "-zerotime",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Small: true, Seed: 42, Workers: 8, Faults: 0.5,
+		Manifest: "m.json", Metrics: true, ZeroTime: true}
+	if c != want {
+		t.Errorf("parsed %+v, want %+v", c, want)
+	}
+}
+
+func TestRegisterSubsets(t *testing.T) {
+	var c Config
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	Register(fs, &c, FlagSeed|FlagWorkers)
+	for _, name := range []string{"seed", "workers"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+	for _, name := range []string{"small", "faults", "manifest", "metrics", "zerotime"} {
+		if fs.Lookup(name) != nil {
+			t.Errorf("flag -%s registered but not requested", name)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{Faults: -0.1},
+		{Faults: 1.5},
+		{Faults: math.NaN()},
+		{Faults: math.Inf(1)},
+		{Workers: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", bad)
+		}
+	}
+	for _, good := range []Config{
+		{},
+		{Faults: 0.5, Workers: 8},
+		{Faults: 1},
+	} {
+		if err := good.Validate(); err != nil {
+			t.Errorf("Validate(%+v) rejected: %v", good, err)
+		}
+	}
+}
+
+func TestNewRegistryNilWhenUnobserved(t *testing.T) {
+	var c Config
+	if c.NewRegistry() != nil {
+		t.Error("registry allocated with no -manifest/-metrics")
+	}
+	if (Config{Manifest: "m.json"}).NewRegistry() == nil {
+		t.Error("no registry with -manifest set")
+	}
+	if (Config{Metrics: true}).NewRegistry() == nil {
+		t.Error("no registry with -metrics set")
+	}
+}
+
+func TestPipelineWiring(t *testing.T) {
+	c := Config{Small: true, Seed: 5, Workers: 3, Faults: 0.25}
+	pl := c.Pipeline(nil)
+	if pl.Seed() != 5 || pl.Workers() != 3 || pl.Faults() != 0.25 {
+		t.Errorf("pipeline carries seed=%d workers=%d faults=%v",
+			pl.Seed(), pl.Workers(), pl.Faults())
+	}
+	if pl.SurveyOptions().Topology.Seed != 5 {
+		t.Errorf("survey topology seed = %d, want 5", pl.SurveyOptions().Topology.Seed)
+	}
+}

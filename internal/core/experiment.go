@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/netutil"
+	"repro/internal/parallel"
 	"repro/internal/probe"
 	"repro/internal/seeds"
 	"repro/internal/simnet"
@@ -89,6 +90,10 @@ type Experiment struct {
 	// prepend-config → round) and classification counters. Nil is the
 	// free disabled path.
 	Metrics *telemetry.Registry
+	// Workers bounds the shard workers used for probing and
+	// classification; <= 0 means GOMAXPROCS. Results are identical for
+	// any value (see probe.Prober.Workers and classify).
+	Workers int
 }
 
 // PrefixResult is the per-prefix outcome.
@@ -268,7 +273,16 @@ func (x *Experiment) commoditySessions() []bgp.RouterID {
 	return x.Eco.Net.Speaker(x.Cfg.CommodityOrigin).Peers()
 }
 
+// classifyShardSize is the number of prefixes per classification
+// shard — fixed, so shard artifacts do not depend on worker count.
+const classifyShardSize = 64
+
 // classify reduces rounds to per-prefix sequences and categories.
+// Prefixes are classified in parallel over fixed-size shards of the
+// canonical prefix order; each prefix's result is pure (it reads only
+// the immutable round records), label counters are atomic, and shard
+// results merge in shard order, so the outcome is identical for any
+// Workers value.
 func (x *Experiment) classify(res *Result) {
 	sp := x.Metrics.StartSpan("classify")
 	defer sp.End()
@@ -287,22 +301,41 @@ func (x *Experiment) classify(res *Result) {
 		byLabel[inf] = x.Metrics.Counter(telemetry.Label("core_classifications_total", "label", inf.String()))
 	}
 	quorumFailures := x.Metrics.Counter("core_quorum_failures_total")
+
+	prefixes := make([]netutil.Prefix, 0, len(x.Sel.Targets))
 	for p := range x.Sel.Targets {
-		seq := make([]RoundObs, len(res.Rounds))
-		for i := range res.Rounds {
-			seq[i] = ObserveRound(perRound[i][p])
+		prefixes = append(prefixes, p)
+	}
+	netutil.SortPrefixes(prefixes)
+	shards, timings := parallel.CollectTimed(len(prefixes), classifyShardSize, x.Workers,
+		func(s parallel.Shard) []*PrefixResult {
+			out := make([]*PrefixResult, 0, s.Items())
+			for _, p := range prefixes[s.Lo:s.Hi] {
+				seq := make([]RoundObs, len(res.Rounds))
+				for i := range res.Rounds {
+					seq[i] = ObserveRound(perRound[i][p])
+				}
+				rr := ClassifyRobust(seq, x.Cfg.Quorum)
+				byLabel[rr.Inference].Inc()
+				if rr.Inference == InfInsufficientData {
+					quorumFailures.Inc()
+				}
+				out = append(out, &PrefixResult{
+					Prefix: p, Seq: seq,
+					Inference:  rr.Inference,
+					Confidence: rr.Confidence,
+					Observed:   rr.Observed,
+				})
+			}
+			return out
+		})
+	for _, sr := range shards {
+		for _, pr := range sr {
+			res.PerPrefix[pr.Prefix] = pr
 		}
-		rr := ClassifyRobust(seq, x.Cfg.Quorum)
-		byLabel[rr.Inference].Inc()
-		if rr.Inference == InfInsufficientData {
-			quorumFailures.Inc()
-		}
-		res.PerPrefix[p] = &PrefixResult{
-			Prefix: p, Seq: seq,
-			Inference:  rr.Inference,
-			Confidence: rr.Confidence,
-			Observed:   rr.Observed,
-		}
+	}
+	for _, t := range timings {
+		x.Metrics.AddShardTiming("classify", t.Shard, t.Items, t.Duration)
 	}
 }
 

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
+)
+
+// Pipeline is the single construction path for surveys, experiments,
+// and fault sweeps. Commands configure one with functional options and
+// then ask it for fully wired components:
+//
+//	p := core.NewPipeline(core.WithSmall(), core.WithSeed(1),
+//	        core.WithWorkers(4), core.WithMetrics(reg))
+//	s := p.NewSurvey()
+//	s.RunBoth()
+//
+// It replaces the previous convention of constructing a Survey and
+// then calling scattered SetMetrics setters on Survey, Prober, and
+// Network — the options wire everything once, identically across
+// binaries.
+//
+// Seed derivation: the pipeline holds ONE session seed. Everything
+// else derives from it deterministically — the topology generator uses
+// it directly, the world's probe-loss streams use cfg.Seed+1 split
+// per (round, prefix) via parallel.SubSeed (see simnet.LossStream),
+// and the fault sweep's schedule seed is
+// parallel.SubSeed(seed, faultSeedStream). Bare seed parameters that
+// predate the pipeline (SplitOutages, simnet.World.InjectDormancy)
+// keep their own documented conventions but are fed from options
+// threaded through here rather than ad-hoc constants.
+type Pipeline struct {
+	survey        SurveyOptions
+	surveySet     bool
+	small         bool
+	seed          int64
+	seedSet       bool
+	outageSeed    int64
+	outageSeedSet bool
+	workers       int
+	faults        float64
+	metrics       *telemetry.Registry
+}
+
+// PipelineOption configures a Pipeline; options are applied by
+// NewPipeline and are order-independent (each sets an independent
+// field; derived values resolve after all options run).
+type PipelineOption func(*Pipeline)
+
+// WithSurvey uses an explicit survey configuration instead of the
+// scale defaults. It overrides WithSmall; WithSeed still overrides the
+// topology seed inside it.
+func WithSurvey(opts SurveyOptions) PipelineOption {
+	return func(p *Pipeline) { p.survey, p.surveySet = opts, true }
+}
+
+// WithSmall selects the reduced test-scale ecosystem
+// (SmallSurveyOptions) instead of the paper-scale default.
+func WithSmall() PipelineOption {
+	return func(p *Pipeline) { p.small = true }
+}
+
+// WithSeed sets the session seed every stochastic component derives
+// from (see the Pipeline doc for the derivation map).
+func WithSeed(seed int64) PipelineOption {
+	return func(p *Pipeline) { p.seed, p.seedSet = seed, true }
+}
+
+// WithWorkers bounds the shard workers of every parallel loop the
+// pipeline drives (probing, classification, fault-sweep points);
+// n <= 0 means GOMAXPROCS. Output is identical for any value.
+func WithWorkers(n int) PipelineOption {
+	return func(p *Pipeline) { p.workers = n }
+}
+
+// WithFaults enables the fault-intensity sweep up to the given max
+// intensity in (0, 1]; 0 disables it. Validation happens at the flag
+// layer (cliconf) — the pipeline assumes a sane value.
+func WithFaults(intensity float64) PipelineOption {
+	return func(p *Pipeline) { p.faults = intensity }
+}
+
+// WithMetrics instruments everything the pipeline constructs with the
+// registry (nil keeps telemetry disabled at zero cost) and records the
+// resolved worker count for the run manifest.
+func WithMetrics(reg *telemetry.Registry) PipelineOption {
+	return func(p *Pipeline) { p.metrics = reg }
+}
+
+// WithOutageSplit sets how injected mid-experiment outages divide
+// between the two experiments: 0 keeps the historical in-order halves
+// split, any other value shuffles deterministically first (see
+// SplitOutages).
+func WithOutageSplit(seed int64) PipelineOption {
+	return func(p *Pipeline) { p.outageSeed, p.outageSeedSet = seed, true }
+}
+
+// faultSeedStream is the parallel.SubSeed stream id reserved for
+// deriving the fault-sweep schedule seed from the session seed, so a
+// different session seed yields a different (but reproducible) fault
+// schedule without a second flag.
+const faultSeedStream = 0xFA17
+
+// NewPipeline resolves the options into a ready pipeline.
+func NewPipeline(opts ...PipelineOption) *Pipeline {
+	p := &Pipeline{survey: DefaultSurveyOptions()}
+	for _, o := range opts {
+		o(p)
+	}
+	if !p.surveySet && p.small {
+		p.survey = SmallSurveyOptions()
+	}
+	if p.seedSet {
+		p.survey.Topology.Seed = p.seed
+	}
+	if p.outageSeedSet {
+		p.survey.OutageSeed = p.outageSeed
+	}
+	return p
+}
+
+// Seed returns the resolved session (topology) seed.
+func (p *Pipeline) Seed() int64 { return p.survey.Topology.Seed }
+
+// Workers returns the configured worker bound (0 = GOMAXPROCS).
+func (p *Pipeline) Workers() int { return p.workers }
+
+// Faults returns the configured max fault-sweep intensity (0 = off).
+func (p *Pipeline) Faults() float64 { return p.faults }
+
+// Metrics returns the registry the pipeline instruments with (nil
+// when telemetry is disabled).
+func (p *Pipeline) Metrics() *telemetry.Registry { return p.metrics }
+
+// SurveyOptions returns the resolved survey configuration.
+func (p *Pipeline) SurveyOptions() SurveyOptions { return p.survey }
+
+// NewSurvey builds a fully wired survey: world, seed selection,
+// prober, metrics, and worker bounds, all from the pipeline options.
+func (p *Pipeline) NewSurvey() *Survey {
+	s := NewSurvey(p.survey)
+	s.Workers = p.workers
+	s.Prober.Workers = p.workers
+	if p.metrics != nil {
+		s.SetMetrics(p.metrics)
+		p.metrics.SetWorkers(parallel.Workers(p.workers))
+	}
+	return s
+}
+
+// FaultSweepOptions returns the sweep configuration the pipeline
+// implies: reduced-scale worlds carrying the session topology seed, a
+// schedule seed derived via parallel.SubSeed(seed, faultSeedStream),
+// the intensity ladder up to WithFaults' max, and the pipeline's
+// worker bound and registry.
+func (p *Pipeline) FaultSweepOptions() FaultSweepOptions {
+	fopts := DefaultFaultSweepOptions()
+	fopts.Survey.Topology.Seed = p.Seed()
+	fopts.FaultSeed = parallel.SubSeed(p.Seed(), faultSeedStream)
+	if p.faults > 0 {
+		fopts.Intensities = SweepIntensities(p.faults)
+	}
+	fopts.Metrics = p.metrics
+	fopts.Workers = p.workers
+	return fopts
+}
+
+// RunFaultSweep runs the fault-intensity sweep the pipeline implies
+// (see FaultSweepOptions).
+func (p *Pipeline) RunFaultSweep() []FaultSweepPoint {
+	return RunFaultSweep(p.FaultSweepOptions())
+}
+
+// SweepIntensities selects the fault-sweep points for a max intensity:
+// the default ladder truncated at max, with max itself as the final
+// point.
+func SweepIntensities(max float64) []float64 {
+	var out []float64
+	for _, i := range DefaultFaultSweepOptions().Intensities {
+		if i < max {
+			out = append(out, i)
+		}
+	}
+	return append(out, max)
+}

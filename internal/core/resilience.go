@@ -6,6 +6,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/faults"
 	"repro/internal/netutil"
+	"repro/internal/parallel"
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/telemetry"
@@ -40,6 +41,11 @@ type FaultSweepOptions struct {
 	// records per-intensity score gauges (faultsweep_accuracy,
 	// faultsweep_mean_confidence, faultsweep_outage_classes).
 	Metrics *telemetry.Registry
+	// Workers bounds how many intensity points run concurrently (one
+	// intensity per worker); <= 0 means GOMAXPROCS. Each point rebuilds
+	// its own world and records into its own sub-registry, merged back
+	// in intensity order, so sweep output is identical for any value.
+	Workers int
 }
 
 // DefaultFaultSweepOptions sweeps six intensity points over the small
@@ -84,26 +90,57 @@ type FaultSweepPoint struct {
 // the baseline pipeline bit-for-bit. At nonzero intensity the injector
 // drives the schedule through the experiment while the retry policy
 // and evidence quorum defend the classification.
+//
+// Points are independent (each rebuilds its own world) and run one
+// per worker. To keep telemetry merge-order independent, each point
+// records into a private sub-registry; the sub-registries are merged
+// into opts.Metrics in intensity order after all points finish, so the
+// final registry — and any manifest snapshot of it — is identical for
+// any Workers value. Within a point, probing and classification run
+// single-worker: the sweep's parallelism budget is spent across
+// points.
 func RunFaultSweep(opts FaultSweepOptions) []FaultSweepPoint {
 	if len(opts.Intensities) == 0 {
 		opts.Intensities = DefaultFaultSweepOptions().Intensities
 	}
-	points := make([]FaultSweepPoint, 0, len(opts.Intensities))
-	for _, intensity := range opts.Intensities {
-		points = append(points, runFaultPoint(opts, intensity))
+	type pointOut struct {
+		pt  FaultSweepPoint
+		reg *telemetry.Registry
+	}
+	outs, timings := parallel.CollectTimed(len(opts.Intensities), 1, opts.Workers,
+		func(s parallel.Shard) pointOut {
+			var reg *telemetry.Registry
+			if opts.Metrics != nil {
+				reg = telemetry.New()
+			}
+			return pointOut{pt: runFaultPoint(opts, opts.Intensities[s.Lo], reg), reg: reg}
+		})
+	points := make([]FaultSweepPoint, 0, len(outs))
+	for _, o := range outs {
+		opts.Metrics.Merge(o.reg)
+		points = append(points, o.pt)
+	}
+	for _, t := range timings {
+		opts.Metrics.AddShardTiming("faultsweep", t.Shard, t.Items, t.Duration)
 	}
 	return points
 }
 
-func runFaultPoint(opts FaultSweepOptions, intensity float64) FaultSweepPoint {
+// runFaultPoint executes one intensity point against its own freshly
+// built world, recording telemetry into reg (a private sub-registry
+// when the sweep is instrumented, nil otherwise).
+func runFaultPoint(opts FaultSweepOptions, intensity float64, reg *telemetry.Registry) FaultSweepPoint {
 	lbl := fmt.Sprintf("%.2f", intensity)
-	sp := opts.Metrics.StartSpan("faultsweep:intensity=" + lbl)
+	sp := reg.StartSpan("faultsweep:intensity=" + lbl)
 	defer sp.End()
 	s := NewSurvey(opts.Survey)
-	s.SetMetrics(opts.Metrics)
+	s.SetMetrics(reg)
+	s.Workers = 1
+	s.Prober.Workers = 1
 	start := bgp.Time(9 * 3600)
 	x := NewInternet2Experiment(s.Eco, s.World, s.Prober, s.Sel, start)
-	x.Metrics = opts.Metrics
+	x.Metrics = reg
+	x.Workers = 1
 
 	pt := FaultSweepPoint{Intensity: intensity}
 	if intensity > 0 {
@@ -117,7 +154,7 @@ func runFaultPoint(opts FaultSweepOptions, intensity float64) FaultSweepPoint {
 		pt.FeedGaps = len(sched.FeedGaps)
 
 		inj := faults.NewInjector(sched)
-		inj.SetMetrics(opts.Metrics)
+		inj.SetMetrics(reg)
 		inj.Install(s.World, s.Eco.Net)
 		x.Cfg.Advance = inj.Advance
 		x.Cfg.Quorum = opts.Quorum
@@ -153,9 +190,9 @@ func runFaultPoint(opts FaultSweepOptions, intensity float64) FaultSweepPoint {
 	if characterized > 0 {
 		pt.MeanConfidence = confSum / float64(characterized)
 	}
-	opts.Metrics.Gauge(telemetry.Label("faultsweep_accuracy", "intensity", lbl)).Set(pt.Accuracy)
-	opts.Metrics.Gauge(telemetry.Label("faultsweep_mean_confidence", "intensity", lbl)).Set(pt.MeanConfidence)
-	opts.Metrics.Gauge(telemetry.Label("faultsweep_outage_classes", "intensity", lbl)).Set(float64(pt.OutageClasses))
+	reg.Gauge(telemetry.Label("faultsweep_accuracy", "intensity", lbl)).Set(pt.Accuracy)
+	reg.Gauge(telemetry.Label("faultsweep_mean_confidence", "intensity", lbl)).Set(pt.MeanConfidence)
+	reg.Gauge(telemetry.Label("faultsweep_outage_classes", "intensity", lbl)).Set(float64(pt.OutageClasses))
 	return pt
 }
 

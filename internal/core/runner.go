@@ -26,6 +26,10 @@ type Survey struct {
 	// prober, and both experiments. Nil (the default) disables
 	// telemetry at zero cost.
 	Metrics *telemetry.Registry
+	// Workers bounds the shard workers for probing and classification
+	// in both experiments; <= 0 means GOMAXPROCS. Survey output is
+	// identical for any value.
+	Workers int
 
 	SURF      *Result
 	Internet2 *Result
@@ -34,6 +38,10 @@ type Survey struct {
 // SetMetrics wires the whole survey — BGP engine, prober, and the
 // experiments RunBoth creates — to one registry. Call it before
 // RunBoth; a nil registry disables instrumentation.
+//
+// Deprecated: construct through NewPipeline with WithMetrics, the
+// single wiring path for surveys; SetMetrics remains as the mechanism
+// the pipeline options delegate to.
 func (s *Survey) SetMetrics(r *telemetry.Registry) {
 	s.Metrics = r
 	s.Eco.Net.SetMetrics(r)
@@ -108,6 +116,12 @@ func NewSurvey(opts SurveyOptions) *Survey {
 // the second — while any nonzero seed applies a deterministic shuffle
 // before the same split, so reruns with the same seed reproduce the
 // same assignment.
+//
+// The seed arrives via SurveyOptions.OutageSeed, threaded from
+// NewPipeline's WithOutageSplit option; callers should not invent
+// ad-hoc seeds here. New derived streams should instead follow the
+// parallel.SubSeed(sessionSeed, stream) convention documented in
+// package parallel.
 func SplitOutages(outages []Outage, seed int64) (first, second []Outage) {
 	n := len(outages)
 	if n == 0 {
@@ -127,10 +141,12 @@ func SplitOutages(outages []Outage, seed int64) (first, second []Outage) {
 // sessions fail mid-experiment, as happened during the real runs.
 func (s *Survey) RunBoth() {
 	surfOutages, i2Outages := SplitOutages(s.pickOutages(), s.Opts.OutageSeed)
+	s.Prober.Workers = s.Workers
 	surfStart := bgp.Time(9 * 3600)
 	x1 := NewSURFExperiment(s.Eco, s.World, s.Prober, s.Sel, surfStart)
 	x1.Cfg.Outages = surfOutages
 	x1.Metrics = s.Metrics
+	x1.Workers = s.Workers
 	s.SURF = x1.Run()
 	x1.TeardownRE()
 
@@ -138,6 +154,7 @@ func (s *Survey) RunBoth() {
 	x2 := NewInternet2Experiment(s.Eco, s.World, s.Prober, s.Sel, i2Start)
 	x2.Cfg.Outages = i2Outages
 	x2.Metrics = s.Metrics
+	x2.Workers = s.Workers
 	s.Internet2 = x2.Run()
 }
 

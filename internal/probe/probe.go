@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 
 	"repro/internal/bgp"
 	"repro/internal/netutil"
+	"repro/internal/parallel"
 	"repro/internal/seeds"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
@@ -77,10 +79,19 @@ type Prober struct {
 	// backoff. The zero value keeps the historical single-shot
 	// behaviour bit-for-bit.
 	Retry RetryPolicy
+	// Workers bounds the shard workers Run probes with; <= 0 means
+	// GOMAXPROCS. Any value yields byte-identical rounds: prefixes are
+	// sharded in canonical order, every prefix draws loss from its own
+	// RNG stream (simnet.World.LossStream), pacing slots are assigned
+	// by target index, and shard results merge in shard order.
+	Workers int
 
 	// metrics holds the pre-resolved instrumentation counters; the
 	// zero value (nil counters) is the free disabled path.
 	metrics proberMetrics
+	// registry backs shard-timing records for the run manifest; nil
+	// skips them.
+	registry *telemetry.Registry
 }
 
 // proberMetrics caches the prober's counters so Run pays one nil
@@ -97,7 +108,13 @@ type proberMetrics struct {
 
 // SetMetrics wires the prober to the registry. A nil registry
 // disables instrumentation.
+//
+// Deprecated: construct through core.NewPipeline with
+// core.WithMetrics, which wires every component consistently;
+// SetMetrics remains as the mechanism the pipeline options delegate
+// to.
 func (pr *Prober) SetMetrics(r *telemetry.Registry) {
+	pr.registry = r
 	pr.metrics = proberMetrics{
 		sent:           r.Counter("probe_probes_sent_total"),
 		retries:        r.Counter("probe_retries_total"),
@@ -114,8 +131,29 @@ func NewProber(w *simnet.World) *Prober {
 	return &Prober{World: w, PPS: 100, SrcAddr: "163.253.63.63"}
 }
 
+// probeShardSize is the number of prefixes per shard when Run fans
+// out. It is a fixed constant — never derived from the worker count —
+// so the shard set, and with it every per-shard artifact, is identical
+// whether one worker or eight execute it.
+const probeShardSize = 64
+
+// shardRound is one shard's slice of a round, merged in shard order.
+type shardRound struct {
+	records []Record
+	retries int
+}
+
 // Run probes every selected target once, pacing at PPS, starting at
 // virtual time start. Targets are visited in canonical prefix order.
+//
+// The prefix list is sharded (probeShardSize prefixes per shard) and
+// probed by up to Workers goroutines. Three properties make the result
+// independent of the worker count: each target's pacing slot is its
+// index in the canonical target order (not a shared sent counter), each
+// prefix draws probe loss from its own (round, prefix) RNG stream, and
+// shard record slices are concatenated in shard order. The BGP network
+// is static while a round runs, so concurrent forwarding lookups are
+// pure reads.
 func (pr *Prober) Run(config string, start bgp.Time, sel *seeds.Selection) *Round {
 	rate := pr.PPS
 	if rate <= 0 {
@@ -127,66 +165,94 @@ func (pr *Prober) Run(config string, start bgp.Time, sel *seeds.Selection) *Roun
 		prefixes = append(prefixes, p)
 	}
 	netutil.SortPrefixes(prefixes)
-	sent := 0
-	for _, p := range prefixes {
-		for _, tgt := range sel.Targets[p] {
-			at := start + bgp.Time(sent/rate)
-			res := pr.World.Probe(tgt.Addr, tgt.Proto, at)
-			sent++
+	// offsets[i] is the canonical index of prefix i's first target —
+	// the pacing slot basis that replaces the sequential sent counter.
+	offsets := make([]int, len(prefixes)+1)
+	for i, p := range prefixes {
+		offsets[i+1] = offsets[i] + len(sel.Targets[p])
+	}
+
+	shards, timings := parallel.CollectTimed(len(prefixes), probeShardSize, pr.Workers,
+		func(s parallel.Shard) shardRound {
+			var out shardRound
+			for i := s.Lo; i < s.Hi; i++ {
+				p := prefixes[i]
+				rng := pr.World.LossStream(start, p)
+				for j, tgt := range sel.Targets[p] {
+					rec, retries := pr.probeTarget(p, tgt, start+bgp.Time((offsets[i]+j)/rate), rng)
+					out.records = append(out.records, rec)
+					out.retries += retries
+				}
+			}
+			return out
+		})
+
+	totalSent := offsets[len(prefixes)]
+	for _, sr := range shards {
+		round.Records = append(round.Records, sr.records...)
+		totalSent += sr.retries
+	}
+	for _, t := range timings {
+		pr.registry.AddShardTiming("probe", t.Shard, t.Items, t.Duration)
+	}
+	round.End = start + bgp.Time(totalSent/rate) + 1
+	return round
+}
+
+// probeTarget probes one target at time at, retrying per the policy
+// with draws from the prefix's loss stream, and returns the record
+// plus the retry count.
+func (pr *Prober) probeTarget(p netutil.Prefix, tgt seeds.Target, at bgp.Time, rng *rand.Rand) (Record, int) {
+	res := pr.World.ProbeRand(tgt.Addr, tgt.Proto, at, rng)
+	pr.metrics.sent.Inc()
+	retries := 0
+	if !res.Responded && pr.Retry.MaxAttempts > 1 {
+		backoff := pr.Retry.BaseBackoff
+		if backoff <= 0 {
+			backoff = 1
+		}
+		when := at
+		for a := 1; a < pr.Retry.MaxAttempts && !res.Responded; a++ {
+			when += backoff
+			if pr.Retry.Budget > 0 && when > at+pr.Retry.Budget {
+				break
+			}
+			res = pr.World.ProbeRand(tgt.Addr, tgt.Proto, when, rng)
+			retries++
 			pr.metrics.sent.Inc()
-			retries := 0
-			if !res.Responded && pr.Retry.MaxAttempts > 1 {
-				backoff := pr.Retry.BaseBackoff
-				if backoff <= 0 {
-					backoff = 1
-				}
-				when := at
-				for a := 1; a < pr.Retry.MaxAttempts && !res.Responded; a++ {
-					when += backoff
-					if pr.Retry.Budget > 0 && when > at+pr.Retry.Budget {
-						break
-					}
-					res = pr.World.Probe(tgt.Addr, tgt.Proto, when)
-					sent++ // retries consume pacing slots too
-					retries++
-					pr.metrics.sent.Inc()
-					pr.metrics.retries.Inc()
-					pr.metrics.backoffSeconds.Add(int64(backoff))
-					backoff *= 2
-					if pr.Retry.MaxBackoff > 0 && backoff > pr.Retry.MaxBackoff {
-						backoff = pr.Retry.MaxBackoff
-					}
-				}
+			pr.metrics.retries.Inc()
+			pr.metrics.backoffSeconds.Add(int64(backoff))
+			backoff *= 2
+			if pr.Retry.MaxBackoff > 0 && backoff > pr.Retry.MaxBackoff {
+				backoff = pr.Retry.MaxBackoff
 			}
-			rec := Record{
-				Prefix:    p,
-				Dst:       tgt.Addr,
-				Proto:     tgt.Proto,
-				Port:      tgt.Port,
-				SentAt:    at,
-				Responded: res.Responded,
-				VLAN:      res.VLAN,
-				Retries:   retries,
-			}
-			if res.Responded {
-				// Synthetic RTT: per-AS-hop serialization plus a small
-				// deterministic spread; flavour only.
-				rec.RTTms = 4.0 + 7.5*float64(res.Hops) + float64(tgt.Addr%97)/10
-				switch res.VLAN {
-				case simnet.VLANRE:
-					pr.metrics.respRE.Inc()
-				case simnet.VLANCommodity:
-					pr.metrics.respCommodity.Inc()
-				}
-				pr.metrics.rtt.Observe(rec.RTTms)
-			} else {
-				pr.metrics.unanswered.Inc()
-			}
-			round.Records = append(round.Records, rec)
 		}
 	}
-	round.End = start + bgp.Time(sent/rate) + 1
-	return round
+	rec := Record{
+		Prefix:    p,
+		Dst:       tgt.Addr,
+		Proto:     tgt.Proto,
+		Port:      tgt.Port,
+		SentAt:    at,
+		Responded: res.Responded,
+		VLAN:      res.VLAN,
+		Retries:   retries,
+	}
+	if res.Responded {
+		// Synthetic RTT: per-AS-hop serialization plus a small
+		// deterministic spread; flavour only.
+		rec.RTTms = 4.0 + 7.5*float64(res.Hops) + float64(tgt.Addr%97)/10
+		switch res.VLAN {
+		case simnet.VLANRE:
+			pr.metrics.respRE.Inc()
+		case simnet.VLANCommodity:
+			pr.metrics.respCommodity.Inc()
+		}
+		pr.metrics.rtt.Observe(rec.RTTms)
+	} else {
+		pr.metrics.unanswered.Inc()
+	}
+	return rec, retries
 }
 
 // Duration returns the round's wall-clock length in virtual seconds.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/netutil"
+	"repro/internal/parallel"
 	"repro/internal/topo"
 )
 
@@ -360,7 +361,20 @@ type ProbeResult struct {
 // its arrival VLAN. The reply follows dst's current best BGP route
 // toward the measurement prefix hop by hop until it terminates at one
 // of the experiment's origin routers.
+//
+// Probe draws random loss from the world's shared sequential stream,
+// so its results depend on global probe order. Sharded probing uses
+// ProbeRand with a per-(round, prefix) stream from LossStream instead,
+// which is what makes parallel rounds reproduce sequential ones.
 func (w *World) Probe(dst uint32, proto Proto, t bgp.Time) ProbeResult {
+	return w.ProbeRand(dst, proto, t, nil)
+}
+
+// ProbeRand is Probe with an explicit loss RNG. A nil rng falls back
+// to the world's shared sequential stream (the legacy order-dependent
+// behavior); callers that probe prefixes concurrently must pass a
+// stream scoped no wider than the unit they shard by — see LossStream.
+func (w *World) ProbeRand(dst uint32, proto Proto, t bgp.Time, rng *rand.Rand) ProbeResult {
 	h, ok := w.hosts[dst]
 	if !ok || h.Proto != proto || h.dormant(t) {
 		return ProbeResult{}
@@ -368,8 +382,13 @@ func (w *World) Probe(dst uint32, proto Proto, t bgp.Time) ProbeResult {
 	if w.brownedOut(h.Prefix, dst, t) {
 		return ProbeResult{}
 	}
-	if w.cfg.ProbeLossProb > 0 && w.lossRNG.Float64() < w.cfg.ProbeLossProb {
-		return ProbeResult{}
+	if w.cfg.ProbeLossProb > 0 {
+		if rng == nil {
+			rng = w.lossRNG
+		}
+		if rng.Float64() < w.cfg.ProbeLossProb {
+			return ProbeResult{}
+		}
 	}
 	path, done := w.Net.ForwardPathLPM(h.Egress, w.MeasPrefix)
 	if !done || len(path) == 0 {
@@ -386,6 +405,22 @@ func (w *World) Probe(dst uint32, proto Proto, t bgp.Time) ProbeResult {
 		// listening on (should not happen in a configured experiment).
 		return ProbeResult{}
 	}
+}
+
+// LossStream returns the deterministic probe-loss RNG stream of one
+// (round start, prefix) pair. The stream seed derives from the world's
+// loss seed (cfg.Seed+1, the same base the legacy shared stream used)
+// via parallel.SubSeed with stream id
+//
+//	uint64(round)<<32 ^ uint64(prefix.Addr())<<8 ^ uint64(prefix.Bits())
+//
+// — one independent stream per prefix per round, the finest unit the
+// prober shards by. Because the stream is scoped to the prefix rather
+// than the shard, loss draws are identical for any shard size and any
+// worker count.
+func (w *World) LossStream(round bgp.Time, p netutil.Prefix) *rand.Rand {
+	stream := uint64(round)<<32 ^ uint64(p.Addr())<<8 ^ uint64(p.Bits())
+	return parallel.Rand(w.cfg.Seed+1, stream)
 }
 
 // Responsive reports whether dst answers probes of the given protocol

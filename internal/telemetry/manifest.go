@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"runtime/debug"
+	"sort"
 	"strconv"
 )
 
@@ -80,17 +81,38 @@ type MetricsSnapshot struct {
 	Histograms []HistogramValue `json:"histograms"`
 }
 
+// ShardTiming is one shard of one sharded phase in a manifest, sorted
+// by (phase, shard). Items and Calls depend only on the work (they are
+// identical for any worker count); DurationMS is wall clock and is
+// zeroed under ZeroDurations.
+type ShardTiming struct {
+	Phase      string  `json:"phase"`
+	Shard      int     `json:"shard"`
+	Items      int64   `json:"items"`
+	Calls      int64   `json:"calls"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// ParallelSnapshot records how the run was sharded. Workers is zeroed
+// under ZeroDurations so that a -workers 8 manifest stays byte-
+// identical to a -workers 1 manifest (the determinism check).
+type ParallelSnapshot struct {
+	Workers int           `json:"workers"`
+	Shards  []ShardTiming `json:"shards"`
+}
+
 // Manifest snapshots one run: what was run (seed, options, version)
 // and what happened (phase durations, every metric value). Its JSON
 // encoding is deterministic — fixed field order, name-sorted metric
 // lists, seq-sorted phases — so two runs with the same seed and build
 // produce byte-identical manifests once wall-time fields are zeroed.
 type Manifest struct {
-	Version string          `json:"version"`
-	Seed    int64           `json:"seed"`
-	Options json.RawMessage `json:"options"`
-	Phases  []SpanRecord    `json:"phases"`
-	Metrics MetricsSnapshot `json:"metrics"`
+	Version  string           `json:"version"`
+	Seed     int64            `json:"seed"`
+	Options  json.RawMessage  `json:"options"`
+	Parallel ParallelSnapshot `json:"parallel"`
+	Phases   []SpanRecord     `json:"phases"`
+	Metrics  MetricsSnapshot  `json:"metrics"`
 }
 
 // SnapshotOptions parametrizes Snapshot.
@@ -142,6 +164,33 @@ func (r *Registry) Snapshot(opts SnapshotOptions) (*Manifest, error) {
 	}
 	if m.Phases == nil {
 		m.Phases = []SpanRecord{}
+	}
+
+	r.parMu.Lock()
+	m.Parallel.Workers = r.workers
+	m.Parallel.Shards = make([]ShardTiming, 0, len(r.shardStats))
+	for k, s := range r.shardStats {
+		m.Parallel.Shards = append(m.Parallel.Shards, ShardTiming{
+			Phase:      k.phase,
+			Shard:      k.shard,
+			Items:      s.items,
+			Calls:      s.calls,
+			DurationMS: float64(s.durNS) / 1e6,
+		})
+	}
+	r.parMu.Unlock()
+	sort.Slice(m.Parallel.Shards, func(i, j int) bool {
+		a, b := m.Parallel.Shards[i], m.Parallel.Shards[j]
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		return a.Shard < b.Shard
+	})
+	if opts.ZeroDurations {
+		m.Parallel.Workers = 0
+		for i := range m.Parallel.Shards {
+			m.Parallel.Shards[i].DurationMS = 0
+		}
 	}
 
 	r.mu.Lock()

@@ -85,14 +85,23 @@ func (g *Gauge) Value() float64 {
 // Histogram is a fixed-bucket histogram: bucket i counts observations
 // v <= bounds[i], with one implicit +Inf bucket at the end. A nil
 // Histogram is a valid no-op.
+//
+// The running sum is kept as fixed-point microseconds-of-value
+// (v * 1e6, rounded) in an atomic int64 rather than a float CAS loop:
+// integer addition is commutative and associative, so the sum is
+// bit-identical no matter how observations interleave across shards —
+// a float accumulator would drift in the last ulp with merge order and
+// break the byte-identical-manifest guarantee of parallel runs.
 type Histogram struct {
-	bounds  []float64
-	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
-	count   atomic.Int64
-	sumBits atomic.Uint64
+	bounds    []float64
+	buckets   []atomic.Int64 // len(bounds)+1; last is +Inf
+	count     atomic.Int64
+	sumMicros atomic.Int64 // sum of round(v*1e6); order-independent
 }
 
-// Observe records one value.
+// Observe records one value. Non-finite values still count toward
+// buckets and Count but are excluded from the sum (fixed-point has no
+// NaN/Inf representation).
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -100,12 +109,8 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.buckets[i].Add(1)
 	h.count.Add(1)
-	for {
-		old := h.sumBits.Load()
-		nw := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sumBits.CompareAndSwap(old, nw) {
-			return
-		}
+	if !math.IsNaN(v) && !math.IsInf(v, 0) {
+		h.sumMicros.Add(int64(math.Round(v * 1e6)))
 	}
 }
 
@@ -117,12 +122,13 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
-// Sum returns the sum of all observed values.
+// Sum returns the sum of all observed values, at fixed-point 1e-6
+// resolution.
 func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
-	return math.Float64frombits(h.sumBits.Load())
+	return float64(h.sumMicros.Load()) / 1e6
 }
 
 // Registry owns the metric namespace and the span tree of one run.
@@ -141,6 +147,24 @@ type Registry struct {
 	active []*Span
 	seq    int
 	phases []SpanRecord
+
+	parMu      sync.Mutex
+	workers    int
+	shardStats map[shardKey]*shardStat
+}
+
+// shardKey identifies one shard of one sharded phase; its stats
+// accumulate across rounds so the manifest stays compact no matter how
+// many times the phase runs.
+type shardKey struct {
+	phase string
+	shard int
+}
+
+type shardStat struct {
+	items int64
+	calls int64
+	durNS int64
 }
 
 // New returns an empty live registry using the wall clock.
@@ -224,6 +248,129 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// SetWorkers records the resolved worker count of the run for the
+// manifest's parallel section (zeroed under ZeroDurations so manifests
+// stay comparable across worker counts).
+func (r *Registry) SetWorkers(n int) {
+	if r == nil {
+		return
+	}
+	r.parMu.Lock()
+	defer r.parMu.Unlock()
+	r.workers = n
+}
+
+// AddShardTiming accumulates one shard execution of a sharded phase:
+// items processed, one call, and wall-clock duration. Stats with the
+// same (phase, shard) key accumulate across rounds. Items and calls
+// are deterministic (they depend only on the work, not the workers);
+// duration is wall time and is zeroed under ZeroDurations.
+func (r *Registry) AddShardTiming(phase string, shard, items int, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.parMu.Lock()
+	defer r.parMu.Unlock()
+	if r.shardStats == nil {
+		r.shardStats = make(map[shardKey]*shardStat)
+	}
+	k := shardKey{phase: phase, shard: shard}
+	s := r.shardStats[k]
+	if s == nil {
+		s = &shardStat{}
+		r.shardStats[k] = s
+	}
+	s.items += int64(items)
+	s.calls++
+	s.durNS += d.Nanoseconds()
+}
+
+// Merge folds a sub-registry into r: counters and histogram buckets
+// add, gauges take the sub value, phase spans append with their seq
+// renumbered after r's existing spans, and shard stats accumulate.
+// The fault sweep uses this to give each intensity point its own
+// registry while points run concurrently, then merge them back in
+// intensity order — so the merged registry is identical for any worker
+// count. Merge itself must be called sequentially (one goroutine),
+// never while sub is still being written.
+func (r *Registry) Merge(sub *Registry) {
+	if r == nil || sub == nil || r == sub {
+		return
+	}
+	sub.mu.Lock()
+	counterNames := sub.sortedCounterNames()
+	counters := make([]*Counter, len(counterNames))
+	for i, name := range counterNames {
+		counters[i] = sub.counters[name]
+	}
+	gaugeNames := sub.sortedGaugeNames()
+	gauges := make([]*Gauge, len(gaugeNames))
+	for i, name := range gaugeNames {
+		gauges[i] = sub.gauges[name]
+	}
+	histNames := sub.sortedHistNames()
+	hists := make([]*Histogram, len(histNames))
+	for i, name := range histNames {
+		hists[i] = sub.hists[name]
+	}
+	sub.mu.Unlock()
+	for i, name := range counterNames {
+		r.Counter(name).Add(counters[i].Value())
+	}
+	for i, name := range gaugeNames {
+		r.Gauge(name).Set(gauges[i].Value())
+	}
+	for i, name := range histNames {
+		h := hists[i]
+		dst := r.Histogram(name, h.bounds...)
+		n := len(h.buckets)
+		if len(dst.buckets) < n {
+			n = len(dst.buckets)
+		}
+		for j := 0; j < n; j++ {
+			dst.buckets[j].Add(h.buckets[j].Load())
+		}
+		dst.count.Add(h.count.Load())
+		dst.sumMicros.Add(h.sumMicros.Load())
+	}
+
+	sub.spanMu.Lock()
+	phases := append([]SpanRecord(nil), sub.phases...)
+	subSeq := sub.seq
+	sub.spanMu.Unlock()
+	sortSpanRecords(phases)
+	r.spanMu.Lock()
+	base := r.seq
+	for _, p := range phases {
+		p.Seq += base
+		r.phases = append(r.phases, p)
+	}
+	r.seq = base + subSeq
+	r.spanMu.Unlock()
+
+	sub.parMu.Lock()
+	stats := make(map[shardKey]shardStat, len(sub.shardStats))
+	for k, s := range sub.shardStats {
+		stats[k] = *s
+	}
+	sub.parMu.Unlock()
+	r.parMu.Lock()
+	if r.shardStats == nil && len(stats) > 0 {
+		r.shardStats = make(map[shardKey]*shardStat)
+	}
+	for k, s := range stats {
+		dst := r.shardStats[k]
+		if dst == nil {
+			dst = &shardStat{}
+			r.shardStats[k] = dst
+		}
+		dst.items += s.items
+		dst.calls += s.calls
+		dst.durNS += s.durNS
+	}
+	r.parMu.Unlock()
 }
 
 // Label renders the `name{key="value"}` convention used to split one

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build check vet test race smoke bench fuzz
+.PHONY: build check vet test race smoke bench fuzz cover
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,11 @@ bench:
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime 30s ./internal/probe/
+	$(GO) test -run '^$$' -fuzz FuzzIncrementalEvents -fuzztime 30s ./internal/bgp/
+
+# Coverage floor for the BGP engine (the incremental recomputation
+# path must stay thoroughly tested; CI enforces the same bound).
+cover:
+	$(GO) test -coverprofile=bgp.cov ./internal/bgp/
+	$(GO) tool cover -func=bgp.cov | awk '/^total:/ { sub(/%/, "", $$3); if ($$3 + 0 < 80) { printf "internal/bgp coverage %.1f%% below 80%% floor\n", $$3; exit 1 } else printf "internal/bgp coverage %.1f%%\n", $$3 }'
+	rm -f bgp.cov

@@ -209,6 +209,33 @@ func BenchmarkFullExperiment(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalSweep compares the nine-config sweep under full
+// reconvergence and incremental recomputation. Both modes produce
+// byte-identical output (TestIncrementalEquivalenceMatrix); the
+// decision-evals/op metric counts full decision-process evaluations —
+// the work the dirty-set propagation exists to avoid — and must show
+// the incremental mode at least 5x below the reference.
+func BenchmarkIncrementalSweep(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		incremental bool
+	}{{"full", false}, {"incremental", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var evals int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := core.NewSurvey(core.SmallSurveyOptions())
+				s.SetIncremental(mode.incremental)
+				b.StartTimer()
+				x := core.NewInternet2Experiment(s.Eco, s.World, s.Prober, s.Sel, 9*3600)
+				_ = x.Run()
+				evals += s.Eco.Net.Stats().FullScans
+			}
+			b.ReportMetric(float64(evals)/float64(b.N), "decision-evals/op")
+		})
+	}
+}
+
 // BenchmarkOriginViews measures the converged-routing solve behind
 // Tables 3-4 and Figure 5 (one static solution per origin AS).
 func BenchmarkOriginViews(b *testing.B) {

@@ -57,7 +57,7 @@ type options struct {
 }
 
 func main() {
-	o := options{Config: cliconf.Config{Seed: 1}}
+	o := options{Config: cliconf.Config{Seed: 1, Incremental: true}}
 	cliconf.Register(flag.CommandLine, &o.Config, cliconf.FlagAll)
 	flag.StringVar(&o.JSONDir, "json", "", "directory for scamper-style probe JSON")
 	flag.StringVar(&o.MRTDir, "mrt", "", "directory for MRT collector dumps")
@@ -96,10 +96,11 @@ func sweepIntensities(max float64) []float64 {
 
 // manifestOptions is the run configuration recorded in the manifest.
 type manifestOptions struct {
-	Small  bool               `json:"small"`
-	Faults float64            `json:"faults"`
-	NSeeds int                `json:"n_seeds"`
-	Survey core.SurveyOptions `json:"survey"`
+	Small       bool               `json:"small"`
+	Faults      float64            `json:"faults"`
+	Incremental bool               `json:"incremental"`
+	NSeeds      int                `json:"n_seeds"`
+	Survey      core.SurveyOptions `json:"survey"`
 }
 
 func run(w io.Writer, o options) error {
@@ -298,10 +299,11 @@ func run(w io.Writer, o options) error {
 
 	if o.Manifest != "" {
 		if err := o.WriteManifest(reg, manifestOptions{
-			Small:  o.Small,
-			Faults: o.Faults,
-			NSeeds: o.NSeeds,
-			Survey: opts,
+			Small:       o.Small,
+			Faults:      o.Faults,
+			Incremental: o.Incremental,
+			NSeeds:      o.NSeeds,
+			Survey:      opts,
 		}); err != nil {
 			return err
 		}

@@ -104,6 +104,15 @@ type Network struct {
 	// AddSpeaker/Connect invalidate it.
 	solver      *solverIndex
 	solverStale bool
+
+	// Incremental recomputation state (see incremental.go): the mode
+	// switch, the dirty-pair work queue fed by config setters and
+	// session flaps, and the decision-work counters.
+	incremental bool
+	batchDepth  int
+	dirtyQueue  []dirtyKey
+	dirtySet    map[dirtyKey]bool
+	inc         IncStats
 }
 
 // netMetrics caches the dynamic engine's hot-path counters so the
@@ -115,6 +124,16 @@ type netMetrics struct {
 	updatesDelivered *telemetry.Counter
 	rfdPenalties     *telemetry.Counter
 	rfdSuppressions  *telemetry.Counter
+
+	// Incremental work accounting. These (and only these) may differ
+	// between full and incremental mode; everything above is 1:1.
+	fullScans     *telemetry.Counter
+	incFastPath   *telemetry.Counter
+	incCacheHits  *telemetry.Counter
+	incNoop       *telemetry.Counter
+	incDirtyPairs *telemetry.Counter
+	incDirtyEvals *telemetry.Counter
+	incSuppressed *telemetry.Counter
 }
 
 // SetMetrics wires the network (and every speaker, present and
@@ -126,6 +145,14 @@ func (n *Network) SetMetrics(r *telemetry.Registry) {
 		updatesDelivered: r.Counter("bgp_updates_delivered_total"),
 		rfdPenalties:     r.Counter("bgp_rfd_penalties_total"),
 		rfdSuppressions:  r.Counter("bgp_rfd_suppressions_total"),
+
+		fullScans:     r.Counter("bgp_decision_full_scans_total"),
+		incFastPath:   r.Counter("bgp_inc_fastpath_total"),
+		incCacheHits:  r.Counter("bgp_inc_cache_hits_total"),
+		incNoop:       r.Counter("bgp_inc_noop_decisions_total"),
+		incDirtyPairs: r.Counter("bgp_inc_dirty_pairs_total"),
+		incDirtyEvals: r.Counter("bgp_inc_dirty_evals_total"),
+		incSuppressed: r.Counter("bgp_inc_suppressed_propagations_total"),
 	}
 }
 
@@ -251,7 +278,11 @@ func (n *Network) OriginateWith(id RouterID, p netutil.Prefix, opts OriginateOpt
 		path = append(path, opts.Poison...)
 		path = append(path, s.AS)
 	}
-	s.originated[p] = origination{route: &Route{
+	var before *Route
+	if o, ok := s.originated[p]; ok {
+		before = o.route
+	}
+	after := &Route{
 		Prefix:      p,
 		Path:        path,
 		Origin:      OriginIGP,
@@ -262,8 +293,16 @@ func (n *Network) OriginateWith(id RouterID, p netutil.Prefix, opts OriginateOpt
 		EBGP:        false,
 		LearnedAt:   n.clock,
 		Communities: opts.Communities,
-	}}
-	n.decideAndExport(s, p)
+	}
+	s.originated[p] = origination{route: after}
+	if after.MED != 0 {
+		s.medSeen[p] = true
+	}
+	if n.incremental {
+		n.decide(s, p, 0, before, after)
+	} else {
+		n.decideAndExport(s, p)
+	}
 }
 
 // WithdrawOrigination removes a local origination and propagates the
@@ -273,11 +312,16 @@ func (n *Network) WithdrawOrigination(id RouterID, p netutil.Prefix) {
 	if s == nil {
 		return
 	}
-	if _, ok := s.originated[p]; !ok {
+	o, ok := s.originated[p]
+	if !ok {
 		return
 	}
 	delete(s.originated, p)
-	n.decideAndExport(s, p)
+	if n.incremental {
+		n.decide(s, p, 0, o.route, nil)
+	} else {
+		n.decideAndExport(s, p)
+	}
 }
 
 // SetExportPrepend changes the operator prepending s applies toward
@@ -294,9 +338,14 @@ func (n *Network) SetExportPrepend(id, nb RouterID, prepends int) {
 	}
 	pc.ExportPrepend = prepends
 	// Re-export every prefix this speaker currently advertises (or
-	// should advertise) to nb.
+	// should advertise) to nb. Prefixes pinned by a per-prefix
+	// override are untouched by the session-level knob — the same
+	// effective-value no-op rule SetPrefixPrepend applies.
 	for _, p := range s.exportablePrefixes() {
-		n.exportToPeer(s, p, pc)
+		if _, pinned := pc.PrefixPrepend[p]; pinned {
+			continue
+		}
+		n.requestExport(s, p, pc)
 	}
 }
 
@@ -332,10 +381,10 @@ func (n *Network) SetSessionUp(a, b RouterID) {
 	}
 	pcA.down, pcB.down = false, false
 	for _, p := range sa.exportablePrefixes() {
-		n.exportToPeer(sa, p, pcA)
+		n.requestExport(sa, p, pcA)
 	}
 	for _, p := range sb.exportablePrefixes() {
-		n.exportToPeer(sb, p, pcB)
+		n.requestExport(sb, p, pcB)
 	}
 }
 
@@ -355,8 +404,16 @@ func (n *Network) flushSession(s *Speaker, nb RouterID) {
 	}
 	netutil.SortPrefixes(prefixes)
 	for _, p := range prefixes {
+		var before *Route
+		if n.incremental {
+			before = s.effectiveCandidate(p, nb)
+		}
 		if s.applyImport(p, nb, nil, n.clock) {
-			n.decideAndExport(s, p)
+			if n.incremental {
+				n.decide(s, p, nb, before, nil)
+			} else {
+				n.decideAndExport(s, p)
+			}
 		}
 	}
 }
@@ -374,14 +431,23 @@ func (n *Network) SetPrefixPrepend(id, nb RouterID, p netutil.Prefix, prepends i
 	if pcN == nil {
 		return
 	}
-	if cur, ok := pcN.PrefixPrepend[p]; ok && cur == prepends {
+	_, hadOverride := pcN.PrefixPrepend[p]
+	if hadOverride && pcN.PrefixPrepend[p] == prepends {
 		return
 	}
 	if pcN.PrefixPrepend == nil {
 		pcN.PrefixPrepend = make(map[netutil.Prefix]int)
 	}
 	pcN.PrefixPrepend[p] = prepends
-	n.exportToPeer(s, p, pcN)
+	// Unified no-op detection with SetExportPrepend: recording an
+	// override equal to the session default leaves the effective
+	// prepend — and thus the announcement — unchanged. The override
+	// is still installed (it pins the prefix against future
+	// session-level changes) but nothing is enqueued.
+	if !hadOverride && pcN.ExportPrepend == prepends {
+		return
+	}
+	n.requestExport(s, p, pcN)
 }
 
 // exportablePrefixes lists prefixes with any local state, sorted.
@@ -404,17 +470,28 @@ func (s *Speaker) exportablePrefixes() []netutil.Prefix {
 	return out
 }
 
-// decideAndExport reruns the decision at s for p and, on change,
-// exports to every neighbor.
+// decideAndExport reruns the full decision at s for p and, on change,
+// exports to every neighbor. This is the reference path; incremental
+// mode uses Network.decide (see incremental.go) instead.
 func (n *Network) decideAndExport(s *Speaker, p netutil.Prefix) {
 	n.metrics.decisionRuns.Inc()
+	n.inc.DecisionRuns++
+	n.inc.FullScans++
+	n.metrics.fullScans.Inc()
 	_, changed := s.runDecision(p)
 	if changed {
 		n.metrics.bestChanges.Inc()
+		n.inc.BestChanges++
 	}
+	n.exportAfterDecision(s, p, changed)
+}
+
+// exportAfterDecision performs the post-decision export fan-out,
+// identically for the full and incremental paths: on change every
+// session re-exports; without one only VRF-filtered (ExportBestOf)
+// sessions do, since their announcement can move without the loc-RIB.
+func (n *Network) exportAfterDecision(s *Speaker, p netutil.Prefix, changed bool) {
 	if !changed {
-		// Even without a loc-RIB change, a VRF-filtered export may
-		// have changed; handle those sessions.
 		for _, nb := range s.peerOrder {
 			pc := s.peers[nb]
 			if pc.ExportBestOf != nil {
@@ -424,11 +501,9 @@ func (n *Network) decideAndExport(s *Speaker, p netutil.Prefix) {
 		return
 	}
 	for _, nb := range s.peerOrder {
-		n.exportToPeer(s, p, pc(s, nb))
+		n.exportToPeer(s, p, s.peers[nb])
 	}
 }
-
-func pc(s *Speaker, nb RouterID) *PeerConfig { return s.peers[nb] }
 
 // exportToPeer computes the announcement for one session and enqueues
 // it if it differs from what was last sent, honouring the session's
@@ -545,7 +620,13 @@ func (n *Network) deliver(e *event) {
 		k := ribKey{e.prefix, e.from}
 		cfg := s.peers[e.from].RFD
 		if cfg != nil && s.rfdRecheck(k, cfg, n.clock) {
-			n.decideAndExport(s, e.prefix)
+			if n.incremental {
+				// The suppressed route became usable: its effective
+				// candidate went from nil to the held adj-in entry.
+				n.decide(s, e.prefix, e.from, nil, s.adjIn[k])
+			} else {
+				n.decideAndExport(s, e.prefix)
+			}
 		}
 		return
 	}
@@ -571,6 +652,10 @@ func (n *Network) deliver(e *event) {
 		n.Churn.Records = append(n.Churn.Records, rec)
 	}
 
+	var before *Route
+	if n.incremental {
+		before = s.effectiveCandidate(e.prefix, e.from)
+	}
 	changed := s.applyImport(e.prefix, e.from, e.route, n.clock)
 	if !changed {
 		return
@@ -590,7 +675,11 @@ func (n *Network) deliver(e *event) {
 			})
 		}
 	}
-	n.decideAndExport(s, e.prefix)
+	if n.incremental {
+		n.decide(s, e.prefix, e.from, before, s.effectiveCandidate(e.prefix, e.from))
+	} else {
+		n.decideAndExport(s, e.prefix)
+	}
 }
 
 // NextHop returns the neighbor the speaker forwards traffic for p to,

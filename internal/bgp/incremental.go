@@ -1,0 +1,312 @@
+package bgp
+
+// Incremental recomputation. The experiments perturb exactly one
+// attribute of one prefix's announcements per configuration step, yet
+// the baseline engine reran the full decision process (a scan over
+// every candidate) at every delivery. This file adds the delta path:
+//
+//   - Config setters (SetExportPrepend, SetPrefixPrepend) and session
+//     flaps feed a per-router dirty-set keyed by (prefix, neighbor);
+//     a work-queue drain re-exports only dirty pairs, and the adj-out
+//     comparison in sendExport enqueues neighbors only when the
+//     announcement actually changed.
+//   - Deliveries run an O(1) single-candidate decision update instead
+//     of a full scan whenever the fast path is provably equivalent,
+//     falling back to a full scan (with a memoized decision cache)
+//     otherwise.
+//
+// Equivalence contract: with SetIncremental(true) the network produces
+// byte-identical observable output — the same messages at the same
+// virtual times, the same churn records, the same RIBs — as the full
+// path. Only the work-accounting counters (bgp_decision_full_scans,
+// bgp_inc_*) may differ between modes; bgp_decision_runs_total and
+// bgp_best_path_changes_total are kept 1:1 by construction.
+//
+// Fast-path soundness. Without MED the decision process is a strict
+// total order over candidates with distinct From (Compare returns 0
+// only for equal From), so a single-candidate change resolves with one
+// comparison against the incumbent best unless the best itself
+// degraded or was removed. MED breaks transitivity (see
+// TestCompareTransitiveWithoutMED), so the fast path is gated on a
+// sticky per-(speaker, prefix) medSeen flag: once any nonzero-MED
+// route is seen for a prefix, that prefix full-scans forever.
+//
+// One pointer subtlety: the loc-RIB may hold a stale-but-semantically-
+// equal pointer for the origination slot (runDecision keeps the old
+// route on a routesEqual re-announcement), so slot identity uses
+// Route.From, never pointer comparison. The stale copy can differ only
+// in LearnedAt, and ByAge can never decide between an origination and
+// an import (ByEBGP always separates them first) nor between two
+// imports with stale ages (duplicate announcements are dropped before
+// install), so comparing against the stale pointer is exact.
+
+import (
+	"repro/internal/netutil"
+)
+
+// IncStats counts decision-process work. The plain fields are always
+// maintained (both modes, telemetry on or off) so benchmarks and the
+// equivalence tests can meter work without a registry.
+type IncStats struct {
+	// DecisionRuns counts decision-process invocations; identical in
+	// full and incremental mode by construction.
+	DecisionRuns int64
+	// BestChanges counts loc-RIB changes; identical in both modes.
+	BestChanges int64
+	// FullScans counts full best-path scans over the candidate set —
+	// the "decision-process evaluations" the incremental path exists
+	// to avoid. Full mode scans on every run.
+	FullScans int64
+	// FastPath counts single-comparison incremental decisions.
+	FastPath int64
+	// CacheHits counts full scans answered by the memoized decision
+	// cache (candidate pointer set unchanged since last scan).
+	CacheHits int64
+	// NoopDecisions counts incremental runs whose effective candidate
+	// was semantically unchanged, skipping even the one comparison.
+	NoopDecisions int64
+	// DirtyPairs counts distinct (router, prefix, neighbor) pairs
+	// enqueued by config setters and session flaps.
+	DirtyPairs int64
+	// DirtyEvals counts dirty-pair export evaluations drained from the
+	// work queue.
+	DirtyEvals int64
+	// SuppressedProps counts drained dirty pairs whose export was
+	// unchanged, so no update (or timer) was enqueued — propagation
+	// suppressed at the source.
+	SuppressedProps int64
+}
+
+// dirtyKey identifies one pending re-export: router s toward neighbor,
+// for one prefix.
+type dirtyKey struct {
+	router   RouterID
+	prefix   netutil.Prefix
+	neighbor RouterID
+}
+
+// decCacheEntry memoizes one full scan: the exact candidate pointers
+// scanned and the best they produced. Routes are immutable once
+// installed, so pointer-set equality proves the cached choice is
+// current (flap cycles re-produce earlier candidate sets and hit).
+type decCacheEntry struct {
+	cands []*Route
+	best  *Route
+}
+
+// SetIncremental switches the engine between full reconvergence (the
+// reference path) and incremental recomputation. Both modes produce
+// identical observable output; see the file comment for the contract.
+// Switching mid-life is safe: the gate state (medSeen, decision cache)
+// is maintained in both modes.
+func (n *Network) SetIncremental(on bool) {
+	if !on {
+		// Never strand queued work across a mode switch.
+		n.drainDirty()
+	}
+	n.incremental = on
+}
+
+// Incremental reports whether the incremental path is active.
+func (n *Network) Incremental() bool { return n.incremental }
+
+// Stats returns the decision-work counters accumulated so far.
+func (n *Network) Stats() IncStats { return n.inc }
+
+// Batch runs f with dirty-pair draining deferred to the end, so a
+// multi-setter configuration delta (the experiment's per-config
+// prepend updates) collapses duplicate (router, prefix, neighbor)
+// touches into one evaluation. Outside incremental mode f just runs.
+// Batches nest; the drain happens when the outermost batch ends.
+func (n *Network) Batch(f func()) {
+	n.batchDepth++
+	defer func() {
+		n.batchDepth--
+		if n.batchDepth == 0 {
+			n.drainDirty()
+		}
+	}()
+	f()
+}
+
+// requestExport is the config-delta entry point: immediate export in
+// full mode, dirty-set enqueue (drained now, or at batch end) in
+// incremental mode.
+func (n *Network) requestExport(s *Speaker, p netutil.Prefix, pc *PeerConfig) {
+	if !n.incremental {
+		n.exportToPeer(s, p, pc)
+		return
+	}
+	k := dirtyKey{s.ID, p, pc.Neighbor}
+	if !n.dirtySet[k] {
+		if n.dirtySet == nil {
+			n.dirtySet = make(map[dirtyKey]bool)
+		}
+		n.dirtySet[k] = true
+		n.dirtyQueue = append(n.dirtyQueue, k)
+		n.inc.DirtyPairs++
+		n.metrics.incDirtyPairs.Inc()
+	}
+	if n.batchDepth == 0 {
+		n.drainDirty()
+	}
+}
+
+// drainDirty evaluates every queued dirty pair in enqueue order (the
+// setters run in deterministic order, so the drain is deterministic).
+// exportToPeer never re-enqueues, so one pass empties the queue.
+func (n *Network) drainDirty() {
+	for i := 0; i < len(n.dirtyQueue); i++ {
+		k := n.dirtyQueue[i]
+		delete(n.dirtySet, k)
+		s := n.speakers[k.router]
+		if s == nil {
+			continue
+		}
+		pc := s.peers[k.neighbor]
+		if pc == nil {
+			continue
+		}
+		n.inc.DirtyEvals++
+		n.metrics.incDirtyEvals.Inc()
+		seqBefore := n.seq
+		n.exportToPeer(s, k.prefix, pc)
+		if n.seq == seqBefore {
+			// Nothing entered the event queue: the recomputed
+			// announcement matched the adj-RIB-out, so no neighbor is
+			// enqueued.
+			n.inc.SuppressedProps++
+			n.metrics.incSuppressed.Inc()
+		}
+	}
+	n.dirtyQueue = n.dirtyQueue[:0]
+}
+
+// decide routes a single-candidate change (slot `from`; 0 = the
+// origination) through the incremental decision process. before/after
+// are the slot's effective candidate (nil when absent or suppressed)
+// around the change. Callers in full mode use decideAndExport instead.
+func (n *Network) decide(s *Speaker, p netutil.Prefix, from RouterID, before, after *Route) {
+	n.metrics.decisionRuns.Inc()
+	n.inc.DecisionRuns++
+	if routesEqual(before, after) {
+		// The effective candidate is semantically unchanged (damped
+		// flap, equal re-origination): the selection cannot move. A
+		// full scan would conclude changed=false, so mirror its
+		// VRF-session export check and stop.
+		n.inc.NoopDecisions++
+		n.metrics.incNoop.Inc()
+		n.exportAfterDecision(s, p, false)
+		return
+	}
+	_, changed := n.incrementalBest(s, p, from, after)
+	if changed {
+		n.metrics.bestChanges.Inc()
+		n.inc.BestChanges++
+	}
+	n.exportAfterDecision(s, p, changed)
+}
+
+// incrementalBest updates the loc-RIB for a single-slot change with
+// one comparison when sound, a full scan otherwise. It mirrors
+// runDecision's change-detection semantics exactly (semantic equality
+// keeps the previous pointer).
+func (n *Network) incrementalBest(s *Speaker, p netutil.Prefix, from RouterID, after *Route) (*Route, bool) {
+	prev := s.locRib[p]
+	if !s.medSeen[p] {
+		switch {
+		case after == nil:
+			if prev == nil || prev.From != from {
+				// A non-best candidate disappeared; the best stands.
+				n.fastPathHit()
+				return prev, false
+			}
+			// The best itself disappeared: only a scan finds the
+			// runner-up.
+		case prev == nil:
+			// First candidate wins unopposed.
+			n.fastPathHit()
+			s.locRib[p] = after
+			return after, true
+		case prev.From == from:
+			// The best route's own slot changed. If the replacement
+			// still beats the old best it beats every other candidate
+			// (prev was verified against all of them, and the order is
+			// transitive without MED).
+			if c, _ := Compare(after, prev); c <= 0 {
+				n.fastPathHit()
+				if routesEqual(prev, after) {
+					return prev, false
+				}
+				s.locRib[p] = after
+				return after, true
+			}
+			// The slot degraded below the old best: scan.
+		default:
+			// A challenger slot changed. One comparison against the
+			// incumbent decides: the incumbent already beats every
+			// other candidate.
+			c, _ := Compare(after, prev)
+			if c < 0 {
+				n.fastPathHit()
+				s.locRib[p] = after
+				return after, true
+			}
+			if c > 0 {
+				n.fastPathHit()
+				return prev, false
+			}
+			// c == 0 is impossible for distinct From; scan defensively.
+		}
+	}
+	return n.scanDecision(s, p)
+}
+
+func (n *Network) fastPathHit() {
+	n.inc.FastPath++
+	n.metrics.incFastPath.Inc()
+}
+
+// scanDecision is the incremental path's full scan: runDecision
+// semantics plus the memoized decision cache. The cache key is the
+// exact candidate pointer slice; routes are immutable once installed,
+// so pointer equality proves the memo is current.
+func (n *Network) scanDecision(s *Speaker, p netutil.Prefix) (*Route, bool) {
+	cands := s.candidateSet(p)
+	var best *Route
+	if e, ok := s.decCache[p]; ok && samePointers(e.cands, cands) {
+		best = e.best
+		n.inc.CacheHits++
+		n.metrics.incCacheHits.Inc()
+	} else {
+		best, _ = Best(cands)
+		if s.decCache == nil {
+			s.decCache = make(map[netutil.Prefix]decCacheEntry)
+		}
+		s.decCache[p] = decCacheEntry{cands: cands, best: best}
+		n.inc.FullScans++
+		n.metrics.fullScans.Inc()
+	}
+	prev := s.locRib[p]
+	if routesEqual(prev, best) {
+		return prev, false
+	}
+	if best == nil {
+		delete(s.locRib, p)
+	} else {
+		s.locRib[p] = best
+	}
+	return best, true
+}
+
+func samePointers(a, b []*Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

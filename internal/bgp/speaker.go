@@ -50,6 +50,16 @@ type Speaker struct {
 	mraiLast    map[ribKey]Time
 	mraiPending map[ribKey]bool
 
+	// medSeen gates the incremental fast path (see incremental.go):
+	// set permanently once any nonzero-MED route is seen for a prefix,
+	// because MED makes pairwise comparison non-transitive and only a
+	// full scan is then sound. Maintained in both engine modes so the
+	// mode can be switched mid-life.
+	medSeen map[netutil.Prefix]bool
+	// decCache memoizes full decision scans per prefix (lazily
+	// allocated; see scanDecision).
+	decCache map[netutil.Prefix]decCacheEntry
+
 	// metrics points at the owning network's counter set (nil-safe
 	// counters; see Network.SetMetrics).
 	metrics *netMetrics
@@ -69,6 +79,7 @@ func newSpeaker(id RouterID, as asn.AS, name string) *Speaker {
 		suppressed:  make(map[ribKey]bool),
 		mraiLast:    make(map[ribKey]Time),
 		mraiPending: make(map[ribKey]bool),
+		medSeen:     make(map[netutil.Prefix]bool),
 	}
 }
 
@@ -116,9 +127,11 @@ func (s *Speaker) AdjOut(p netutil.Prefix, neighbor RouterID) *Route {
 	return s.adjOut[ribKey{p, neighbor}]
 }
 
-// runDecision recomputes the best route for p. It returns the new best
-// and whether the loc-RIB changed.
-func (s *Speaker) runDecision(p netutil.Prefix) (*Route, bool) {
+// candidateSet collects the decision-process inputs for p: the local
+// origination first, then unsuppressed adj-RIB-in routes in neighbor
+// order. Both runDecision and the incremental scanDecision use it, so
+// scan order (and thus tie behavior) is identical across modes.
+func (s *Speaker) candidateSet(p netutil.Prefix) []*Route {
 	candidates := make([]*Route, 0, len(s.peerOrder)+1)
 	if o, ok := s.originated[p]; ok {
 		candidates = append(candidates, o.route)
@@ -129,7 +142,23 @@ func (s *Speaker) runDecision(p netutil.Prefix) (*Route, bool) {
 			candidates = append(candidates, r)
 		}
 	}
-	best, _ := Best(candidates)
+	return candidates
+}
+
+// effectiveCandidate returns the route neighbor nb currently
+// contributes to p's decision: nil when absent or damped.
+func (s *Speaker) effectiveCandidate(p netutil.Prefix, nb RouterID) *Route {
+	k := ribKey{p, nb}
+	if s.suppressed[k] {
+		return nil
+	}
+	return s.adjIn[k]
+}
+
+// runDecision recomputes the best route for p. It returns the new best
+// and whether the loc-RIB changed.
+func (s *Speaker) runDecision(p netutil.Prefix) (*Route, bool) {
+	best, _ := Best(s.candidateSet(p))
 	prev := s.locRib[p]
 	if routesEqual(prev, best) {
 		return prev, false
@@ -291,6 +320,9 @@ func (s *Speaker) applyImport(p netutil.Prefix, nb RouterID, r *Route, now Time)
 		return false
 	}
 	s.adjIn[k] = in
+	if in.MED != 0 {
+		s.medSeen[p] = true
+	}
 	if pc.RFD != nil {
 		s.rfdFlap(k, pc.RFD, now)
 		return true

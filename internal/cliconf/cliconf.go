@@ -23,13 +23,14 @@ import (
 // values at Register time become the flag defaults, so a command can
 // keep its historical defaults (reprobe defaults -small to true).
 type Config struct {
-	Small    bool
-	Seed     int64
-	Workers  int
-	Faults   float64
-	Manifest string
-	Metrics  bool
-	ZeroTime bool
+	Small       bool
+	Seed        int64
+	Workers     int
+	Faults      float64
+	Incremental bool
+	Manifest    string
+	Metrics     bool
+	ZeroTime    bool
 }
 
 // Flags selects which shared flags Register installs.
@@ -46,9 +47,11 @@ const (
 	FlagFaults
 	// FlagObservability registers -manifest, -metrics, and -zerotime.
 	FlagObservability
+	// FlagIncremental registers -incremental.
+	FlagIncremental
 
 	// FlagAll registers every shared flag.
-	FlagAll = FlagSmall | FlagSeed | FlagWorkers | FlagFaults | FlagObservability
+	FlagAll = FlagSmall | FlagSeed | FlagWorkers | FlagFaults | FlagObservability | FlagIncremental
 )
 
 // Register installs the selected shared flags on fs, with defaults
@@ -65,6 +68,9 @@ func Register(fs *flag.FlagSet, c *Config, which Flags) {
 	}
 	if which&FlagFaults != 0 {
 		fs.Float64Var(&c.Faults, "faults", c.Faults, "max fault intensity in (0, 1]: run the fault-intensity sweep (reduced scale) up to this intensity; 0 disables")
+	}
+	if which&FlagIncremental != 0 {
+		fs.BoolVar(&c.Incremental, "incremental", c.Incremental, "propagate only route deltas through the BGP engine (-incremental=false keeps the full-reconvergence reference path); output is byte-identical either way")
 	}
 	if which&FlagObservability != 0 {
 		fs.StringVar(&c.Manifest, "manifest", c.Manifest, "write a run manifest (seed, options, phase durations, all metrics) to this file as deterministic JSON")
@@ -103,6 +109,7 @@ func (c Config) PipelineOptions(reg *telemetry.Registry) []core.PipelineOption {
 		core.WithSeed(c.Seed),
 		core.WithWorkers(c.Workers),
 		core.WithFaults(c.Faults),
+		core.WithIncremental(c.Incremental),
 		core.WithMetrics(reg),
 	}
 	if c.Small {

@@ -169,15 +169,25 @@ func (x *Experiment) Run() *Result {
 	// converge outside it.
 	first := Schedule()[0]
 	net.AdvanceTo(x.Cfg.Start - x.Cfg.RoundGap)
-	net.Originate(x.Cfg.CommodityOrigin, meas)
-	net.Originate(x.Cfg.REOrigin, meas)
-	for _, nb := range reSessions {
-		net.SetPrefixPrepend(x.Cfg.REOrigin, nb, meas, first.RE)
-	}
-	for _, nb := range commSessions {
-		net.SetPrefixPrepend(x.Cfg.CommodityOrigin, nb, meas, first.Commodity)
-	}
+	st0 := net.Stats()
+	net.Batch(func() {
+		net.Originate(x.Cfg.CommodityOrigin, meas)
+		net.Originate(x.Cfg.REOrigin, meas)
+		for _, nb := range reSessions {
+			net.SetPrefixPrepend(x.Cfg.REOrigin, nb, meas, first.RE)
+		}
+		for _, nb := range commSessions {
+			net.SetPrefixPrepend(x.Cfg.CommodityOrigin, nb, meas, first.Commodity)
+		}
+	})
 	x.advance(x.Cfg.Start)
+	// The one full convergence: every later configuration is a delta.
+	// DecisionRuns and BestChanges are identical in both engine modes
+	// (the incremental path's invariant), so these counters are safe in
+	// byte-compared manifests.
+	st1 := net.Stats()
+	x.Metrics.Counter("core_initial_convergence_decision_runs_total").Add(st1.DecisionRuns - st0.DecisionRuns)
+	x.Metrics.Counter("core_initial_convergence_best_changes_total").Add(st1.BestChanges - st0.BestChanges)
 
 	churnStart := len(net.Churn.Records)
 
@@ -206,22 +216,27 @@ func (x *Experiment) Run() *Result {
 	t := x.Cfg.Start
 	for i, cfg := range Schedule() {
 		cfgSpan := x.Metrics.StartSpan("config:" + cfg.Label())
-		// Apply the configuration.
+		// Apply the configuration as one batched delta: duplicate
+		// (router, prefix, neighbor) touches collapse into a single
+		// evaluation in incremental mode, and full mode runs f as-is.
 		net.AdvanceTo(t)
-		for _, o := range x.Cfg.Outages {
-			if o.DownRound == i {
-				net.SetSessionDown(o.A, o.B)
+		stBefore := net.Stats()
+		net.Batch(func() {
+			for _, o := range x.Cfg.Outages {
+				if o.DownRound == i {
+					net.SetSessionDown(o.A, o.B)
+				}
+				if o.UpRound == i {
+					net.SetSessionUp(o.A, o.B)
+				}
 			}
-			if o.UpRound == i {
-				net.SetSessionUp(o.A, o.B)
+			for _, nb := range reSessions {
+				net.SetPrefixPrepend(x.Cfg.REOrigin, nb, meas, cfg.RE)
 			}
-		}
-		for _, nb := range reSessions {
-			net.SetPrefixPrepend(x.Cfg.REOrigin, nb, meas, cfg.RE)
-		}
-		for _, nb := range commSessions {
-			net.SetPrefixPrepend(x.Cfg.CommodityOrigin, nb, meas, cfg.Commodity)
-		}
+			for _, nb := range commSessions {
+				net.SetPrefixPrepend(x.Cfg.CommodityOrigin, nb, meas, cfg.Commodity)
+			}
+		})
 		res.Configs = append(res.Configs, cfg)
 		res.ConfigTimes = append(res.ConfigTimes, t)
 
@@ -229,6 +244,13 @@ func (x *Experiment) Run() *Result {
 		probeAt := t + x.Cfg.RoundGap
 		x.advance(probeAt)
 		net.AdvanceTo(probeAt)
+		// Delta-convergence stats, per configuration (mode-identical;
+		// see the initial-convergence comment).
+		stAfter := net.Stats()
+		x.Metrics.Counter(telemetry.Label("core_delta_decision_runs_total", "config", cfg.Label())).
+			Add(stAfter.DecisionRuns - stBefore.DecisionRuns)
+		x.Metrics.Counter(telemetry.Label("core_delta_best_changes_total", "config", cfg.Label())).
+			Add(stAfter.BestChanges - stBefore.BestChanges)
 		roundSpan := x.Metrics.StartSpan("round")
 		round := x.Prober.Run(cfg.Label(), probeAt, x.Sel)
 		roundSpan.End()
@@ -399,12 +421,14 @@ func NewInternet2Experiment(eco *topo.Ecosystem, w *simnet.World, pr *probe.Prob
 func (x *Experiment) TeardownRE() {
 	net := x.Eco.Net
 	meas := x.Eco.MeasPrefix
-	for _, nb := range x.reSessions() {
-		net.SetPrefixPrepend(x.Cfg.REOrigin, nb, meas, 0)
-	}
-	for _, nb := range x.commoditySessions() {
-		net.SetPrefixPrepend(x.Cfg.CommodityOrigin, nb, meas, 0)
-	}
-	net.WithdrawOrigination(x.Cfg.REOrigin, meas)
+	net.Batch(func() {
+		for _, nb := range x.reSessions() {
+			net.SetPrefixPrepend(x.Cfg.REOrigin, nb, meas, 0)
+		}
+		for _, nb := range x.commoditySessions() {
+			net.SetPrefixPrepend(x.Cfg.CommodityOrigin, nb, meas, 0)
+		}
+		net.WithdrawOrigination(x.Cfg.REOrigin, meas)
+	})
 	net.RunToQuiescence()
 }

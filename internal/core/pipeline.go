@@ -39,6 +39,7 @@ type Pipeline struct {
 	workers       int
 	faults        float64
 	metrics       *telemetry.Registry
+	incremental   bool
 }
 
 // PipelineOption configures a Pipeline; options are applied by
@@ -86,6 +87,16 @@ func WithMetrics(reg *telemetry.Registry) PipelineOption {
 	return func(p *Pipeline) { p.metrics = reg }
 }
 
+// WithIncremental selects the BGP engine's recomputation mode for
+// everything the pipeline builds: true (the default) propagates only
+// route deltas through a dirty-set work queue, false keeps the full
+// reconvergence path as the reference implementation. Both modes
+// produce identical observable output (TestIncrementalEquivalenceMatrix
+// proves it); only the work-accounting telemetry differs.
+func WithIncremental(on bool) PipelineOption {
+	return func(p *Pipeline) { p.incremental = on }
+}
+
 // WithOutageSplit sets how injected mid-experiment outages divide
 // between the two experiments: 0 keeps the historical in-order halves
 // split, any other value shuffles deterministically first (see
@@ -102,7 +113,7 @@ const faultSeedStream = 0xFA17
 
 // NewPipeline resolves the options into a ready pipeline.
 func NewPipeline(opts ...PipelineOption) *Pipeline {
-	p := &Pipeline{survey: DefaultSurveyOptions()}
+	p := &Pipeline{survey: DefaultSurveyOptions(), incremental: true}
 	for _, o := range opts {
 		o(p)
 	}
@@ -127,6 +138,10 @@ func (p *Pipeline) Workers() int { return p.workers }
 // Faults returns the configured max fault-sweep intensity (0 = off).
 func (p *Pipeline) Faults() float64 { return p.faults }
 
+// Incremental reports whether pipelines built here use the
+// incremental recomputation path.
+func (p *Pipeline) Incremental() bool { return p.incremental }
+
 // Metrics returns the registry the pipeline instruments with (nil
 // when telemetry is disabled).
 func (p *Pipeline) Metrics() *telemetry.Registry { return p.metrics }
@@ -138,6 +153,7 @@ func (p *Pipeline) SurveyOptions() SurveyOptions { return p.survey }
 // prober, metrics, and worker bounds, all from the pipeline options.
 func (p *Pipeline) NewSurvey() *Survey {
 	s := NewSurvey(p.survey)
+	s.SetIncremental(p.incremental)
 	s.Workers = p.workers
 	s.Prober.Workers = p.workers
 	if p.metrics != nil {
@@ -159,6 +175,7 @@ func (p *Pipeline) FaultSweepOptions() FaultSweepOptions {
 	if p.faults > 0 {
 		fopts.Intensities = SweepIntensities(p.faults)
 	}
+	fopts.Incremental = p.incremental
 	fopts.Metrics = p.metrics
 	fopts.Workers = p.workers
 	return fopts

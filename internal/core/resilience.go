@@ -37,6 +37,9 @@ type FaultSweepOptions struct {
 	Quorum int
 	// Retry is the prober retry policy applied at nonzero intensity.
 	Retry probe.RetryPolicy
+	// Incremental selects the BGP engine's recomputation mode for every
+	// point's world (observable output is identical either way).
+	Incremental bool
 	// Metrics, when non-nil, instruments every sweep point's world and
 	// records per-intensity score gauges (faultsweep_accuracy,
 	// faultsweep_mean_confidence, faultsweep_outage_classes).
@@ -57,6 +60,7 @@ func DefaultFaultSweepOptions() FaultSweepOptions {
 		FaultSeed:   1789,
 		Quorum:      6,
 		Retry:       probe.DefaultRetryPolicy(),
+		Incremental: true,
 	}
 }
 
@@ -134,6 +138,7 @@ func runFaultPoint(opts FaultSweepOptions, intensity float64, reg *telemetry.Reg
 	sp := reg.StartSpan("faultsweep:intensity=" + lbl)
 	defer sp.End()
 	s := NewSurvey(opts.Survey)
+	s.SetIncremental(opts.Incremental)
 	s.SetMetrics(reg)
 	s.Workers = 1
 	s.Prober.Workers = 1

@@ -35,13 +35,26 @@ bench:
 	$(GO) run ./cmd/benchjson < bench.out.tmp > BENCH_baseline.json
 	rm -f bench.out.tmp
 
-fuzz:
-	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime 30s ./internal/probe/
-	$(GO) test -run '^$$' -fuzz FuzzIncrementalEvents -fuzztime 30s ./internal/bgp/
+# Every native fuzz target, 30s each (override with FUZZTIME); CI runs
+# the same list as its fuzz smoke step.
+FUZZTIME ?= 30s
 
-# Coverage floor for the BGP engine (the incremental recomputation
-# path must stay thoroughly tested; CI enforces the same bound).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime $(FUZZTIME) ./internal/probe/
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/irr/
+	$(GO) test -run '^$$' -fuzz 'FuzzReader$$' -fuzztime $(FUZZTIME) ./internal/mrt/
+	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/mrt/
+	$(GO) test -run '^$$' -fuzz FuzzIncrementalEvents -fuzztime $(FUZZTIME) ./internal/bgp/
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/bgp/
+
+# Coverage floors: the BGP engine (the incremental recomputation path
+# must stay thoroughly tested) and the snapshot container (every
+# checkpoint rides on its integrity checks). CI enforces the same
+# bounds.
 cover:
 	$(GO) test -coverprofile=bgp.cov ./internal/bgp/
 	$(GO) tool cover -func=bgp.cov | awk '/^total:/ { sub(/%/, "", $$3); if ($$3 + 0 < 80) { printf "internal/bgp coverage %.1f%% below 80%% floor\n", $$3; exit 1 } else printf "internal/bgp coverage %.1f%%\n", $$3 }'
 	rm -f bgp.cov
+	$(GO) test -coverprofile=snapshot.cov ./internal/snapshot/
+	$(GO) tool cover -func=snapshot.cov | awk '/^total:/ { sub(/%/, "", $$3); if ($$3 + 0 < 85) { printf "internal/snapshot coverage %.1f%% below 85%% floor\n", $$3; exit 1 } else printf "internal/snapshot coverage %.1f%%\n", $$3 }'
+	rm -f snapshot.cov

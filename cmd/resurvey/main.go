@@ -8,6 +8,7 @@
 //
 //	resurvey [-small] [-seed N] [-workers N] [-json dir] [-mrt dir]
 //	         [-faults I] [-manifest out.json] [-metrics] [-pprof addr]
+//	         [-snapshot-dir dir] [-resume]
 //
 // -small runs the reduced test-scale ecosystem; -json writes the
 // scamper-style probe results per round; -mrt writes collector RIB
@@ -17,6 +18,12 @@
 // the probing, classification, and fault-sweep loops (0 = GOMAXPROCS)
 // — output is byte-identical for any value.
 //
+// Checkpoint/restart: -snapshot-dir writes an engine+telemetry
+// checkpoint after every configuration round; -resume continues from
+// the latest valid checkpoint there (falling back past corrupt files,
+// and to a cold start when none is usable), reproducing the
+// uninterrupted run's output byte for byte at any worker count.
+//
 // Observability: -manifest snapshots the run (seed, options, version,
 // phase durations, worker/shard timings, every metric) to
 // deterministic JSON; -metrics prints a Prometheus-style text
@@ -25,6 +32,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +51,7 @@ import (
 	"repro/internal/irr"
 	"repro/internal/netutil"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 // options bundles every flag of one invocation: the shared pipeline
@@ -58,7 +67,7 @@ type options struct {
 
 func main() {
 	o := options{Config: cliconf.Config{Seed: 1, Incremental: true}}
-	cliconf.Register(flag.CommandLine, &o.Config, cliconf.FlagAll)
+	cliconf.Register(flag.CommandLine, &o.Config, cliconf.FlagAll|cliconf.FlagSnapshot)
 	flag.StringVar(&o.JSONDir, "json", "", "directory for scamper-style probe JSON")
 	flag.StringVar(&o.MRTDir, "mrt", "", "directory for MRT collector dumps")
 	flag.IntVar(&o.NSeeds, "seeds", 1, "additionally rerun the survey across N generator seeds (reduced scale) and report spread")
@@ -116,13 +125,89 @@ func run(w io.Writer, o options) error {
 		fmt.Fprintf(w, "pprof listening on http://%s/debug/pprof/\n", o.PProf)
 	}
 
+	// Resume: pick the newest valid checkpoint and restore the
+	// telemetry state first (before any new span opens), so the resumed
+	// run's phase tree and metrics continue exactly where the saved run
+	// left off. Corrupt checkpoints are skipped in favour of older valid
+	// ones and surfaced via snapshot_checkpoint_corrupt_total.
+	var ck *checkpoint
+	var openSpans []*telemetry.Span
+	if o.Resume {
+		var corrupt int
+		ck, corrupt = loadLatestCheckpoint(o)
+		if ck != nil && reg != nil && len(ck.telemetry) > 0 {
+			spans, err := reg.LoadState(bytes.NewReader(ck.telemetry))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "resurvey: checkpoint telemetry unusable, cold-starting: %v\n", err)
+				reg = o.NewRegistry()
+				ck = nil
+				corrupt++
+			} else {
+				openSpans = spans
+			}
+		}
+		if corrupt > 0 {
+			reg.Counter("snapshot_checkpoint_corrupt_total").Add(int64(corrupt))
+		}
+	}
+
 	pl := o.Pipeline(reg)
 	opts := pl.SurveyOptions()
 
-	buildSpan := reg.StartSpan("build")
+	// On resume the checkpointed state already contains the completed
+	// build phase; re-recording it would duplicate the span.
+	var buildSpan *telemetry.Span
+	if ck == nil {
+		buildSpan = reg.StartSpan("build")
+	}
 	fmt.Fprintf(w, "building ecosystem (seed %d)...\n", o.Seed)
 	s := pl.NewSurvey()
 	buildSpan.End()
+
+	// The pristine post-build engine state is the fork point the
+	// multi-seed warm start rewinds to; capture it before any restore
+	// or experiment touches the network. snapshot_bytes is counted only
+	// on cold runs — a resumed registry already carries the count.
+	var pristine []byte
+	if o.NSeeds > 1 && o.Small {
+		var buf bytes.Buffer
+		if err := s.Eco.Net.Snapshot(&buf); err == nil {
+			pristine = buf.Bytes()
+			if ck == nil {
+				reg.Counter("snapshot_bytes").Add(int64(len(pristine)))
+			}
+		}
+	}
+
+	if ck != nil {
+		if err := bgp.RestoreNetwork(bytes.NewReader(ck.engine), s.Eco.Net); err != nil {
+			return fmt.Errorf("resume: restore engine state: %w", err)
+		}
+		resume := &core.SurveyResume{
+			Phase: ck.phase,
+			Exp: &core.ExperimentResume{
+				Done:             ck.done,
+				ChurnStart:       ck.churnStart,
+				Rounds:           ck.rounds,
+				CollectorOrigins: ck.origins,
+			},
+		}
+		if len(openSpans) > 0 {
+			resume.Exp.Span = openSpans[len(openSpans)-1]
+		}
+		if ck.phase == 1 {
+			resume.SURF = ck.surf
+			resume.StartI2 = ck.start
+		}
+		s.Resume = resume
+	}
+	if o.SnapshotDir != "" {
+		s.Checkpoint = func(sck core.SurveyCheckpoint) {
+			if err := writeCheckpoint(o, reg, s, sck); err != nil {
+				fmt.Fprintln(os.Stderr, "resurvey: checkpoint:", err)
+			}
+		}
+	}
 	st := s.Sel.Stats
 	fmt.Fprintf(w, "  %d R&E-connected origin ASes; %d prefixes announced, %d excluded as entirely covered (§3.2), %d probed\n",
 		countASes(s), len(s.Eco.Prefixes), len(s.Eco.Prefixes)-st.Prefixes, st.Prefixes)
@@ -267,7 +352,13 @@ func run(w io.Writer, o options) error {
 		for i := 0; i < o.NSeeds; i++ {
 			seedList = append(seedList, o.Seed+int64(i))
 		}
-		fmt.Fprintln(w, core.RunMultiSeed(core.SmallSurveyOptions(), seedList).Table())
+		// A -small main run already built the first seed's world; rewind
+		// it to the pristine fork point instead of rebuilding.
+		var warm *core.Survey
+		if o.Small {
+			warm = s
+		}
+		fmt.Fprintln(w, core.RunMultiSeedFrom(core.SmallSurveyOptions(), seedList, warm, pristine, reg).Table())
 	}
 
 	if o.JSONDir != "" {

@@ -1,0 +1,1013 @@
+package bgp
+
+// Engine-state serialization. Snapshot writes the complete dynamic
+// state of a Network — RIBs, damping timers, MRAI batches, the
+// in-flight event queue, churn log, incremental dirty-set, and work
+// counters — into the versioned container of internal/snapshot;
+// RestoreNetwork rehydrates it into a freshly built base network whose
+// topology and policy match. The restored network is byte-identical in
+// every observable output to the original: same messages at the same
+// virtual times, same churn records, same RIB contents, same
+// decision-cache hit pattern.
+//
+// Two invariants shape the format:
+//
+//   - Determinism. Every map is emitted under sorted keys and every
+//     route reference is an index into a route table built by a fixed
+//     canonical traversal, so two Snapshot calls on the same network
+//     produce identical bytes (pinned by TestSnapshotDeterministic).
+//
+//   - Pointer identity. The engine relies on exact *Route aliasing:
+//     sendExport stores one pointer into both the adj-RIB-out and the
+//     queued event, and the incremental decision cache validates with
+//     pointer (not value) comparison, including stale pointers
+//     reachable only from the cache or the queue. The route table
+//     assigns one index per distinct pointer, so aliasing — and the
+//     cache's future hit/miss behavior — survives a round trip.
+//
+// Policy func values (ImportDeny, ExportFilter, ExportBestOf) cannot
+// be serialized; they come from the base network, and a fingerprint
+// section digests all static topology/policy so RestoreNetwork can
+// refuse a base that was not built identically.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+	snap "repro/internal/snapshot"
+)
+
+// Engine snapshot section IDs, in file order.
+const (
+	secMeta        = 1
+	secFingerprint = 2
+	secRoutes      = 3
+	secSpeakers    = 4
+	secQueue       = 5
+	secChurn       = 6
+	secDirty       = 7
+)
+
+// ErrSnapshotMismatch reports that a snapshot's topology/policy
+// fingerprint does not match the base network it is being restored
+// into.
+var ErrSnapshotMismatch = errors.New("bgp: snapshot fingerprint does not match base network")
+
+// Snapshot serializes the network's complete dynamic state to w in the
+// RBGP format (see internal/snapshot/FORMAT.md). Snapshotting inside a
+// Batch is an error: batched dirty-pair work has no stable on-disk
+// meaning before the drain.
+func (n *Network) Snapshot(w io.Writer) error {
+	data, err := n.snapshotBytes()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+func (n *Network) snapshotBytes() ([]byte, error) {
+	if n.batchDepth != 0 {
+		return nil, errors.New("bgp: Snapshot called inside Batch")
+	}
+	ri := newRouteIndex(n)
+	sw := snap.NewWriter(snap.EngineMagic, snap.EngineVersion)
+	sw.Section(secMeta, n.encodeMeta())
+	sw.Section(secFingerprint, n.encodeFingerprint())
+	sw.Section(secRoutes, encodeRoutes(ri))
+	sw.Section(secSpeakers, n.encodeSpeakers(ri))
+	sw.Section(secQueue, encodeQueue(sortedEvents(n.queue), ri))
+	sw.Section(secChurn, encodeChurn(n.Churn.Records))
+	sw.Section(secDirty, encodeDirty(n.dirtyQueue))
+	return sw.Bytes(), nil
+}
+
+// RestoreNetwork decodes an RBGP snapshot from r and installs its
+// state into base, which must be a freshly built network with the
+// identical topology and policy (same builder, same seed): the
+// snapshot's fingerprint is verified against base before any state is
+// touched, and a decode error leaves base unmodified. Metrics wiring,
+// CollectorFeedDown, and policy functions are kept from base.
+func RestoreNetwork(r io.Reader, base *Network) error {
+	sections, err := snap.ReadSections(r, snap.EngineMagic, snap.EngineVersion)
+	if err != nil {
+		return err
+	}
+	if len(sections) != 7 {
+		return fmt.Errorf("%w: got %d sections, want 7", snap.ErrCorrupt, len(sections))
+	}
+	for i, id := range []byte{secMeta, secFingerprint, secRoutes, secSpeakers, secQueue, secChurn, secDirty} {
+		if sections[i].ID != id {
+			return fmt.Errorf("%w: section %d has id 0x%02x, want 0x%02x", snap.ErrCorrupt, i, sections[i].ID, id)
+		}
+	}
+	meta, err := decodeMeta(sections[0].Payload)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(sections[1].Payload, base.encodeFingerprint()) {
+		return ErrSnapshotMismatch
+	}
+	routes, err := decodeRoutes(sections[2].Payload)
+	if err != nil {
+		return err
+	}
+	spks, err := decodeSpeakers(sections[3].Payload, base, routes)
+	if err != nil {
+		return err
+	}
+	queue, err := decodeQueue(sections[4].Payload, routes)
+	if err != nil {
+		return err
+	}
+	churn, err := decodeChurn(sections[5].Payload)
+	if err != nil {
+		return err
+	}
+	dirty, err := decodeDirty(sections[6].Payload)
+	if err != nil {
+		return err
+	}
+
+	// Everything decoded and validated; apply atomically.
+	base.clock = meta.clock
+	base.seq = meta.seq
+	base.eventsProcessed = meta.eventsProcessed
+	base.DefaultDelay = meta.defaultDelay
+	base.incremental = meta.incremental
+	base.inc = meta.inc
+	base.Churn = ChurnLog{Records: churn, TotalMessages: meta.churnTotal}
+	base.queue = queue
+	base.batchDepth = 0
+	base.dirtyQueue = dirty
+	base.dirtySet = nil
+	if len(dirty) > 0 {
+		base.dirtySet = make(map[dirtyKey]bool, len(dirty))
+		for _, k := range dirty {
+			base.dirtySet[k] = true
+		}
+	}
+	base.solverStale = true
+	for _, st := range spks {
+		st.apply()
+	}
+	return nil
+}
+
+// --- meta section ---
+
+type metaState struct {
+	clock           Time
+	seq             uint64
+	eventsProcessed int
+	defaultDelay    Time
+	incremental     bool
+	churnTotal      int
+	inc             IncStats
+}
+
+func (n *Network) encodeMeta() []byte {
+	var e snap.Enc
+	e.I64(int64(n.clock))
+	e.U64(n.seq)
+	e.U64(uint64(n.eventsProcessed))
+	e.I64(int64(n.DefaultDelay))
+	e.Bool(n.incremental)
+	e.U64(uint64(n.Churn.TotalMessages))
+	// IncStats, fixed-width so payload size is engine-mode independent.
+	for _, v := range n.inc.fields() {
+		e.I64(v)
+	}
+	return e.Bytes()
+}
+
+func decodeMeta(payload []byte) (metaState, error) {
+	d := snap.NewDec(payload)
+	var m metaState
+	m.clock = Time(d.I64())
+	m.seq = d.U64()
+	m.eventsProcessed = int(d.U64())
+	m.defaultDelay = Time(d.I64())
+	m.incremental = d.Bool()
+	m.churnTotal = int(d.U64())
+	st := make([]int64, 9)
+	for i := range st {
+		st[i] = d.I64()
+	}
+	m.inc = IncStats{
+		DecisionRuns: st[0], BestChanges: st[1], FullScans: st[2],
+		FastPath: st[3], CacheHits: st[4], NoopDecisions: st[5],
+		DirtyPairs: st[6], DirtyEvals: st[7], SuppressedProps: st[8],
+	}
+	return m, d.Done()
+}
+
+// fields returns the stats in their fixed serialization order.
+func (s IncStats) fields() []int64 {
+	return []int64{
+		s.DecisionRuns, s.BestChanges, s.FullScans,
+		s.FastPath, s.CacheHits, s.NoopDecisions,
+		s.DirtyPairs, s.DirtyEvals, s.SuppressedProps,
+	}
+}
+
+// --- fingerprint section ---
+
+// encodeFingerprint digests static topology and policy: everything a
+// restore must take from the base network rather than the snapshot.
+// Dynamic per-peer settings (ExportPrepend, PrefixPrepend, session
+// down) are deliberately excluded — they are state, carried in the
+// speakers section.
+func (n *Network) encodeFingerprint() []byte {
+	var e snap.Enc
+	e.Uvarint(uint64(len(n.order)))
+	for _, id := range n.order {
+		s := n.speakers[id]
+		e.U32(uint32(s.ID))
+		e.U32(uint32(s.AS))
+		e.String(s.Name)
+		e.Bool(s.Collector)
+		e.Uvarint(uint64(len(s.peerOrder)))
+		for _, nb := range s.peerOrder {
+			pc := s.peers[nb]
+			e.U32(uint32(pc.Neighbor))
+			e.U32(uint32(pc.NeighborAS))
+			e.U8(uint8(pc.ClassifyAs))
+			e.U32(pc.ImportLocalPref)
+			e.U8(uint8(pc.ExportAllow))
+			e.U32(pc.ExportMED)
+			e.I64(int64(pc.Delay))
+			e.I64(int64(pc.MRAI))
+			e.U32(pc.IGPCost)
+			e.Bool(pc.RFD != nil)
+			if pc.RFD != nil {
+				e.F64(pc.RFD.PenaltyPerFlap)
+				e.F64(pc.RFD.SuppressThreshold)
+				e.F64(pc.RFD.ReuseThreshold)
+				e.I64(int64(pc.RFD.HalfLife))
+				e.I64(int64(pc.RFD.MaxSuppress))
+			}
+			encCommunities(&e, pc.ExportAddCommunities)
+			// Presence bits for the non-serializable policy funcs: a base
+			// built without (or with different) filters is a different
+			// network even if all data matches.
+			e.Bool(pc.ImportDeny != nil)
+			e.Bool(pc.ExportFilter != nil)
+			e.Bool(pc.ExportBestOf != nil)
+		}
+	}
+	return e.Bytes()
+}
+
+// --- route table ---
+
+// routeIndex assigns one index per distinct installed *Route, in
+// canonical traversal order: per speaker (ascending ID) originated →
+// adj-RIB-in → loc-RIB → adj-RIB-out → decision cache, then queued
+// events in (at, seq) order. First sighting wins, so shared pointers
+// share an index.
+type routeIndex struct {
+	idx  map[*Route]uint64
+	list []*Route
+}
+
+func newRouteIndex(n *Network) *routeIndex {
+	ri := &routeIndex{idx: make(map[*Route]uint64)}
+	for _, id := range n.order {
+		s := n.speakers[id]
+		for _, p := range sortedOrigPrefixes(s.originated) {
+			ri.add(s.originated[p].route)
+		}
+		for _, k := range sortedKeysRoute(s.adjIn) {
+			ri.add(s.adjIn[k])
+		}
+		for _, p := range sortedRoutePrefixes(s.locRib) {
+			ri.add(s.locRib[p])
+		}
+		for _, k := range sortedKeysRoute(s.adjOut) {
+			ri.add(s.adjOut[k])
+		}
+		for _, p := range sortedCachePrefixes(s.decCache) {
+			e := s.decCache[p]
+			for _, r := range e.cands {
+				ri.add(r)
+			}
+			ri.add(e.best)
+		}
+	}
+	for _, ev := range sortedEvents(n.queue) {
+		ri.add(ev.route)
+	}
+	return ri
+}
+
+func (ri *routeIndex) add(r *Route) {
+	if r == nil {
+		return
+	}
+	if _, ok := ri.idx[r]; !ok {
+		ri.idx[r] = uint64(len(ri.list))
+		ri.list = append(ri.list, r)
+	}
+}
+
+// ref encodes a nilable route reference as index+1 (0 = nil).
+func (ri *routeIndex) ref(r *Route) uint64 {
+	if r == nil {
+		return 0
+	}
+	i, ok := ri.idx[r]
+	if !ok {
+		panic("bgp: snapshot route index missed a traversal path")
+	}
+	return i + 1
+}
+
+// must encodes a non-nil route reference as its bare index.
+func (ri *routeIndex) must(r *Route) uint64 { return ri.ref(r) - 1 }
+
+func encodeRoutes(ri *routeIndex) []byte {
+	var e snap.Enc
+	e.Uvarint(uint64(len(ri.list)))
+	for _, r := range ri.list {
+		encPrefix(&e, r.Prefix)
+		e.Uvarint(uint64(len(r.Path)))
+		for _, a := range r.Path {
+			e.U32(uint32(a))
+		}
+		e.U8(uint8(r.Origin))
+		e.U32(r.MED)
+		e.U32(r.LocalPref)
+		e.U8(uint8(r.Class))
+		e.U32(uint32(r.From))
+		e.U32(uint32(r.FromAS))
+		e.Bool(r.EBGP)
+		e.U32(r.IGPCost)
+		e.I64(int64(r.LearnedAt))
+		encCommunities(&e, r.Communities)
+	}
+	return e.Bytes()
+}
+
+func decodeRoutes(payload []byte) ([]*Route, error) {
+	d := snap.NewDec(payload)
+	n := d.Count(20) // minimum encoded route size
+	routes := make([]*Route, 0, n)
+	for i := 0; i < n; i++ {
+		r := &Route{}
+		var err error
+		if r.Prefix, err = decPrefix(d); err != nil {
+			return nil, err
+		}
+		if pl := d.Count(4); pl > 0 {
+			r.Path = make(asn.Path, pl)
+			for j := range r.Path {
+				r.Path[j] = asn.AS(d.U32())
+			}
+		}
+		r.Origin = Origin(d.U8())
+		r.MED = d.U32()
+		r.LocalPref = d.U32()
+		r.Class = RouteClass(d.U8())
+		r.From = RouterID(d.U32())
+		r.FromAS = asn.AS(d.U32())
+		r.EBGP = d.Bool()
+		r.IGPCost = d.U32()
+		r.LearnedAt = Time(d.I64())
+		r.Communities = decCommunities(d)
+		routes = append(routes, r)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return routes, nil
+}
+
+// routeAt resolves a bare index.
+func routeAt(routes []*Route, idx uint64, d *snap.Dec) (*Route, error) {
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if idx >= uint64(len(routes)) {
+		return nil, fmt.Errorf("%w: route index %d out of range (%d routes)", snap.ErrCorrupt, idx, len(routes))
+	}
+	return routes[idx], nil
+}
+
+// routeRef resolves an index+1 reference (0 = nil).
+func routeRef(routes []*Route, ref uint64, d *snap.Dec) (*Route, error) {
+	if ref == 0 {
+		return nil, d.Err()
+	}
+	return routeAt(routes, ref-1, d)
+}
+
+// --- speakers section ---
+
+// speakerState is one speaker's decoded dynamic state, held until the
+// whole snapshot validates.
+type speakerState struct {
+	s           *Speaker
+	originated  map[netutil.Prefix]origination
+	adjIn       map[ribKey]*Route
+	adjOut      map[ribKey]*Route
+	locRib      map[netutil.Prefix]*Route
+	rfd         map[ribKey]*rfdState
+	suppressed  map[ribKey]bool
+	mraiLast    map[ribKey]Time
+	mraiPending map[ribKey]bool
+	medSeen     map[netutil.Prefix]bool
+	decCache    map[netutil.Prefix]decCacheEntry
+	peerDyn     []peerDynState
+}
+
+type peerDynState struct {
+	pc            *PeerConfig
+	exportPrepend int
+	down          bool
+	prefixPrepend map[netutil.Prefix]int
+}
+
+func (st *speakerState) apply() {
+	s := st.s
+	s.originated = st.originated
+	s.adjIn = st.adjIn
+	s.adjOut = st.adjOut
+	s.locRib = st.locRib
+	s.rfd = st.rfd
+	s.suppressed = st.suppressed
+	s.mraiLast = st.mraiLast
+	s.mraiPending = st.mraiPending
+	s.medSeen = st.medSeen
+	s.decCache = st.decCache
+	for _, pd := range st.peerDyn {
+		pd.pc.ExportPrepend = pd.exportPrepend
+		pd.pc.down = pd.down
+		pd.pc.PrefixPrepend = pd.prefixPrepend
+	}
+}
+
+func (n *Network) encodeSpeakers(ri *routeIndex) []byte {
+	var e snap.Enc
+	e.Uvarint(uint64(len(n.order)))
+	for _, id := range n.order {
+		s := n.speakers[id]
+		e.U32(uint32(s.ID))
+
+		orig := sortedOrigPrefixes(s.originated)
+		e.Uvarint(uint64(len(orig)))
+		for _, p := range orig {
+			encPrefix(&e, p)
+			e.Uvarint(ri.must(s.originated[p].route))
+		}
+
+		encRouteMap(&e, s.adjIn, ri)
+
+		loc := sortedRoutePrefixes(s.locRib)
+		e.Uvarint(uint64(len(loc)))
+		for _, p := range loc {
+			encPrefix(&e, p)
+			e.Uvarint(ri.must(s.locRib[p]))
+		}
+
+		encRouteMap(&e, s.adjOut, ri)
+
+		rfdKeys := make([]ribKey, 0, len(s.rfd))
+		for k := range s.rfd {
+			rfdKeys = append(rfdKeys, k)
+		}
+		sortRibKeysStable(rfdKeys)
+		e.Uvarint(uint64(len(rfdKeys)))
+		for _, k := range rfdKeys {
+			st := s.rfd[k]
+			encRibKey(&e, k)
+			e.F64(st.penalty)
+			e.I64(int64(st.lastUpdate))
+			e.Bool(st.suppressed)
+			e.I64(int64(st.suppressAt))
+		}
+
+		encKeySet(&e, s.suppressed)
+
+		mraiKeys := make([]ribKey, 0, len(s.mraiLast))
+		for k := range s.mraiLast {
+			mraiKeys = append(mraiKeys, k)
+		}
+		sortRibKeysStable(mraiKeys)
+		e.Uvarint(uint64(len(mraiKeys)))
+		for _, k := range mraiKeys {
+			encRibKey(&e, k)
+			e.I64(int64(s.mraiLast[k]))
+		}
+
+		// Only true entries: the deliver path parks explicit false
+		// values after an MRAI flush, but absent and false are
+		// indistinguishable to every reader.
+		encKeySet(&e, s.mraiPending)
+
+		med := make([]netutil.Prefix, 0, len(s.medSeen))
+		for p, v := range s.medSeen {
+			if v {
+				med = append(med, p)
+			}
+		}
+		netutil.SortPrefixes(med)
+		e.Uvarint(uint64(len(med)))
+		for _, p := range med {
+			encPrefix(&e, p)
+		}
+
+		cachePfx := sortedCachePrefixes(s.decCache)
+		e.Uvarint(uint64(len(cachePfx)))
+		for _, p := range cachePfx {
+			ce := s.decCache[p]
+			encPrefix(&e, p)
+			e.Uvarint(uint64(len(ce.cands)))
+			for _, r := range ce.cands {
+				e.Uvarint(ri.must(r))
+			}
+			e.Uvarint(ri.ref(ce.best))
+		}
+
+		e.Uvarint(uint64(len(s.peerOrder)))
+		for _, nb := range s.peerOrder {
+			pc := s.peers[nb]
+			e.U32(uint32(nb))
+			e.I64(int64(pc.ExportPrepend))
+			e.Bool(pc.down)
+			pfx := make([]netutil.Prefix, 0, len(pc.PrefixPrepend))
+			for p := range pc.PrefixPrepend {
+				pfx = append(pfx, p)
+			}
+			netutil.SortPrefixes(pfx)
+			e.Uvarint(uint64(len(pfx)))
+			for _, p := range pfx {
+				encPrefix(&e, p)
+				e.I64(int64(pc.PrefixPrepend[p]))
+			}
+		}
+	}
+	return e.Bytes()
+}
+
+func decodeSpeakers(payload []byte, base *Network, routes []*Route) ([]*speakerState, error) {
+	d := snap.NewDec(payload)
+	count := d.Count(5)
+	if d.Err() == nil && count != len(base.order) {
+		return nil, fmt.Errorf("%w: snapshot has %d speakers, base has %d", snap.ErrCorrupt, count, len(base.order))
+	}
+	out := make([]*speakerState, 0, count)
+	for i := 0; i < count; i++ {
+		id := RouterID(d.U32())
+		s := base.speakers[id]
+		if d.Err() == nil && s == nil {
+			return nil, fmt.Errorf("%w: snapshot speaker %d not in base network", snap.ErrCorrupt, id)
+		}
+		st := &speakerState{
+			s:           s,
+			originated:  make(map[netutil.Prefix]origination),
+			adjIn:       make(map[ribKey]*Route),
+			adjOut:      make(map[ribKey]*Route),
+			locRib:      make(map[netutil.Prefix]*Route),
+			rfd:         make(map[ribKey]*rfdState),
+			suppressed:  make(map[ribKey]bool),
+			mraiLast:    make(map[ribKey]Time),
+			mraiPending: make(map[ribKey]bool),
+			medSeen:     make(map[netutil.Prefix]bool),
+		}
+
+		for j, nOrig := 0, d.Count(6); j < nOrig; j++ {
+			p, err := decPrefix(d)
+			if err != nil {
+				return nil, err
+			}
+			r, err := routeAt(routes, d.Uvarint(), d)
+			if err != nil {
+				return nil, err
+			}
+			st.originated[p] = origination{route: r}
+		}
+
+		if err := decRouteMap(d, st.adjIn, routes); err != nil {
+			return nil, err
+		}
+
+		for j, nLoc := 0, d.Count(6); j < nLoc; j++ {
+			p, err := decPrefix(d)
+			if err != nil {
+				return nil, err
+			}
+			r, err := routeAt(routes, d.Uvarint(), d)
+			if err != nil {
+				return nil, err
+			}
+			st.locRib[p] = r
+		}
+
+		if err := decRouteMap(d, st.adjOut, routes); err != nil {
+			return nil, err
+		}
+
+		for j, nRfd := 0, d.Count(9+25); j < nRfd; j++ {
+			k, err := decRibKey(d)
+			if err != nil {
+				return nil, err
+			}
+			st.rfd[k] = &rfdState{
+				penalty:    d.F64(),
+				lastUpdate: Time(d.I64()),
+				suppressed: d.Bool(),
+				suppressAt: Time(d.I64()),
+			}
+		}
+
+		if err := decKeySet(d, st.suppressed); err != nil {
+			return nil, err
+		}
+
+		for j, nMrai := 0, d.Count(9+8); j < nMrai; j++ {
+			k, err := decRibKey(d)
+			if err != nil {
+				return nil, err
+			}
+			st.mraiLast[k] = Time(d.I64())
+		}
+
+		if err := decKeySet(d, st.mraiPending); err != nil {
+			return nil, err
+		}
+
+		for j, nMed := 0, d.Count(5); j < nMed; j++ {
+			p, err := decPrefix(d)
+			if err != nil {
+				return nil, err
+			}
+			st.medSeen[p] = true
+		}
+
+		nCache := d.Count(7)
+		if nCache > 0 {
+			st.decCache = make(map[netutil.Prefix]decCacheEntry, nCache)
+		}
+		for j := 0; j < nCache; j++ {
+			p, err := decPrefix(d)
+			if err != nil {
+				return nil, err
+			}
+			nc := d.Count(1)
+			cands := make([]*Route, 0, nc)
+			for c := 0; c < nc; c++ {
+				r, err := routeAt(routes, d.Uvarint(), d)
+				if err != nil {
+					return nil, err
+				}
+				cands = append(cands, r)
+			}
+			best, err := routeRef(routes, d.Uvarint(), d)
+			if err != nil {
+				return nil, err
+			}
+			st.decCache[p] = decCacheEntry{cands: cands, best: best}
+		}
+
+		for j, nPeers := 0, d.Count(14); j < nPeers; j++ {
+			nb := RouterID(d.U32())
+			var pc *PeerConfig
+			if s != nil {
+				pc = s.peers[nb]
+			}
+			if d.Err() == nil && pc == nil {
+				return nil, fmt.Errorf("%w: snapshot peer %d of speaker %d not in base network", snap.ErrCorrupt, nb, id)
+			}
+			pd := peerDynState{
+				pc:            pc,
+				exportPrepend: int(d.I64()),
+				down:          d.Bool(),
+			}
+			nPfx := d.Count(13)
+			if nPfx > 0 {
+				pd.prefixPrepend = make(map[netutil.Prefix]int, nPfx)
+			}
+			for c := 0; c < nPfx; c++ {
+				p, err := decPrefix(d)
+				if err != nil {
+					return nil, err
+				}
+				pd.prefixPrepend[p] = int(d.I64())
+			}
+			st.peerDyn = append(st.peerDyn, pd)
+		}
+
+		out = append(out, st)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- queue section ---
+
+// sortedEvents returns the pending events by (at, seq). The heap
+// stores a heap-ordered slice; full (at, seq) order is both the
+// deterministic serialization order and — because a fully sorted
+// slice satisfies the heap property — directly restorable without
+// re-heapifying.
+func sortedEvents(q eventHeap) []*event {
+	out := make([]*event, len(q))
+	copy(out, q)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].at != out[j].at {
+			return out[i].at < out[j].at
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+func encodeQueue(events []*event, ri *routeIndex) []byte {
+	var e snap.Enc
+	e.Uvarint(uint64(len(events)))
+	for _, ev := range events {
+		e.I64(int64(ev.at))
+		e.U64(ev.seq)
+		e.U32(uint32(ev.to))
+		e.U32(uint32(ev.from))
+		encPrefix(&e, ev.prefix)
+		e.Uvarint(ri.ref(ev.route))
+		e.Bool(ev.rfd)
+		e.Bool(ev.mrai)
+	}
+	return e.Bytes()
+}
+
+func decodeQueue(payload []byte, routes []*Route) (eventHeap, error) {
+	d := snap.NewDec(payload)
+	n := d.Count(32)
+	q := make(eventHeap, 0, n)
+	for i := 0; i < n; i++ {
+		ev := &event{
+			at:   Time(d.I64()),
+			seq:  d.U64(),
+			to:   RouterID(d.U32()),
+			from: RouterID(d.U32()),
+		}
+		var err error
+		if ev.prefix, err = decPrefix(d); err != nil {
+			return nil, err
+		}
+		if ev.route, err = routeRef(routes, d.Uvarint(), d); err != nil {
+			return nil, err
+		}
+		ev.rfd = d.Bool()
+		ev.mrai = d.Bool()
+		q = append(q, ev)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// --- churn section ---
+
+func encodeChurn(recs []UpdateRecord) []byte {
+	var e snap.Enc
+	e.Uvarint(uint64(len(recs)))
+	for _, rec := range recs {
+		e.I64(int64(rec.At))
+		e.U32(uint32(rec.Collector))
+		e.U32(uint32(rec.PeerAS))
+		encPrefix(&e, rec.Prefix)
+		e.Bool(rec.Announce)
+		e.Uvarint(uint64(len(rec.Path)))
+		for _, a := range rec.Path {
+			e.U32(uint32(a))
+		}
+	}
+	return e.Bytes()
+}
+
+func decodeChurn(payload []byte) ([]UpdateRecord, error) {
+	d := snap.NewDec(payload)
+	n := d.Count(24)
+	var recs []UpdateRecord
+	if n > 0 {
+		recs = make([]UpdateRecord, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		rec := UpdateRecord{
+			At:        Time(d.I64()),
+			Collector: RouterID(d.U32()),
+			PeerAS:    asn.AS(d.U32()),
+		}
+		var err error
+		if rec.Prefix, err = decPrefix(d); err != nil {
+			return nil, err
+		}
+		rec.Announce = d.Bool()
+		if pl := d.Count(4); pl > 0 {
+			rec.Path = make(asn.Path, pl)
+			for j := range rec.Path {
+				rec.Path[j] = asn.AS(d.U32())
+			}
+		}
+		recs = append(recs, rec)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// --- dirty section ---
+
+func encodeDirty(queue []dirtyKey) []byte {
+	var e snap.Enc
+	e.Uvarint(uint64(len(queue)))
+	for _, k := range queue {
+		e.U32(uint32(k.router))
+		encPrefix(&e, k.prefix)
+		e.U32(uint32(k.neighbor))
+	}
+	return e.Bytes()
+}
+
+func decodeDirty(payload []byte) ([]dirtyKey, error) {
+	d := snap.NewDec(payload)
+	n := d.Count(13)
+	var out []dirtyKey
+	for i := 0; i < n; i++ {
+		k := dirtyKey{router: RouterID(d.U32())}
+		var err error
+		if k.prefix, err = decPrefix(d); err != nil {
+			return nil, err
+		}
+		k.neighbor = RouterID(d.U32())
+		out = append(out, k)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- shared primitives ---
+
+func encPrefix(e *snap.Enc, p netutil.Prefix) {
+	e.U32(p.Addr())
+	e.U8(uint8(p.Bits()))
+}
+
+func decPrefix(d *snap.Dec) (netutil.Prefix, error) {
+	addr := d.U32()
+	bits := int(d.U8())
+	if err := d.Err(); err != nil {
+		return netutil.Prefix{}, err
+	}
+	if bits > 32 {
+		return netutil.Prefix{}, fmt.Errorf("%w: prefix length %d", snap.ErrCorrupt, bits)
+	}
+	return netutil.PrefixFrom(addr, bits), nil
+}
+
+func encRibKey(e *snap.Enc, k ribKey) {
+	encPrefix(e, k.prefix)
+	e.U32(uint32(k.neighbor))
+}
+
+func decRibKey(d *snap.Dec) (ribKey, error) {
+	p, err := decPrefix(d)
+	if err != nil {
+		return ribKey{}, err
+	}
+	return ribKey{prefix: p, neighbor: RouterID(d.U32())}, nil
+}
+
+func encCommunities(e *snap.Enc, cs CommunitySet) {
+	vals := cs.Values()
+	e.Uvarint(uint64(len(vals)))
+	for _, c := range vals {
+		e.U32(uint32(c))
+	}
+}
+
+func decCommunities(d *snap.Dec) CommunitySet {
+	n := d.Count(4)
+	if n == 0 {
+		return CommunitySet{}
+	}
+	vals := make([]Community, n)
+	for i := range vals {
+		vals[i] = Community(d.U32())
+	}
+	return NewCommunitySet(vals...)
+}
+
+// encRouteMap emits a map[ribKey]*Route under sorted keys.
+func encRouteMap(e *snap.Enc, m map[ribKey]*Route, ri *routeIndex) {
+	keys := make([]ribKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortRibKeysStable(keys)
+	e.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		encRibKey(e, k)
+		e.Uvarint(ri.must(m[k]))
+	}
+}
+
+func decRouteMap(d *snap.Dec, m map[ribKey]*Route, routes []*Route) error {
+	for j, n := 0, d.Count(10); j < n; j++ {
+		k, err := decRibKey(d)
+		if err != nil {
+			return err
+		}
+		r, err := routeAt(routes, d.Uvarint(), d)
+		if err != nil {
+			return err
+		}
+		m[k] = r
+	}
+	return d.Err()
+}
+
+// encKeySet emits the true keys of a map[ribKey]bool, sorted.
+func encKeySet(e *snap.Enc, m map[ribKey]bool) {
+	keys := make([]ribKey, 0, len(m))
+	for k, v := range m {
+		if v {
+			keys = append(keys, k)
+		}
+	}
+	sortRibKeysStable(keys)
+	e.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		encRibKey(e, k)
+	}
+}
+
+func decKeySet(d *snap.Dec, m map[ribKey]bool) error {
+	for j, n := 0, d.Count(9); j < n; j++ {
+		k, err := decRibKey(d)
+		if err != nil {
+			return err
+		}
+		m[k] = true
+	}
+	return d.Err()
+}
+
+// sortRibKeysStable orders by (prefix, neighbor); the serialization
+// twin of the test helper sortRibKeys.
+func sortRibKeysStable(keys []ribKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.prefix != b.prefix {
+			return netutil.ComparePrefixes(a.prefix, b.prefix) < 0
+		}
+		return a.neighbor < b.neighbor
+	})
+}
+
+func sortedOrigPrefixes(m map[netutil.Prefix]origination) []netutil.Prefix {
+	out := make([]netutil.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	netutil.SortPrefixes(out)
+	return out
+}
+
+func sortedRoutePrefixes(m map[netutil.Prefix]*Route) []netutil.Prefix {
+	out := make([]netutil.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	netutil.SortPrefixes(out)
+	return out
+}
+
+func sortedKeysRoute(m map[ribKey]*Route) []ribKey {
+	out := make([]ribKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortRibKeysStable(out)
+	return out
+}
+
+func sortedCachePrefixes(m map[netutil.Prefix]decCacheEntry) []netutil.Prefix {
+	out := make([]netutil.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	netutil.SortPrefixes(out)
+	return out
+}

@@ -1,0 +1,299 @@
+package bgp
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+	snap "repro/internal/snapshot"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden snapshot files")
+
+// snapNet builds the same deterministic random world as incPair (a
+// Gao-Rexford economy plus one collector), so a snapshot of one build
+// can be restored into another.
+func snapNet(seed int64, n int) *Network {
+	rng := rand.New(rand.NewSource(seed)) // #nosec test randomness
+	net := randomGaoRexfordNetwork(rng, n)
+	col := net.AddSpeaker(RouterID(n+1), asn.AS(64500), "collector")
+	col.Collector = true
+	net.Connect(RouterID(1+rng.Intn(n)), col.ID,
+		PeerConfig{ClassifyAs: ClassCustomer, ImportLocalPref: LocalPrefCustomer, ExportAllow: GaoRexfordExport(ClassCustomer)},
+		PeerConfig{ClassifyAs: ClassProvider, ExportAllow: GaoRexfordExport(ClassProvider)})
+	return net
+}
+
+func mustSnapshot(t *testing.T, n *Network) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := n.Snapshot(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRestoreEquivalence is the differential harness of the snapshot
+// subsystem: across seeds × topology sizes × engine modes it drives a
+// network through random events, snapshots it mid-sequence, restores
+// into a freshly built base, and requires the restored network to be
+// byte-identical — same re-snapshot bytes, and the same observable
+// signature after every further event as the original.
+func TestRestoreEquivalence(t *testing.T) {
+	for _, incremental := range []bool{false, true} {
+		for _, tc := range []struct {
+			seed int64
+			size int
+		}{
+			// 3 seeds × 2 topology shapes.
+			{1, 10}, {2, 10}, {3, 10},
+			{1, 24}, {2, 24}, {3, 24},
+		} {
+			name := fmt.Sprintf("seed%d_size%d_inc%v", tc.seed, tc.size, incremental)
+			t.Run(name, func(t *testing.T) {
+				orig := snapNet(tc.seed, tc.size)
+				orig.SetIncremental(incremental)
+				rng := rand.New(rand.NewSource(tc.seed * 7919)) // #nosec test randomness
+				prefixes := []netutil.Prefix{
+					netutil.PrefixFrom(0xCB007100, 24), // 203.0.113.0/24
+					netutil.PrefixFrom(0xC6336400, 24), // 198.51.100.0/24
+					netutil.PrefixFrom(0xC0000200, 24), // 192.0.2.0/24
+				}
+				ops := randomOps(rng, orig, prefixes, 30)
+				mid := len(ops) / 2
+				for _, op := range ops[:mid] {
+					op(orig)
+				}
+
+				data := mustSnapshot(t, orig)
+				restored := snapNet(tc.seed, tc.size)
+				if err := RestoreNetwork(bytes.NewReader(data), restored); err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				if got, want := networkSignature(restored), networkSignature(orig); got != want {
+					t.Fatalf("restored signature differs:\n--- original ---\n%s\n--- restored ---\n%s", want, got)
+				}
+				if !bytes.Equal(mustSnapshot(t, restored), data) {
+					t.Fatal("re-snapshot of restored network is not byte-identical")
+				}
+				if orig.Stats() != restored.Stats() {
+					t.Fatalf("work counters differ: orig=%+v restored=%+v", orig.Stats(), restored.Stats())
+				}
+				for i, op := range ops[mid:] {
+					op(orig)
+					op(restored)
+					if got, want := networkSignature(restored), networkSignature(orig); got != want {
+						t.Fatalf("signatures diverge after post-restore op %d:\n--- original ---\n%s\n--- restored ---\n%s", i, want, got)
+					}
+				}
+				orig.RunToQuiescence()
+				restored.RunToQuiescence()
+				if got, want := networkSignature(restored), networkSignature(orig); got != want {
+					t.Fatal("signatures diverge after final drain")
+				}
+			})
+		}
+	}
+}
+
+// mraiRfdNet is a small hand-built network with damping and MRAI
+// batching enabled, used to park RFD penalties and a pending MRAI
+// flush in flight.
+func mraiRfdNet() *Network {
+	n := NewNetwork()
+	n.AddSpeaker(1, 65001, "origin")
+	n.AddSpeaker(2, 65002, "transit")
+	n.AddSpeaker(3, 65003, "edge")
+	col := n.AddSpeaker(4, 64500, "collector")
+	col.Collector = true
+	n.Connect(1, 2,
+		PeerConfig{ClassifyAs: ClassCustomer, ImportLocalPref: LocalPrefCustomer, ExportAllow: GaoRexfordExport(ClassCustomer), MRAI: 40},
+		PeerConfig{ClassifyAs: ClassProvider, ImportLocalPref: LocalPrefProvider, ExportAllow: GaoRexfordExport(ClassProvider), RFD: DefaultRFD()})
+	n.Connect(2, 3,
+		PeerConfig{ClassifyAs: ClassCustomer, ImportLocalPref: LocalPrefCustomer, ExportAllow: GaoRexfordExport(ClassCustomer)},
+		PeerConfig{ClassifyAs: ClassProvider, ImportLocalPref: LocalPrefProvider, ExportAllow: GaoRexfordExport(ClassProvider), RFD: DefaultRFD()})
+	n.Connect(2, 4,
+		PeerConfig{ClassifyAs: ClassCustomer, ImportLocalPref: LocalPrefCustomer, ExportAllow: GaoRexfordExport(ClassCustomer)},
+		PeerConfig{ClassifyAs: ClassProvider, ExportAllow: GaoRexfordExport(ClassProvider)})
+	return n
+}
+
+// driveToMidFlight flaps the measurement prefix until the transit
+// speaker holds RFD penalty state and the origin has an MRAI flush
+// pending, leaving updates in the queue.
+func driveToMidFlight(n *Network) netutil.Prefix {
+	p := netutil.PrefixFrom(0xCB007100, 24)
+	n.Originate(1, p)
+	n.RunToQuiescence()
+	for i := 1; i <= 5; i++ {
+		n.AdvanceTo(n.Now() + 3)
+		n.SetPrefixPrepend(1, 2, p, i%3+1)
+		n.Run(n.Now() + 1) // deliberately partial drain
+	}
+	return p
+}
+
+// TestRestoreEquivalenceMidFlight snapshots with RFD penalties
+// accumulated and a pending MRAI batch in flight, restores, and
+// requires identical behavior through the drain and further flaps.
+func TestRestoreEquivalenceMidFlight(t *testing.T) {
+	orig := mraiRfdNet()
+	p := driveToMidFlight(orig)
+
+	// The scenario must actually be mid-flight, or the test is vacuous.
+	transit := orig.Speaker(2)
+	k := ribKey{p, RouterID(1)}
+	if st := transit.rfd[k]; st == nil || st.penalty <= 0 {
+		t.Fatal("scenario did not accumulate RFD penalty at the transit speaker")
+	}
+	origin := orig.Speaker(1)
+	if !origin.mraiPending[ribKey{p, RouterID(2)}] {
+		t.Fatal("scenario did not leave an MRAI flush pending")
+	}
+	if len(orig.queue) == 0 {
+		t.Fatal("scenario left no events in flight")
+	}
+
+	data := mustSnapshot(t, orig)
+	restored := mraiRfdNet()
+	if err := RestoreNetwork(bytes.NewReader(data), restored); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !bytes.Equal(mustSnapshot(t, restored), data) {
+		t.Fatal("re-snapshot of restored network is not byte-identical")
+	}
+	// Drain and keep flapping: damping decay, reuse timers, and the
+	// deferred MRAI flush must all fire identically.
+	step := func(n *Network) {
+		n.RunToQuiescence()
+		for i := 0; i < 4; i++ {
+			n.AdvanceTo(n.Now() + 120)
+			n.SetPrefixPrepend(1, 2, p, i%2)
+			n.RunToQuiescence()
+		}
+		n.AdvanceTo(n.Now() + 7200)
+		n.SetPrefixPrepend(1, 2, p, 3)
+		n.RunToQuiescence()
+	}
+	step(orig)
+	step(restored)
+	if got, want := networkSignature(restored), networkSignature(orig); got != want {
+		t.Fatalf("post-restore behavior diverges:\n--- original ---\n%s\n--- restored ---\n%s", want, got)
+	}
+}
+
+// TestSnapshotDeterministic pins the satellite requirement that
+// serialization never leaks map order: two consecutive Snapshot calls
+// must be byte-equal, on both a random world and the mid-flight
+// damping scenario.
+func TestSnapshotDeterministic(t *testing.T) {
+	nets := map[string]*Network{
+		"random": func() *Network {
+			n := snapNet(7, 18)
+			n.SetIncremental(true)
+			rng := rand.New(rand.NewSource(99)) // #nosec test randomness
+			prefixes := []netutil.Prefix{netutil.PrefixFrom(0xCB007100, 24), netutil.PrefixFrom(0xC0000200, 24)}
+			for _, op := range randomOps(rng, n, prefixes, 12) {
+				op(n)
+			}
+			return n
+		}(),
+		"midflight": func() *Network {
+			n := mraiRfdNet()
+			driveToMidFlight(n)
+			return n
+		}(),
+	}
+	for name, n := range nets {
+		a, b := mustSnapshot(t, n), mustSnapshot(t, n)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: two consecutive snapshots differ (%d vs %d bytes)", name, len(a), len(b))
+		}
+	}
+}
+
+func TestSnapshotInsideBatchFails(t *testing.T) {
+	n := snapNet(1, 8)
+	n.SetIncremental(true)
+	var err error
+	n.Batch(func() {
+		var buf bytes.Buffer
+		err = n.Snapshot(&buf)
+	})
+	if err == nil {
+		t.Fatal("Snapshot inside Batch succeeded")
+	}
+}
+
+func TestRestoreFingerprintMismatch(t *testing.T) {
+	orig := snapNet(1, 10)
+	data := mustSnapshot(t, orig)
+	other := snapNet(2, 10) // different world
+	if err := RestoreNetwork(bytes.NewReader(data), other); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("err = %v, want ErrSnapshotMismatch", err)
+	}
+	// The failed restore must leave the base untouched.
+	if got, want := networkSignature(other), networkSignature(snapNet(2, 10)); got != want {
+		t.Fatal("failed restore mutated the base network")
+	}
+}
+
+// goldenNet is the frozen canonical network of the golden-format test:
+// the mid-flight damping scenario, whose state exercises every section
+// (RIBs, RFD, MRAI, queue, churn, caches).
+func goldenNet() *Network {
+	n := mraiRfdNet()
+	n.SetIncremental(true)
+	driveToMidFlight(n)
+	return n
+}
+
+// TestGoldenSnapshotFormat pins the v1 wire format: encoding the
+// canonical network must reproduce the committed golden bytes, and the
+// committed bytes must restore to the canonical state. A failure after
+// a codec change means the format changed: bump
+// snapshot.EngineVersion, document it in internal/snapshot/FORMAT.md,
+// and regenerate with -update.
+func TestGoldenSnapshotFormat(t *testing.T) {
+	golden := filepath.Join("testdata", "golden_v1.rbgp")
+	data := mustSnapshot(t, goldenNet())
+	if *updateGolden {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("encoding the canonical network produced %d bytes differing from the %d golden bytes: codec change without a format-version bump (see internal/snapshot/FORMAT.md)", len(data), len(want))
+	}
+	restored := mraiRfdNet()
+	if err := RestoreNetwork(bytes.NewReader(want), restored); err != nil {
+		t.Fatalf("golden restore: %v", err)
+	}
+	if got, wantSig := networkSignature(restored), networkSignature(goldenNet()); got != wantSig {
+		t.Fatal("golden snapshot restored to a different state")
+	}
+}
+
+// TestSnapshotVersionPinned fails when EngineVersion is bumped without
+// regenerating the golden file, closing the other half of the
+// version-bump contract.
+func TestSnapshotVersionPinned(t *testing.T) {
+	data := mustSnapshot(t, goldenNet())
+	if v := uint16(data[4])<<8 | uint16(data[5]); v != snap.EngineVersion {
+		t.Fatalf("header version %d != EngineVersion %d", v, snap.EngineVersion)
+	}
+	if snap.EngineVersion != 1 {
+		t.Log("EngineVersion bumped: regenerate testdata/golden_v1.rbgp as a new golden file and document the change in internal/snapshot/FORMAT.md")
+	}
+}

@@ -31,6 +31,12 @@ type Config struct {
 	Manifest    string
 	Metrics     bool
 	ZeroTime    bool
+	// SnapshotDir and Resume drive checkpoint/restart (FlagSnapshot):
+	// with -snapshot-dir the run writes an engine+telemetry checkpoint
+	// after every configuration round; with -resume it continues from
+	// the latest valid checkpoint there instead of starting cold.
+	SnapshotDir string
+	Resume      bool
 }
 
 // Flags selects which shared flags Register installs.
@@ -49,6 +55,10 @@ const (
 	FlagObservability
 	// FlagIncremental registers -incremental.
 	FlagIncremental
+	// FlagSnapshot registers -snapshot-dir and -resume. Not part of
+	// FlagAll: only commands that implement checkpointing (resurvey)
+	// opt in.
+	FlagSnapshot
 
 	// FlagAll registers every shared flag.
 	FlagAll = FlagSmall | FlagSeed | FlagWorkers | FlagFaults | FlagObservability | FlagIncremental
@@ -72,6 +82,10 @@ func Register(fs *flag.FlagSet, c *Config, which Flags) {
 	if which&FlagIncremental != 0 {
 		fs.BoolVar(&c.Incremental, "incremental", c.Incremental, "propagate only route deltas through the BGP engine (-incremental=false keeps the full-reconvergence reference path); output is byte-identical either way")
 	}
+	if which&FlagSnapshot != 0 {
+		fs.StringVar(&c.SnapshotDir, "snapshot-dir", c.SnapshotDir, "write an engine+telemetry checkpoint to this directory after every configuration round")
+		fs.BoolVar(&c.Resume, "resume", c.Resume, "continue from the latest valid checkpoint in -snapshot-dir (cold start when none is usable); output is byte-identical to an uninterrupted run")
+	}
 	if which&FlagObservability != 0 {
 		fs.StringVar(&c.Manifest, "manifest", c.Manifest, "write a run manifest (seed, options, phase durations, all metrics) to this file as deterministic JSON")
 		fs.BoolVar(&c.Metrics, "metrics", c.Metrics, "print a Prometheus-style metrics exposition at exit")
@@ -87,6 +101,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("-workers %d out of range: want >= 0 (0 = GOMAXPROCS)", c.Workers)
+	}
+	if c.Resume && c.SnapshotDir == "" {
+		return fmt.Errorf("-resume requires -snapshot-dir")
 	}
 	return nil
 }

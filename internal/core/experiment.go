@@ -94,6 +94,75 @@ type Experiment struct {
 	// classification; <= 0 means GOMAXPROCS. Results are identical for
 	// any value (see probe.Prober.Workers and classify).
 	Workers int
+	// Checkpoint, when non-nil, fires after each configuration round
+	// completes, with the number of rounds done so far, the churn-log
+	// index recorded at the start of the measured window, and the
+	// partial result. The callback must not mutate res.
+	Checkpoint func(done, churnStart int, res *Result)
+	// Resume, when non-nil, fast-forwards Run past the first Done
+	// configuration rounds: the network must already hold the
+	// checkpointed engine state, and Resume carries the outputs those
+	// rounds produced.
+	Resume *ExperimentResume
+
+	// converged marks the network as already carrying this experiment's
+	// post-convergence announcement state (see MarkConverged), so Run
+	// skips the origination batch and its full initial convergence.
+	converged bool
+}
+
+// ExperimentResume carries the progress a resumed Run starts from.
+type ExperimentResume struct {
+	// Done is the number of configuration rounds already completed.
+	Done int
+	// ChurnStart is the churn-log index at the start of the measured
+	// window (the restored network's log includes everything since the
+	// world was built, so the index stays valid across restore).
+	ChurnStart int
+	// Rounds are the probe rounds the completed configurations produced.
+	Rounds []*probe.Round
+	// CollectorOrigins is the seeded per-peer origin view (filled at the
+	// start of the measured window; the loop itself never touches it).
+	CollectorOrigins map[uint32]*PeerView
+	// Span, when non-nil, is the still-open experiment span reloaded
+	// from a telemetry checkpoint; Run adopts it instead of opening a
+	// second one.
+	Span *telemetry.Span
+}
+
+// MarkConverged declares that the experiment's network already holds
+// the converged "4-0" announcement state — typically restored from a
+// snapshot taken after Converge on an identically configured world —
+// so Run can warm-start without repeating the initial convergence.
+func (x *Experiment) MarkConverged() { x.converged = true }
+
+// Converge performs only the pre-measurement part of Run: announce the
+// measurement prefix with the first configuration applied and drain the
+// network to the experiment start. The resulting network state is the
+// fork point every sweep/ablation variant shares; snapshot it with
+// bgp.Network.Snapshot and restore it into identically built worlds,
+// then MarkConverged their experiments.
+func (x *Experiment) Converge() {
+	net := x.Eco.Net
+	meas := x.Eco.MeasPrefix
+	first := Schedule()[0]
+	net.AdvanceTo(x.Cfg.Start - x.Cfg.RoundGap)
+	st0 := net.Stats()
+	net.Batch(func() {
+		net.Originate(x.Cfg.CommodityOrigin, meas)
+		net.Originate(x.Cfg.REOrigin, meas)
+		for _, nb := range x.reSessions() {
+			net.SetPrefixPrepend(x.Cfg.REOrigin, nb, meas, first.RE)
+		}
+		for _, nb := range x.commoditySessions() {
+			net.SetPrefixPrepend(x.Cfg.CommodityOrigin, nb, meas, first.Commodity)
+		}
+	})
+	x.advance(x.Cfg.Start)
+	st1 := net.Stats()
+	x.Metrics.Counter("core_initial_convergence_decision_runs_total").Add(st1.DecisionRuns - st0.DecisionRuns)
+	x.Metrics.Counter("core_initial_convergence_best_changes_total").Add(st1.BestChanges - st0.BestChanges)
+	x.converged = true
 }
 
 // PrefixResult is the per-prefix outcome.
@@ -138,7 +207,14 @@ type PeerView struct {
 // the schedule, waiting RoundGap between changes and probing before
 // each next change, exactly as §3.3 describes.
 func (x *Experiment) Run() *Result {
-	expSpan := x.Metrics.StartSpan("experiment:" + x.Cfg.Name)
+	var expSpan *telemetry.Span
+	if x.Resume != nil && x.Resume.Span != nil {
+		// The checkpoint left this span open; keep nesting under it
+		// instead of starting a parallel experiment phase.
+		expSpan = x.Resume.Span
+	} else {
+		expSpan = x.Metrics.StartSpan("experiment:" + x.Cfg.Name)
+	}
 	defer expSpan.End()
 	net := x.Eco.Net
 	meas := x.Eco.MeasPrefix
@@ -162,59 +238,67 @@ func (x *Experiment) Run() *Result {
 	reSessions := x.reSessions()
 	commSessions := x.commoditySessions()
 
-	// The experiment "began shortly before 9:00 UTC with the prepend
-	// configuration at 4-0 for an hour prior" (§3.3): announce both
-	// routes with the first configuration already applied, an hour
-	// before the measured window, and let the announcement burst
-	// converge outside it.
-	first := Schedule()[0]
-	net.AdvanceTo(x.Cfg.Start - x.Cfg.RoundGap)
-	st0 := net.Stats()
-	net.Batch(func() {
-		net.Originate(x.Cfg.CommodityOrigin, meas)
-		net.Originate(x.Cfg.REOrigin, meas)
-		for _, nb := range reSessions {
-			net.SetPrefixPrepend(x.Cfg.REOrigin, nb, meas, first.RE)
+	churnStart := 0
+	t := x.Cfg.Start
+	startRound := 0
+	if x.Resume != nil {
+		// The network was restored to the state the checkpoint captured
+		// (mid-experiment, after round Done); replay the bookkeeping the
+		// completed rounds produced and rejoin the loop.
+		startRound = x.Resume.Done
+		res.Rounds = append(res.Rounds, x.Resume.Rounds...)
+		for i, cfg := range Schedule()[:startRound] {
+			res.Configs = append(res.Configs, cfg)
+			res.ConfigTimes = append(res.ConfigTimes, x.Cfg.Start+bgp.Time(i)*x.Cfg.RoundGap)
 		}
-		for _, nb := range commSessions {
-			net.SetPrefixPrepend(x.Cfg.CommodityOrigin, nb, meas, first.Commodity)
+		for as, pv := range x.Resume.CollectorOrigins {
+			res.CollectorOrigins[as] = pv
 		}
-	})
-	x.advance(x.Cfg.Start)
-	// The one full convergence: every later configuration is a delta.
-	// DecisionRuns and BestChanges are identical in both engine modes
-	// (the incremental path's invariant), so these counters are safe in
-	// byte-compared manifests.
-	st1 := net.Stats()
-	x.Metrics.Counter("core_initial_convergence_decision_runs_total").Add(st1.DecisionRuns - st0.DecisionRuns)
-	x.Metrics.Counter("core_initial_convergence_best_changes_total").Add(st1.BestChanges - st0.BestChanges)
+		churnStart = x.Resume.ChurnStart
+		t = x.Cfg.Start + bgp.Time(startRound)*x.Cfg.RoundGap
+	} else {
+		// The experiment "began shortly before 9:00 UTC with the prepend
+		// configuration at 4-0 for an hour prior" (§3.3): announce both
+		// routes with the first configuration already applied, an hour
+		// before the measured window, and let the announcement burst
+		// converge outside it. A warm-started run (MarkConverged after
+		// restoring a post-Converge snapshot) already holds that state
+		// and only forwards any injector actions due at the start.
+		if x.converged {
+			x.advance(x.Cfg.Start)
+		} else {
+			x.Converge()
+		}
 
-	churnStart := len(net.Churn.Records)
+		churnStart = len(net.Churn.Records)
 
-	// §4.1.1 combines the experiment-start RIB snapshot with the
-	// update files; seed each collector peer's view with what it
-	// exported before the measured window began.
-	for _, col := range x.Eco.Collectors {
-		sp := net.Speaker(col)
-		for _, peer := range sp.Peers() {
-			r := sp.AdjIn(meas, peer)
-			if r == nil {
-				continue
+		// §4.1.1 combines the experiment-start RIB snapshot with the
+		// update files; seed each collector peer's view with what it
+		// exported before the measured window began.
+		for _, col := range x.Eco.Collectors {
+			sp := net.Speaker(col)
+			for _, peer := range sp.Peers() {
+				r := sp.AdjIn(meas, peer)
+				if r == nil {
+					continue
+				}
+				peerAS := uint32(sp.Peer(peer).NeighborAS)
+				pv := res.CollectorOrigins[peerAS]
+				if pv == nil {
+					pv = &PeerView{OriginsSeen: make(map[uint32]bool)}
+					res.CollectorOrigins[peerAS] = pv
+				}
+				origin := uint32(r.Path.Origin())
+				pv.OriginsSeen[origin] = true
+				pv.FinalOrigin = origin
 			}
-			peerAS := uint32(sp.Peer(peer).NeighborAS)
-			pv := res.CollectorOrigins[peerAS]
-			if pv == nil {
-				pv = &PeerView{OriginsSeen: make(map[uint32]bool)}
-				res.CollectorOrigins[peerAS] = pv
-			}
-			origin := uint32(r.Path.Origin())
-			pv.OriginsSeen[origin] = true
-			pv.FinalOrigin = origin
 		}
 	}
 
-	t := x.Cfg.Start
 	for i, cfg := range Schedule() {
+		if i < startRound {
+			continue
+		}
 		cfgSpan := x.Metrics.StartSpan("config:" + cfg.Label())
 		// Apply the configuration as one batched delta: duplicate
 		// (router, prefix, neighbor) touches collapse into a single
@@ -257,6 +341,9 @@ func (x *Experiment) Run() *Result {
 		res.Rounds = append(res.Rounds, round)
 		t = probeAt
 		cfgSpan.End()
+		if x.Checkpoint != nil {
+			x.Checkpoint(i+1, churnStart, res)
+		}
 	}
 	// Drain any stragglers before snapshotting collector state, then
 	// restore any sessions still down so the next experiment starts

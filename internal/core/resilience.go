@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/bgp"
@@ -40,6 +41,15 @@ type FaultSweepOptions struct {
 	// Incremental selects the BGP engine's recomputation mode for every
 	// point's world (observable output is identical either way).
 	Incremental bool
+	// WarmStart, when true, converges the experiment once on a base
+	// world, snapshots the engine (bgp.Network.Snapshot), and restores
+	// that snapshot into every intensity point's freshly built world
+	// instead of repeating the initial convergence per point. Sweep
+	// output is byte-identical either way (fault schedules only act
+	// inside the measured window); only the work accounting differs —
+	// see snapshot_restore_total and
+	// core_warm_start_skipped_convergence_runs_total.
+	WarmStart bool
 	// Metrics, when non-nil, instruments every sweep point's world and
 	// records per-intensity score gauges (faultsweep_accuracy,
 	// faultsweep_mean_confidence, faultsweep_outage_classes).
@@ -61,6 +71,7 @@ func DefaultFaultSweepOptions() FaultSweepOptions {
 		Quorum:      6,
 		Retry:       probe.DefaultRetryPolicy(),
 		Incremental: true,
+		WarmStart:   true,
 	}
 }
 
@@ -107,6 +118,34 @@ func RunFaultSweep(opts FaultSweepOptions) []FaultSweepPoint {
 	if len(opts.Intensities) == 0 {
 		opts.Intensities = DefaultFaultSweepOptions().Intensities
 	}
+	// Warm start: converge once on a base world and share the resulting
+	// engine state with every point. The base's telemetry (including the
+	// one initial-convergence accounting) merges first, before any
+	// point, so the merged registry stays independent of Workers.
+	var baseSnap []byte
+	if opts.WarmStart {
+		var baseReg *telemetry.Registry
+		if opts.Metrics != nil {
+			baseReg = telemetry.New()
+		}
+		sp := baseReg.StartSpan("faultsweep:base")
+		s := NewSurvey(opts.Survey)
+		s.SetIncremental(opts.Incremental)
+		s.SetMetrics(baseReg)
+		s.Workers = 1
+		s.Prober.Workers = 1
+		x := NewInternet2Experiment(s.Eco, s.World, s.Prober, s.Sel, bgp.Time(9*3600))
+		x.Metrics = baseReg
+		x.Workers = 1
+		x.Converge()
+		var buf bytes.Buffer
+		if err := s.Eco.Net.Snapshot(&buf); err == nil {
+			baseSnap = buf.Bytes()
+			baseReg.Counter("snapshot_bytes").Add(int64(len(baseSnap)))
+		}
+		sp.End()
+		opts.Metrics.Merge(baseReg)
+	}
 	type pointOut struct {
 		pt  FaultSweepPoint
 		reg *telemetry.Registry
@@ -117,7 +156,7 @@ func RunFaultSweep(opts FaultSweepOptions) []FaultSweepPoint {
 			if opts.Metrics != nil {
 				reg = telemetry.New()
 			}
-			return pointOut{pt: runFaultPoint(opts, opts.Intensities[s.Lo], reg), reg: reg}
+			return pointOut{pt: runFaultPoint(opts, opts.Intensities[s.Lo], baseSnap, reg), reg: reg}
 		})
 	points := make([]FaultSweepPoint, 0, len(outs))
 	for _, o := range outs {
@@ -133,7 +172,7 @@ func RunFaultSweep(opts FaultSweepOptions) []FaultSweepPoint {
 // runFaultPoint executes one intensity point against its own freshly
 // built world, recording telemetry into reg (a private sub-registry
 // when the sweep is instrumented, nil otherwise).
-func runFaultPoint(opts FaultSweepOptions, intensity float64, reg *telemetry.Registry) FaultSweepPoint {
+func runFaultPoint(opts FaultSweepOptions, intensity float64, baseSnap []byte, reg *telemetry.Registry) FaultSweepPoint {
 	lbl := fmt.Sprintf("%.2f", intensity)
 	sp := reg.StartSpan("faultsweep:intensity=" + lbl)
 	defer sp.End()
@@ -146,6 +185,16 @@ func runFaultPoint(opts FaultSweepOptions, intensity float64, reg *telemetry.Reg
 	x := NewInternet2Experiment(s.Eco, s.World, s.Prober, s.Sel, start)
 	x.Metrics = reg
 	x.Workers = 1
+	if len(baseSnap) > 0 {
+		// Identically built world, so the snapshot's static fingerprint
+		// matches; a failed restore (impossible short of a bug) falls
+		// back to the cold path.
+		if err := bgp.RestoreNetwork(bytes.NewReader(baseSnap), s.Eco.Net); err == nil {
+			x.MarkConverged()
+			reg.Counter("snapshot_restore_total").Inc()
+			reg.Counter("core_warm_start_skipped_convergence_runs_total").Inc()
+		}
+	}
 
 	pt := FaultSweepPoint{Intensity: intensity}
 	if intensity > 0 {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+
 	"repro/internal/bgp"
 	"repro/internal/report"
 )
@@ -25,18 +27,31 @@ type GapAblationRow struct {
 	Agreement float64
 }
 
-// AblateRoundGap reruns the Internet2-style experiment on fresh worlds
-// with different waits between configuration changes and compares each
-// against the one-hour run. Loss injection is disabled so the pacing
-// effect is isolated; gaps should include 3600 (the baseline).
+// AblateRoundGap reruns the Internet2-style experiment with different
+// waits between configuration changes and compares each against the
+// one-hour run. Loss injection is disabled so the pacing effect is
+// isolated; gaps should include 3600 (the baseline). All variants share
+// one world: the freshly built engine state is snapshotted once and
+// restored before each subsequent gap, which forks every run from the
+// identical pre-announcement state a fresh build would produce without
+// paying a rebuild per gap.
 func AblateRoundGap(gaps []int, opts SurveyOptions) []GapAblationRow {
 	// Isolate the pacing effect: no dormancy or random loss.
 	opts.World.FracDormantPrefix = 0
 	opts.World.ProbeLossProb = 0
 
+	s := NewSurvey(opts)
+	var pristine bytes.Buffer
+	if err := s.Eco.Net.Snapshot(&pristine); err != nil {
+		panic("core: snapshot of freshly built network: " + err.Error())
+	}
 	results := make(map[int]*Result, len(gaps))
-	for _, gap := range gaps {
-		s := NewSurvey(opts)
+	for i, gap := range gaps {
+		if i > 0 {
+			if err := bgp.RestoreNetwork(bytes.NewReader(pristine.Bytes()), s.Eco.Net); err != nil {
+				panic("core: rewind to pristine network: " + err.Error())
+			}
+		}
 		x := NewInternet2Experiment(s.Eco, s.World, s.Prober, s.Sel, 9*3600)
 		x.Cfg.RoundGap = bgp.Time(gap)
 		x.Cfg.DormancySeed = 0

@@ -30,9 +30,54 @@ type Survey struct {
 	// in both experiments; <= 0 means GOMAXPROCS. Survey output is
 	// identical for any value.
 	Workers int
+	// Checkpoint, when non-nil, fires after every configuration round
+	// of either experiment with the survey-level progress; callers
+	// persist it (together with a bgp.Network.Snapshot and, when
+	// instrumented, telemetry.Registry.SaveState) to make the run
+	// resumable.
+	Checkpoint func(ck SurveyCheckpoint)
+	// Resume, when non-nil, makes RunBoth continue a checkpointed run
+	// instead of starting cold. The survey's network must already hold
+	// the checkpointed engine state (bgp.RestoreNetwork) and its
+	// registry the checkpointed telemetry state.
+	Resume *SurveyResume
 
 	SURF      *Result
 	Internet2 *Result
+}
+
+// SurveyCheckpoint is the survey-level progress handed to the
+// Checkpoint hook: which experiment is in flight, how far it got, and
+// the partial outputs a resumed run needs to carry forward.
+type SurveyCheckpoint struct {
+	// Phase is 0 while the SURF experiment runs, 1 for Internet2.
+	Phase int
+	// Done counts completed configuration rounds of the in-flight
+	// experiment.
+	Done int
+	// ChurnStart is the in-flight experiment's churn-log index at the
+	// start of its measured window.
+	ChurnStart int
+	// Start is the in-flight experiment's start time. For Phase 1 this
+	// is the value a resumed run cannot recompute (it derives from the
+	// network clock after the SURF teardown).
+	Start bgp.Time
+	// Partial is the in-flight experiment's result so far (Rounds and
+	// the seeded CollectorOrigins are filled; classification is not).
+	Partial *Result
+	// SURF is the completed first experiment's result when Phase is 1.
+	SURF *Result
+}
+
+// SurveyResume carries a SurveyCheckpoint back into RunBoth.
+type SurveyResume struct {
+	// Phase and Exp locate the round to continue from.
+	Phase int
+	Exp   *ExperimentResume
+	// SURF is the completed first experiment's result (Phase 1 only).
+	SURF *Result
+	// StartI2 is the Internet2 experiment's start time (Phase 1 only).
+	StartI2 bgp.Time
 }
 
 // SetMetrics wires the whole survey — BGP engine, prober, and the
@@ -150,19 +195,58 @@ func (s *Survey) RunBoth() {
 	surfOutages, i2Outages := SplitOutages(s.pickOutages(), s.Opts.OutageSeed)
 	s.Prober.Workers = s.Workers
 	surfStart := bgp.Time(9 * 3600)
-	x1 := NewSURFExperiment(s.Eco, s.World, s.Prober, s.Sel, surfStart)
-	x1.Cfg.Outages = surfOutages
-	x1.Metrics = s.Metrics
-	x1.Workers = s.Workers
-	s.SURF = x1.Run()
-	x1.TeardownRE()
+	if s.Resume == nil || s.Resume.Phase == 0 {
+		x1 := NewSURFExperiment(s.Eco, s.World, s.Prober, s.Sel, surfStart)
+		x1.Cfg.Outages = surfOutages
+		x1.Metrics = s.Metrics
+		x1.Workers = s.Workers
+		x1.Checkpoint = s.checkpointHook(0, surfStart)
+		if s.Resume != nil {
+			x1.Resume = s.Resume.Exp
+		}
+		s.SURF = x1.Run()
+		x1.TeardownRE()
+	} else {
+		s.SURF = s.Resume.SURF
+	}
 
-	i2Start := s.Eco.Net.Now() + 7*24*3600
+	var i2Start bgp.Time
+	if s.Resume != nil && s.Resume.Phase == 1 {
+		i2Start = s.Resume.StartI2
+	} else {
+		i2Start = s.Eco.Net.Now() + 7*24*3600
+	}
 	x2 := NewInternet2Experiment(s.Eco, s.World, s.Prober, s.Sel, i2Start)
 	x2.Cfg.Outages = i2Outages
 	x2.Metrics = s.Metrics
 	x2.Workers = s.Workers
+	x2.Checkpoint = s.checkpointHook(1, i2Start)
+	if s.Resume != nil && s.Resume.Phase == 1 {
+		x2.Resume = s.Resume.Exp
+	}
 	s.Internet2 = x2.Run()
+}
+
+// checkpointHook adapts the survey-level Checkpoint callback to one
+// experiment's hook; it returns nil (disabling per-round checkpoints)
+// when the survey has no callback installed.
+func (s *Survey) checkpointHook(phase int, start bgp.Time) func(int, int, *Result) {
+	if s.Checkpoint == nil {
+		return nil
+	}
+	return func(done, churnStart int, res *Result) {
+		ck := SurveyCheckpoint{
+			Phase:      phase,
+			Done:       done,
+			ChurnStart: churnStart,
+			Start:      start,
+			Partial:    res,
+		}
+		if phase == 1 {
+			ck.SURF = s.SURF
+		}
+		s.Checkpoint(ck)
+	}
 }
 
 // pickOutages selects a handful of responsive R&E-preferring members

@@ -1,0 +1,140 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestEncDecRoundTrip drives every Enc method through the matching Dec
+// method and requires exact value recovery plus full consumption.
+func TestEncDecRoundTrip(t *testing.T) {
+	var e Enc
+	e.U8(0xab)
+	e.Bool(true)
+	e.Bool(false)
+	e.U16(0xbeef)
+	e.U32(0xdeadbeef)
+	e.U64(0x0123456789abcdef)
+	e.I64(-42)
+	e.F64(math.Pi)
+	e.F64(math.Inf(-1))
+	e.Uvarint(0)
+	e.Uvarint(1 << 40)
+	e.String("hello")
+	e.String("")
+	e.Blob([]byte{1, 2, 3})
+	e.Blob(nil)
+
+	d := NewDec(e.Bytes())
+	if got := d.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.U16(); got != 0xbeef {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := d.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 0x0123456789abcdef {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 = %v, want -Inf", got)
+	}
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := d.Uvarint(); got != 1<<40 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := d.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("String = %q, want empty", got)
+	}
+	if got := d.Blob(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Blob = %v", got)
+	}
+	if got := d.Blob(); len(got) != 0 {
+		t.Errorf("empty Blob = %v", got)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("Done after full read: %v", err)
+	}
+}
+
+// TestDecTruncationLatches reads each scalar type off an empty payload
+// and checks the decoder latches one ErrCorrupt and keeps returning
+// zero values instead of panicking.
+func TestDecTruncationLatches(t *testing.T) {
+	for name, read := range map[string]func(*Dec){
+		"u8":      func(d *Dec) { d.U8() },
+		"bool":    func(d *Dec) { d.Bool() },
+		"u16":     func(d *Dec) { d.U16() },
+		"u32":     func(d *Dec) { d.U32() },
+		"u64":     func(d *Dec) { d.U64() },
+		"i64":     func(d *Dec) { d.I64() },
+		"f64":     func(d *Dec) { d.F64() },
+		"uvarint": func(d *Dec) { d.Uvarint() },
+		"string":  func(d *Dec) { _ = d.String() },
+		"blob":    func(d *Dec) { d.Blob() },
+	} {
+		d := NewDec(nil)
+		read(d)
+		if !errors.Is(d.Err(), ErrCorrupt) {
+			t.Errorf("%s on empty payload: err = %v, want ErrCorrupt", name, d.Err())
+		}
+		// The error latches: further reads stay at zero, Done reports it.
+		if v := d.U32(); v != 0 {
+			t.Errorf("%s: read after latched error = %d, want 0", name, v)
+		}
+		if !errors.Is(d.Done(), ErrCorrupt) {
+			t.Errorf("%s: Done = %v, want ErrCorrupt", name, d.Done())
+		}
+	}
+}
+
+// TestDecBoolRejectsJunk pins the strictness that makes Bool fields
+// canonical: 2..255 are corrupt, not truthy.
+func TestDecBoolRejectsJunk(t *testing.T) {
+	d := NewDec([]byte{2})
+	if d.Bool() {
+		t.Error("Bool(0x02) returned true")
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Errorf("Bool(0x02) err = %v, want ErrCorrupt", d.Err())
+	}
+}
+
+// TestWriterReadSections round-trips a container through the io.Writer
+// / io.Reader surface (WriteTo + ReadSections), complementing the
+// in-memory DecodeSections tests.
+func TestWriterReadSections(t *testing.T) {
+	w := NewWriter(EngineMagic, EngineVersion)
+	w.Section(1, []byte("alpha"))
+	w.Section(2, nil)
+	var buf bytes.Buffer
+	if n, err := w.WriteTo(&buf); err != nil || n != int64(buf.Len()) {
+		t.Fatalf("WriteTo = (%d, %v), buffered %d", n, err, buf.Len())
+	}
+	secs, err := ReadSections(&buf, EngineMagic, EngineVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 2 || secs[0].ID != 1 || string(secs[0].Payload) != "alpha" ||
+		secs[1].ID != 2 || len(secs[1].Payload) != 0 {
+		t.Fatalf("sections = %+v", secs)
+	}
+}

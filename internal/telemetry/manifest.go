@@ -101,6 +101,19 @@ type ParallelSnapshot struct {
 	Shards  []ShardTiming `json:"shards"`
 }
 
+// SnapshotActivity summarizes the run's engine-snapshot usage: bytes
+// serialized, restores performed, and full convergence runs skipped by
+// warm-starting from a restored network. All three mirror counters of
+// the same meaning (snapshot_bytes, snapshot_restore_total,
+// core_warm_start_skipped_convergence_runs_total), surfaced as a
+// dedicated section so manifest consumers need not parse counter
+// names.
+type SnapshotActivity struct {
+	Bytes                  int64 `json:"bytes"`
+	Restores               int64 `json:"restores"`
+	SkippedConvergenceRuns int64 `json:"skipped_convergence_runs"`
+}
+
 // Manifest snapshots one run: what was run (seed, options, version)
 // and what happened (phase durations, every metric value). Its JSON
 // encoding is deterministic — fixed field order, name-sorted metric
@@ -113,6 +126,7 @@ type Manifest struct {
 	Parallel ParallelSnapshot `json:"parallel"`
 	Phases   []SpanRecord     `json:"phases"`
 	Metrics  MetricsSnapshot  `json:"metrics"`
+	Snapshot SnapshotActivity `json:"snapshot"`
 }
 
 // SnapshotOptions parametrizes Snapshot.
@@ -215,6 +229,11 @@ func (r *Registry) Snapshot(opts SnapshotOptions) (*Manifest, error) {
 			hv.Buckets = append(hv.Buckets, BucketValue{LE: le, Count: h.buckets[i].Load()})
 		}
 		m.Metrics.Histograms = append(m.Metrics.Histograms, hv)
+	}
+	m.Snapshot = SnapshotActivity{
+		Bytes:                  r.counters["snapshot_bytes"].Value(),
+		Restores:               r.counters["snapshot_restore_total"].Value(),
+		SkippedConvergenceRuns: r.counters["core_warm_start_skipped_convergence_runs_total"].Value(),
 	}
 	return m, nil
 }

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build check vet test race smoke bench fuzz cover
+.PHONY: build check vet test race smoke serve-smoke bench fuzz cover
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ race:
 # the resilient pipeline, and the report path in one shot.
 smoke:
 	$(GO) test -run '^$$' -bench BenchmarkFaultSweep -benchtime 1x -v .
+
+# End-to-end smoke of the resident service: start resurveyd, submit a
+# job over HTTP, poll it to done, check /healthz and /metrics, then
+# SIGTERM and require a clean graceful-shutdown exit.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Full benchmark run across all packages, converted to a committed
 # JSON baseline. Two steps (temp file, then convert) so a failing test

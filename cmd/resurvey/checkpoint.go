@@ -1,414 +1,32 @@
 package main
 
-// Checkpoint/restart for resurvey. A checkpoint is an RCKP container
-// (internal/snapshot, format documented in internal/snapshot/FORMAT.md)
-// written to -snapshot-dir after every configuration round: the flag
-// fingerprint the run was started with, the survey-level progress, the
-// partial probe rounds, the seeded collector views, the completed SURF
-// result (once the second experiment is in flight), a nested engine
-// snapshot (bgp.Network.Snapshot), and the telemetry registry state
-// (telemetry.Registry.SaveState). -resume rebuilds the world from the
-// same flags, restores the newest valid checkpoint into it, and
-// continues; the finished run's stdout, manifest, and artifact bytes
-// are identical to an uninterrupted run's.
+// Checkpoint/restart for resurvey. The RCKP codec lives in
+// internal/core (core.Checkpoint) so the resident service shares it;
+// this file keeps only what is CLI-specific: mapping flags to the
+// configuration fingerprint and managing the -snapshot-dir files.
+// -resume rebuilds the world from the same flags, restores the newest
+// valid checkpoint into it, and continues; the finished run's stdout,
+// manifest, and artifact bytes are identical to an uninterrupted run's.
 
 import (
-	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 
-	"repro/internal/asn"
-	"repro/internal/bgp"
 	"repro/internal/core"
-	"repro/internal/netutil"
-	"repro/internal/probe"
-	"repro/internal/simnet"
-	snap "repro/internal/snapshot"
 	"repro/internal/telemetry"
 )
 
-// RCKP section ids, in file order.
-const (
-	ckSecFingerprint = 1
-	ckSecProgress    = 2
-	ckSecRounds      = 3
-	ckSecOrigins     = 4
-	ckSecSURF        = 5
-	ckSecEngine      = 6
-	ckSecTelemetry   = 7
-)
-
-// ckFingerprint identifies the run configuration a checkpoint belongs
-// to; -resume only accepts checkpoints whose fingerprint matches the
-// current flags. Workers is deliberately excluded: output is identical
-// for any worker count, so a -workers 4 run may resume a -workers 1
-// run's checkpoint.
-type ckFingerprint struct {
-	seed        int64
-	small       bool
-	incremental bool
-	faults      float64
-	nseeds      int
-}
-
-func fingerprintOf(o options) ckFingerprint {
-	return ckFingerprint{
-		seed:        o.Seed,
-		small:       o.Small,
-		incremental: o.Incremental,
-		faults:      o.Faults,
-		nseeds:      o.NSeeds,
+func fingerprintOf(o options) core.CheckpointFingerprint {
+	return core.CheckpointFingerprint{
+		Seed:        o.Seed,
+		Small:       o.Small,
+		Incremental: o.Incremental,
+		Faults:      o.Faults,
+		NSeeds:      o.NSeeds,
 	}
 }
-
-// checkpoint is one decoded RCKP file.
-type checkpoint struct {
-	fp         ckFingerprint
-	phase      int
-	done       int
-	churnStart int
-	start      bgp.Time
-	rounds     []*probe.Round
-	origins    map[uint32]*core.PeerView
-	surf       *core.Result // phase 1 only
-	engine     []byte
-	telemetry  []byte // empty when the run had no registry
-}
-
-func (c *checkpoint) encode() []byte {
-	w := snap.NewWriter(snap.CheckpointMagic, snap.CheckpointVersion)
-
-	var fp snap.Enc
-	fp.I64(c.fp.seed)
-	fp.Bool(c.fp.small)
-	fp.Bool(c.fp.incremental)
-	fp.F64(c.fp.faults)
-	fp.Uvarint(uint64(c.fp.nseeds))
-	w.Section(ckSecFingerprint, fp.Bytes())
-
-	var pr snap.Enc
-	pr.U8(uint8(c.phase))
-	pr.Uvarint(uint64(c.done))
-	pr.Uvarint(uint64(c.churnStart))
-	pr.I64(int64(c.start))
-	w.Section(ckSecProgress, pr.Bytes())
-
-	var rd snap.Enc
-	rd.Uvarint(uint64(len(c.rounds)))
-	for _, r := range c.rounds {
-		encCkRound(&rd, r)
-	}
-	w.Section(ckSecRounds, rd.Bytes())
-
-	var og snap.Enc
-	encCkOrigins(&og, c.origins)
-	w.Section(ckSecOrigins, og.Bytes())
-
-	var sf snap.Enc
-	if c.surf != nil {
-		encCkResult(&sf, c.surf)
-	}
-	w.Section(ckSecSURF, sf.Bytes())
-
-	w.Section(ckSecEngine, c.engine)
-	w.Section(ckSecTelemetry, c.telemetry)
-	return w.Bytes()
-}
-
-func decodeCheckpoint(data []byte) (*checkpoint, error) {
-	secs, err := snap.DecodeSections(data, snap.CheckpointMagic, snap.CheckpointVersion)
-	if err != nil {
-		return nil, err
-	}
-	if len(secs) != 7 {
-		return nil, fmt.Errorf("%w: %d sections, want 7", snap.ErrCorrupt, len(secs))
-	}
-	for i, want := range []byte{ckSecFingerprint, ckSecProgress, ckSecRounds, ckSecOrigins, ckSecSURF, ckSecEngine, ckSecTelemetry} {
-		if secs[i].ID != want {
-			return nil, fmt.Errorf("%w: section %d has id %d, want %d", snap.ErrCorrupt, i, secs[i].ID, want)
-		}
-	}
-	c := &checkpoint{}
-
-	d := snap.NewDec(secs[0].Payload)
-	c.fp.seed = d.I64()
-	c.fp.small = d.Bool()
-	c.fp.incremental = d.Bool()
-	c.fp.faults = d.F64()
-	c.fp.nseeds = int(d.Uvarint())
-	if err := d.Done(); err != nil {
-		return nil, err
-	}
-
-	d = snap.NewDec(secs[1].Payload)
-	c.phase = int(d.U8())
-	c.done = int(d.Uvarint())
-	c.churnStart = int(d.Uvarint())
-	c.start = bgp.Time(d.I64())
-	if err := d.Done(); err != nil {
-		return nil, err
-	}
-	if c.phase > 1 {
-		return nil, fmt.Errorf("%w: phase %d", snap.ErrCorrupt, c.phase)
-	}
-
-	d = snap.NewDec(secs[2].Payload)
-	n := d.Count(1)
-	c.rounds = make([]*probe.Round, 0, n)
-	for i := 0; i < n; i++ {
-		r, err := decCkRound(d)
-		if err != nil {
-			return nil, err
-		}
-		c.rounds = append(c.rounds, r)
-	}
-	if err := d.Done(); err != nil {
-		return nil, err
-	}
-
-	d = snap.NewDec(secs[3].Payload)
-	if c.origins, err = decCkOrigins(d); err != nil {
-		return nil, err
-	}
-	if err := d.Done(); err != nil {
-		return nil, err
-	}
-
-	if len(secs[4].Payload) > 0 {
-		d = snap.NewDec(secs[4].Payload)
-		if c.surf, err = decCkResult(d); err != nil {
-			return nil, err
-		}
-		if err := d.Done(); err != nil {
-			return nil, err
-		}
-	}
-	if c.phase == 1 && c.surf == nil {
-		return nil, fmt.Errorf("%w: phase 1 checkpoint without a SURF result", snap.ErrCorrupt)
-	}
-
-	c.engine = secs[5].Payload
-	c.telemetry = secs[6].Payload
-	return c, nil
-}
-
-// --- field codecs ---
-
-func encCkPrefix(e *snap.Enc, p netutil.Prefix) {
-	e.U32(p.Addr())
-	e.U8(uint8(p.Bits()))
-}
-
-func decCkPrefix(d *snap.Dec) (netutil.Prefix, error) {
-	addr := d.U32()
-	bits := int(d.U8())
-	if err := d.Err(); err != nil {
-		return netutil.Prefix{}, err
-	}
-	if bits > 32 {
-		return netutil.Prefix{}, fmt.Errorf("%w: prefix length %d", snap.ErrCorrupt, bits)
-	}
-	return netutil.PrefixFrom(addr, bits), nil
-}
-
-func encCkRound(e *snap.Enc, r *probe.Round) {
-	e.String(r.Config)
-	e.I64(int64(r.Start))
-	e.I64(int64(r.End))
-	e.Uvarint(uint64(len(r.Records)))
-	for _, rec := range r.Records {
-		encCkPrefix(e, rec.Prefix)
-		e.U32(rec.Dst)
-		e.U8(uint8(rec.Proto))
-		e.U16(rec.Port)
-		e.I64(int64(rec.SentAt))
-		e.Bool(rec.Responded)
-		e.U8(uint8(rec.VLAN))
-		e.F64(rec.RTTms)
-		e.Uvarint(uint64(rec.Retries))
-	}
-}
-
-func decCkRound(d *snap.Dec) (*probe.Round, error) {
-	r := &probe.Round{Config: d.String()}
-	r.Start = bgp.Time(d.I64())
-	r.End = bgp.Time(d.I64())
-	n := d.Count(19)
-	if n > 0 {
-		r.Records = make([]probe.Record, 0, n)
-	}
-	for i := 0; i < n; i++ {
-		var rec probe.Record
-		var err error
-		if rec.Prefix, err = decCkPrefix(d); err != nil {
-			return nil, err
-		}
-		rec.Dst = d.U32()
-		rec.Proto = simnet.Proto(d.U8())
-		rec.Port = d.U16()
-		rec.SentAt = bgp.Time(d.I64())
-		rec.Responded = d.Bool()
-		rec.VLAN = simnet.VLAN(d.U8())
-		rec.RTTms = d.F64()
-		rec.Retries = int(d.Uvarint())
-		r.Records = append(r.Records, rec)
-	}
-	return r, d.Err()
-}
-
-func encCkOrigins(e *snap.Enc, origins map[uint32]*core.PeerView) {
-	peers := make([]uint32, 0, len(origins))
-	for as := range origins {
-		peers = append(peers, as)
-	}
-	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
-	e.Uvarint(uint64(len(peers)))
-	for _, as := range peers {
-		pv := origins[as]
-		e.U32(as)
-		e.U32(pv.FinalOrigin)
-		seen := make([]uint32, 0, len(pv.OriginsSeen))
-		for o, ok := range pv.OriginsSeen {
-			if ok {
-				seen = append(seen, o)
-			}
-		}
-		sort.Slice(seen, func(i, j int) bool { return seen[i] < seen[j] })
-		e.Uvarint(uint64(len(seen)))
-		for _, o := range seen {
-			e.U32(o)
-		}
-	}
-}
-
-func decCkOrigins(d *snap.Dec) (map[uint32]*core.PeerView, error) {
-	n := d.Count(9)
-	out := make(map[uint32]*core.PeerView, n)
-	for i := 0; i < n; i++ {
-		as := d.U32()
-		pv := &core.PeerView{FinalOrigin: d.U32(), OriginsSeen: map[uint32]bool{}}
-		m := d.Count(4)
-		for j := 0; j < m; j++ {
-			pv.OriginsSeen[d.U32()] = true
-		}
-		out[as] = pv
-	}
-	return out, d.Err()
-}
-
-func encCkResult(e *snap.Enc, res *core.Result) {
-	e.String(res.Name)
-	e.Uvarint(uint64(len(res.Configs)))
-	for _, c := range res.Configs {
-		e.Uvarint(uint64(c.RE))
-		e.Uvarint(uint64(c.Commodity))
-	}
-	e.Uvarint(uint64(len(res.ConfigTimes)))
-	for _, t := range res.ConfigTimes {
-		e.I64(int64(t))
-	}
-	e.Uvarint(uint64(len(res.Rounds)))
-	for _, r := range res.Rounds {
-		encCkRound(e, r)
-	}
-	prefixes := make([]netutil.Prefix, 0, len(res.PerPrefix))
-	for p := range res.PerPrefix {
-		prefixes = append(prefixes, p)
-	}
-	netutil.SortPrefixes(prefixes)
-	e.Uvarint(uint64(len(prefixes)))
-	for _, p := range prefixes {
-		pr := res.PerPrefix[p]
-		encCkPrefix(e, p)
-		e.Uvarint(uint64(len(pr.Seq)))
-		for _, o := range pr.Seq {
-			e.U8(uint8(o))
-		}
-		e.U8(uint8(pr.Inference))
-		e.F64(pr.Confidence)
-		e.Uvarint(uint64(pr.Observed))
-	}
-	e.Uvarint(uint64(len(res.Churn)))
-	for _, u := range res.Churn {
-		e.I64(int64(u.At))
-		e.U32(uint32(u.Collector))
-		e.U32(uint32(u.PeerAS))
-		encCkPrefix(e, u.Prefix)
-		e.Bool(u.Announce)
-		e.Uvarint(uint64(len(u.Path)))
-		for _, a := range u.Path {
-			e.U32(uint32(a))
-		}
-	}
-	encCkOrigins(e, res.CollectorOrigins)
-}
-
-func decCkResult(d *snap.Dec) (*core.Result, error) {
-	res := &core.Result{Name: d.String()}
-	n := d.Count(2)
-	for i := 0; i < n; i++ {
-		res.Configs = append(res.Configs, core.PrependConfig{RE: int(d.Uvarint()), Commodity: int(d.Uvarint())})
-	}
-	n = d.Count(8)
-	for i := 0; i < n; i++ {
-		res.ConfigTimes = append(res.ConfigTimes, bgp.Time(d.I64()))
-	}
-	n = d.Count(1)
-	for i := 0; i < n; i++ {
-		r, err := decCkRound(d)
-		if err != nil {
-			return nil, err
-		}
-		res.Rounds = append(res.Rounds, r)
-	}
-	n = d.Count(16)
-	res.PerPrefix = make(map[netutil.Prefix]*core.PrefixResult, n)
-	for i := 0; i < n; i++ {
-		p, err := decCkPrefix(d)
-		if err != nil {
-			return nil, err
-		}
-		pr := &core.PrefixResult{Prefix: p}
-		m := d.Count(1)
-		for j := 0; j < m; j++ {
-			pr.Seq = append(pr.Seq, core.RoundObs(d.U8()))
-		}
-		pr.Inference = core.Inference(d.U8())
-		pr.Confidence = d.F64()
-		pr.Observed = int(d.Uvarint())
-		res.PerPrefix[p] = pr
-	}
-	n = d.Count(19)
-	for i := 0; i < n; i++ {
-		u := bgp.UpdateRecord{
-			At:        bgp.Time(d.I64()),
-			Collector: bgp.RouterID(d.U32()),
-			PeerAS:    asn.AS(d.U32()),
-		}
-		var err error
-		if u.Prefix, err = decCkPrefix(d); err != nil {
-			return nil, err
-		}
-		u.Announce = d.Bool()
-		m := d.Count(4)
-		if m > 0 {
-			u.Path = make(asn.Path, m)
-			for j := range u.Path {
-				u.Path[j] = asn.AS(d.U32())
-			}
-		}
-		res.Churn = append(res.Churn, u)
-	}
-	var err error
-	if res.CollectorOrigins, err = decCkOrigins(d); err != nil {
-		return nil, err
-	}
-	return res, d.Err()
-}
-
-// --- file management ---
 
 func checkpointName(phase, done int) string {
 	return fmt.Sprintf("ckpt-%d-%02d.rckp", phase, done)
@@ -419,34 +37,16 @@ func checkpointName(phase, done int) string {
 // a resumed run must reproduce the uninterrupted run's bytes exactly —
 // so failures only warn on stderr.
 func writeCheckpoint(o options, reg *telemetry.Registry, s *core.Survey, ck core.SurveyCheckpoint) error {
-	c := checkpoint{
-		fp:         fingerprintOf(o),
-		phase:      ck.Phase,
-		done:       ck.Done,
-		churnStart: ck.ChurnStart,
-		start:      ck.Start,
-		rounds:     ck.Partial.Rounds,
-		origins:    ck.Partial.CollectorOrigins,
-		surf:       ck.SURF,
-	}
-	var eng bytes.Buffer
-	if err := s.Eco.Net.Snapshot(&eng); err != nil {
+	c, err := core.BuildCheckpoint(fingerprintOf(o), ck, s.Eco.Net, reg)
+	if err != nil {
 		return err
-	}
-	c.engine = eng.Bytes()
-	if reg != nil {
-		var tb bytes.Buffer
-		if err := reg.SaveState(&tb); err != nil {
-			return err
-		}
-		c.telemetry = tb.Bytes()
 	}
 	if err := os.MkdirAll(o.SnapshotDir, 0o755); err != nil {
 		return err
 	}
 	path := filepath.Join(o.SnapshotDir, checkpointName(ck.Phase, ck.Done))
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, c.encode(), 0o644); err != nil {
+	if err := os.WriteFile(tmp, c.Encode(), 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, path)
@@ -458,7 +58,7 @@ func writeCheckpoint(o options, reg *telemetry.Registry, s *core.Survey, ck core
 // nil when nothing usable exists — the caller cold-starts — plus the
 // number of corrupt files skipped, which the caller surfaces as
 // snapshot_checkpoint_corrupt_total once a registry is live.
-func loadLatestCheckpoint(o options) (*checkpoint, int) {
+func loadLatestCheckpoint(o options) (*core.Checkpoint, int) {
 	entries, err := os.ReadDir(o.SnapshotDir)
 	if err != nil {
 		if !os.IsNotExist(err) {
@@ -480,16 +80,16 @@ func loadLatestCheckpoint(o options) (*checkpoint, int) {
 	for _, name := range names {
 		path := filepath.Join(o.SnapshotDir, name)
 		data, err := os.ReadFile(path)
-		var c *checkpoint
+		var c *core.Checkpoint
 		if err == nil {
-			c, err = decodeCheckpoint(data)
+			c, err = core.DecodeCheckpoint(data)
 		}
 		if err != nil {
 			corrupt++
 			fmt.Fprintf(os.Stderr, "resurvey: checkpoint %s unusable, trying older: %v\n", name, err)
 			continue
 		}
-		if c.fp != want {
+		if c.Fingerprint != want {
 			fmt.Fprintf(os.Stderr, "resurvey: checkpoint %s belongs to a different run configuration, skipping\n", name)
 			continue
 		}

@@ -130,13 +130,13 @@ func run(w io.Writer, o options) error {
 	// run's phase tree and metrics continue exactly where the saved run
 	// left off. Corrupt checkpoints are skipped in favour of older valid
 	// ones and surfaced via snapshot_checkpoint_corrupt_total.
-	var ck *checkpoint
+	var ck *core.Checkpoint
 	var openSpans []*telemetry.Span
 	if o.Resume {
 		var corrupt int
 		ck, corrupt = loadLatestCheckpoint(o)
-		if ck != nil && reg != nil && len(ck.telemetry) > 0 {
-			spans, err := reg.LoadState(bytes.NewReader(ck.telemetry))
+		if ck != nil && reg != nil && len(ck.Telemetry) > 0 {
+			spans, err := reg.LoadState(bytes.NewReader(ck.Telemetry))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "resurvey: checkpoint telemetry unusable, cold-starting: %v\n", err)
 				reg = o.NewRegistry()
@@ -180,26 +180,10 @@ func run(w io.Writer, o options) error {
 	}
 
 	if ck != nil {
-		if err := bgp.RestoreNetwork(bytes.NewReader(ck.engine), s.Eco.Net); err != nil {
+		if err := bgp.RestoreNetwork(bytes.NewReader(ck.Engine), s.Eco.Net); err != nil {
 			return fmt.Errorf("resume: restore engine state: %w", err)
 		}
-		resume := &core.SurveyResume{
-			Phase: ck.phase,
-			Exp: &core.ExperimentResume{
-				Done:             ck.done,
-				ChurnStart:       ck.churnStart,
-				Rounds:           ck.rounds,
-				CollectorOrigins: ck.origins,
-			},
-		}
-		if len(openSpans) > 0 {
-			resume.Exp.Span = openSpans[len(openSpans)-1]
-		}
-		if ck.phase == 1 {
-			resume.SURF = ck.surf
-			resume.StartI2 = ck.start
-		}
-		s.Resume = resume
+		s.Resume = ck.Resume(openSpans)
 	}
 	if o.SnapshotDir != "" {
 		s.Checkpoint = func(sck core.SurveyCheckpoint) {

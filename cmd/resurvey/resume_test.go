@@ -215,29 +215,29 @@ func TestResumeWorkersByteEqual(t *testing.T) {
 // checkpoint without running the pipeline: encode, decode, compare.
 func TestCheckpointRoundTrip(t *testing.T) {
 	c := syntheticCheckpoint()
-	got, err := decodeCheckpoint(c.encode())
+	got, err := core.DecodeCheckpoint(c.Encode())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.fp != c.fp || got.phase != c.phase || got.done != c.done ||
-		got.churnStart != c.churnStart || got.start != c.start {
+	if got.Fingerprint != c.Fingerprint || got.Phase != c.Phase || got.Done != c.Done ||
+		got.ChurnStart != c.ChurnStart || got.Start != c.Start {
 		t.Fatalf("progress fields diverged: %+v vs %+v", got, c)
 	}
-	if len(got.rounds) != len(c.rounds) || got.rounds[0].Config != c.rounds[0].Config ||
-		len(got.rounds[0].Records) != len(c.rounds[0].Records) ||
-		got.rounds[0].Records[0] != c.rounds[0].Records[0] {
+	if len(got.Rounds) != len(c.Rounds) || got.Rounds[0].Config != c.Rounds[0].Config ||
+		len(got.Rounds[0].Records) != len(c.Rounds[0].Records) ||
+		got.Rounds[0].Records[0] != c.Rounds[0].Records[0] {
 		t.Fatal("rounds diverged through the codec")
 	}
-	if len(got.origins) != len(c.origins) || got.origins[64512].FinalOrigin != 11537 ||
-		!got.origins[64512].OriginsSeen[11537] {
-		t.Fatalf("origins diverged: %+v", got.origins)
+	if len(got.Origins) != len(c.Origins) || got.Origins[64512].FinalOrigin != 11537 ||
+		!got.Origins[64512].OriginsSeen[11537] {
+		t.Fatalf("origins diverged: %+v", got.Origins)
 	}
-	if got.surf == nil || got.surf.Name != c.surf.Name ||
-		len(got.surf.PerPrefix) != len(c.surf.PerPrefix) ||
-		len(got.surf.Churn) != len(c.surf.Churn) {
+	if got.SURF == nil || got.SURF.Name != c.SURF.Name ||
+		len(got.SURF.PerPrefix) != len(c.SURF.PerPrefix) ||
+		len(got.SURF.Churn) != len(c.SURF.Churn) {
 		t.Fatal("SURF result diverged through the codec")
 	}
-	if !bytes.Equal(got.engine, c.engine) || !bytes.Equal(got.telemetry, c.telemetry) {
+	if !bytes.Equal(got.Engine, c.Engine) || !bytes.Equal(got.Telemetry, c.Telemetry) {
 		t.Fatal("nested payloads diverged")
 	}
 }
@@ -248,7 +248,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 func TestLoadLatestCheckpointFingerprint(t *testing.T) {
 	dir := t.TempDir()
 	c := syntheticCheckpoint()
-	if err := os.WriteFile(filepath.Join(dir, checkpointName(c.phase, c.done)), c.encode(), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, checkpointName(c.Phase, c.Done)), c.Encode(), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	// Same flags: found.
@@ -265,19 +265,19 @@ func TestLoadLatestCheckpointFingerprint(t *testing.T) {
 	}
 }
 
-func syntheticCheckpoint() *checkpoint {
+func syntheticCheckpoint() *core.Checkpoint {
 	surf := resultFixture()
-	return &checkpoint{
-		fp:         ckFingerprint{seed: 7, small: true, incremental: true, faults: 0.5, nseeds: 3},
-		phase:      1,
-		done:       3,
-		churnStart: 42,
-		start:      9 * 3600,
-		rounds:     surf.Rounds,
-		origins:    surf.CollectorOrigins,
-		surf:       surf,
-		engine:     []byte("not a real engine snapshot"),
-		telemetry:  []byte(`{"counters":[]}`),
+	return &core.Checkpoint{
+		Fingerprint: core.CheckpointFingerprint{Seed: 7, Small: true, Incremental: true, Faults: 0.5, NSeeds: 3},
+		Phase:       1,
+		Done:        3,
+		ChurnStart:  42,
+		Start:       9 * 3600,
+		Rounds:      surf.Rounds,
+		Origins:     surf.CollectorOrigins,
+		SURF:        surf,
+		Engine:      []byte("not a real engine snapshot"),
+		Telemetry:   []byte(`{"counters":[]}`),
 	}
 }
 

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-data-dir", "/tmp/jobs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Addr != "localhost:8037" || o.MaxJobs != 4 || o.Burst != 5 || o.DrainTimeout != 30*time.Second {
+		t.Errorf("defaults = %+v", o)
+	}
+
+	o, err = parseFlags([]string{
+		"-data-dir", "/tmp/jobs", "-addr", ":9000", "-max-jobs", "8",
+		"-mem-watermark-mb", "512", "-rate", "0.5", "-burst", "10",
+		"-drain-timeout", "5s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Addr != ":9000" || o.MaxJobs != 8 || o.MemMB != 512 ||
+		o.Rate != 0.5 || o.Burst != 10 || o.DrainTimeout != 5*time.Second {
+		t.Errorf("parsed = %+v", o)
+	}
+}
+
+func TestParseFlagsRejects(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{}, "-data-dir is required"},
+		{[]string{"-data-dir", "d", "-max-jobs", "-1"}, "-max-jobs"},
+		{[]string{"-data-dir", "d", "-mem-watermark-mb", "-1"}, "-mem-watermark-mb"},
+		{[]string{"-data-dir", "d", "-rate", "-1"}, "-rate"},
+		{[]string{"-data-dir", "d", "-burst", "-1"}, "-burst"},
+	}
+	for _, c := range cases {
+		_, err := parseFlags(c.args)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("parseFlags(%v) = %v, want error containing %q", c.args, err, c.want)
+		}
+	}
+}

@@ -34,9 +34,70 @@ type Config struct {
 	// SnapshotDir and Resume drive checkpoint/restart (FlagSnapshot):
 	// with -snapshot-dir the run writes an engine+telemetry checkpoint
 	// after every configuration round; with -resume it continues from
-	// the latest valid checkpoint there instead of starting cold.
+	// the newest valid checkpoint there instead of starting cold.
 	SnapshotDir string
 	Resume      bool
+}
+
+// JobOptions is the portable description of one pipeline run — the
+// configuration fields with run semantics, separated from Config's
+// front-end concerns (manifest paths, metrics dumps, checkpoint
+// directories). The CLI flags map onto it via Config.Job, and
+// resurveyd job submissions unmarshal into it directly, so both front
+// ends validate and construct a run through the identical path.
+type JobOptions struct {
+	Small       bool    `json:"small,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	Faults      float64 `json:"faults,omitempty"`
+	Incremental bool    `json:"incremental"`
+}
+
+// Validate rejects job values the pipeline cannot honour — the single
+// check both the flag layer and the service's submission endpoint run,
+// so a config the CLI rejects is rejected by the server with the same
+// message, and vice versa.
+func (j JobOptions) Validate() error {
+	if math.IsNaN(j.Faults) || math.IsInf(j.Faults, 0) || j.Faults < 0 || j.Faults > 1 {
+		return fmt.Errorf("-faults intensity %v out of range: want 0 (off) or a value in (0, 1]", j.Faults)
+	}
+	if j.Workers < 0 {
+		return fmt.Errorf("-workers %d out of range: want >= 0 (0 = GOMAXPROCS)", j.Workers)
+	}
+	return nil
+}
+
+// PipelineOptions converts the job into core.Pipeline options, wiring
+// reg (nil is fine) as the metrics sink.
+func (j JobOptions) PipelineOptions(reg *telemetry.Registry) []core.PipelineOption {
+	opts := []core.PipelineOption{
+		core.WithSeed(j.Seed),
+		core.WithWorkers(j.Workers),
+		core.WithFaults(j.Faults),
+		core.WithIncremental(j.Incremental),
+		core.WithMetrics(reg),
+	}
+	if j.Small {
+		opts = append(opts, core.WithSmall())
+	}
+	return opts
+}
+
+// Pipeline builds the core.Pipeline the job describes; extra options
+// append after (and can thus override) the job-derived ones.
+func (j JobOptions) Pipeline(reg *telemetry.Registry, extra ...core.PipelineOption) *core.Pipeline {
+	return core.NewPipeline(append(j.PipelineOptions(reg), extra...)...)
+}
+
+// Job extracts the run-defining subset of the parsed flags.
+func (c Config) Job() JobOptions {
+	return JobOptions{
+		Small:       c.Small,
+		Seed:        c.Seed,
+		Workers:     c.Workers,
+		Faults:      c.Faults,
+		Incremental: c.Incremental,
+	}
 }
 
 // Flags selects which shared flags Register installs.
@@ -74,7 +135,7 @@ func Register(fs *flag.FlagSet, c *Config, which Flags) {
 		fs.Int64Var(&c.Seed, "seed", c.Seed, "session seed: drives topology generation and every derived stream (probe loss, fault schedules)")
 	}
 	if which&FlagWorkers != 0 {
-		fs.IntVar(&c.Workers, "workers", c.Workers, "parallel shard workers (0 = GOMAXPROCS); output is byte-identical for any value")
+		fs.IntVar(&c.Workers, "workers", c.Workers, "parallel shard workers for probing, classification, and the fault sweep (0 = GOMAXPROCS); output is byte-identical at any worker count")
 	}
 	if which&FlagFaults != 0 {
 		fs.Float64Var(&c.Faults, "faults", c.Faults, "max fault intensity in (0, 1]: run the fault-intensity sweep (reduced scale) up to this intensity; 0 disables")
@@ -83,8 +144,8 @@ func Register(fs *flag.FlagSet, c *Config, which Flags) {
 		fs.BoolVar(&c.Incremental, "incremental", c.Incremental, "propagate only route deltas through the BGP engine (-incremental=false keeps the full-reconvergence reference path); output is byte-identical either way")
 	}
 	if which&FlagSnapshot != 0 {
-		fs.StringVar(&c.SnapshotDir, "snapshot-dir", c.SnapshotDir, "write an engine+telemetry checkpoint to this directory after every configuration round")
-		fs.BoolVar(&c.Resume, "resume", c.Resume, "continue from the latest valid checkpoint in -snapshot-dir (cold start when none is usable); output is byte-identical to an uninterrupted run")
+		fs.StringVar(&c.SnapshotDir, "snapshot-dir", c.SnapshotDir, "write a checkpoint (engine state, partial survey results, telemetry registry) to this directory after every configuration round")
+		fs.BoolVar(&c.Resume, "resume", c.Resume, "continue from the newest valid checkpoint in -snapshot-dir, skipping completed rounds; corrupt checkpoints fall back to the next-newest valid one, no usable checkpoint to a cold start; output is byte-identical to an uninterrupted run")
 	}
 	if which&FlagObservability != 0 {
 		fs.StringVar(&c.Manifest, "manifest", c.Manifest, "write a run manifest (seed, options, phase durations, all metrics) to this file as deterministic JSON")
@@ -94,13 +155,12 @@ func Register(fs *flag.FlagSet, c *Config, which Flags) {
 }
 
 // Validate rejects flag values the pipeline cannot honour, identically
-// in every binary.
+// in every binary: the run-defining fields via JobOptions.Validate
+// (shared with resurveyd's submission endpoint), plus the flag-only
+// cross-checks.
 func (c Config) Validate() error {
-	if math.IsNaN(c.Faults) || math.IsInf(c.Faults, 0) || c.Faults < 0 || c.Faults > 1 {
-		return fmt.Errorf("-faults intensity %v out of range: want 0 (off) or a value in (0, 1]", c.Faults)
-	}
-	if c.Workers < 0 {
-		return fmt.Errorf("-workers %d out of range: want >= 0 (0 = GOMAXPROCS)", c.Workers)
+	if err := c.Job().Validate(); err != nil {
+		return err
 	}
 	if c.Resume && c.SnapshotDir == "" {
 		return fmt.Errorf("-resume requires -snapshot-dir")
@@ -122,23 +182,13 @@ func (c Config) NewRegistry() *telemetry.Registry {
 // options, wiring reg (from NewRegistry; nil is fine) as the metrics
 // sink.
 func (c Config) PipelineOptions(reg *telemetry.Registry) []core.PipelineOption {
-	opts := []core.PipelineOption{
-		core.WithSeed(c.Seed),
-		core.WithWorkers(c.Workers),
-		core.WithFaults(c.Faults),
-		core.WithIncremental(c.Incremental),
-		core.WithMetrics(reg),
-	}
-	if c.Small {
-		opts = append(opts, core.WithSmall())
-	}
-	return opts
+	return c.Job().PipelineOptions(reg)
 }
 
 // Pipeline builds the core.Pipeline the flags describe; extra options
 // append after (and can thus override) the flag-derived ones.
 func (c Config) Pipeline(reg *telemetry.Registry, extra ...core.PipelineOption) *core.Pipeline {
-	return core.NewPipeline(append(c.PipelineOptions(reg), extra...)...)
+	return c.Job().Pipeline(reg, extra...)
 }
 
 // WriteManifest snapshots reg to the -manifest path (a no-op without

@@ -77,6 +77,37 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestJobValidationParity pins the CLI/server contract: a Config and
+// the JobOptions extracted from it accept and reject identically (with
+// the same message), so a job submission resurveyd rejects is exactly
+// one the flags would reject.
+func TestJobValidationParity(t *testing.T) {
+	for _, c := range []Config{
+		{},
+		{Faults: -0.1},
+		{Faults: 1.5},
+		{Faults: math.NaN()},
+		{Workers: -1},
+		{Small: true, Seed: 7, Workers: 8, Faults: 0.5, Incremental: true},
+	} {
+		cfgErr, jobErr := c.Validate(), c.Job().Validate()
+		if (cfgErr == nil) != (jobErr == nil) {
+			t.Errorf("Config(%+v): Validate=%v but Job().Validate=%v", c, cfgErr, jobErr)
+		} else if cfgErr != nil && cfgErr.Error() != jobErr.Error() {
+			t.Errorf("Config(%+v): messages diverge: %q vs %q", c, cfgErr, jobErr)
+		}
+	}
+}
+
+func TestJobPipelineWiring(t *testing.T) {
+	j := JobOptions{Small: true, Seed: 5, Workers: 3, Faults: 0.25, Incremental: true}
+	pl := j.Pipeline(nil)
+	if pl.Seed() != 5 || pl.Workers() != 3 || pl.Faults() != 0.25 || !pl.Incremental() {
+		t.Errorf("pipeline carries seed=%d workers=%d faults=%v incremental=%v",
+			pl.Seed(), pl.Workers(), pl.Faults(), pl.Incremental())
+	}
+}
+
 func TestNewRegistryNilWhenUnobserved(t *testing.T) {
 	var c Config
 	if c.NewRegistry() != nil {

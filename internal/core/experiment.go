@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bgp"
@@ -99,6 +100,12 @@ type Experiment struct {
 	// index recorded at the start of the measured window, and the
 	// partial result. The callback must not mutate res.
 	Checkpoint func(done, churnStart int, res *Result)
+	// Progress, when non-nil, fires after each configuration round
+	// (after Checkpoint, so a streamed event implies any checkpoint is
+	// already durable) with that round's headline numbers. It is a
+	// pure observer for streaming front ends; nothing in the result
+	// depends on it.
+	Progress func(RoundProgress)
 	// Resume, when non-nil, fast-forwards Run past the first Done
 	// configuration rounds: the network must already hold the
 	// checkpointed engine state, and Resume carries the outputs those
@@ -203,10 +210,39 @@ type PeerView struct {
 	FinalOrigin uint32 // 0 when withdrawn at the end
 }
 
+// RoundProgress is one configuration round's headline numbers, as
+// handed to the Progress callback (and streamed by resurveyd).
+type RoundProgress struct {
+	// Experiment names the run ("SURF (29 May 2025)").
+	Experiment string `json:"experiment"`
+	// Config is the prepend configuration just probed ("4-0").
+	Config string `json:"config"`
+	// Round is 1-based rounds completed; Rounds is the schedule total.
+	Round  int `json:"round"`
+	Rounds int `json:"rounds"`
+	// Probes and Responded count the round's probe records.
+	Probes    int `json:"probes"`
+	Responded int `json:"responded"`
+	// Time is the virtual probing time.
+	Time bgp.Time `json:"virtual_time"`
+}
+
 // Run executes the experiment: announce at "4-0", then step through
 // the schedule, waiting RoundGap between changes and probing before
 // each next change, exactly as §3.3 describes.
 func (x *Experiment) Run() *Result {
+	res, _ := x.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// checked between configuration rounds (the natural checkpoint
+// boundary — a checkpointed run resumes exactly there), so a
+// cancelled or deadline-expired context stops the experiment within
+// one round and returns the context's error with a nil Result. The
+// convergence work inside a round always completes; nothing observes
+// a half-applied configuration.
+func (x *Experiment) RunContext(ctx context.Context) (*Result, error) {
 	var expSpan *telemetry.Span
 	if x.Resume != nil && x.Resume.Span != nil {
 		// The checkpoint left this span open; keep nesting under it
@@ -299,6 +335,12 @@ func (x *Experiment) Run() *Result {
 		if i < startRound {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			// Stop on the round boundary: the last checkpoint (if any)
+			// already captured rounds [0, i), so a resumed run continues
+			// exactly here and reproduces the uninterrupted output.
+			return nil, err
+		}
 		cfgSpan := x.Metrics.StartSpan("config:" + cfg.Label())
 		// Apply the configuration as one batched delta: duplicate
 		// (router, prefix, neighbor) touches collapse into a single
@@ -344,6 +386,23 @@ func (x *Experiment) Run() *Result {
 		if x.Checkpoint != nil {
 			x.Checkpoint(i+1, churnStart, res)
 		}
+		if x.Progress != nil {
+			responded := 0
+			for _, rec := range round.Records {
+				if rec.Responded {
+					responded++
+				}
+			}
+			x.Progress(RoundProgress{
+				Experiment: x.Cfg.Name,
+				Config:     cfg.Label(),
+				Round:      i + 1,
+				Rounds:     len(Schedule()),
+				Probes:     len(round.Records),
+				Responded:  responded,
+				Time:       probeAt,
+			})
+		}
 	}
 	// Drain any stragglers before snapshotting collector state, then
 	// restore any sessions still down so the next experiment starts
@@ -359,7 +418,7 @@ func (x *Experiment) Run() *Result {
 
 	x.classify(res)
 	x.snapshotCollectors(res, net.Churn.Records[churnStart:churnEnd])
-	return res
+	return res, nil
 }
 
 // advance drains the network to `to`, via the injector hook when one

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
 )
@@ -185,6 +187,14 @@ func (p *Pipeline) FaultSweepOptions() FaultSweepOptions {
 // (see FaultSweepOptions).
 func (p *Pipeline) RunFaultSweep() []FaultSweepPoint {
 	return RunFaultSweep(p.FaultSweepOptions())
+}
+
+// RunFaultSweepContext is RunFaultSweep with cooperative cancellation
+// (see RunFaultSweepContext's package-level doc) — the entry point
+// resurveyd's sweep jobs use so per-job deadlines and cancellation
+// stop the sweep between rounds.
+func (p *Pipeline) RunFaultSweepContext(ctx context.Context) ([]FaultSweepPoint, error) {
+	return RunFaultSweepContext(ctx, p.FaultSweepOptions())
 }
 
 // SweepIntensities selects the fault-sweep points for a max intensity:

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"repro/internal/bgp"
@@ -115,6 +116,18 @@ type FaultSweepPoint struct {
 // single-worker: the sweep's parallelism budget is spent across
 // points.
 func RunFaultSweep(opts FaultSweepOptions) []FaultSweepPoint {
+	// The background context never cancels, so the error path is dead.
+	pts, _ := RunFaultSweepContext(context.Background(), opts)
+	return pts
+}
+
+// RunFaultSweepContext is RunFaultSweep with cooperative
+// cancellation: the context is checked before each intensity point
+// starts and between the experiment rounds inside a point, so a
+// cancelled or deadline-expired context stops the sweep within one
+// round and returns the context's error with nil points. Sweep points
+// are independent worlds, so there is no partial state to unwind.
+func RunFaultSweepContext(ctx context.Context, opts FaultSweepOptions) ([]FaultSweepPoint, error) {
 	if len(opts.Intensities) == 0 {
 		opts.Intensities = DefaultFaultSweepOptions().Intensities
 	}
@@ -152,12 +165,20 @@ func RunFaultSweep(opts FaultSweepOptions) []FaultSweepPoint {
 	}
 	outs, timings := parallel.CollectTimed(len(opts.Intensities), 1, opts.Workers,
 		func(s parallel.Shard) pointOut {
+			if ctx.Err() != nil {
+				// Cancelled: skip the point entirely; the caller discards
+				// the whole sweep below.
+				return pointOut{}
+			}
 			var reg *telemetry.Registry
 			if opts.Metrics != nil {
 				reg = telemetry.New()
 			}
-			return pointOut{pt: runFaultPoint(opts, opts.Intensities[s.Lo], baseSnap, reg), reg: reg}
+			return pointOut{pt: runFaultPoint(ctx, opts, opts.Intensities[s.Lo], baseSnap, reg), reg: reg}
 		})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	points := make([]FaultSweepPoint, 0, len(outs))
 	for _, o := range outs {
 		opts.Metrics.Merge(o.reg)
@@ -166,13 +187,13 @@ func RunFaultSweep(opts FaultSweepOptions) []FaultSweepPoint {
 	for _, t := range timings {
 		opts.Metrics.AddShardTiming("faultsweep", t.Shard, t.Items, t.Duration)
 	}
-	return points
+	return points, nil
 }
 
 // runFaultPoint executes one intensity point against its own freshly
 // built world, recording telemetry into reg (a private sub-registry
 // when the sweep is instrumented, nil otherwise).
-func runFaultPoint(opts FaultSweepOptions, intensity float64, baseSnap []byte, reg *telemetry.Registry) FaultSweepPoint {
+func runFaultPoint(ctx context.Context, opts FaultSweepOptions, intensity float64, baseSnap []byte, reg *telemetry.Registry) FaultSweepPoint {
 	lbl := fmt.Sprintf("%.2f", intensity)
 	sp := reg.StartSpan("faultsweep:intensity=" + lbl)
 	defer sp.End()
@@ -213,11 +234,17 @@ func runFaultPoint(opts FaultSweepOptions, intensity float64, baseSnap []byte, r
 		x.Cfg.Advance = inj.Advance
 		x.Cfg.Quorum = opts.Quorum
 		s.Prober.Retry = opts.Retry
-		pt.Result = x.Run()
+		pt.Result, _ = x.RunContext(ctx)
+		if pt.Result == nil {
+			return pt // cancelled mid-point; the sweep discards it
+		}
 		inj.Finish(s.Eco.Net)
 		inj.Uninstall(s.World, s.Eco.Net)
 	} else {
-		pt.Result = x.Run()
+		pt.Result, _ = x.RunContext(ctx)
+		if pt.Result == nil {
+			return pt
+		}
 	}
 
 	pt.Summary = Summarize(s.Eco, pt.Result)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/bgp"
@@ -41,6 +42,11 @@ type Survey struct {
 	// the checkpointed engine state (bgp.RestoreNetwork) and its
 	// registry the checkpointed telemetry state.
 	Resume *SurveyResume
+	// Progress, when non-nil, fires after every configuration round of
+	// either experiment (phase 0 = SURF, 1 = Internet2) — the hook
+	// streaming front ends (resurveyd's SSE feed) subscribe to. Pure
+	// observer; survey output does not depend on it.
+	Progress func(phase int, ev RoundProgress)
 
 	SURF      *Result
 	Internet2 *Result
@@ -192,6 +198,17 @@ func SplitOutages(outages []Outage, seed int64) (first, second []Outage) {
 // later, mirroring §3.1's 30 May and 5 June runs. A few member R&E
 // sessions fail mid-experiment, as happened during the real runs.
 func (s *Survey) RunBoth() {
+	// The background context never cancels, so the error path is dead.
+	_ = s.RunBothContext(context.Background())
+}
+
+// RunBothContext is RunBoth with cooperative cancellation threaded
+// into both experiments (see Experiment.RunContext): a cancelled or
+// deadline-expired context stops between configuration rounds and
+// returns the context's error, leaving SURF/Internet2 nil for
+// whatever had not completed. A checkpointed run cancelled mid-flight
+// resumes from its last durable round.
+func (s *Survey) RunBothContext(ctx context.Context) error {
 	surfOutages, i2Outages := SplitOutages(s.pickOutages(), s.Opts.OutageSeed)
 	s.Prober.Workers = s.Workers
 	surfStart := bgp.Time(9 * 3600)
@@ -201,10 +218,15 @@ func (s *Survey) RunBoth() {
 		x1.Metrics = s.Metrics
 		x1.Workers = s.Workers
 		x1.Checkpoint = s.checkpointHook(0, surfStart)
+		x1.Progress = s.progressHook(0)
 		if s.Resume != nil {
 			x1.Resume = s.Resume.Exp
 		}
-		s.SURF = x1.Run()
+		res, err := x1.RunContext(ctx)
+		if err != nil {
+			return err
+		}
+		s.SURF = res
 		x1.TeardownRE()
 	} else {
 		s.SURF = s.Resume.SURF
@@ -221,10 +243,25 @@ func (s *Survey) RunBoth() {
 	x2.Metrics = s.Metrics
 	x2.Workers = s.Workers
 	x2.Checkpoint = s.checkpointHook(1, i2Start)
+	x2.Progress = s.progressHook(1)
 	if s.Resume != nil && s.Resume.Phase == 1 {
 		x2.Resume = s.Resume.Exp
 	}
-	s.Internet2 = x2.Run()
+	res, err := x2.RunContext(ctx)
+	if err != nil {
+		return err
+	}
+	s.Internet2 = res
+	return nil
+}
+
+// progressHook adapts the survey-level Progress callback to one
+// experiment's hook (nil when no subscriber is installed).
+func (s *Survey) progressHook(phase int) func(RoundProgress) {
+	if s.Progress == nil {
+		return nil
+	}
+	return func(ev RoundProgress) { s.Progress(phase, ev) }
 }
 
 // checkpointHook adapts the survey-level Checkpoint callback to one

@@ -14,11 +14,15 @@
 package parallel
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Workers resolves a worker-count setting: values <= 0 select
@@ -71,15 +75,85 @@ type Timing struct {
 	Duration time.Duration
 }
 
+// ShardPanic is what Do re-panics with, on the calling goroutine,
+// when a shard fn panicked inside a worker. Without this translation
+// a panic on a pool goroutine is unconditionally fatal — no caller
+// can recover it and the whole process dies; re-raising it on the
+// caller turns a worker crash into an ordinary recoverable panic, so
+// a long-running host (resurveyd's per-job isolation) can fail just
+// the offending job and keep serving. Only the lowest-indexed shard's
+// panic is kept (deterministic under any worker count); the remaining
+// shards still run so sibling work sees no lost shards.
+type ShardPanic struct {
+	// Shard is the failed shard's index.
+	Shard int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the panic site.
+	Stack []byte
+}
+
+// Error renders the panic with its origin shard; the stack is kept
+// separately for logs.
+func (p *ShardPanic) Error() string {
+	return fmt.Sprintf("parallel: shard %d panicked: %v", p.Shard, p.Value)
+}
+
+// panicCounter, when set, counts recovered worker panics
+// (parallel_worker_panics_total). Package-level because Do is called
+// from deep inside loops that do not thread a registry; atomic so a
+// server can install it while pools are live.
+var panicCounter atomic.Pointer[telemetry.Counter]
+
+// SetPanicCounter installs the counter incremented once per recovered
+// worker panic. Pass the host registry's
+// Counter("parallel_worker_panics_total"); nil uninstalls.
+func SetPanicCounter(c *telemetry.Counter) { panicCounter.Store(c) }
+
+// runShard executes fn on one shard, converting a panic into a
+// *ShardPanic instead of unwinding the worker goroutine.
+func runShard(fn func(Shard), s Shard) (sp *ShardPanic) {
+	defer func() {
+		if v := recover(); v != nil {
+			sp = &ShardPanic{Shard: s.Index, Value: v, Stack: debug.Stack()}
+			if c := panicCounter.Load(); c != nil {
+				c.Inc()
+			}
+		}
+	}()
+	fn(s)
+	return nil
+}
+
 // Do runs fn once per shard of n items on min(workers, shards)
 // goroutines. Shards are handed out in index order through an atomic
 // cursor; with one worker the loop degenerates to a plain sequential
 // sweep with no goroutines. fn must not assume any cross-shard
 // ordering — shards complete in arbitrary order under load.
+//
+// A panicking fn does not crash the process from a worker goroutine:
+// the panic is recovered, counted (see SetPanicCounter), the
+// remaining shards still run, and Do re-panics on the calling
+// goroutine with a *ShardPanic carrying the first failure — which the
+// caller may recover like any ordinary panic.
 func Do(n, size, workers int, fn func(Shard)) {
 	shards := Shards(n, size)
 	if len(shards) == 0 {
 		return
+	}
+	// Keep the lowest-indexed failure, not the first to finish, so the
+	// surfaced panic is deterministic under any worker count.
+	var first atomic.Pointer[ShardPanic]
+	keep := func(sp *ShardPanic) {
+		for sp != nil {
+			cur := first.Load()
+			if cur != nil && cur.Shard <= sp.Shard {
+				return
+			}
+			if first.CompareAndSwap(cur, sp) {
+				return
+			}
+		}
 	}
 	w := Workers(workers)
 	if w > len(shards) {
@@ -87,26 +161,29 @@ func Do(n, size, workers int, fn func(Shard)) {
 	}
 	if w <= 1 {
 		for _, s := range shards {
-			fn(s)
+			keep(runShard(fn, s))
 		}
-		return
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for i := 0; i < w; i++ {
-		go func() {
-			defer wg.Done()
-			for {
-				k := int(cursor.Add(1)) - 1
-				if k >= len(shards) {
-					return
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(cursor.Add(1)) - 1
+					if k >= len(shards) {
+						return
+					}
+					keep(runShard(fn, shards[k]))
 				}
-				fn(shards[k])
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if sp := first.Load(); sp != nil {
+		panic(sp)
+	}
 }
 
 // Collect runs fn over the shards of n items and returns the per-shard

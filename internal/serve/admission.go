@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Admission policy. Three independent gates run at submission time, in
+// order of cheapness: the per-tenant token bucket (flood from one
+// tenant cannot starve the others), the global active-job cap (bounds
+// queue depth and therefore worst-case concurrent memory), and the
+// heap watermark (sheds load before the process OOMs rather than
+// after). Every rejection carries a Retry-After estimate so well-
+// behaved clients back off instead of hammering.
+
+// AdmissionConfig tunes the gates; the zero value of any field
+// disables that gate.
+type AdmissionConfig struct {
+	// MaxActive caps jobs in a non-terminal state. Submissions beyond
+	// it are shed with 429.
+	MaxActive int
+	// MemWatermark sheds submissions while the live heap exceeds this
+	// many bytes.
+	MemWatermark uint64
+	// RatePerSec and Burst shape each tenant's token bucket: Burst
+	// tokens capacity, refilled at RatePerSec; one submission costs one
+	// token. RatePerSec 0 disables per-tenant limiting.
+	RatePerSec float64
+	Burst      float64
+}
+
+// admitError is a rejection: why, and when to retry.
+type admitError struct {
+	reason     string
+	retryAfter time.Duration
+}
+
+func (e *admitError) Error() string {
+	return fmt.Sprintf("admission: %s (retry after %s)", e.reason, e.retryAfter)
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admission evaluates AdmissionConfig. now and readMem are injectable
+// for tests; production uses time.Now and the runtime heap.
+type admission struct {
+	cfg     AdmissionConfig
+	now     func() time.Time
+	readMem func() uint64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	return &admission{
+		cfg:     cfg,
+		now:     time.Now,
+		readMem: liveHeap,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+func liveHeap() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// admit charges one submission by tenant against all three gates.
+// active is the current count of non-terminal jobs. A nil return means
+// admitted; otherwise the *admitError says why and when to retry.
+// Gates are checked cheapest-first and a tenant over its own rate is
+// rejected before it can consume global capacity.
+func (a *admission) admit(tenant string, active int) *admitError {
+	if a.cfg.RatePerSec > 0 {
+		if retry, ok := a.takeToken(tenant); !ok {
+			return &admitError{reason: "tenant rate limit exceeded", retryAfter: retry}
+		}
+	}
+	if a.cfg.MaxActive > 0 && active >= a.cfg.MaxActive {
+		// No completion signal to predict; suggest a short fixed backoff.
+		return &admitError{reason: "active job limit reached", retryAfter: time.Second}
+	}
+	if a.cfg.MemWatermark > 0 && a.readMem() > a.cfg.MemWatermark {
+		return &admitError{reason: "memory watermark exceeded", retryAfter: 5 * time.Second}
+	}
+	return nil
+}
+
+// takeToken charges tenant's bucket; on failure it returns how long
+// until one token will have refilled.
+func (a *admission) takeToken(tenant string) (time.Duration, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	b, ok := a.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: a.cfg.Burst, last: now}
+		a.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * a.cfg.RatePerSec
+	b.last = now
+	if b.tokens > a.cfg.Burst {
+		b.tokens = a.cfg.Burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	wait := time.Duration((1 - b.tokens) / a.cfg.RatePerSec * float64(time.Second))
+	return wait, false
+}

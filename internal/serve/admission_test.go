@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeAdmission returns an admission controller with a controllable
+// clock and heap reading.
+func fakeAdmission(cfg AdmissionConfig) (*admission, *time.Time, *uint64) {
+	now := time.Unix(1000, 0)
+	var heap uint64
+	a := newAdmission(cfg)
+	a.now = func() time.Time { return now }
+	a.readMem = func() uint64 { return heap }
+	return a, &now, &heap
+}
+
+func TestTokenBucketPerTenant(t *testing.T) {
+	a, now, _ := fakeAdmission(AdmissionConfig{RatePerSec: 1, Burst: 2})
+
+	// Burst capacity: two immediate submissions pass, the third is
+	// rejected with a refill estimate.
+	for i := 0; i < 2; i++ {
+		if err := a.admit("alice", 0); err != nil {
+			t.Fatalf("submission %d rejected: %v", i, err)
+		}
+	}
+	err := a.admit("alice", 0)
+	if err == nil {
+		t.Fatal("third burst submission admitted, want rate-limited")
+	}
+	if err.retryAfter <= 0 || err.retryAfter > time.Second {
+		t.Errorf("retryAfter = %v, want in (0, 1s] at 1 token/s", err.retryAfter)
+	}
+
+	// Tenants are independent: bob is unaffected by alice's flood.
+	if err := a.admit("bob", 0); err != nil {
+		t.Errorf("independent tenant rejected: %v", err)
+	}
+
+	// Refill: after a second, alice has one token again.
+	*now = now.Add(time.Second)
+	if err := a.admit("alice", 0); err != nil {
+		t.Errorf("post-refill submission rejected: %v", err)
+	}
+
+	// Capacity is capped at Burst even after a long idle period.
+	*now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if err := a.admit("alice", 0); err != nil {
+			t.Fatalf("post-idle submission %d rejected: %v", i, err)
+		}
+	}
+	if err := a.admit("alice", 0); err == nil {
+		t.Error("bucket exceeded Burst capacity after idle")
+	}
+}
+
+func TestGlobalActiveCap(t *testing.T) {
+	a, _, _ := fakeAdmission(AdmissionConfig{MaxActive: 4})
+	if err := a.admit("alice", 3); err != nil {
+		t.Fatalf("under the cap rejected: %v", err)
+	}
+	err := a.admit("alice", 4)
+	if err == nil {
+		t.Fatal("at the cap admitted, want shed")
+	}
+	if err.retryAfter <= 0 {
+		t.Errorf("shed without a Retry-After estimate: %v", err)
+	}
+}
+
+func TestMemWatermark(t *testing.T) {
+	a, _, heap := fakeAdmission(AdmissionConfig{MemWatermark: 1 << 20})
+	*heap = 1 << 19
+	if err := a.admit("alice", 0); err != nil {
+		t.Fatalf("under the watermark rejected: %v", err)
+	}
+	*heap = 2 << 20
+	if err := a.admit("alice", 0); err == nil {
+		t.Fatal("over the watermark admitted, want shed")
+	}
+}
+
+func TestZeroConfigAdmitsEverything(t *testing.T) {
+	a, _, heap := fakeAdmission(AdmissionConfig{})
+	*heap = 1 << 40
+	for i := 0; i < 100; i++ {
+		if err := a.admit("alice", i); err != nil {
+			t.Fatalf("zero-valued config rejected submission %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package serve
+
+import "fmt"
+
+// State is a job's lifecycle state. The state machine is the
+// robustness backbone of the service: every transition goes through
+// Job.to, which rejects anything not in the transition table, and
+// every transition is persisted to the job's manifest before it is
+// visible over HTTP — so the on-disk state is always a valid state to
+// restart from.
+//
+//	queued ──► running ──► checkpointed ─┐
+//	   │           │    ◄──┘   │  │      │
+//	   │           ├───────────┼──┼──────┤
+//	   ▼           ▼           ▼  ▼      ▼
+//	cancelled   done/failed/cancelled
+//
+// Running and Checkpointed differ in what a crash loses: a job that
+// dies in Running has no durable progress and recovery re-queues it
+// from scratch, while a job that reached Checkpointed resumes from its
+// newest checkpoint with byte-equal final output.
+type State uint8
+
+// Job lifecycle states.
+const (
+	// StateQueued: accepted by admission control, not yet started.
+	StateQueued State = iota
+	// StateRunning: executing, no durable progress yet.
+	StateRunning
+	// StateCheckpointed: executing with at least one durable checkpoint
+	// (the state re-enters itself on every further checkpoint).
+	StateCheckpointed
+	// StateDone: finished; output is available.
+	StateDone
+	// StateFailed: finished with an error or an isolated panic.
+	StateFailed
+	// StateCancelled: stopped by DELETE or shutdown before finishing.
+	StateCancelled
+	numStates
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateCheckpointed:
+		return "checkpointed"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// transitions is the complete lifecycle FSM; transitions[from][to]
+// reports whether from → to is legal.
+var transitions = [numStates][numStates]bool{
+	StateQueued: {
+		StateRunning:   true,
+		StateCancelled: true,
+	},
+	StateRunning: {
+		StateCheckpointed: true,
+		StateDone:         true,
+		StateFailed:       true,
+		StateCancelled:    true,
+	},
+	StateCheckpointed: {
+		// Re-entered on every checkpoint; re-enters Running when a
+		// restarted server resumes the job.
+		StateCheckpointed: true,
+		StateRunning:      true,
+		StateDone:         true,
+		StateFailed:       true,
+		StateCancelled:    true,
+	},
+}
+
+// CanTransition reports whether s → to is a legal lifecycle step.
+func (s State) CanTransition(to State) bool {
+	return s < numStates && to < numStates && transitions[s][to]
+}
+
+// Terminal reports whether s is final: no transition leaves it, the
+// job's outcome (output or error) is settled, and a restarted server
+// only lists it, never re-runs it.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}

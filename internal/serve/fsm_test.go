@@ -1,0 +1,63 @@
+package serve
+
+import "testing"
+
+// TestTransitionTable pins the complete lifecycle FSM: every legal
+// transition, listed explicitly, and everything else rejected.
+func TestTransitionTable(t *testing.T) {
+	all := []State{StateQueued, StateRunning, StateCheckpointed, StateDone, StateFailed, StateCancelled}
+	legal := map[[2]State]bool{
+		{StateQueued, StateRunning}:            true,
+		{StateQueued, StateCancelled}:          true,
+		{StateRunning, StateCheckpointed}:      true,
+		{StateRunning, StateDone}:              true,
+		{StateRunning, StateFailed}:            true,
+		{StateRunning, StateCancelled}:         true,
+		{StateCheckpointed, StateRunning}:      true, // restart resumes
+		{StateCheckpointed, StateCheckpointed}: true, // repeated checkpoints
+		{StateCheckpointed, StateDone}:         true,
+		{StateCheckpointed, StateFailed}:       true,
+		{StateCheckpointed, StateCancelled}:    true,
+	}
+	for _, from := range all {
+		for _, to := range all {
+			want := legal[[2]State{from, to}]
+			if got := from.CanTransition(to); got != want {
+				t.Errorf("CanTransition(%s -> %s) = %v, want %v", from, to, got, want)
+			}
+		}
+	}
+}
+
+// TestTerminalStates pins which states are final: terminal states have
+// no outgoing transitions, non-terminal states have at least one.
+func TestTerminalStates(t *testing.T) {
+	all := []State{StateQueued, StateRunning, StateCheckpointed, StateDone, StateFailed, StateCancelled}
+	for _, s := range all {
+		wantTerminal := s == StateDone || s == StateFailed || s == StateCancelled
+		if s.Terminal() != wantTerminal {
+			t.Errorf("%s.Terminal() = %v, want %v", s, s.Terminal(), wantTerminal)
+		}
+		hasExit := false
+		for _, to := range all {
+			if s.CanTransition(to) {
+				hasExit = true
+			}
+		}
+		if hasExit == wantTerminal {
+			t.Errorf("%s: terminal=%v but has outgoing transitions=%v", s, wantTerminal, hasExit)
+		}
+	}
+}
+
+// TestStateBounds checks out-of-range values are rejected, not
+// indexed.
+func TestStateBounds(t *testing.T) {
+	bogus := State(200)
+	if bogus.CanTransition(StateDone) || StateQueued.CanTransition(bogus) {
+		t.Error("out-of-range state accepted by CanTransition")
+	}
+	if bogus.Terminal() {
+		t.Error("out-of-range state reported terminal")
+	}
+}

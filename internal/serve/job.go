@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/bgp"
+	"repro/internal/cliconf"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// jobKind is what a job runs: the two-experiment survey or the
+// fault-intensity sweep.
+type jobKind uint8
+
+const (
+	kindSurvey jobKind = iota
+	kindSweep
+)
+
+func (k jobKind) String() string {
+	if k == kindSweep {
+		return "sweep"
+	}
+	return "survey"
+}
+
+// JobSpec is a submission body: who is asking, what to run, and the
+// run configuration. Options reuses cliconf.JobOptions so the server
+// validates a submission exactly as the CLI validates its flags.
+type JobSpec struct {
+	// Tenant names the submitting tenant for rate limiting; empty maps
+	// to "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Kind is "survey" (default) or "sweep".
+	Kind string `json:"kind,omitempty"`
+	// Options configures the pipeline (fields as the CLI flags).
+	Options cliconf.JobOptions `json:"options"`
+	// TimeoutSeconds, when positive, deadlines the job; on expiry it
+	// stops at the next round boundary and is marked failed.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+
+	kind jobKind
+}
+
+// Validate normalizes and rejects a submission; the Options check is
+// the identical cliconf.JobOptions.Validate the CLI runs.
+func (sp *JobSpec) Validate() error {
+	if sp.Tenant == "" {
+		sp.Tenant = "default"
+	}
+	switch sp.Kind {
+	case "", "survey":
+		sp.Kind, sp.kind = "survey", kindSurvey
+	case "sweep":
+		sp.kind = kindSweep
+		if sp.Options.Faults == 0 {
+			return fmt.Errorf("sweep job needs options.faults in (0, 1]")
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q: want \"survey\" or \"sweep\"", sp.Kind)
+	}
+	if sp.TimeoutSeconds < 0 {
+		return fmt.Errorf("timeout_seconds %v out of range: want >= 0", sp.TimeoutSeconds)
+	}
+	return sp.Options.Validate()
+}
+
+// fingerprint is the checkpoint compatibility key for the job's
+// configuration (worker count excluded — see core.CheckpointFingerprint).
+func (sp *JobSpec) fingerprint() core.CheckpointFingerprint {
+	return core.CheckpointFingerprint{
+		Seed:        sp.Options.Seed,
+		Small:       sp.Options.Small,
+		Incremental: sp.Options.Incremental,
+		Faults:      sp.Options.Faults,
+		NSeeds:      1,
+	}
+}
+
+// Job is one submitted job. All mutable fields are guarded by the
+// owning Server's mu; the runner goroutine mutates only through
+// Server methods.
+type Job struct {
+	ID   string
+	Seq  uint64
+	Spec JobSpec
+
+	state  State
+	errMsg string
+	output []byte
+	// cancelled marks a DELETE-requested stop, distinguishing a user
+	// cancellation from a deadline expiry when the context error
+	// surfaces.
+	cancelled bool
+	cancel    context.CancelFunc
+	// done closes when the runner finishes (any terminal state) or the
+	// emulated crash abandons the job.
+	done chan struct{}
+	// events is the job's full event history (JSON lines); subs receive
+	// appends live. Subscribers replay history first, so a late
+	// subscriber sees the same stream as an early one.
+	events []string
+	subs   map[chan string]struct{}
+}
+
+// JobStatus is the wire form of a job's current state.
+type JobStatus struct {
+	ID      string             `json:"id"`
+	Tenant  string             `json:"tenant"`
+	Kind    string             `json:"kind"`
+	State   string             `json:"state"`
+	Error   string             `json:"error,omitempty"`
+	Options cliconf.JobOptions `json:"options"`
+}
+
+func (j *Job) status() JobStatus {
+	return JobStatus{
+		ID:      j.ID,
+		Tenant:  j.Spec.Tenant,
+		Kind:    j.Spec.Kind,
+		State:   j.state.String(),
+		Error:   j.errMsg,
+		Options: j.Spec.Options,
+	}
+}
+
+func (j *Job) record() *jobRecord {
+	return &jobRecord{Seq: j.Seq, Spec: j.Spec, State: j.state, Error: j.errMsg, Output: j.output}
+}
+
+// --- job output ---
+
+// resultSummary is the deterministic JSON digest of one experiment.
+type resultSummary struct {
+	Name     string         `json:"name"`
+	Rounds   int            `json:"rounds"`
+	Prefixes int            `json:"prefixes"`
+	Classes  map[string]int `json:"classes"`
+}
+
+func summarize(res *core.Result) *resultSummary {
+	if res == nil {
+		return nil
+	}
+	s := &resultSummary{
+		Name:     res.Name,
+		Rounds:   len(res.Rounds),
+		Prefixes: len(res.PerPrefix),
+		Classes:  map[string]int{},
+	}
+	for _, pr := range res.PerPrefix {
+		s.Classes[pr.Inference.String()]++
+	}
+	return s
+}
+
+// sweepSummary is the deterministic JSON digest of one sweep point.
+type sweepSummary struct {
+	Intensity      float64 `json:"intensity"`
+	SessionFaults  int     `json:"session_faults"`
+	Accuracy       float64 `json:"accuracy"`
+	MeanConfidence float64 `json:"mean_confidence"`
+	OutageClasses  int     `json:"outage_classes"`
+}
+
+// jobOutput is the document GET /jobs/{id}/output serves: experiment
+// digests (or sweep points) plus the run's full telemetry manifest.
+// Every field serializes deterministically (JSON object keys and map
+// keys are sorted), so a resumed job reproduces a cold run's output
+// byte for byte.
+type jobOutput struct {
+	SURF      *resultSummary  `json:"surf,omitempty"`
+	Internet2 *resultSummary  `json:"internet2,omitempty"`
+	Sweep     []sweepSummary  `json:"sweep,omitempty"`
+	Manifest  json.RawMessage `json:"manifest"`
+}
+
+// --- the runner ---
+
+// runSurvey executes a survey job: resume from the newest checkpoint
+// in the job's directory when one exists, checkpoint after every
+// round, stream progress, and render the deterministic output
+// document. It mirrors cmd/resurvey's resume flow so the two front
+// ends have identical crash semantics.
+func (s *Server) runSurvey(ctx context.Context, j *Job) ([]byte, error) {
+	jobDir := filepath.Join(s.cfg.DataDir, j.ID)
+	reg := telemetry.New()
+
+	ck := loadLatestCheckpoint(jobDir, j.Spec.fingerprint())
+	var openSpans []*telemetry.Span
+	if ck != nil {
+		spans, err := reg.LoadState(bytes.NewReader(ck.Telemetry))
+		if err != nil {
+			ck = nil // unusable telemetry: cold-start rather than diverge
+		} else {
+			openSpans = spans
+		}
+	}
+
+	pl := j.Spec.Options.Pipeline(reg)
+	// On resume the checkpointed registry already holds the completed
+	// build phase; re-recording it would duplicate the span.
+	var buildSpan *telemetry.Span
+	if ck == nil {
+		buildSpan = reg.StartSpan("build")
+	}
+	sv := pl.NewSurvey()
+	buildSpan.End()
+
+	if ck != nil {
+		if err := bgp.RestoreNetwork(bytes.NewReader(ck.Engine), sv.Eco.Net); err != nil {
+			return nil, fmt.Errorf("resume: restore engine state: %w", err)
+		}
+		sv.Resume = ck.Resume(openSpans)
+		s.reg.Counter("serve_jobs_resumed_total").Inc()
+	}
+
+	crashLeft := s.crashAfterCheckpoints
+	sv.Checkpoint = func(sck core.SurveyCheckpoint) {
+		c, err := core.BuildCheckpoint(j.Spec.fingerprint(), sck, sv.Eco.Net, reg)
+		if err == nil {
+			err = writeJobCheckpoint(jobDir, c)
+		}
+		if err != nil {
+			s.reg.Counter("serve_checkpoint_errors_total").Inc()
+			return
+		}
+		s.checkpointed(j)
+		if s.crashAfterCheckpoints > 0 {
+			crashLeft--
+			if crashLeft == 0 {
+				panic(errCrash)
+			}
+		}
+	}
+	sv.Progress = func(phase int, ev core.RoundProgress) {
+		s.publish(j, event{Type: "round", Phase: phase, Round: &ev})
+	}
+
+	if err := sv.RunBothContext(ctx); err != nil {
+		return nil, err
+	}
+	return renderOutput(j, reg, &jobOutput{
+		SURF:      summarize(sv.SURF),
+		Internet2: summarize(sv.Internet2),
+	})
+}
+
+// runSweep executes a fault-sweep job. Sweep points have no per-round
+// checkpoint hook, so an interrupted sweep re-runs from the start on
+// recovery — the output is deterministic either way.
+func (s *Server) runSweep(ctx context.Context, j *Job) ([]byte, error) {
+	reg := telemetry.New()
+	pl := j.Spec.Options.Pipeline(reg)
+	pts, err := pl.RunFaultSweepContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &jobOutput{}
+	for _, pt := range pts {
+		out.Sweep = append(out.Sweep, sweepSummary{
+			Intensity:      pt.Intensity,
+			SessionFaults:  pt.SessionFaults,
+			Accuracy:       pt.Accuracy,
+			MeanConfidence: pt.MeanConfidence,
+			OutageClasses:  pt.OutageClasses,
+		})
+	}
+	return renderOutput(j, reg, out)
+}
+
+// renderOutput attaches the job's telemetry manifest (wall times
+// zeroed for determinism) and serializes the output document.
+func renderOutput(j *Job, reg *telemetry.Registry, out *jobOutput) ([]byte, error) {
+	m, err := reg.Snapshot(telemetry.SnapshotOptions{
+		Seed:          j.Spec.Options.Seed,
+		Options:       j.Spec.Options,
+		ZeroDurations: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	out.Manifest = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	return json.Marshal(out)
+}
+
+// --- progress events ---
+
+// event is one SSE payload: a round completing or a state change.
+type event struct {
+	Type  string              `json:"type"` // "round" | "state"
+	Phase int                 `json:"phase,omitempty"`
+	Round *core.RoundProgress `json:"round,omitempty"`
+	State string              `json:"state,omitempty"`
+}

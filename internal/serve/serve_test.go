@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cliconf"
+)
+
+// jobState reads a job's state under the server lock (test helper).
+func (s *Server) jobState(id string) State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := s.jobs[id]; j != nil {
+		return j.state
+	}
+	return numStates
+}
+
+func (s *Server) counter(name string) int64 { return s.reg.Counter(name).Value() }
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJob(t *testing.T, url string, spec string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func waitCounter(t *testing.T, s *Server, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.counter(name) != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want %d (timed out)", name, s.counter(name), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestOverload is the acceptance check: 100 concurrent submissions
+// against a 4-job admission limit produce a correct 202/429 mix, every
+// 429 carries Retry-After, nothing crashes, and the shed/completed
+// counters match the observed responses exactly.
+func TestOverload(t *testing.T) {
+	s := newTestServer(t, Config{Admission: AdmissionConfig{MaxActive: 4}})
+	s.runJob = func(ctx context.Context, j *Job) ([]byte, error) {
+		time.Sleep(20 * time.Millisecond)
+		return []byte("{}"), nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 100
+	var mu sync.Mutex
+	var accepted, shed, other int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJob(t, ts.URL, `{"options": {"small": true, "incremental": true}}`)
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				accepted++
+			case http.StatusTooManyRequests:
+				shed++
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without a Retry-After header")
+				}
+			default:
+				other++
+			}
+		}()
+	}
+	wg.Wait()
+
+	if other != 0 {
+		t.Fatalf("%d responses were neither 202 nor 429", other)
+	}
+	if accepted+shed != n {
+		t.Fatalf("accepted %d + shed %d != %d submissions", accepted, shed, n)
+	}
+	if accepted < 4 || shed == 0 {
+		t.Fatalf("implausible mix under overload: %d accepted, %d shed", accepted, shed)
+	}
+	if got := s.counter("serve_jobs_shed_total"); got != int64(shed) {
+		t.Errorf("serve_jobs_shed_total = %d, want %d (observed 429s)", got, shed)
+	}
+	if got := s.counter("serve_jobs_accepted_total"); got != int64(accepted) {
+		t.Errorf("serve_jobs_accepted_total = %d, want %d (observed 202s)", got, accepted)
+	}
+	// Every accepted job runs to completion; the counters reconcile.
+	waitCounter(t, s, "serve_jobs_completed_total", int64(accepted))
+}
+
+// TestTenantRateLimit checks the per-tenant bucket path end to end:
+// a burst beyond the bucket sheds with 429 + Retry-After and counts in
+// both serve_jobs_shed_total and serve_rate_limited_total.
+func TestTenantRateLimit(t *testing.T) {
+	s := newTestServer(t, Config{Admission: AdmissionConfig{RatePerSec: 0.001, Burst: 2}})
+	s.runJob = func(ctx context.Context, j *Job) ([]byte, error) { return []byte("{}"), nil }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	codes := []int{}
+	for i := 0; i < 3; i++ {
+		resp := postJob(t, ts.URL, `{"tenant": "alice", "options": {"small": true}}`)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+			t.Error("rate-limited 429 without Retry-After")
+		}
+	}
+	want := []int{202, 202, 429}
+	for i := range codes {
+		if codes[i] != want[i] {
+			t.Fatalf("submission %d got %d, want %d (all: %v)", i, codes[i], want[i], codes)
+		}
+	}
+	// An unrelated tenant is not starved by alice's flood.
+	resp := postJob(t, ts.URL, `{"tenant": "bob", "options": {"small": true}}`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("independent tenant shed with %d", resp.StatusCode)
+	}
+	if got := s.counter("serve_rate_limited_total"); got != 1 {
+		t.Errorf("serve_rate_limited_total = %d, want 1", got)
+	}
+}
+
+// TestPanicIsolation: a panicking job is marked failed and counted;
+// the server keeps accepting and running later jobs.
+func TestPanicIsolation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	boom := true
+	s.runJob = func(ctx context.Context, j *Job) ([]byte, error) {
+		if boom {
+			boom = false
+			panic("boom")
+		}
+		return []byte("{}"), nil
+	}
+	j1, err := s.Submit(JobSpec{Options: cliconf.JobOptions{Small: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j1.done
+	if st := s.jobState(j1.ID); st != StateFailed {
+		t.Fatalf("panicked job state = %s, want failed", st)
+	}
+	if got := s.counter("serve_job_panics_total"); got != 1 {
+		t.Errorf("serve_job_panics_total = %d, want 1", got)
+	}
+
+	j2, err := s.Submit(JobSpec{Options: cliconf.JobOptions{Small: true}})
+	if err != nil {
+		t.Fatalf("server stopped accepting after an isolated panic: %v", err)
+	}
+	<-j2.done
+	if st := s.jobState(j2.ID); st != StateDone {
+		t.Fatalf("job after panic = %s, want done", st)
+	}
+}
+
+// TestCancel: DELETE stops a running job and settles it as cancelled.
+func TestCancel(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.runJob = func(ctx context.Context, j *Job) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	j, err := s.Submit(JobSpec{Options: cliconf.JobOptions{Small: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	<-j.done
+	if st := s.jobState(j.ID); st != StateCancelled {
+		t.Fatalf("cancelled job state = %s, want cancelled", st)
+	}
+	if got := s.counter("serve_jobs_cancelled_total"); got != 1 {
+		t.Errorf("serve_jobs_cancelled_total = %d, want 1", got)
+	}
+}
+
+// TestDeadline: a job past its timeout_seconds fails with the context
+// error rather than hanging.
+func TestDeadline(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.runJob = func(ctx context.Context, j *Job) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	j, err := s.Submit(JobSpec{Options: cliconf.JobOptions{Small: true}, TimeoutSeconds: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.done
+	if st := s.jobState(j.ID); st != StateFailed {
+		t.Fatalf("timed-out job state = %s, want failed", st)
+	}
+}
+
+// TestSubmitValidation: the endpoint rejects what cliconf rejects,
+// with a 400, plus the serve-specific shape errors.
+func TestSubmitValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, body := range []string{
+		`{"kind": "nonsense"}`,
+		`{"kind": "sweep"}`,                    // sweep without faults
+		`{"options": {"faults": 2}}`,           // cliconf range check
+		`{"options": {"workers": -1}}`,         // cliconf range check
+		`{"timeout_seconds": -1}`,              // negative deadline
+		`{"options": {"unknown_field": true}}`, // strict decoding
+		`not json`,
+	} {
+		resp := postJob(t, ts.URL, body)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestEventsStream: the SSE endpoint replays the full event history —
+// round events published during the run and every state transition —
+// and terminates once the job is settled.
+func TestEventsStream(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.runJob = func(ctx context.Context, j *Job) ([]byte, error) {
+		s.publish(j, event{Type: "round", Phase: 0, Round: nil})
+		return []byte("{}"), nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	j, err := s.Submit(JobSpec{Options: cliconf.JobOptions{Small: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.done
+
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%s/events", ts.URL, j.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"type":"round"`, `"state":"running"`, `"state":"done"`} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("event stream missing %s:\n%s", want, body)
+		}
+	}
+}
+
+// TestHTTPSurface drives the remaining read endpoints end to end.
+func TestHTTPSurface(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.runJob = func(ctx context.Context, j *Job) ([]byte, error) { return []byte(`{"ok":true}`), nil }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j, err := s.Submit(JobSpec{Tenant: "alice", Options: cliconf.JobOptions{Small: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.done
+
+	var list []JobStatus
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].ID != j.ID || list[0].State != "done" || list[0].Tenant != "alice" {
+		t.Fatalf("GET /jobs = %+v", list)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("%s/jobs/%s/output", ts.URL, j.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(out) != `{"ok":true}` {
+		t.Errorf("output = %s", out)
+	}
+
+	resp, err = http.Get(ts.URL + "/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown job = %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string         `json:"status"`
+		Jobs   map[string]int `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Jobs["done"] != 1 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(prom, []byte("serve_jobs_accepted_total 1")) ||
+		!bytes.Contains(prom, []byte("serve_jobs_completed_total 1")) {
+		t.Errorf("/metrics missing serve counters:\n%s", prom)
+	}
+}
+
+// TestGracefulShutdownDrains: Shutdown waits for running jobs, rejects
+// new submissions while draining, and returns once drained.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s := newTestServer(t, Config{DrainTimeout: 5 * time.Second})
+	release := make(chan struct{})
+	s.runJob = func(ctx context.Context, j *Job) ([]byte, error) {
+		<-release
+		return []byte("{}"), nil
+	}
+	j, err := s.Submit(JobSpec{Options: cliconf.JobOptions{Small: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(context.Background()) }()
+	time.Sleep(10 * time.Millisecond) // let closing take effect
+
+	if _, err := s.Submit(JobSpec{Options: cliconf.JobOptions{Small: true}}); err == nil {
+		t.Error("submission accepted while draining")
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown = %v, want clean drain", err)
+	}
+	if st := s.jobState(j.ID); st != StateDone {
+		t.Errorf("drained job state = %s, want done", st)
+	}
+}
+
+// TestShutdownAbandonsPastTimeout: a job that cannot finish within the
+// drain budget is abandoned without a terminal transition, and a fresh
+// server on the same data dir recovers and re-runs it.
+func TestShutdownAbandonsPastTimeout(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{DataDir: dir, DrainTimeout: 30 * time.Millisecond})
+	s.runJob = func(ctx context.Context, j *Job) ([]byte, error) {
+		<-ctx.Done() // never finishes voluntarily
+		return nil, ctx.Err()
+	}
+	j, err := s.Submit(JobSpec{Options: cliconf.JobOptions{Small: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err == nil {
+		t.Fatal("Shutdown returned nil, want drain-timeout error")
+	}
+	if got := s.counter("serve_jobs_abandoned_total"); got != 1 {
+		t.Errorf("serve_jobs_abandoned_total = %d, want 1", got)
+	}
+
+	s2 := newTestServer(t, Config{DataDir: dir})
+	s2.runJob = func(ctx context.Context, j *Job) ([]byte, error) { return []byte("{}"), nil }
+	if got := s2.counter("serve_jobs_recovered_total"); got != 1 {
+		t.Fatalf("serve_jobs_recovered_total = %d, want 1", got)
+	}
+	s2.Start()
+	j2 := s2.job(j.ID)
+	if j2 == nil {
+		t.Fatalf("restarted server lost job %s", j.ID)
+	}
+	<-j2.done
+	if st := s2.jobState(j.ID); st != StateDone {
+		t.Errorf("recovered job state = %s, want done", st)
+	}
+}
+
+// TestJobRecordRoundTrip pins the RJOB codec.
+func TestJobRecordRoundTrip(t *testing.T) {
+	r := &jobRecord{
+		Seq: 7,
+		Spec: JobSpec{
+			Tenant:         "alice",
+			Kind:           "sweep",
+			kind:           kindSweep,
+			Options:        cliconf.JobOptions{Small: true, Seed: 42, Workers: 3, Faults: 0.5, Incremental: true},
+			TimeoutSeconds: 30,
+		},
+		State:  StateCheckpointed,
+		Error:  "transient",
+		Output: []byte(`{"x":1}`),
+	}
+	got, err := decodeJob(encodeJob(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != r.Seq || got.Spec != r.Spec || got.State != r.State ||
+		got.Error != r.Error || !bytes.Equal(got.Output, r.Output) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, r)
+	}
+	if _, err := decodeJob(encodeJob(r)[:10]); err == nil {
+		t.Error("truncated job manifest decoded without error")
+	}
+}

@@ -30,14 +30,20 @@ const (
 	EngineVersion = 1
 	// CheckpointVersion is the resurvey checkpoint format version.
 	CheckpointVersion = 1
+	// JobVersion is the resurveyd job-manifest format version.
+	JobVersion = 1
 )
 
-// Magic numbers distinguishing the two container uses.
+// Magic numbers distinguishing the container uses.
 const (
 	// EngineMagic opens a serialized bgp.Network ("R&E BGP").
 	EngineMagic = "RBGP"
 	// CheckpointMagic opens a resurvey checkpoint ("R&E checkpoint").
 	CheckpointMagic = "RCKP"
+	// JobMagic opens a resurveyd job manifest ("R&E job") — the durable
+	// record of one submitted job's identity, options, and lifecycle
+	// state that lets a restarted server resume interrupted jobs.
+	JobMagic = "RJOB"
 )
 
 // maxSnapshotBytes bounds how much a reader will buffer. Real

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build check vet test race smoke serve-smoke bench fuzz cover
+.PHONY: build check vet test race smoke serve-smoke workload-smoke bench fuzz cover
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ smoke:
 # SIGTERM and require a clean graceful-shutdown exit.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Determinism smoke for the virtual-clock workloads: run each named
+# workload twice at reduced scale and require byte-identical stdout
+# and manifests (-zerotime strips wall times). A diff here means the
+# event engine leaked scheduling nondeterminism into results.
+workload-smoke:
+	sh scripts/workload_smoke.sh
 
 # Full benchmark run across all packages, converted to a committed
 # JSON baseline. Two steps (temp file, then convert) so a failing test
@@ -64,3 +71,9 @@ cover:
 	$(GO) test -coverprofile=snapshot.cov ./internal/snapshot/
 	$(GO) tool cover -func=snapshot.cov | awk '/^total:/ { sub(/%/, "", $$3); if ($$3 + 0 < 85) { printf "internal/snapshot coverage %.1f%% below 85%% floor\n", $$3; exit 1 } else printf "internal/snapshot coverage %.1f%%\n", $$3 }'
 	rm -f snapshot.cov
+	$(GO) test -coverprofile=vtime.cov ./internal/vtime/
+	$(GO) tool cover -func=vtime.cov | awk '/^total:/ { sub(/%/, "", $$3); if ($$3 + 0 < 80) { printf "internal/vtime coverage %.1f%% below 80%% floor\n", $$3; exit 1 } else printf "internal/vtime coverage %.1f%%\n", $$3 }'
+	rm -f vtime.cov
+	$(GO) test -coverprofile=workload.cov ./internal/workload/
+	$(GO) tool cover -func=workload.cov | awk '/^total:/ { sub(/%/, "", $$3); if ($$3 + 0 < 80) { printf "internal/workload coverage %.1f%% below 80%% floor\n", $$3; exit 1 } else printf "internal/workload coverage %.1f%%\n", $$3 }'
+	rm -f workload.cov

@@ -24,6 +24,13 @@
 // and to a cold start when none is usable), reproducing the
 // uninterrupted run's output byte for byte at any worker count.
 //
+// Workloads: -workload NAME runs a named virtual-clock workload
+// (update-storm, flap-cascade-rfd, diurnal-churn, or replay with
+// -trace file.mrt) through the discrete-event engine instead of the
+// survey script; -duration overrides its virtual horizon and -round
+// selects the round-granularity compatibility scheduler. Workload
+// output is deterministic and byte-identical at any -workers width.
+//
 // Observability: -manifest snapshots the run (seed, options, version,
 // phase durations, worker/shard timings, every metric) to
 // deterministic JSON; -metrics prints a Prometheus-style text
@@ -63,16 +70,18 @@ type options struct {
 	NSeeds  int
 	Dataset string
 	PProf   string
+	Trace   string
 }
 
 func main() {
 	o := options{Config: cliconf.Config{Seed: 1, Incremental: true}}
-	cliconf.Register(flag.CommandLine, &o.Config, cliconf.FlagAll|cliconf.FlagSnapshot)
+	cliconf.Register(flag.CommandLine, &o.Config, cliconf.FlagAll|cliconf.FlagSnapshot|cliconf.FlagWorkload)
 	flag.StringVar(&o.JSONDir, "json", "", "directory for scamper-style probe JSON")
 	flag.StringVar(&o.MRTDir, "mrt", "", "directory for MRT collector dumps")
 	flag.IntVar(&o.NSeeds, "seeds", 1, "additionally rerun the survey across N generator seeds (reduced scale) and report spread")
 	flag.StringVar(&o.Dataset, "dataset", "", "write the gzip-compressed JSON dataset (the public-data-release analog) to this file")
 	flag.StringVar(&o.PProf, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
+	flag.StringVar(&o.Trace, "trace", "", "MRT update file for '-workload replay' (as written by -mrt)")
 	flag.Parse()
 
 	if err := o.validate(); err != nil {
@@ -93,6 +102,20 @@ func (o options) validate() error {
 	}
 	if o.NSeeds < 1 {
 		return fmt.Errorf("-seeds %d out of range: want >= 1", o.NSeeds)
+	}
+	if o.Workload != "" {
+		if o.SnapshotDir != "" || o.Resume {
+			return fmt.Errorf("-workload does not support -snapshot-dir/-resume")
+		}
+		if o.Faults > 0 || o.NSeeds > 1 || o.JSONDir != "" || o.MRTDir != "" || o.Dataset != "" {
+			return fmt.Errorf("-workload replaces the survey script; drop -faults/-seeds/-json/-mrt/-dataset")
+		}
+		if o.Workload == "replay" && o.Trace == "" {
+			return fmt.Errorf("-workload replay requires -trace")
+		}
+	}
+	if o.Trace != "" && o.Workload != "replay" {
+		return fmt.Errorf("-trace requires -workload replay")
 	}
 	return nil
 }
@@ -123,6 +146,10 @@ func run(w io.Writer, o options) error {
 			}
 		}()
 		fmt.Fprintf(w, "pprof listening on http://%s/debug/pprof/\n", o.PProf)
+	}
+
+	if o.Workload != "" {
+		return runWorkload(w, o, reg)
 	}
 
 	// Resume: pick the newest valid checkpoint and restore the
@@ -379,6 +406,63 @@ func run(w io.Writer, o options) error {
 			Incremental: o.Incremental,
 			NSeeds:      o.NSeeds,
 			Survey:      opts,
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "manifest written to %s\n", o.Manifest)
+	}
+	return o.DumpMetrics(w, reg)
+}
+
+// workloadManifestOptions is the run configuration recorded in a
+// workload run's manifest.
+type workloadManifestOptions struct {
+	Small           bool               `json:"small"`
+	Workload        string             `json:"workload"`
+	DurationSeconds int64              `json:"duration_seconds"`
+	RoundMode       bool               `json:"round_mode"`
+	Incremental     bool               `json:"incremental"`
+	Survey          core.SurveyOptions `json:"survey"`
+}
+
+// runWorkload drives a named virtual-clock workload instead of the
+// survey script. Everything printed (and the manifest under -zerotime)
+// is deterministic; the wall-derived speedup figure appears only
+// without -zerotime, so byte-stable comparisons stay clean.
+func runWorkload(w io.Writer, o options, reg *telemetry.Registry) error {
+	pl := o.Pipeline(reg)
+	wopts := o.Job().WorkloadOptions()
+	if o.Workload == "replay" {
+		f, err := os.Open(o.Trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		wopts.Trace = f
+	}
+
+	fmt.Fprintf(w, "building ecosystem (seed %d)...\n", o.Seed)
+	span := reg.StartSpan("workload")
+	res, err := pl.RunWorkload(wopts)
+	span.End()
+	if err != nil {
+		return err
+	}
+	core.WriteWorkloadReport(w, res)
+	if !o.ZeroTime && res.SpeedupRatio > 0 {
+		// Wall-derived, hence gated exactly like manifest durations.
+		reg.Gauge("vtime_speedup_ratio").Set(res.SpeedupRatio)
+		fmt.Fprintf(w, "  speedup: %.0fx virtual over wall\n", res.SpeedupRatio)
+	}
+
+	if o.Manifest != "" {
+		if err := o.WriteManifest(reg, workloadManifestOptions{
+			Small:           o.Small,
+			Workload:        o.Workload,
+			DurationSeconds: int64(res.Duration),
+			RoundMode:       o.RoundMode,
+			Incremental:     o.Incremental,
+			Survey:          pl.SurveyOptions(),
 		}); err != nil {
 			return err
 		}

@@ -1,47 +1,27 @@
 package bgp
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
 	"repro/internal/asn"
 	"repro/internal/netutil"
 	"repro/internal/telemetry"
+	"repro/internal/vtime"
 )
 
 // event is a BGP update in flight: an announcement (route != nil) or a
-// withdrawal, due at a speaker at a virtual time, plus internal timer
-// events (RFD reuse checks).
+// withdrawal, due at a speaker, plus internal timer events (RFD reuse
+// checks, MRAI flushes). Its due time and FIFO tie-break live in the
+// vtime.Queue item wrapping it, so the queue's (At, Seq) ordering is
+// the single definition of delivery order.
 type event struct {
-	at     Time
-	seq    uint64 // FIFO tie-break for equal times
 	to     RouterID
 	from   RouterID
 	prefix netutil.Prefix
 	route  *Route // nil = withdraw
 	rfd    bool   // RFD reuse-check timer rather than an update
 	mrai   bool   // MRAI flush timer, delivered to the *sender*
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }
 
 // UpdateRecord is one BGP message as observed at a collector, the raw
@@ -73,8 +53,7 @@ type Network struct {
 	byName   map[string]RouterID
 
 	clock Time
-	queue eventHeap
-	seq   uint64
+	queue vtime.Queue[*event]
 
 	// DefaultDelay is the per-hop propagation delay applied when a
 	// session has none configured.
@@ -179,6 +158,16 @@ func (n *Network) AdvanceTo(t Time) {
 
 // EventsProcessed returns the number of delivered events so far.
 func (n *Network) EventsProcessed() int { return n.eventsProcessed }
+
+// PendingEvents returns the number of queued (undelivered) events.
+func (n *Network) PendingEvents() int { return n.queue.Len() }
+
+// NextEventTime returns the due time of the earliest queued event; ok
+// is false when the queue is empty.
+func (n *Network) NextEventTime() (Time, bool) {
+	it, ok := n.queue.Peek()
+	return Time(it.At), ok
+}
 
 // AddSpeaker creates a speaker. IDs and names must be unique.
 func (n *Network) AddSpeaker(id RouterID, as asn.AS, name string) *Speaker {
@@ -523,10 +512,7 @@ func (n *Network) exportToPeer(s *Speaker, p netutil.Prefix, pc *PeerConfig) {
 		if last, ok := s.mraiLast[k]; ok && n.clock < last+pc.MRAI {
 			if !s.mraiPending[k] {
 				s.mraiPending[k] = true
-				n.seq++
-				heap.Push(&n.queue, &event{
-					at:     last + pc.MRAI,
-					seq:    n.seq,
+				n.queue.Push(vtime.Time(last+pc.MRAI), &event{
 					to:     s.ID,
 					from:   pc.Neighbor,
 					prefix: p,
@@ -559,10 +545,7 @@ func (n *Network) sendExport(s *Speaker, p netutil.Prefix, pc *PeerConfig) {
 	if pc.MRAI > 0 {
 		s.mraiLast[ribKey{p, pc.Neighbor}] = n.clock
 	}
-	n.seq++
-	heap.Push(&n.queue, &event{
-		at:     n.clock + delay,
-		seq:    n.seq,
+	n.queue.Push(vtime.Time(n.clock+delay), &event{
 		to:     pc.Neighbor,
 		from:   s.ID,
 		prefix: p,
@@ -575,16 +558,16 @@ func (n *Network) sendExport(s *Speaker, p netutil.Prefix, pc *PeerConfig) {
 // the number of events processed.
 func (n *Network) Run(until Time) int {
 	processed := 0
-	for len(n.queue) > 0 {
-		e := n.queue[0]
-		if e.at > until {
+	for {
+		it, ok := n.queue.Peek()
+		if !ok || Time(it.At) > until {
 			break
 		}
-		heap.Pop(&n.queue)
-		if e.at > n.clock {
-			n.clock = e.at
+		n.queue.Pop()
+		if Time(it.At) > n.clock {
+			n.clock = Time(it.At)
 		}
-		n.deliver(e)
+		n.deliver(it.V)
 		processed++
 	}
 	n.eventsProcessed += processed
@@ -664,10 +647,7 @@ func (n *Network) deliver(e *event) {
 	if pcIn := s.peers[e.from]; pcIn != nil && pcIn.RFD != nil {
 		k := ribKey{e.prefix, e.from}
 		if reuse := s.rfdReuseTime(k, pcIn.RFD); reuse >= 0 {
-			n.seq++
-			heap.Push(&n.queue, &event{
-				at:     reuse + 1,
-				seq:    n.seq,
+			n.queue.Push(vtime.Time(reuse+1), &event{
 				to:     s.ID,
 				from:   e.from,
 				prefix: e.prefix,

@@ -169,9 +169,9 @@ func (n *Network) drainDirty() {
 		}
 		n.inc.DirtyEvals++
 		n.metrics.incDirtyEvals.Inc()
-		seqBefore := n.seq
+		seqBefore := n.queue.Seq()
 		n.exportToPeer(s, k.prefix, pc)
-		if n.seq == seqBefore {
+		if n.queue.Seq() == seqBefore {
 			// Nothing entered the event queue: the recomputed
 			// announcement matched the adj-RIB-out, so no neighbor is
 			// enqueued.

@@ -31,7 +31,7 @@ func routeSig(r *Route) string {
 // adj-RIB-in (with damping state), and adj-RIB-out.
 func networkSignature(n *Network) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "clock=%d msgs=%d queued=%d\n", n.Now(), n.Churn.TotalMessages, len(n.queue))
+	fmt.Fprintf(&b, "clock=%d msgs=%d queued=%d\n", n.Now(), n.Churn.TotalMessages, n.queue.Len())
 	for _, rec := range n.Churn.Records {
 		fmt.Fprintf(&b, "churn at=%d col=%d peer=%d p=%s ann=%v path=%v\n",
 			rec.At, rec.Collector, rec.PeerAS, rec.Prefix, rec.Announce, rec.Path)
@@ -265,8 +265,8 @@ func TestNoopPrependSetsEnqueueNothing(t *testing.T) {
 		if got := inc.Stats().DirtyPairs; got != base.DirtyPairs {
 			t.Errorf("%s: enqueued %d dirty pairs, want 0", what, got-base.DirtyPairs)
 		}
-		if len(inc.queue) != 0 {
-			t.Errorf("%s: %d events scheduled, want 0", what, len(inc.queue))
+		if inc.queue.Len() != 0 {
+			t.Errorf("%s: %d events scheduled, want 0", what, inc.queue.Len())
 		}
 		inc.RunToQuiescence()
 		if inc.Churn.TotalMessages != msgs {

@@ -40,6 +40,7 @@ import (
 	"repro/internal/asn"
 	"repro/internal/netutil"
 	snap "repro/internal/snapshot"
+	"repro/internal/vtime"
 )
 
 // Engine snapshot section IDs, in file order.
@@ -81,7 +82,7 @@ func (n *Network) snapshotBytes() ([]byte, error) {
 	sw.Section(secFingerprint, n.encodeFingerprint())
 	sw.Section(secRoutes, encodeRoutes(ri))
 	sw.Section(secSpeakers, n.encodeSpeakers(ri))
-	sw.Section(secQueue, encodeQueue(sortedEvents(n.queue), ri))
+	sw.Section(secQueue, encodeQueue(n.queue.Sorted(), ri))
 	sw.Section(secChurn, encodeChurn(n.Churn.Records))
 	sw.Section(secDirty, encodeDirty(n.dirtyQueue))
 	return sw.Bytes(), nil
@@ -136,13 +137,12 @@ func RestoreNetwork(r io.Reader, base *Network) error {
 
 	// Everything decoded and validated; apply atomically.
 	base.clock = meta.clock
-	base.seq = meta.seq
 	base.eventsProcessed = meta.eventsProcessed
 	base.DefaultDelay = meta.defaultDelay
 	base.incremental = meta.incremental
 	base.inc = meta.inc
 	base.Churn = ChurnLog{Records: churn, TotalMessages: meta.churnTotal}
-	base.queue = queue
+	base.queue.Restore(queue, meta.seq)
 	base.batchDepth = 0
 	base.dirtyQueue = dirty
 	base.dirtySet = nil
@@ -174,7 +174,7 @@ type metaState struct {
 func (n *Network) encodeMeta() []byte {
 	var e snap.Enc
 	e.I64(int64(n.clock))
-	e.U64(n.seq)
+	e.U64(n.queue.Seq())
 	e.U64(uint64(n.eventsProcessed))
 	e.I64(int64(n.DefaultDelay))
 	e.Bool(n.incremental)
@@ -300,8 +300,8 @@ func newRouteIndex(n *Network) *routeIndex {
 			ri.add(e.best)
 		}
 	}
-	for _, ev := range sortedEvents(n.queue) {
-		ri.add(ev.route)
+	for _, it := range n.queue.Sorted() {
+		ri.add(it.V.route)
 	}
 	return ri
 }
@@ -713,29 +713,17 @@ func decodeSpeakers(payload []byte, base *Network, routes []*Route) ([]*speakerS
 
 // --- queue section ---
 
-// sortedEvents returns the pending events by (at, seq). The heap
-// stores a heap-ordered slice; full (at, seq) order is both the
-// deterministic serialization order and — because a fully sorted
-// slice satisfies the heap property — directly restorable without
-// re-heapifying.
-func sortedEvents(q eventHeap) []*event {
-	out := make([]*event, len(q))
-	copy(out, q)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].at != out[j].at {
-			return out[i].at < out[j].at
-		}
-		return out[i].seq < out[j].seq
-	})
-	return out
-}
-
-func encodeQueue(events []*event, ri *routeIndex) []byte {
+// encodeQueue serializes the pending events in (At, Seq) order — the
+// vtime.Queue.Sorted traversal — with each item's due time and
+// sequence number written explicitly, so the wire format is identical
+// to the pre-vtime eventHeap encoding byte for byte.
+func encodeQueue(items []vtime.Item[*event], ri *routeIndex) []byte {
 	var e snap.Enc
-	e.Uvarint(uint64(len(events)))
-	for _, ev := range events {
-		e.I64(int64(ev.at))
-		e.U64(ev.seq)
+	e.Uvarint(uint64(len(items)))
+	for _, it := range items {
+		ev := it.V
+		e.I64(int64(it.At))
+		e.U64(it.Seq)
 		e.U32(uint32(ev.to))
 		e.U32(uint32(ev.from))
 		encPrefix(&e, ev.prefix)
@@ -746,17 +734,19 @@ func encodeQueue(events []*event, ri *routeIndex) []byte {
 	return e.Bytes()
 }
 
-func decodeQueue(payload []byte, routes []*Route) (eventHeap, error) {
+func decodeQueue(payload []byte, routes []*Route) ([]vtime.Item[*event], error) {
 	d := snap.NewDec(payload)
 	n := d.Count(32)
-	q := make(eventHeap, 0, n)
+	q := make([]vtime.Item[*event], 0, n)
 	for i := 0; i < n; i++ {
-		ev := &event{
-			at:   Time(d.I64()),
-			seq:  d.U64(),
-			to:   RouterID(d.U32()),
-			from: RouterID(d.U32()),
+		it := vtime.Item[*event]{
+			At:  vtime.Time(d.I64()),
+			Seq: d.U64(),
+			V:   &event{},
 		}
+		ev := it.V
+		ev.to = RouterID(d.U32())
+		ev.from = RouterID(d.U32())
 		var err error
 		if ev.prefix, err = decPrefix(d); err != nil {
 			return nil, err
@@ -766,7 +756,7 @@ func decodeQueue(payload []byte, routes []*Route) (eventHeap, error) {
 		}
 		ev.rfd = d.Bool()
 		ev.mrai = d.Bool()
-		q = append(q, ev)
+		q = append(q, it)
 	}
 	if err := d.Done(); err != nil {
 		return nil, err

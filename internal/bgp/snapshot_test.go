@@ -157,7 +157,7 @@ func TestRestoreEquivalenceMidFlight(t *testing.T) {
 	if !origin.mraiPending[ribKey{p, RouterID(2)}] {
 		t.Fatal("scenario did not leave an MRAI flush pending")
 	}
-	if len(orig.queue) == 0 {
+	if orig.queue.Len() == 0 {
 		t.Fatal("scenario left no events in flight")
 	}
 

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/vtime"
 )
 
 // Config holds the shared flag values. Commands embed it in their own
@@ -37,6 +38,13 @@ type Config struct {
 	// the newest valid checkpoint there instead of starting cold.
 	SnapshotDir string
 	Resume      bool
+	// Workload and Duration drive virtual-clock workload runs
+	// (FlagWorkload): -workload picks a named schedule and replaces
+	// the survey's experiment script; -duration overrides the
+	// workload's default virtual horizon in seconds.
+	Workload  string
+	Duration  int64
+	RoundMode bool
 }
 
 // JobOptions is the portable description of one pipeline run — the
@@ -51,6 +59,25 @@ type JobOptions struct {
 	Workers     int     `json:"workers,omitempty"`
 	Faults      float64 `json:"faults,omitempty"`
 	Incremental bool    `json:"incremental"`
+	// Workload selects a named virtual-clock workload (see
+	// core.WorkloadNames); empty runs the standard survey script.
+	Workload string `json:"workload,omitempty"`
+	// DurationSeconds bounds the workload's virtual horizon; 0 uses
+	// the named workload's default.
+	DurationSeconds int64 `json:"duration_seconds,omitempty"`
+	// RoundMode quantizes the workload to round boundaries (the
+	// compatibility scheduler) instead of event-granularity timers.
+	RoundMode bool `json:"round_mode,omitempty"`
+}
+
+// WorkloadOptions converts the job's workload fields into the core
+// run options (zero value when no workload is selected).
+func (j JobOptions) WorkloadOptions() core.WorkloadOptions {
+	return core.WorkloadOptions{
+		Name:      j.Workload,
+		Duration:  vtime.Time(j.DurationSeconds),
+		RoundMode: j.RoundMode,
+	}
 }
 
 // Validate rejects job values the pipeline cannot honour — the single
@@ -63,6 +90,15 @@ func (j JobOptions) Validate() error {
 	}
 	if j.Workers < 0 {
 		return fmt.Errorf("-workers %d out of range: want >= 0 (0 = GOMAXPROCS)", j.Workers)
+	}
+	if j.Workload != "" && !core.KnownWorkload(j.Workload) {
+		return fmt.Errorf("-workload %q unknown: want one of %v", j.Workload, core.WorkloadNames())
+	}
+	if j.DurationSeconds < 0 {
+		return fmt.Errorf("-duration %d out of range: want >= 0 (0 = workload default)", j.DurationSeconds)
+	}
+	if j.DurationSeconds > 0 && j.Workload == "" {
+		return fmt.Errorf("-duration requires -workload")
 	}
 	return nil
 }
@@ -92,11 +128,14 @@ func (j JobOptions) Pipeline(reg *telemetry.Registry, extra ...core.PipelineOpti
 // Job extracts the run-defining subset of the parsed flags.
 func (c Config) Job() JobOptions {
 	return JobOptions{
-		Small:       c.Small,
-		Seed:        c.Seed,
-		Workers:     c.Workers,
-		Faults:      c.Faults,
-		Incremental: c.Incremental,
+		Small:           c.Small,
+		Seed:            c.Seed,
+		Workers:         c.Workers,
+		Faults:          c.Faults,
+		Incremental:     c.Incremental,
+		Workload:        c.Workload,
+		DurationSeconds: c.Duration,
+		RoundMode:       c.RoundMode,
 	}
 }
 
@@ -120,6 +159,10 @@ const (
 	// FlagAll: only commands that implement checkpointing (resurvey)
 	// opt in.
 	FlagSnapshot
+	// FlagWorkload registers -workload, -duration, and -round. Not
+	// part of FlagAll: only commands that run virtual-clock workloads
+	// (resurvey) opt in.
+	FlagWorkload
 
 	// FlagAll registers every shared flag.
 	FlagAll = FlagSmall | FlagSeed | FlagWorkers | FlagFaults | FlagObservability | FlagIncremental
@@ -146,6 +189,11 @@ func Register(fs *flag.FlagSet, c *Config, which Flags) {
 	if which&FlagSnapshot != 0 {
 		fs.StringVar(&c.SnapshotDir, "snapshot-dir", c.SnapshotDir, "write a checkpoint (engine state, partial survey results, telemetry registry) to this directory after every configuration round")
 		fs.BoolVar(&c.Resume, "resume", c.Resume, "continue from the newest valid checkpoint in -snapshot-dir, skipping completed rounds; corrupt checkpoints fall back to the next-newest valid one, no usable checkpoint to a cold start; output is byte-identical to an uninterrupted run")
+	}
+	if which&FlagWorkload != 0 {
+		fs.StringVar(&c.Workload, "workload", c.Workload, "run a named virtual-clock workload instead of the survey script: update-storm, flap-cascade-rfd, diurnal-churn, or replay (reads an MRT trace on stdin); deterministic and byte-identical at any -workers width")
+		fs.Int64Var(&c.Duration, "duration", c.Duration, "virtual horizon of the -workload run in seconds (0 = the workload's default)")
+		fs.BoolVar(&c.RoundMode, "round", c.RoundMode, "quantize the -workload to round boundaries (the historical round-granularity scheduler) instead of event-granularity timers")
 	}
 	if which&FlagObservability != 0 {
 		fs.StringVar(&c.Manifest, "manifest", c.Manifest, "write a run manifest (seed, options, phase durations, all metrics) to this file as deterministic JSON")

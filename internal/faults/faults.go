@@ -22,6 +22,7 @@ import (
 	"repro/internal/asn"
 	"repro/internal/bgp"
 	"repro/internal/netutil"
+	"repro/internal/parallel"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
 	"repro/internal/topo"
@@ -151,7 +152,7 @@ func Generate(eco *topo.Ecosystem, w Window, cfg Config) *Schedule {
 				From:     from,
 				To:       to,
 				Loss:     0.5 + 0.5*intensity,
-				Salt:     uint64(cfg.Seed)<<32 ^ uint64(info.AS),
+				Salt:     uint64(parallel.SubSeed(cfg.Seed, uint64(info.AS))),
 			})
 		}
 	}

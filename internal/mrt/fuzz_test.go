@@ -28,8 +28,26 @@ func FuzzReader(f *testing.F) {
 	})
 	_ = w.Flush()
 	f.Add(buf.Bytes())
+
+	// Extended-timestamp records with non-monotonic timestamps: real
+	// update files interleave collector peers whose clocks disagree,
+	// and replay must tolerate time running backwards between records.
+	var nm bytes.Buffer
+	wNM := NewWriter(&nm)
+	pfx := netutil.MustParsePrefix("192.0.2.0/24")
+	path := asn.MustParsePath("3356 396955")
+	_ = wNM.WriteUpdate(&Update{Timestamp: 300, Microsecond: 999999, PeerAS: 3356, Announce: true, Prefix: pfx, Path: path})
+	_ = wNM.WriteUpdate(&Update{Timestamp: 300, Microsecond: 1, PeerAS: 3356, Announce: true, Prefix: pfx, Path: path})
+	_ = wNM.WriteUpdate(&Update{Timestamp: 299, PeerAS: 3356, Announce: false, Prefix: pfx})
+	_ = wNM.WriteUpdate(&Update{Timestamp: 301, Microsecond: 500000, PeerAS: 3356, Announce: true, Prefix: pfx, Path: path})
+	_ = wNM.Flush()
+	f.Add(nm.Bytes())
+
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0, 0, 16, 0, 1, 0, 0, 0, 0})
+	// ET header with an out-of-range microsecond field: must diagnose,
+	// not panic or mis-frame.
+	f.Add([]byte{0, 0, 1, 44, 0, 17, 0, 1, 0, 0, 0, 4, 0, 15, 66, 64})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
@@ -57,18 +75,21 @@ func FuzzReader(f *testing.F) {
 	})
 }
 
-// FuzzRoundTrip checks encode->decode identity for arbitrary updates.
+// FuzzRoundTrip checks encode->decode identity for arbitrary updates,
+// including the extended-timestamp (microsecond) framing.
 func FuzzRoundTrip(f *testing.F) {
-	f.Add(int64(0), uint32(174), uint32(0xA3FD3F00), 24, true, uint32(3356))
-	f.Fuzz(func(t *testing.T, ts int64, peer uint32, addr uint32, bits int, announce bool, hop uint32) {
+	f.Add(int64(0), uint32(0), uint32(174), uint32(0xA3FD3F00), 24, true, uint32(3356))
+	f.Add(int64(301), uint32(500000), uint32(174), uint32(0xA3FD3F00), 24, true, uint32(3356))
+	f.Fuzz(func(t *testing.T, ts int64, us uint32, peer uint32, addr uint32, bits int, announce bool, hop uint32) {
 		if bits < 0 || bits > 32 {
 			return
 		}
 		in := &Update{
-			Timestamp: ts & 0xffffffff,
-			PeerAS:    asn.AS(peer),
-			Prefix:    netutil.PrefixFrom(addr, bits),
-			Announce:  announce,
+			Timestamp:   ts & 0xffffffff,
+			Microsecond: us % 1e6,
+			PeerAS:      asn.AS(peer),
+			Prefix:      netutil.PrefixFrom(addr, bits),
+			Announce:    announce,
 		}
 		if announce {
 			in.Path = asn.Path{asn.AS(hop), asn.AS(peer)}
@@ -83,7 +104,7 @@ func FuzzRoundTrip(f *testing.F) {
 			t.Fatalf("decode: %v", err)
 		}
 		got := rec.(*Update)
-		if got.Timestamp != in.Timestamp || got.PeerAS != in.PeerAS ||
+		if got.Timestamp != in.Timestamp || got.Microsecond != in.Microsecond || got.PeerAS != in.PeerAS ||
 			got.Prefix != in.Prefix || got.Announce != in.Announce || !got.Path.Equal(in.Path) {
 			t.Fatalf("round trip mismatch: %+v vs %+v", got, in)
 		}

@@ -22,6 +22,11 @@ import (
 const (
 	// TypeUpdate frames one BGP update (announce or withdraw).
 	TypeUpdate uint16 = 16
+	// TypeUpdateET frames an update with an extended timestamp: the
+	// body is prefixed with a 4-byte microsecond offset, mirroring
+	// MRT's BGP4MP_ET (RFC 6396 §4.4.3). Trace replay needs the
+	// sub-second field to reproduce recorded inter-arrival gaps.
+	TypeUpdateET uint16 = 17
 	// TypeRIBEntry frames one (prefix, peer) RIB entry.
 	TypeRIBEntry uint16 = 13
 )
@@ -46,6 +51,11 @@ const (
 type Update struct {
 	// Timestamp is seconds since the experiment epoch.
 	Timestamp int64
+	// Microsecond is the sub-second timestamp offset, < 1e6. A
+	// nonzero value frames the record as TypeUpdateET; zero keeps the
+	// plain TypeUpdate framing, so streams that never set it are
+	// byte-identical to those written before the field existed.
+	Microsecond uint32
 	// PeerAS is the collector peer that relayed the update.
 	PeerAS asn.AS
 	// Prefix is the affected prefix.
@@ -91,18 +101,27 @@ func (w *Writer) header(ts int64, typ, subtype uint16, bodyLen int) error {
 	return err
 }
 
-// WriteUpdate frames one update record.
+// WriteUpdate frames one update record: TypeUpdateET when the
+// microsecond field is set, TypeUpdate otherwise.
 func (w *Writer) WriteUpdate(u *Update) error {
 	sub := SubtypeWithdraw
 	if u.Announce {
 		sub = SubtypeAnnounce
 	}
+	typ := TypeUpdate
 	body := w.buf[:0]
+	if u.Microsecond != 0 {
+		if u.Microsecond >= 1e6 {
+			return fmt.Errorf("mrt: microsecond %d out of range", u.Microsecond)
+		}
+		typ = TypeUpdateET
+		body = appendUint32(body, u.Microsecond)
+	}
 	body = appendUint32(body, uint32(u.PeerAS))
 	body = appendPrefix(body, u.Prefix)
 	body = appendPath(body, u.Path)
 	w.buf = body
-	if err := w.header(u.Timestamp, TypeUpdate, sub, len(body)); err != nil {
+	if err := w.header(u.Timestamp, typ, sub, len(body)); err != nil {
 		return err
 	}
 	_, err := w.w.Write(body)
@@ -159,7 +178,16 @@ func (r *Reader) Next() (any, error) {
 	}
 	switch typ {
 	case TypeUpdate:
-		return parseUpdate(ts, sub, body)
+		return parseUpdate(ts, 0, sub, body)
+	case TypeUpdateET:
+		us, rest, err := takeUint32(body)
+		if err != nil {
+			return nil, err
+		}
+		if us == 0 || us >= 1e6 {
+			return nil, fmt.Errorf("%w: microsecond %d", ErrCorrupt, us)
+		}
+		return parseUpdate(ts, us, sub, rest)
 	case TypeRIBEntry:
 		return parseRIBEntry(ts, body)
 	default:
@@ -167,8 +195,8 @@ func (r *Reader) Next() (any, error) {
 	}
 }
 
-func parseUpdate(ts int64, sub uint16, body []byte) (*Update, error) {
-	u := &Update{Timestamp: ts, Announce: sub == SubtypeAnnounce}
+func parseUpdate(ts int64, us uint32, sub uint16, body []byte) (*Update, error) {
+	u := &Update{Timestamp: ts, Microsecond: us, Announce: sub == SubtypeAnnounce}
 	peer, body, err := takeUint32(body)
 	if err != nil {
 		return nil, err

@@ -13,18 +13,22 @@ import (
 	"repro/internal/telemetry"
 )
 
-// jobKind is what a job runs: the two-experiment survey or the
-// fault-intensity sweep.
+// jobKind is what a job runs: the two-experiment survey, the
+// fault-intensity sweep, or a virtual-clock workload.
 type jobKind uint8
 
 const (
 	kindSurvey jobKind = iota
 	kindSweep
+	kindWorkload
 )
 
 func (k jobKind) String() string {
-	if k == kindSweep {
+	switch k {
+	case kindSweep:
 		return "sweep"
+	case kindWorkload:
+		return "workload"
 	}
 	return "survey"
 }
@@ -36,7 +40,7 @@ type JobSpec struct {
 	// Tenant names the submitting tenant for rate limiting; empty maps
 	// to "default".
 	Tenant string `json:"tenant,omitempty"`
-	// Kind is "survey" (default) or "sweep".
+	// Kind is "survey" (default), "sweep", or "workload".
 	Kind string `json:"kind,omitempty"`
 	// Options configures the pipeline (fields as the CLI flags).
 	Options cliconf.JobOptions `json:"options"`
@@ -61,8 +65,16 @@ func (sp *JobSpec) Validate() error {
 		if sp.Options.Faults == 0 {
 			return fmt.Errorf("sweep job needs options.faults in (0, 1]")
 		}
+	case "workload":
+		sp.kind = kindWorkload
+		if sp.Options.Workload == "" {
+			return fmt.Errorf("workload job needs options.workload (one of %v)", core.WorkloadNames())
+		}
+		if sp.Options.Workload == "replay" {
+			return fmt.Errorf("workload job cannot replay a trace (no upload channel); use the CLI")
+		}
 	default:
-		return fmt.Errorf("unknown job kind %q: want \"survey\" or \"sweep\"", sp.Kind)
+		return fmt.Errorf("unknown job kind %q: want \"survey\", \"sweep\", or \"workload\"", sp.Kind)
 	}
 	if sp.TimeoutSeconds < 0 {
 		return fmt.Errorf("timeout_seconds %v out of range: want >= 0", sp.TimeoutSeconds)
@@ -174,10 +186,29 @@ type sweepSummary struct {
 // keys are sorted), so a resumed job reproduces a cold run's output
 // byte for byte.
 type jobOutput struct {
-	SURF      *resultSummary  `json:"surf,omitempty"`
-	Internet2 *resultSummary  `json:"internet2,omitempty"`
-	Sweep     []sweepSummary  `json:"sweep,omitempty"`
-	Manifest  json.RawMessage `json:"manifest"`
+	SURF      *resultSummary   `json:"surf,omitempty"`
+	Internet2 *resultSummary   `json:"internet2,omitempty"`
+	Sweep     []sweepSummary   `json:"sweep,omitempty"`
+	Workload  *workloadSummary `json:"workload,omitempty"`
+	Manifest  json.RawMessage  `json:"manifest"`
+}
+
+// workloadSummary is the deterministic JSON digest of one workload
+// run. The wall-derived speedup ratio is deliberately absent.
+type workloadSummary struct {
+	Name             string           `json:"name"`
+	DurationSeconds  int64            `json:"duration_seconds"`
+	RoundMode        bool             `json:"round_mode"`
+	Events           map[string]int64 `json:"events"`
+	Dispatched       int64            `json:"dispatched"`
+	BGPEvents        int              `json:"bgp_events"`
+	UpdatesDelivered int64            `json:"updates_delivered"`
+	RFDPenalties     int64            `json:"rfd_penalties"`
+	RFDSuppressions  int64            `json:"rfd_suppressions"`
+	ProbeRounds      int              `json:"probe_rounds"`
+	ProbesSent       int              `json:"probes_sent"`
+	ProbesResponded  int              `json:"probes_responded"`
+	RIBDigest        string           `json:"rib_digest"`
 }
 
 // --- the runner ---
@@ -272,6 +303,39 @@ func (s *Server) runSweep(ctx context.Context, j *Job) ([]byte, error) {
 		})
 	}
 	return renderOutput(j, reg, out)
+}
+
+// runWorkload executes a workload job: a named virtual-clock schedule
+// through the event engine. Workload runs have no checkpoint hook — a
+// recovered job re-runs from cold and, being deterministic, reproduces
+// the same output document.
+func (s *Server) runWorkload(ctx context.Context, j *Job) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	reg := telemetry.New()
+	pl := j.Spec.Options.Pipeline(reg)
+	res, err := pl.RunWorkload(j.Spec.Options.WorkloadOptions())
+	if err != nil {
+		return nil, err
+	}
+	return renderOutput(j, reg, &jobOutput{
+		Workload: &workloadSummary{
+			Name:             res.Name,
+			DurationSeconds:  int64(res.Duration),
+			RoundMode:        res.RoundMode,
+			Events:           res.EventsByKind,
+			Dispatched:       res.Dispatched,
+			BGPEvents:        res.BGPEvents,
+			UpdatesDelivered: res.UpdatesDelivered,
+			RFDPenalties:     res.RFDPenalties,
+			RFDSuppressions:  res.RFDSuppressions,
+			ProbeRounds:      res.ProbeRounds,
+			ProbesSent:       res.ProbesSent,
+			ProbesResponded:  res.ProbesResponded,
+			RIBDigest:        fmt.Sprintf("%016x", res.RIBDigest),
+		},
+	})
 }
 
 // renderOutput attaches the job's telemetry manifest (wall times

@@ -233,10 +233,14 @@ func (s *Server) launchLocked(j *Job) {
 	go s.execute(j)
 }
 
-// dispatch is the production runJob: survey or sweep by kind.
+// dispatch is the production runJob: survey, sweep, or workload by
+// kind.
 func (s *Server) dispatch(ctx context.Context, j *Job) ([]byte, error) {
-	if j.Spec.kind == kindSweep {
+	switch j.Spec.kind {
+	case kindSweep:
 		return s.runSweep(ctx, j)
+	case kindWorkload:
+		return s.runWorkload(ctx, j)
 	}
 	return s.runSurvey(ctx, j)
 }

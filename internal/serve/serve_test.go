@@ -240,7 +240,11 @@ func TestSubmitValidation(t *testing.T) {
 	defer ts.Close()
 	for _, body := range []string{
 		`{"kind": "nonsense"}`,
-		`{"kind": "sweep"}`,                    // sweep without faults
+		`{"kind": "sweep"}`,    // sweep without faults
+		`{"kind": "workload"}`, // workload without options.workload
+		`{"kind": "workload", "options": {"workload": "replay"}}`, // no upload channel
+		`{"kind": "workload", "options": {"workload": "bogus"}}`,  // cliconf name check
+		`{"kind": "workload", "options": {"workload": "update-storm", "duration_seconds": -5}}`,
 		`{"options": {"faults": 2}}`,           // cliconf range check
 		`{"options": {"workers": -1}}`,         // cliconf range check
 		`{"timeout_seconds": -1}`,              // negative deadline
@@ -253,6 +257,54 @@ func TestSubmitValidation(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("POST %s = %d, want 400", body, resp.StatusCode)
 		}
+	}
+}
+
+// TestWorkloadJob runs a workload job through the real dispatcher end
+// to end: the output document carries the workload summary, and a
+// second identical submission reproduces it byte for byte (workload
+// jobs have no checkpoint — recovery relies on exactly this).
+func TestWorkloadJob(t *testing.T) {
+	s := newTestServer(t, Config{})
+	spec := JobSpec{Kind: "workload", Options: cliconf.JobOptions{
+		Small: true, Seed: 1, Incremental: true,
+		Workload: "update-storm", DurationSeconds: 300,
+	}}
+	run := func() []byte {
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-j.done
+		s.mu.Lock()
+		state, out := j.state, j.output
+		s.mu.Unlock()
+		if state != StateDone {
+			t.Fatalf("job state %s, want done", state)
+		}
+		return out
+	}
+	out1 := run()
+
+	var doc jobOutput
+	if err := json.Unmarshal(out1, &doc); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if doc.Workload == nil {
+		t.Fatal("output has no workload summary")
+	}
+	if doc.Workload.Name != "update-storm" || doc.Workload.Dispatched == 0 {
+		t.Fatalf("implausible summary: %+v", doc.Workload)
+	}
+	if len(doc.Workload.RIBDigest) != 16 {
+		t.Fatalf("rib_digest %q, want 16 hex chars", doc.Workload.RIBDigest)
+	}
+	if doc.Workload.Events["announce"] == 0 || doc.Workload.Events["withdraw"] == 0 {
+		t.Fatalf("flap events missing: %v", doc.Workload.Events)
+	}
+
+	if out2 := run(); !bytes.Equal(out1, out2) {
+		t.Fatalf("workload job output not reproducible:\n%s\nvs\n%s", out1, out2)
 	}
 }
 

@@ -1,0 +1,162 @@
+// Package vtime is the deterministic discrete-event core of the
+// reproduction: a monotonic virtual clock, a stable binary-heap event
+// queue whose ties break by insertion sequence number, and a Scheduler
+// that dispatches handler callbacks in (time, seq) order while keeping
+// an external simulator (the BGP engine) coupled to the same clock.
+//
+// Determinism is the design constraint everything else follows from.
+// The queue is a hand-rolled binary heap over Item[T] rather than
+// container/heap so the comparison key — (At, Seq) — is fixed by the
+// type and cannot be accidentally weakened to time-only ordering:
+// two events scheduled for the same instant always dispatch in the
+// order they were scheduled, on every run, at any worker width. The
+// BGP engine's in-flight update queue and the workload engine's
+// handler queue share this one implementation, so both sides of the
+// coupling obey the identical tie-break.
+package vtime
+
+import "sort"
+
+// Time is a virtual timestamp in seconds since the experiment epoch,
+// unit-compatible with bgp.Time (both are int64 second counts; the
+// packages keep distinct named types so conversions stay visible).
+type Time int64
+
+// Item is one queue entry: a value due at a virtual time, with the
+// insertion sequence number that breaks same-time ties.
+type Item[T any] struct {
+	At  Time
+	Seq uint64
+	V   T
+}
+
+// before is the total order the heap maintains: earlier time first,
+// then earlier insertion.
+func (it Item[T]) before(other Item[T]) bool {
+	if it.At != other.At {
+		return it.At < other.At
+	}
+	return it.Seq < other.Seq
+}
+
+// Queue is a stable min-heap of timed items. The zero value is an
+// empty queue ready for use. Not safe for concurrent use; the
+// schedulers built on it are single-threaded by design (parallelism in
+// the reproduction lives in the probe/classify shards, never in event
+// dispatch).
+type Queue[T any] struct {
+	h   []Item[T]
+	seq uint64 // last assigned sequence number
+}
+
+// Len returns the number of pending items.
+func (q *Queue[T]) Len() int { return len(q.h) }
+
+// Push schedules v at time at, assigning the next sequence number, and
+// returns the assigned number.
+func (q *Queue[T]) Push(at Time, v T) uint64 {
+	q.seq++
+	q.h = append(q.h, Item[T]{At: at, Seq: q.seq, V: v})
+	q.up(len(q.h) - 1)
+	return q.seq
+}
+
+// Peek returns the earliest item without removing it.
+func (q *Queue[T]) Peek() (Item[T], bool) {
+	if len(q.h) == 0 {
+		return Item[T]{}, false
+	}
+	return q.h[0], true
+}
+
+// Pop removes and returns the earliest item.
+func (q *Queue[T]) Pop() (Item[T], bool) {
+	if len(q.h) == 0 {
+		return Item[T]{}, false
+	}
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = Item[T]{} // release V for GC
+	q.h = q.h[:last]
+	if len(q.h) > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+// Seq returns the last assigned sequence number.
+func (q *Queue[T]) Seq() uint64 { return q.seq }
+
+// SetSeq overrides the sequence counter; the next Push assigns s+1.
+// Used when restoring a snapshotted queue.
+func (q *Queue[T]) SetSeq(s uint64) { q.seq = s }
+
+// Sorted returns a copy of the pending items in dispatch order
+// ((At, Seq) ascending) without disturbing the queue — the canonical
+// traversal snapshot serialization uses.
+func (q *Queue[T]) Sorted() []Item[T] {
+	out := make([]Item[T], len(q.h))
+	copy(out, q.h)
+	sort.Slice(out, func(i, j int) bool { return out[i].before(out[j]) })
+	return out
+}
+
+// Restore replaces the queue's contents with items carrying explicit
+// (At, Seq) pairs and sets the sequence counter to seq. The items are
+// heapified, so any input order yields the same dispatch order.
+func (q *Queue[T]) Restore(items []Item[T], seq uint64) {
+	q.h = append(q.h[:0], items...)
+	q.seq = seq
+	for i := len(q.h)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
+}
+
+// up restores the heap invariant after appending at index i.
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].before(q.h[parent]) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// down restores the heap invariant after replacing index i.
+func (q *Queue[T]) down(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && q.h[l].before(q.h[least]) {
+			least = l
+		}
+		if r < n && q.h[r].before(q.h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
+}
+
+// Clock is a monotonic virtual clock: it only moves forward.
+type Clock struct {
+	now Time
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// AdvanceTo moves the clock to t if t is later; earlier values are
+// ignored (the clock never rewinds).
+func (c *Clock) AdvanceTo(t Time) {
+	if t > c.now {
+		c.now = t
+	}
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/parallel"
+)
+
+// Arrival is an inter-arrival-time process: Next returns the gap in
+// virtual seconds to the next event (always > 0, so schedules make
+// progress). Implementations are deterministic per their seeded
+// stream.
+type Arrival interface {
+	Next() float64
+}
+
+// Poisson is a homogeneous Poisson process: exponential inter-arrival
+// times with the given rate (events per virtual second).
+type Poisson struct {
+	rate float64
+	rng  *rand.Rand
+}
+
+// NewPoisson derives the process's RNG from (seed, stream) via
+// parallel.SubSeed.
+func NewPoisson(seed int64, stream uint64, rate float64) *Poisson {
+	return &Poisson{rate: rate, rng: parallel.Rand(seed, stream)}
+}
+
+func (p *Poisson) Next() float64 {
+	gap := p.rng.ExpFloat64() / p.rate
+	if gap <= 0 {
+		gap = 1e-9
+	}
+	return gap
+}
+
+// Periodic fires every Every seconds with optional uniform jitter in
+// (-Jitter, +Jitter), floored so gaps stay positive.
+type Periodic struct {
+	every, jitter float64
+	rng           *rand.Rand
+}
+
+// NewPeriodic derives the jitter RNG from (seed, stream); jitter 0
+// needs no draws and keeps the process exactly periodic.
+func NewPeriodic(seed int64, stream uint64, every, jitter float64) *Periodic {
+	return &Periodic{every: every, jitter: jitter, rng: parallel.Rand(seed, stream)}
+}
+
+func (p *Periodic) Next() float64 {
+	gap := p.every
+	if p.jitter > 0 {
+		gap += (2*p.rng.Float64() - 1) * p.jitter
+	}
+	if gap < 1e-9 {
+		gap = 1e-9
+	}
+	return gap
+}
+
+// Weibull draws inter-arrival times from a Weibull(shape, scale)
+// distribution — shape < 1 gives the bursty heavy-tailed gaps real
+// BGP session churn shows, shape 1 degenerates to exponential.
+type Weibull struct {
+	shape, scale float64
+	rng          *rand.Rand
+}
+
+// NewWeibull derives the process's RNG from (seed, stream).
+func NewWeibull(seed int64, stream uint64, shape, scale float64) *Weibull {
+	return &Weibull{shape: shape, scale: scale, rng: parallel.Rand(seed, stream)}
+}
+
+func (w *Weibull) Next() float64 {
+	// Inverse-CDF transform: scale * (-ln U)^(1/shape), U in (0, 1].
+	u := 1 - w.rng.Float64()
+	gap := w.scale * math.Pow(-math.Log(u), 1/w.shape)
+	if gap <= 0 || math.IsInf(gap, 0) || math.IsNaN(gap) {
+		gap = 1e-9
+	}
+	return gap
+}
+
+// Thinned modulates a base arrival process by an acceptance function
+// of absolute virtual time (Lewis-Shedler thinning): candidates from
+// the base process survive with probability accept(t) in [0, 1]. With
+// a Poisson base at the peak rate this yields a non-homogeneous
+// Poisson process — the diurnal churn profile.
+type Thinned struct {
+	base   Arrival
+	accept func(t float64) float64
+	rng    *rand.Rand
+	t      float64
+}
+
+// NewThinned derives the thinning RNG from (seed, stream). The stream
+// must differ from the base process's stream or draws correlate.
+func NewThinned(seed int64, stream uint64, base Arrival, accept func(t float64) float64) *Thinned {
+	return &Thinned{base: base, accept: accept, rng: parallel.Rand(seed, stream)}
+}
+
+func (th *Thinned) Next() float64 {
+	start := th.t
+	for {
+		th.t += th.base.Next()
+		if th.rng.Float64() < th.accept(th.t) {
+			return th.t - start
+		}
+	}
+}
+
+// Diurnal returns a [0,1] acceptance profile with a 24h (86400s)
+// sinusoid: 1 at the daily peak, floor at the trough.
+func Diurnal(floor float64) func(t float64) float64 {
+	return func(t float64) float64 {
+		phase := math.Sin(2 * math.Pi * t / 86400)
+		return floor + (1-floor)*(phase+1)/2
+	}
+}

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+	"repro/internal/parallel"
+	"repro/internal/vtime"
+)
+
+// Session names one BGP session by its endpoints.
+type Session struct {
+	A, B bgp.RouterID
+}
+
+// Origin names one origination a prefix flapper may withdraw.
+type Origin struct {
+	Router bgp.RouterID
+	Prefix netutil.Prefix
+}
+
+// PrependTarget names one per-prefix export a config-churn generator
+// may re-prepend.
+type PrependTarget struct {
+	Router   bgp.RouterID
+	Neighbor bgp.RouterID
+	Prefix   netutil.Prefix
+}
+
+// flapper produces paired down/up events: arrivals from arr pick the
+// down times, hold picks each outage's duration, and makePair chooses
+// the target. Up events past the horizon are clamped to it, so every
+// outage this generator opens it also closes.
+type flapper struct {
+	name      string
+	horizon   vtime.Time
+	arr, hold Arrival
+	pick      *rand.Rand
+	makePair  func(pick *rand.Rand, down, up vtime.Time) (Event, Event)
+
+	t         float64
+	headDown  *Event
+	pending   vtime.Queue[Event]
+	exhausted bool
+}
+
+// NewSessionFlapper flaps sessions drawn uniformly from the list:
+// arrivals time the KindSessionDown events, hold times each matching
+// KindSessionUp. The picker RNG derives from (seed, stream).
+func NewSessionFlapper(seed int64, stream uint64, sessions []Session, arr, hold Arrival, horizon vtime.Time) Generator {
+	pick := parallel.Rand(seed, stream)
+	return &flapper{
+		name: "session-flap", horizon: horizon, arr: arr, hold: hold, pick: pick,
+		makePair: func(r *rand.Rand, down, up vtime.Time) (Event, Event) {
+			s := sessions[r.Intn(len(sessions))]
+			return Event{At: down, Kind: KindSessionDown, A: s.A, B: s.B},
+				Event{At: up, Kind: KindSessionUp, A: s.A, B: s.B}
+		},
+	}
+}
+
+// NewPrefixFlapper withdraws and re-announces originations drawn
+// uniformly from the list, with the same pairing contract as
+// NewSessionFlapper.
+func NewPrefixFlapper(seed int64, stream uint64, origins []Origin, arr, hold Arrival, horizon vtime.Time) Generator {
+	pick := parallel.Rand(seed, stream)
+	return &flapper{
+		name: "prefix-flap", horizon: horizon, arr: arr, hold: hold, pick: pick,
+		makePair: func(r *rand.Rand, down, up vtime.Time) (Event, Event) {
+			o := origins[r.Intn(len(origins))]
+			return Event{At: down, Kind: KindWithdraw, Router: o.Router, Prefix: o.Prefix},
+				Event{At: up, Kind: KindAnnounce, Router: o.Router, Prefix: o.Prefix}
+		},
+	}
+}
+
+func (f *flapper) Name() string { return f.name }
+
+// fill advances the arrival process until a down event at or before
+// the horizon is staged (or the process runs past it).
+func (f *flapper) fill() {
+	for f.headDown == nil && !f.exhausted {
+		f.t += f.arr.Next()
+		if f.t > float64(f.horizon) {
+			f.exhausted = true
+			return
+		}
+		down := vtime.Time(f.t)
+		if down < 1 {
+			down = 1
+		}
+		hold := f.hold.Next()
+		if hold < 1 {
+			hold = 1
+		}
+		up := down + vtime.Time(hold)
+		if up > f.horizon {
+			up = f.horizon
+		}
+		d, u := f.makePair(f.pick, down, up)
+		f.pending.Push(u.At, u)
+		f.headDown = &d
+	}
+}
+
+func (f *flapper) Next() (Event, bool) {
+	f.fill()
+	head, hasUp := f.pending.Peek()
+	switch {
+	case f.headDown == nil && !hasUp:
+		return Event{}, false
+	case f.headDown == nil || (hasUp && head.At < f.headDown.At):
+		it, _ := f.pending.Pop()
+		return it.V, true
+	default:
+		ev := *f.headDown
+		f.headDown = nil
+		return ev, true
+	}
+}
+
+// ticker emits one event per arrival until the horizon; make builds
+// the i-th event (i counts from 0).
+type ticker struct {
+	name    string
+	horizon vtime.Time
+	arr     Arrival
+	make    func(i int, at vtime.Time) Event
+
+	t float64
+	i int
+}
+
+// NewProbeTicker schedules KindProbe rounds at the arrival process's
+// times (typically Periodic).
+func NewProbeTicker(arr Arrival, horizon vtime.Time) Generator {
+	return &ticker{
+		name: "probe", horizon: horizon, arr: arr,
+		make: func(i int, at vtime.Time) Event {
+			return Event{At: at, Kind: KindProbe}
+		},
+	}
+}
+
+// NewConfigChurn re-prepends targets in round-robin order, cycling
+// each target's prepend count through 1..maxPrepend then back to 0 —
+// the config-delta churn of the survey's policy sweeps, replayed as
+// timed events. The target order is shuffled once from (seed, stream)
+// so which export changes at a given arrival is seed-dependent but
+// width-independent.
+func NewConfigChurn(seed int64, stream uint64, targets []PrependTarget, maxPrepend int, arr Arrival, horizon vtime.Time) Generator {
+	pick := parallel.Rand(seed, stream)
+	order := make([]PrependTarget, len(targets))
+	copy(order, targets)
+	pick.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	if maxPrepend < 1 {
+		maxPrepend = 1
+	}
+	counts := make(map[PrependTarget]int, len(order))
+	return &ticker{
+		name: "config-churn", horizon: horizon, arr: arr,
+		make: func(i int, at vtime.Time) Event {
+			tgt := order[i%len(order)]
+			counts[tgt] = (counts[tgt] + 1) % (maxPrepend + 1)
+			return Event{
+				At: at, Kind: KindPrepend,
+				Router: tgt.Router, Neighbor: tgt.Neighbor, Prefix: tgt.Prefix,
+				Prepends: counts[tgt],
+			}
+		},
+	}
+}
+
+func (tk *ticker) Name() string { return tk.name }
+
+func (tk *ticker) Next() (Event, bool) {
+	tk.t += tk.arr.Next()
+	if tk.t > float64(tk.horizon) {
+		return Event{}, false
+	}
+	at := vtime.Time(tk.t)
+	if at < 1 {
+		at = 1
+	}
+	ev := tk.make(tk.i, at)
+	tk.i++
+	return ev, true
+}

@@ -1,0 +1,137 @@
+// Package workload generates deterministic event schedules for the
+// virtual-clock engine (internal/vtime): session flaps, prefix
+// announce/withdraw churn, per-session config deltas, and probe
+// rounds, produced by pluggable arrival processes (Poisson, periodic,
+// Weibull — see arrivals.go) or replayed from recorded MRT update
+// streams with their original inter-arrival timing (replay.go).
+//
+// Every generator draws from its own parallel.SubSeed-derived
+// splitmix64 stream, so adding or removing one generator never
+// perturbs another's schedule, and the merged sequence is a pure
+// function of (seed, configuration) — the property that keeps named
+// workloads byte-identical at any -workers width.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+	"repro/internal/vtime"
+)
+
+// Kind is what a workload event does to the simulated network.
+type Kind uint8
+
+const (
+	// KindSessionDown tears down the session (A, B).
+	KindSessionDown Kind = iota
+	// KindSessionUp restores the session (A, B).
+	KindSessionUp
+	// KindAnnounce (re-)originates Prefix at Router.
+	KindAnnounce
+	// KindWithdraw withdraws Prefix's origination at Router.
+	KindWithdraw
+	// KindPrepend sets Router's per-prefix prepending toward Neighbor
+	// to Prepends.
+	KindPrepend
+	// KindProbe runs one probe round over the current routing state.
+	KindProbe
+
+	nKinds
+)
+
+var kindNames = [nKinds]string{
+	"session_down", "session_up", "announce", "withdraw", "prepend", "probe",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one scheduled action. Which fields are meaningful depends
+// on Kind (see the Kind constants).
+type Event struct {
+	At       vtime.Time
+	Kind     Kind
+	A, B     bgp.RouterID // session endpoints
+	Router   bgp.RouterID // origin / config actor
+	Neighbor bgp.RouterID // prepend target session
+	Prefix   netutil.Prefix
+	Prepends int
+}
+
+// Generator yields events with non-decreasing At until exhausted.
+// Generators are single-stream and deterministic: equal construction
+// parameters give the identical sequence.
+type Generator interface {
+	// Name labels the generator in telemetry and reports.
+	Name() string
+	// Next returns the next event; ok is false when the schedule is
+	// exhausted (generators are bounded by a horizon at construction).
+	Next() (Event, bool)
+}
+
+// merged is the deterministic k-way merge of generators: events order
+// by (At, source index, arrival order), so interleaving is stable no
+// matter how the sources' schedules shift relative to each other.
+type merged struct {
+	name  string
+	gens  []Generator
+	heads []*Event
+}
+
+// Merge combines generators into one ordered stream. Each input must
+// itself yield non-decreasing times; ties across inputs break by
+// input position.
+func Merge(name string, gens ...Generator) Generator {
+	m := &merged{name: name, gens: gens, heads: make([]*Event, len(gens))}
+	for i, g := range gens {
+		if ev, ok := g.Next(); ok {
+			e := ev
+			m.heads[i] = &e
+		}
+	}
+	return m
+}
+
+func (m *merged) Name() string { return m.name }
+
+func (m *merged) Next() (Event, bool) {
+	best := -1
+	for i, h := range m.heads {
+		if h == nil {
+			continue
+		}
+		if best == -1 || h.At < m.heads[best].At {
+			best = i
+		}
+	}
+	if best == -1 {
+		return Event{}, false
+	}
+	out := *m.heads[best]
+	if ev, ok := m.gens[best].Next(); ok {
+		e := ev
+		m.heads[best] = &e
+	} else {
+		m.heads[best] = nil
+	}
+	return out, true
+}
+
+// Drain collects a generator's full schedule (bounded generators
+// only).
+func Drain(g Generator) []Event {
+	var out []Event
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}

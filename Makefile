@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build check vet test race smoke serve-smoke workload-smoke bench fuzz cover
+.PHONY: build check vet test race smoke serve-smoke workload-smoke bench bench-mem fuzz cover
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,19 @@ bench:
 	$(GO) run ./cmd/benchjson < bench.out.tmp > BENCH_baseline.json
 	rm -f bench.out.tmp
 
+# Memory-model regression gate: rerun the RIB memory benchmarks (the
+# vantage-table bytes-per-route model, steady-state delivery allocs,
+# and the ~80K-AS/~1M-prefix internet-scale smoke) and fail if
+# bytes/route or allocs/delivery regressed more than 10% against the
+# committed BENCH_baseline.json. The internet benchmark additionally
+# hard-fails itself above the 64 bytes/route budget.
+bench-mem:
+	$(GO) test -run '^$$' -bench 'BenchmarkRIBBytesPerRoute|BenchmarkDeliveryAllocs' -benchtime 1x ./internal/bgp/ > benchmem.out.tmp
+	$(GO) test -run '^$$' -bench BenchmarkInternetScaleRIB -benchtime 1x ./internal/topo/ >> benchmem.out.tmp
+	$(GO) run ./cmd/benchjson < benchmem.out.tmp > benchmem.json.tmp
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -current benchmem.json.tmp -tolerance 0.10 bytes/route allocs/delivery
+	rm -f benchmem.out.tmp benchmem.json.tmp
+
 # Every native fuzz target, 30s each (override with FUZZTIME); CI runs
 # the same list as its fuzz smoke step.
 FUZZTIME ?= 30s
@@ -59,6 +72,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/mrt/
 	$(GO) test -run '^$$' -fuzz FuzzIncrementalEvents -fuzztime $(FUZZTIME) ./internal/bgp/
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/bgp/
+	$(GO) test -run '^$$' -fuzz FuzzIntern -fuzztime $(FUZZTIME) ./internal/bgp/pathtab/
 
 # Coverage floors: the BGP engine (the incremental recomputation path
 # must stay thoroughly tested) and the snapshot container (every

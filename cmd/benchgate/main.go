@@ -1,0 +1,122 @@
+// Command benchgate compares a fresh benchmark run (benchjson format)
+// against the committed BENCH_baseline.json and fails when a gated
+// metric regresses beyond the tolerance. It gates custom b.ReportMetric
+// units — the memory-model figures "bytes/route" and "allocs/delivery"
+// — not wall-clock ns/op, which is too noisy to gate in CI.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_baseline.json -current fresh.json \
+//	          [-tolerance 0.10] bytes/route allocs/delivery
+//
+// Every benchmark present in BOTH files that reports a listed unit is
+// checked: current <= baseline * (1 + tolerance). Benchmarks only in
+// one file are reported but do not fail the gate (a new benchmark has
+// no baseline yet; baselines for deleted benchmarks are stale).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark mirrors benchjson's output entry (decode-only subset).
+type Benchmark struct {
+	Pkg   string             `json:"pkg"`
+	Name  string             `json:"name"`
+	Extra map[string]float64 `json:"extra"`
+}
+
+// Report mirrors benchjson's output document.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func load(path string) (map[string]map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]map[string]float64)
+	for _, b := range rep.Benchmarks {
+		if len(b.Extra) == 0 {
+			continue
+		}
+		out[b.Pkg+"."+b.Name] = b.Extra
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline (benchjson format)")
+	currentPath := flag.String("current", "", "fresh run to gate (benchjson format)")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed relative regression, e.g. 0.10 = +10%")
+	flag.Parse()
+	units := flag.Args()
+	if *currentPath == "" || len(units) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: need -current and at least one metric unit to gate")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	checked, failed := 0, 0
+	for _, name := range names {
+		extras := cur[name]
+		for _, unit := range units {
+			val, ok := extras[unit]
+			if !ok {
+				continue
+			}
+			bextras, ok := base[name]
+			if !ok {
+				fmt.Printf("NEW   %-60s %-16s %10.3f (no baseline entry)\n", name, unit, val)
+				continue
+			}
+			bval, ok := bextras[unit]
+			if !ok {
+				fmt.Printf("NEW   %-60s %-16s %10.3f (baseline lacks metric)\n", name, unit, val)
+				continue
+			}
+			checked++
+			limit := bval * (1 + *tolerance)
+			status := "OK    "
+			if val > limit {
+				status = "FAIL  "
+				failed++
+			}
+			fmt.Printf("%s%-60s %-16s %10.3f vs baseline %.3f (limit %.3f)\n",
+				status, name, unit, val, bval, limit)
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark in %s reports any of %v — gate is vacuous\n", *currentPath, units)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d of %d gated metrics regressed beyond %+.0f%%\n", failed, checked, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d gated metrics within %+.0f%% of baseline\n", checked, *tolerance*100)
+}

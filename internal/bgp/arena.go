@@ -1,0 +1,380 @@
+package bgp
+
+import (
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/bgp/pathtab"
+	"repro/internal/netutil"
+)
+
+// The arena-backed RIB layout. At Internet scale (~80K ASes, ~1M
+// prefixes) the map layout's per-route cost — a 56-byte Route header,
+// a map bucket share, and an uninterned AS path slice — runs to
+// several hundred bytes; a single full feed would not fit in cache and
+// the full topology not in memory. The compact layout brings this to
+// ~40-64 bytes per route:
+//
+//   - AS paths are interned once per network in a pathtab.Table and
+//     referenced by 32-bit ID. After prepend cycling and re-export the
+//     distinct-path count is orders of magnitude below the route
+//     count, so path storage amortises to near zero per route.
+//   - Prefixes are mapped to dense 32-bit indices by a network-wide
+//     prefixIndex; store keys pack (prefixIdx, neighbor) into one
+//     uint64, and route records drop the 8-byte prefix entirely.
+//   - Each route becomes a fixed 40-byte packedRoute in a per-speaker
+//     arena (a plain slice with a free list), not a heap object.
+//   - The loc-RIB is delta-encoded against adj-RIB-in: selecting a
+//     route does not copy it. The loc-RIB slot refcounts the winning
+//     adj-RIB-in record whenever the values agree (they always do on
+//     the install path, since runDecision installs the candidate it
+//     scanned), so a selected route costs one arena record plus two
+//     index entries, not two records.
+//
+// Pointer-stability contract (see ribstore.go): Get materializes a
+// *Route on first access and memoizes it per slot until that slot
+// changes, so callers observe stable pointers exactly as long as the
+// entry is unchanged — the property the decision cache and snapshot
+// route index rely on. Bulk loads that never Get stay fully packed.
+type ribBackend struct {
+	paths    *pathtab.Table
+	prefixes *prefixIndex
+}
+
+func newRIBBackend() *ribBackend {
+	return &ribBackend{paths: pathtab.New(), prefixes: newPrefixIndex()}
+}
+
+// prefixIndex assigns dense 32-bit indices to prefixes, first-seen
+// order, shared by every speaker in a network.
+type prefixIndex struct {
+	idx  map[netutil.Prefix]uint32
+	list []netutil.Prefix
+}
+
+func newPrefixIndex() *prefixIndex {
+	return &prefixIndex{idx: make(map[netutil.Prefix]uint32)}
+}
+
+// Add returns p's dense index, assigning the next one on first sight.
+func (pi *prefixIndex) Add(p netutil.Prefix) uint32 {
+	if i, ok := pi.idx[p]; ok {
+		return i
+	}
+	i := uint32(len(pi.list))
+	pi.idx[p] = i
+	pi.list = append(pi.list, p)
+	return i
+}
+
+// At returns the prefix for a dense index.
+func (pi *prefixIndex) At(i uint32) netutil.Prefix { return pi.list[i] }
+
+// packedRoute is the 40-byte arena record for one route. The prefix
+// lives in the store key, the AS path in the shared path table, and
+// communities (rare) in a side map, so the record holds only the
+// fixed-width attributes the decision process reads.
+type packedRoute struct {
+	learnedAt int64
+	pathID    pathtab.ID
+	med       uint32
+	localPref uint32
+	igpCost   uint32
+	from      uint32
+	fromAS    uint32
+	ref       uint32 // reference count (loc-RIB delta sharing)
+	origin    uint8
+	class     uint8
+	flags     uint8
+	_         uint8
+}
+
+const (
+	prFlagEBGP     = 1 << 0
+	prFlagHasComms = 1 << 1
+)
+
+// sameRecord reports whether two records describe the same route,
+// ignoring the reference count. Used for loc-RIB record sharing.
+func sameRecord(a, b packedRoute) bool {
+	a.ref, b.ref = 0, 0
+	return a == b
+}
+
+// speakerArena holds one speaker's route records. adj-RIB-in,
+// loc-RIB, and adj-RIB-out stores of a speaker share one arena so the
+// loc-RIB can refcount adj-RIB-in records.
+type speakerArena struct {
+	be    *ribBackend
+	recs  []packedRoute
+	free  []uint32
+	comms map[uint32]CommunitySet // slot -> communities, when flagged
+}
+
+func newSpeakerArena(be *ribBackend) *speakerArena {
+	return &speakerArena{be: be}
+}
+
+// alloc stores rec (with ref 1) and returns its slot.
+func (a *speakerArena) alloc(rec packedRoute, comms CommunitySet) uint32 {
+	rec.ref = 1
+	var slot uint32
+	if n := len(a.free); n > 0 {
+		slot = a.free[n-1]
+		a.free = a.free[:n-1]
+		a.recs[slot] = rec
+	} else {
+		slot = uint32(len(a.recs))
+		a.recs = append(a.recs, rec)
+	}
+	if rec.flags&prFlagHasComms != 0 {
+		if a.comms == nil {
+			a.comms = make(map[uint32]CommunitySet)
+		}
+		a.comms[slot] = comms
+	}
+	return slot
+}
+
+// release drops one reference; the slot is recycled at zero.
+func (a *speakerArena) release(slot uint32) {
+	a.recs[slot].ref--
+	if a.recs[slot].ref == 0 {
+		if a.recs[slot].flags&prFlagHasComms != 0 {
+			delete(a.comms, slot)
+		}
+		a.free = append(a.free, slot)
+	}
+}
+
+// pack converts a route into its arena record, interning the path and
+// prefix as a side effect.
+func (a *speakerArena) pack(r *Route) (packedRoute, CommunitySet) {
+	rec := packedRoute{
+		learnedAt: int64(r.LearnedAt),
+		pathID:    a.be.paths.Intern(r.Path),
+		med:       r.MED,
+		localPref: r.LocalPref,
+		igpCost:   r.IGPCost,
+		from:      uint32(r.From),
+		fromAS:    uint32(r.FromAS),
+		origin:    uint8(r.Origin),
+		class:     uint8(r.Class),
+	}
+	if r.EBGP {
+		rec.flags |= prFlagEBGP
+	}
+	if r.Communities.Len() > 0 {
+		rec.flags |= prFlagHasComms
+	}
+	return rec, r.Communities
+}
+
+// materialize rebuilds the *Route for a record under prefix p.
+func (a *speakerArena) materialize(p netutil.Prefix, slot uint32) *Route {
+	rec := a.recs[slot]
+	r := &Route{
+		Prefix:    p,
+		Path:      a.be.paths.Resolve(rec.pathID),
+		Origin:    Origin(rec.origin),
+		MED:       rec.med,
+		LocalPref: rec.localPref,
+		Class:     RouteClass(rec.class),
+		From:      RouterID(rec.from),
+		FromAS:    asn.AS(rec.fromAS),
+		EBGP:      rec.flags&prFlagEBGP != 0,
+		IGPCost:   rec.igpCost,
+		LearnedAt: Time(rec.learnedAt),
+	}
+	if rec.flags&prFlagHasComms != 0 {
+		r.Communities = a.comms[slot]
+	}
+	return r
+}
+
+// arenaStore is the compact ribStore: a map from packed
+// (prefixIdx, neighbor) keys to arena slots, plus the per-slot
+// materialization cache that provides the pointer-stability contract.
+type arenaStore struct {
+	ar *speakerArena
+	// sibling, set only on the loc-RIB store, points at the speaker's
+	// adj-RIB-in store: Install tries to share (refcount) the sibling's
+	// record for the same (prefix, From) slot instead of allocating.
+	sibling *arenaStore
+	slots   map[uint64]uint32
+	mat     map[uint64]*Route
+}
+
+func newArenaStore(ar *speakerArena) *arenaStore {
+	return &arenaStore{ar: ar, slots: make(map[uint64]uint32)}
+}
+
+// storeKey packs a ribKey into (prefixIdx << 32) | neighbor, interning
+// the prefix on first use.
+func (st *arenaStore) storeKey(k ribKey) uint64 {
+	return uint64(st.ar.be.prefixes.Add(k.prefix))<<32 | uint64(k.neighbor)
+}
+
+func (st *arenaStore) Get(k ribKey) *Route {
+	key := st.storeKey(k)
+	slot, ok := st.slots[key]
+	if !ok {
+		return nil
+	}
+	if r, ok := st.mat[key]; ok {
+		return r
+	}
+	r := st.ar.materialize(k.prefix, slot)
+	if st.mat == nil {
+		st.mat = make(map[uint64]*Route)
+	}
+	st.mat[key] = r
+	return r
+}
+
+func (st *arenaStore) Install(k ribKey, r *Route) {
+	if r == nil {
+		panic("bgp: Install(nil route); use Withdraw")
+	}
+	key := st.storeKey(k)
+	rec, comms := st.ar.pack(r)
+	if prev, ok := st.slots[key]; ok {
+		st.ar.release(prev)
+	}
+	delete(st.mat, key)
+	// Loc-RIB delta encoding: share the adj-RIB-in record for the same
+	// (prefix, From) when it matches — it always does when the decision
+	// process installs the candidate it just scanned.
+	if st.sibling != nil && r.From != 0 {
+		sibKey := uint64(key>>32)<<32 | uint64(r.From)
+		if sibSlot, ok := st.sibling.slots[sibKey]; ok &&
+			sameRecord(st.ar.recs[sibSlot], rec) &&
+			communitiesEqual(st.ar.comms[sibSlot], comms) {
+			st.ar.recs[sibSlot].ref++
+			st.slots[key] = sibSlot
+			return
+		}
+	}
+	st.slots[key] = st.ar.alloc(rec, comms)
+}
+
+func (st *arenaStore) Withdraw(k ribKey) {
+	key := st.storeKey(k)
+	slot, ok := st.slots[key]
+	if !ok {
+		return
+	}
+	st.ar.release(slot)
+	delete(st.slots, key)
+	delete(st.mat, key)
+}
+
+func (st *arenaStore) Len() int { return len(st.slots) }
+
+func (st *arenaStore) Reset() {
+	for _, slot := range st.slots {
+		st.ar.release(slot)
+	}
+	st.slots = make(map[uint64]uint32)
+	st.mat = nil
+}
+
+func (st *arenaStore) WalkSorted(fn func(k ribKey, r *Route) bool) {
+	keys := make([]ribKey, 0, len(st.slots))
+	for key := range st.slots {
+		keys = append(keys, ribKey{
+			prefix:   st.ar.be.prefixes.At(uint32(key >> 32)),
+			neighbor: RouterID(key),
+		})
+	}
+	sortRibKeysStable(keys)
+	for _, k := range keys {
+		if !fn(k, st.Get(k)) {
+			return
+		}
+	}
+}
+
+// RIBStats describes the compact engine's memory model: entry counts
+// and the modelled resident bytes of the arenas, indices, and path
+// table. BytesPerRoute is the headline figure the benchmarks gate.
+type RIBStats struct {
+	Routes        int // total store entries across all speakers
+	SharedLocRib  int // loc-RIB entries sharing an adj-RIB-in record
+	Records       int // live arena records
+	DistinctPaths int
+	PathBytes     int // path table resident bytes
+	ArenaBytes    int // packed records (including free slots)
+	IndexBytes    int // slot/key index overhead (modelled)
+}
+
+// BytesPerRoute amortises the modelled resident bytes over the entry
+// count.
+func (rs RIBStats) BytesPerRoute() float64 {
+	if rs.Routes == 0 {
+		return 0
+	}
+	return float64(rs.PathBytes+rs.ArenaBytes+rs.IndexBytes) / float64(rs.Routes)
+}
+
+// CompactRIB reports whether the network uses the arena layout.
+func (n *Network) CompactRIB() bool { return n.compact }
+
+// SetCompactRIB selects the arena-backed RIB layout for all speakers.
+// It must be called before any speaker is added: the two layouts do
+// not mix within one network.
+func (n *Network) SetCompactRIB(on bool) {
+	if len(n.speakers) > 0 {
+		panic("bgp: SetCompactRIB must be called before AddSpeaker")
+	}
+	n.compact = on
+	if on && n.ribBE == nil {
+		n.ribBE = newRIBBackend()
+	}
+}
+
+// RIBStats reports the compact layout's memory model. On a map-layout
+// network only the entry counts are populated.
+func (n *Network) RIBStats() RIBStats {
+	var rs RIBStats
+	ids := make([]RouterID, 0, len(n.speakers))
+	for id := range n.speakers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	seen := make(map[*speakerArena]bool)
+	for _, id := range ids {
+		s := n.speakers[id]
+		rs.Routes += s.adjIn.Len() + s.locRib.Len() + s.adjOut.Len()
+		loc, okLoc := s.locRib.(*arenaStore)
+		if !okLoc {
+			continue
+		}
+		in := s.adjIn.(*arenaStore)
+		for key, slot := range loc.slots {
+			if sibSlot, ok := in.slots[uint64(key>>32)<<32|uint64(loc.ar.recs[slot].from)]; ok && sibSlot == slot {
+				rs.SharedLocRib++
+			}
+		}
+		ar := loc.ar
+		if seen[ar] {
+			continue
+		}
+		seen[ar] = true
+		rs.Records += len(ar.recs) - len(ar.free)
+		rs.ArenaBytes += 40 * len(ar.recs)
+		// Each slot-map entry: 8-byte key + 4-byte value + amortised
+		// bucket share (~50% on Go maps with small entries).
+		for _, st := range []*arenaStore{in, loc, s.adjOut.(*arenaStore)} {
+			rs.IndexBytes += st.Len() * 18
+		}
+	}
+	if n.ribBE != nil {
+		rs.DistinctPaths = n.ribBE.paths.Len()
+		rs.PathBytes = n.ribBE.paths.Bytes()
+		// The shared prefix index: prefix (8B) x2 (map key + list) plus
+		// map value and bucket share.
+		rs.IndexBytes += len(n.ribBE.prefixes.list) * 30
+	}
+	return rs
+}

@@ -149,12 +149,6 @@ type Route struct {
 	// Communities carries the route's community tags (RFC 1997).
 	// Well-known values restrict propagation (NoExport, NoAdvertise).
 	Communities CommunitySet
-
-	// pathLenOverride, when positive, is the effective AS path length
-	// of a not-yet-materialized solver candidate whose Path field
-	// still references the neighbor's (unprepended) path. Internal to
-	// the static solver's allocation-free comparison.
-	pathLenOverride int
 }
 
 // DefaultLocalPref is the localpref a speaker assigns when the import

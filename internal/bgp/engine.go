@@ -92,6 +92,12 @@ type Network struct {
 	dirtyQueue  []dirtyKey
 	dirtySet    map[dirtyKey]bool
 	inc         IncStats
+
+	// Compact-RIB state (see arena.go): when compact is set (before
+	// any speaker exists), AddSpeaker gives each speaker arena-backed
+	// stores over the shared path table and prefix index in ribBE.
+	compact bool
+	ribBE   *ribBackend
 }
 
 // netMetrics caches the dynamic engine's hot-path counters so the
@@ -178,11 +184,28 @@ func (n *Network) AddSpeaker(id RouterID, as asn.AS, name string) *Speaker {
 		panic(fmt.Sprintf("bgp: duplicate speaker name %q", name))
 	}
 	s := newSpeaker(id, as, name)
+	if n.compact {
+		if id == 0 {
+			panic("bgp: RouterID 0 is reserved (loc-RIB store key)")
+		}
+		ar := newSpeakerArena(n.ribBE)
+		in := newArenaStore(ar)
+		loc := newArenaStore(ar)
+		loc.sibling = in // loc-RIB delta-encodes against adj-RIB-in
+		s.adjIn, s.locRib, s.adjOut = in, loc, newArenaStore(ar)
+	}
 	s.metrics = &n.metrics
 	n.speakers[id] = s
 	n.solverStale = true
-	n.order = append(n.order, id)
-	sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
+	// Generators add speakers in ascending ID order, so the common case
+	// is a plain append; re-sorting on every insertion would make an
+	// 80K-speaker build quadratic.
+	if k := len(n.order); k == 0 || n.order[k-1] < id {
+		n.order = append(n.order, id)
+	} else {
+		n.order = append(n.order, id)
+		sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
+	}
 	if name != "" {
 		n.byName[name] = id
 	}
@@ -380,16 +403,24 @@ func (n *Network) SetSessionUp(a, b RouterID) {
 // flushSession drops every adj-RIB-in entry s holds from neighbor nb
 // and every adj-RIB-out entry toward nb, rerunning decisions.
 func (n *Network) flushSession(s *Speaker, nb RouterID) {
+	// Collect first, mutate after: stores do not allow mutation during
+	// a walk.
 	var prefixes []netutil.Prefix
-	for k := range s.adjIn {
+	s.adjIn.WalkSorted(func(k ribKey, _ *Route) bool {
 		if k.neighbor == nb {
 			prefixes = append(prefixes, k.prefix)
 		}
-	}
-	for k := range s.adjOut {
+		return true
+	})
+	var outKeys []ribKey
+	s.adjOut.WalkSorted(func(k ribKey, _ *Route) bool {
 		if k.neighbor == nb {
-			delete(s.adjOut, k)
+			outKeys = append(outKeys, k)
 		}
+		return true
+	})
+	for _, k := range outKeys {
+		s.adjOut.Withdraw(k)
 	}
 	netutil.SortPrefixes(prefixes)
 	for _, p := range prefixes {
@@ -445,12 +476,14 @@ func (s *Speaker) exportablePrefixes() []netutil.Prefix {
 	for p := range s.originated {
 		set[p] = true
 	}
-	for p := range s.locRib {
-		set[p] = true
-	}
-	for k := range s.adjOut {
+	s.locRib.WalkSorted(func(k ribKey, _ *Route) bool {
 		set[k.prefix] = true
-	}
+		return true
+	})
+	s.adjOut.WalkSorted(func(k ribKey, _ *Route) bool {
+		set[k.prefix] = true
+		return true
+	})
 	out := make([]netutil.Prefix, 0, len(set))
 	for p := range set {
 		out = append(out, p)
@@ -529,14 +562,14 @@ func (n *Network) exportToPeer(s *Speaker, p netutil.Prefix, pc *PeerConfig) {
 func (n *Network) sendExport(s *Speaker, p netutil.Prefix, pc *PeerConfig) {
 	r := s.exportRoute(p, pc)
 	k := ribKey{p, pc.Neighbor}
-	prev := s.adjOut[k]
+	prev := s.adjOut.Get(k)
 	if announcementEqual(prev, r) {
 		return
 	}
 	if r == nil {
-		delete(s.adjOut, k)
+		s.adjOut.Withdraw(k)
 	} else {
-		s.adjOut[k] = r
+		s.adjOut.Install(k, r)
 	}
 	delay := pc.Delay
 	if delay <= 0 {
@@ -606,7 +639,7 @@ func (n *Network) deliver(e *event) {
 			if n.incremental {
 				// The suppressed route became usable: its effective
 				// candidate went from nil to the held adj-in entry.
-				n.decide(s, e.prefix, e.from, nil, s.adjIn[k])
+				n.decide(s, e.prefix, e.from, nil, s.adjIn.Get(k))
 			} else {
 				n.decideAndExport(s, e.prefix)
 			}
@@ -670,7 +703,7 @@ func (n *Network) NextHop(id RouterID, p netutil.Prefix) (RouterID, bool) {
 	if s == nil {
 		return 0, false
 	}
-	best := s.locRib[p]
+	best := s.locRib.Get(locKey(p))
 	if best == nil {
 		return 0, false
 	}

@@ -212,7 +212,7 @@ func (n *Network) decide(s *Speaker, p netutil.Prefix, from RouterID, before, af
 // runDecision's change-detection semantics exactly (semantic equality
 // keeps the previous pointer).
 func (n *Network) incrementalBest(s *Speaker, p netutil.Prefix, from RouterID, after *Route) (*Route, bool) {
-	prev := s.locRib[p]
+	prev := s.locRib.Get(locKey(p))
 	if !s.medSeen[p] {
 		switch {
 		case after == nil:
@@ -226,7 +226,7 @@ func (n *Network) incrementalBest(s *Speaker, p netutil.Prefix, from RouterID, a
 		case prev == nil:
 			// First candidate wins unopposed.
 			n.fastPathHit()
-			s.locRib[p] = after
+			s.locRib.Install(locKey(p), after)
 			return after, true
 		case prev.From == from:
 			// The best route's own slot changed. If the replacement
@@ -238,7 +238,7 @@ func (n *Network) incrementalBest(s *Speaker, p netutil.Prefix, from RouterID, a
 				if routesEqual(prev, after) {
 					return prev, false
 				}
-				s.locRib[p] = after
+				s.locRib.Install(locKey(p), after)
 				return after, true
 			}
 			// The slot degraded below the old best: scan.
@@ -249,7 +249,7 @@ func (n *Network) incrementalBest(s *Speaker, p netutil.Prefix, from RouterID, a
 			c, _ := Compare(after, prev)
 			if c < 0 {
 				n.fastPathHit()
-				s.locRib[p] = after
+				s.locRib.Install(locKey(p), after)
 				return after, true
 			}
 			if c > 0 {
@@ -287,14 +287,14 @@ func (n *Network) scanDecision(s *Speaker, p netutil.Prefix) (*Route, bool) {
 		n.inc.FullScans++
 		n.metrics.fullScans.Inc()
 	}
-	prev := s.locRib[p]
+	prev := s.locRib.Get(locKey(p))
 	if routesEqual(prev, best) {
 		return prev, false
 	}
 	if best == nil {
-		delete(s.locRib, p)
+		s.locRib.Withdraw(locKey(p))
 	} else {
-		s.locRib[p] = best
+		s.locRib.Install(locKey(p), best)
 	}
 	return best, true
 }

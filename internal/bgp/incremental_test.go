@@ -39,29 +39,18 @@ func networkSignature(n *Network) string {
 	for _, id := range n.Speakers() {
 		s := n.Speaker(id)
 		fmt.Fprintf(&b, "speaker %d\n", id)
-		var prefixes []netutil.Prefix
-		for p := range s.locRib {
-			prefixes = append(prefixes, p)
-		}
-		netutil.SortPrefixes(prefixes)
-		for _, p := range prefixes {
-			fmt.Fprintf(&b, "  best %s: %s\n", p, routeSig(s.locRib[p]))
-		}
-		var inKeys, outKeys []ribKey
-		for k := range s.adjIn {
-			inKeys = append(inKeys, k)
-		}
-		for k := range s.adjOut {
-			outKeys = append(outKeys, k)
-		}
-		sortRibKeys(inKeys)
-		sortRibKeys(outKeys)
-		for _, k := range inKeys {
-			fmt.Fprintf(&b, "  in %s/%d sup=%v: %s\n", k.prefix, k.neighbor, s.suppressed[k], routeSig(s.adjIn[k]))
-		}
-		for _, k := range outKeys {
-			fmt.Fprintf(&b, "  out %s/%d: %s\n", k.prefix, k.neighbor, routeSig(s.adjOut[k]))
-		}
+		s.locRib.WalkSorted(func(k ribKey, r *Route) bool {
+			fmt.Fprintf(&b, "  best %s: %s\n", k.prefix, routeSig(r))
+			return true
+		})
+		s.adjIn.WalkSorted(func(k ribKey, r *Route) bool {
+			fmt.Fprintf(&b, "  in %s/%d sup=%v: %s\n", k.prefix, k.neighbor, s.suppressed[k], routeSig(r))
+			return true
+		})
+		s.adjOut.WalkSorted(func(k ribKey, r *Route) bool {
+			fmt.Fprintf(&b, "  out %s/%d: %s\n", k.prefix, k.neighbor, routeSig(r))
+			return true
+		})
 	}
 	return b.String()
 }

@@ -1,0 +1,106 @@
+package bgp
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+)
+
+// BenchmarkRIBBytesPerRoute measures the compact layout's memory model
+// on a vantage-point shape: one speaker importing a 200K-prefix table
+// from three feeds, with ~10 routes sharing each origin AS path (the
+// interning workload a collector peer sees). The "bytes/route" metric
+// is the modelled resident figure from RIBStats; BENCH_baseline.json
+// records it and `make bench-mem` fails the build if it regresses.
+func BenchmarkRIBBytesPerRoute(b *testing.B) {
+	const (
+		nPrefixes = 200_000
+		nFeeds    = 3
+	)
+	for i := 0; i < b.N; i++ {
+		n := NewNetwork()
+		n.SetCompactRIB(true)
+		const vantage = RouterID(1)
+		n.AddSpeaker(vantage, asn.AS(65000), "vantage")
+		feedExport := PeerConfig{
+			ClassifyAs:  ClassPeer,
+			ExportAllow: NewClassSet(ClassOwn, ClassCustomer),
+		}
+		vantageImport := PeerConfig{
+			ClassifyAs:      ClassPeer,
+			ImportLocalPref: LocalPrefPeer,
+			ExportAllow:     NewClassSet(),
+		}
+		for f := 0; f < nFeeds; f++ {
+			id := RouterID(2 + f)
+			n.AddSpeaker(id, asn.AS(65001+f), "")
+			n.Connect(id, vantage, feedExport, vantageImport)
+		}
+		// Dense /24 table; every 10th prefix starts a new origin, so
+		// each origin's path is shared by ~10 routes per feed.
+		chain := make([]asn.AS, 3)
+		for f := 0; f < nFeeds; f++ {
+			id := RouterID(2 + f)
+			for p := 0; p < nPrefixes; p++ {
+				origin := p / 10
+				chain[0] = asn.AS(70_000 + f)
+				chain[1] = asn.AS(80_000 + origin%500)
+				chain[2] = asn.AS(100_000 + origin)
+				n.OriginateWith(id, netutil.PrefixFrom(uint32(0x0A000000+p*256), 24),
+					OriginateOpts{Poison: chain})
+			}
+		}
+		n.RunToQuiescence()
+
+		rs := n.RIBStats()
+		var ms runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		b.ReportMetric(rs.BytesPerRoute(), "bytes/route")
+		b.ReportMetric(float64(rs.Routes), "routes")
+		b.ReportMetric(float64(rs.DistinctPaths), "paths")
+		b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "heap-MB")
+		runtime.KeepAlive(n)
+	}
+}
+
+// BenchmarkDeliveryAllocs measures steady-state allocations per
+// delivered update on a converged compact network driven through
+// prepend churn — the hot path of every workload. The
+// "allocs/delivery" metric is gated against BENCH_baseline.json by
+// `make bench-mem`.
+func BenchmarkDeliveryAllocs(b *testing.B) {
+	rng := rand.New(rand.NewSource(1789)) // #nosec benchmark randomness
+	n := NewNetwork()
+	n.SetCompactRIB(true)
+	growGaoRexford(n, rng, 160)
+	prefixes := make([]netutil.Prefix, 40)
+	origins := make([]RouterID, len(prefixes))
+	for i := range prefixes {
+		prefixes[i] = netutil.PrefixFrom(uint32(0xC6336400+i*256), 24)
+		origins[i] = RouterID(1 + rng.Intn(160))
+		n.Originate(origins[i], prefixes[i])
+	}
+	n.RunToQuiescence()
+
+	var before, after runtime.MemStats
+	msgs0 := n.Churn.TotalMessages
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(prefixes)
+		nb := n.speakers[origins[k]].peerOrder[0]
+		n.SetPrefixPrepend(origins[k], nb, prefixes[k], 1+i%3)
+		n.RunToQuiescence()
+	}
+	runtime.ReadMemStats(&after)
+	delivered := n.Churn.TotalMessages - msgs0
+	if delivered > 0 {
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(delivered), "allocs/delivery")
+		b.ReportMetric(float64(delivered)/float64(b.N), "deliveries/op")
+	}
+}

@@ -1,0 +1,76 @@
+package pathtab
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/asn"
+)
+
+// FuzzIntern feeds arbitrary byte strings as packed AS paths and
+// checks the interner's invariants: intern/resolve round-trips, IDs
+// are stable across re-interning, distinct paths get distinct IDs,
+// and the empty path is always ID 0.
+func FuzzIntern(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode the input as a sequence of paths: a length byte then
+		// that many little-endian uint32 ASes, repeated.
+		var paths []asn.Path
+		for len(data) > 0 {
+			n := int(data[0] % 16)
+			data = data[1:]
+			if 4*n > len(data) {
+				n = len(data) / 4
+			}
+			p := make(asn.Path, n)
+			for i := 0; i < n; i++ {
+				p[i] = asn.AS(binary.LittleEndian.Uint32(data[4*i:]))
+			}
+			data = data[4*n:]
+			paths = append(paths, p)
+		}
+
+		tab := New()
+		ids := make([]ID, len(paths))
+		for i, p := range paths {
+			ids[i] = tab.Intern(p)
+			if len(p) == 0 && ids[i] != Empty {
+				t.Fatalf("empty path interned to %d", ids[i])
+			}
+			if len(p) > 0 && ids[i] == Empty {
+				t.Fatalf("non-empty path %v interned to Empty", p)
+			}
+		}
+		// Round-trip and stability.
+		for i, p := range paths {
+			if got := tab.Resolve(ids[i]); !got.Equal(p) {
+				t.Fatalf("Resolve(%d) = %v, want %v", ids[i], got, p)
+			}
+			if again := tab.Intern(p.Clone()); again != ids[i] {
+				t.Fatalf("re-intern of %v: %d -> %d", p, ids[i], again)
+			}
+			if id, ok := tab.Lookup(p); !ok || id != ids[i] {
+				t.Fatalf("Lookup(%v) = %d, %v, want %d", p, id, ok, ids[i])
+			}
+		}
+		// Injectivity: equal IDs imply equal paths.
+		for i := range paths {
+			for j := i + 1; j < len(paths); j++ {
+				if (ids[i] == ids[j]) != paths[i].Equal(paths[j]) {
+					t.Fatalf("ID equality disagrees with path equality: %v=%d vs %v=%d",
+						paths[i], ids[i], paths[j], ids[j])
+				}
+			}
+		}
+		// Dense ID space: every ID in [1, Len] resolves.
+		for id := 1; id <= tab.Len(); id++ {
+			if tab.Resolve(ID(id)) == nil {
+				t.Fatalf("dense ID %d resolved to nil", id)
+			}
+		}
+	})
+}

@@ -124,22 +124,14 @@ func ribSignature(n *Network) string {
 	for _, id := range n.Speakers() {
 		s := n.Speaker(id)
 		fmt.Fprintf(&b, "speaker %d\n", id)
-		var prefixes []netutil.Prefix
-		for p := range s.locRib {
-			prefixes = append(prefixes, p)
-		}
-		netutil.SortPrefixes(prefixes)
-		for _, p := range prefixes {
-			fmt.Fprintf(&b, "  best %s: %s\n", p, mask(s.locRib[p]))
-		}
-		var keys []ribKey
-		for k := range s.adjOut {
-			keys = append(keys, k)
-		}
-		sortRibKeys(keys)
-		for _, k := range keys {
-			fmt.Fprintf(&b, "  out %s/%d: %s\n", k.prefix, k.neighbor, mask(s.adjOut[k]))
-		}
+		s.locRib.WalkSorted(func(k ribKey, r *Route) bool {
+			fmt.Fprintf(&b, "  best %s: %s\n", k.prefix, mask(r))
+			return true
+		})
+		s.adjOut.WalkSorted(func(k ribKey, r *Route) bool {
+			fmt.Fprintf(&b, "  out %s/%d: %s\n", k.prefix, k.neighbor, mask(r))
+			return true
+		})
 	}
 	return b.String()
 }

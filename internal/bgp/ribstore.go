@@ -1,0 +1,88 @@
+package bgp
+
+import "repro/internal/netutil"
+
+// The RIB store abstraction. A speaker's three RIBs — adj-RIB-in,
+// loc-RIB, adj-RIB-out — used to be three map fields with ad-hoc
+// access patterns spread over the engine. They are now values of one
+// small interface, ribStore, with two implementations:
+//
+//   - mapStore: the historical map[ribKey]*Route layout, pointer-exact
+//     with the old fields. The default, and the reference semantics
+//     the differential tests compare against.
+//   - arenaStore (arena.go): a memory-compact layout that packs each
+//     route into a fixed 40-byte record in a per-speaker arena, interns
+//     AS paths in a network-wide path table, and delta-encodes the
+//     loc-RIB against adj-RIB-in by sharing records. Selected with
+//     Network.SetCompactRIB(true).
+//
+// The loc-RIB is keyed by prefix only; its store keys use neighbor 0
+// (RouterID 0 is reserved — Route.From == 0 already means "locally
+// originated" throughout the engine, so no session can use it).
+//
+// Interface contract, relied on by the engine and the snapshot layer:
+//
+//   - Install/Get round-trip semantic route values exactly, including
+//     LearnedAt. mapStore additionally round-trips pointer identity;
+//     arenaStore returns materialized routes but keeps the returned
+//     pointer STABLE for an unchanged slot (repeated Gets return the
+//     same *Route until the slot is installed over or withdrawn).
+//     The incremental decision cache and the snapshot route index key
+//     on candidate pointers, so slot-stable pointers are load-bearing,
+//     not an optimization.
+//   - WalkSorted visits entries ordered by (prefix, neighbor) — prefix
+//     order per netutil.ComparePrefixes — the canonical serialization
+//     order of the snapshot format.
+//   - Mutating the store during WalkSorted is not allowed; callers
+//     collect keys first (see flushSession).
+type ribStore interface {
+	// Get returns the route stored under k, or nil.
+	Get(k ribKey) *Route
+	// Install stores r (non-nil) under k, replacing any previous entry.
+	Install(k ribKey, r *Route)
+	// Withdraw removes the entry under k (a no-op when absent).
+	Withdraw(k ribKey)
+	// WalkSorted visits every entry in (prefix, neighbor) order until
+	// fn returns false.
+	WalkSorted(fn func(k ribKey, r *Route) bool)
+	// Len returns the number of entries.
+	Len() int
+	// Reset empties the store.
+	Reset()
+}
+
+// locKey is the loc-RIB store key for p (neighbor 0 by convention).
+func locKey(p netutil.Prefix) ribKey { return ribKey{prefix: p} }
+
+// mapStore is the reference ribStore: a bare route map. Install and
+// Get preserve pointer identity, which the rest of the engine's
+// aliasing (queue events, adj-out entries, the decision cache) was
+// originally built on.
+type mapStore struct {
+	m map[ribKey]*Route
+}
+
+func newMapStore() *mapStore { return &mapStore{m: make(map[ribKey]*Route)} }
+
+func (st *mapStore) Get(k ribKey) *Route { return st.m[k] }
+
+func (st *mapStore) Install(k ribKey, r *Route) {
+	if r == nil {
+		panic("bgp: Install(nil route); use Withdraw")
+	}
+	st.m[k] = r
+}
+
+func (st *mapStore) Withdraw(k ribKey) { delete(st.m, k) }
+
+func (st *mapStore) Len() int { return len(st.m) }
+
+func (st *mapStore) Reset() { st.m = make(map[ribKey]*Route) }
+
+func (st *mapStore) WalkSorted(fn func(k ribKey, r *Route) bool) {
+	for _, k := range sortedKeysRoute(st.m) {
+		if !fn(k, st.m[k]) {
+			return
+		}
+	}
+}

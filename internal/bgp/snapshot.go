@@ -38,12 +38,15 @@ import (
 	"sort"
 
 	"repro/internal/asn"
+	"repro/internal/bgp/pathtab"
 	"repro/internal/netutil"
 	snap "repro/internal/snapshot"
 	"repro/internal/vtime"
 )
 
-// Engine snapshot section IDs, in file order.
+// Engine snapshot section IDs. File order is meta, fingerprint,
+// paths (v2+), routes, speakers, queue, churn, dirty; secPaths got the
+// next free ID when v2 introduced it, so IDs are not positional.
 const (
 	secMeta        = 1
 	secFingerprint = 2
@@ -52,6 +55,7 @@ const (
 	secQueue       = 5
 	secChurn       = 6
 	secDirty       = 7
+	secPaths       = 8
 )
 
 // ErrSnapshotMismatch reports that a snapshot's topology/policy
@@ -77,13 +81,22 @@ func (n *Network) snapshotBytes() ([]byte, error) {
 		return nil, errors.New("bgp: Snapshot called inside Batch")
 	}
 	ri := newRouteIndex(n)
+	// The v2 path table: paths referenced from the route table and the
+	// churn log are interned in first-appearance order (route-table
+	// order, then churn order), so identical networks produce identical
+	// tables. Encoding the referers first populates the table; the
+	// sections are then written in file order.
+	pt := pathtab.New()
+	routesPayload := encodeRoutes(ri, pt)
+	churnPayload := encodeChurn(n.Churn.Records, pt)
 	sw := snap.NewWriter(snap.EngineMagic, snap.EngineVersion)
 	sw.Section(secMeta, n.encodeMeta())
 	sw.Section(secFingerprint, n.encodeFingerprint())
-	sw.Section(secRoutes, encodeRoutes(ri))
+	sw.Section(secPaths, encodePaths(pt))
+	sw.Section(secRoutes, routesPayload)
 	sw.Section(secSpeakers, n.encodeSpeakers(ri))
 	sw.Section(secQueue, encodeQueue(n.queue.Sorted(), ri))
-	sw.Section(secChurn, encodeChurn(n.Churn.Records))
+	sw.Section(secChurn, churnPayload)
 	sw.Section(secDirty, encodeDirty(n.dirtyQueue))
 	return sw.Bytes(), nil
 }
@@ -95,14 +108,20 @@ func (n *Network) snapshotBytes() ([]byte, error) {
 // touched, and a decode error leaves base unmodified. Metrics wiring,
 // CollectorFeedDown, and policy functions are kept from base.
 func RestoreNetwork(r io.Reader, base *Network) error {
-	sections, err := snap.ReadSections(r, snap.EngineMagic, snap.EngineVersion)
+	sections, version, err := snap.ReadSectionsVersioned(r, snap.EngineMagic, snap.EngineVersion)
 	if err != nil {
 		return err
 	}
-	if len(sections) != 7 {
-		return fmt.Errorf("%w: got %d sections, want 7", snap.ErrCorrupt, len(sections))
+	// v1 has no path table section and carries paths inline; v2 inserts
+	// secPaths between the fingerprint and the route table.
+	wantIDs := []byte{secMeta, secFingerprint, secRoutes, secSpeakers, secQueue, secChurn, secDirty}
+	if version >= 2 {
+		wantIDs = []byte{secMeta, secFingerprint, secPaths, secRoutes, secSpeakers, secQueue, secChurn, secDirty}
 	}
-	for i, id := range []byte{secMeta, secFingerprint, secRoutes, secSpeakers, secQueue, secChurn, secDirty} {
+	if len(sections) != len(wantIDs) {
+		return fmt.Errorf("%w: got %d sections, want %d", snap.ErrCorrupt, len(sections), len(wantIDs))
+	}
+	for i, id := range wantIDs {
 		if sections[i].ID != id {
 			return fmt.Errorf("%w: section %d has id 0x%02x, want 0x%02x", snap.ErrCorrupt, i, sections[i].ID, id)
 		}
@@ -114,23 +133,31 @@ func RestoreNetwork(r io.Reader, base *Network) error {
 	if !bytes.Equal(sections[1].Payload, base.encodeFingerprint()) {
 		return ErrSnapshotMismatch
 	}
-	routes, err := decodeRoutes(sections[2].Payload)
+	var paths []asn.Path
+	off := 0
+	if version >= 2 {
+		off = 1
+		if paths, err = decodePaths(sections[2].Payload); err != nil {
+			return err
+		}
+	}
+	routes, err := decodeRoutes(sections[2+off].Payload, paths, version)
 	if err != nil {
 		return err
 	}
-	spks, err := decodeSpeakers(sections[3].Payload, base, routes)
+	spks, err := decodeSpeakers(sections[3+off].Payload, base, routes)
 	if err != nil {
 		return err
 	}
-	queue, err := decodeQueue(sections[4].Payload, routes)
+	queue, err := decodeQueue(sections[4+off].Payload, routes)
 	if err != nil {
 		return err
 	}
-	churn, err := decodeChurn(sections[5].Payload)
+	churn, err := decodeChurn(sections[5+off].Payload, paths, version)
 	if err != nil {
 		return err
 	}
-	dirty, err := decodeDirty(sections[6].Payload)
+	dirty, err := decodeDirty(sections[6+off].Payload)
 	if err != nil {
 		return err
 	}
@@ -283,15 +310,15 @@ func newRouteIndex(n *Network) *routeIndex {
 		for _, p := range sortedOrigPrefixes(s.originated) {
 			ri.add(s.originated[p].route)
 		}
-		for _, k := range sortedKeysRoute(s.adjIn) {
-			ri.add(s.adjIn[k])
+		addAll := func(st ribStore) {
+			st.WalkSorted(func(_ ribKey, r *Route) bool {
+				ri.add(r)
+				return true
+			})
 		}
-		for _, p := range sortedRoutePrefixes(s.locRib) {
-			ri.add(s.locRib[p])
-		}
-		for _, k := range sortedKeysRoute(s.adjOut) {
-			ri.add(s.adjOut[k])
-		}
+		addAll(s.adjIn)
+		addAll(s.locRib)
+		addAll(s.adjOut)
 		for _, p := range sortedCachePrefixes(s.decCache) {
 			e := s.decCache[p]
 			for _, r := range e.cands {
@@ -331,15 +358,61 @@ func (ri *routeIndex) ref(r *Route) uint64 {
 // must encodes a non-nil route reference as its bare index.
 func (ri *routeIndex) must(r *Route) uint64 { return ri.ref(r) - 1 }
 
-func encodeRoutes(ri *routeIndex) []byte {
+// encodePaths serializes the interned path table: a count, then per
+// path (IDs 1..Len in order) a uvarint length and the AS words. The
+// empty path is implicit as ID 0.
+func encodePaths(pt *pathtab.Table) []byte {
+	var e snap.Enc
+	e.Uvarint(uint64(pt.Len()))
+	for id := 1; id <= pt.Len(); id++ {
+		p := pt.Resolve(pathtab.ID(id))
+		e.Uvarint(uint64(len(p)))
+		for _, a := range p {
+			e.U32(uint32(a))
+		}
+	}
+	return e.Bytes()
+}
+
+// decodePaths returns the table as a slice: paths[i] is ID i+1.
+func decodePaths(payload []byte) ([]asn.Path, error) {
+	d := snap.NewDec(payload)
+	n := d.Count(1)
+	paths := make([]asn.Path, 0, n)
+	for i := 0; i < n; i++ {
+		pl := d.Count(4)
+		if d.Err() == nil && pl == 0 {
+			return nil, fmt.Errorf("%w: empty path in path table (ID 0 is implicit)", snap.ErrCorrupt)
+		}
+		p := make(asn.Path, pl)
+		for j := range p {
+			p[j] = asn.AS(d.U32())
+		}
+		paths = append(paths, p)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}
+
+// pathByID resolves a decoded path reference (0 = nil).
+func pathByID(paths []asn.Path, id uint64, d *snap.Dec) (asn.Path, error) {
+	if id == 0 || d.Err() != nil {
+		return nil, d.Err()
+	}
+	if id > uint64(len(paths)) {
+		return nil, fmt.Errorf("%w: path ID %d out of range (%d paths)", snap.ErrCorrupt, id, len(paths))
+	}
+	return paths[id-1], nil
+}
+
+func encodeRoutes(ri *routeIndex, pt *pathtab.Table) []byte {
 	var e snap.Enc
 	e.Uvarint(uint64(len(ri.list)))
 	for _, r := range ri.list {
 		encPrefix(&e, r.Prefix)
-		e.Uvarint(uint64(len(r.Path)))
-		for _, a := range r.Path {
-			e.U32(uint32(a))
-		}
+		e.Uvarint(uint64(pt.Intern(r.Path)))
 		e.U8(uint8(r.Origin))
 		e.U32(r.MED)
 		e.U32(r.LocalPref)
@@ -354,7 +427,9 @@ func encodeRoutes(ri *routeIndex) []byte {
 	return e.Bytes()
 }
 
-func decodeRoutes(payload []byte) ([]*Route, error) {
+// decodeRoutes reads the route table; in v1 each route carries its
+// path inline, in v2 a reference into the decoded path table.
+func decodeRoutes(payload []byte, paths []asn.Path, version uint16) ([]*Route, error) {
 	d := snap.NewDec(payload)
 	n := d.Count(20) // minimum encoded route size
 	routes := make([]*Route, 0, n)
@@ -364,7 +439,11 @@ func decodeRoutes(payload []byte) ([]*Route, error) {
 		if r.Prefix, err = decPrefix(d); err != nil {
 			return nil, err
 		}
-		if pl := d.Count(4); pl > 0 {
+		if version >= 2 {
+			if r.Path, err = pathByID(paths, d.Uvarint(), d); err != nil {
+				return nil, err
+			}
+		} else if pl := d.Count(4); pl > 0 {
 			r.Path = make(asn.Path, pl)
 			for j := range r.Path {
 				r.Path[j] = asn.AS(d.U32())
@@ -436,9 +515,20 @@ type peerDynState struct {
 func (st *speakerState) apply() {
 	s := st.s
 	s.originated = st.originated
-	s.adjIn = st.adjIn
-	s.adjOut = st.adjOut
-	s.locRib = st.locRib
+	// The RIBs load through the store interface in sorted key order —
+	// adj-RIB-in first, so an arena loc-RIB can share its records.
+	s.adjIn.Reset()
+	for _, k := range sortedKeysRoute(st.adjIn) {
+		s.adjIn.Install(k, st.adjIn[k])
+	}
+	s.locRib.Reset()
+	for _, p := range sortedRoutePrefixes(st.locRib) {
+		s.locRib.Install(locKey(p), st.locRib[p])
+	}
+	s.adjOut.Reset()
+	for _, k := range sortedKeysRoute(st.adjOut) {
+		s.adjOut.Install(k, st.adjOut[k])
+	}
 	s.rfd = st.rfd
 	s.suppressed = st.suppressed
 	s.mraiLast = st.mraiLast
@@ -466,16 +556,18 @@ func (n *Network) encodeSpeakers(ri *routeIndex) []byte {
 			e.Uvarint(ri.must(s.originated[p].route))
 		}
 
-		encRouteMap(&e, s.adjIn, ri)
+		encRouteStore(&e, s.adjIn, ri)
 
-		loc := sortedRoutePrefixes(s.locRib)
-		e.Uvarint(uint64(len(loc)))
-		for _, p := range loc {
-			encPrefix(&e, p)
-			e.Uvarint(ri.must(s.locRib[p]))
-		}
+		// The loc-RIB serializes under prefix-only keys (its neighbor
+		// component is always 0).
+		e.Uvarint(uint64(s.locRib.Len()))
+		s.locRib.WalkSorted(func(k ribKey, r *Route) bool {
+			encPrefix(&e, k.prefix)
+			e.Uvarint(ri.must(r))
+			return true
+		})
 
-		encRouteMap(&e, s.adjOut, ri)
+		encRouteStore(&e, s.adjOut, ri)
 
 		rfdKeys := make([]ribKey, 0, len(s.rfd))
 		for k := range s.rfd {
@@ -766,7 +858,7 @@ func decodeQueue(payload []byte, routes []*Route) ([]vtime.Item[*event], error) 
 
 // --- churn section ---
 
-func encodeChurn(recs []UpdateRecord) []byte {
+func encodeChurn(recs []UpdateRecord, pt *pathtab.Table) []byte {
 	var e snap.Enc
 	e.Uvarint(uint64(len(recs)))
 	for _, rec := range recs {
@@ -775,17 +867,20 @@ func encodeChurn(recs []UpdateRecord) []byte {
 		e.U32(uint32(rec.PeerAS))
 		encPrefix(&e, rec.Prefix)
 		e.Bool(rec.Announce)
-		e.Uvarint(uint64(len(rec.Path)))
-		for _, a := range rec.Path {
-			e.U32(uint32(a))
-		}
+		e.Uvarint(uint64(pt.Intern(rec.Path)))
 	}
 	return e.Bytes()
 }
 
-func decodeChurn(payload []byte) ([]UpdateRecord, error) {
+// decodeChurn reads the churn log; paths are inline in v1, path-table
+// references in v2.
+func decodeChurn(payload []byte, paths []asn.Path, version uint16) ([]UpdateRecord, error) {
 	d := snap.NewDec(payload)
-	n := d.Count(24)
+	minRec := 24
+	if version >= 2 {
+		minRec = 23 // the inline path became a one-byte-minimum table reference
+	}
+	n := d.Count(minRec)
 	var recs []UpdateRecord
 	if n > 0 {
 		recs = make([]UpdateRecord, 0, n)
@@ -801,7 +896,11 @@ func decodeChurn(payload []byte) ([]UpdateRecord, error) {
 			return nil, err
 		}
 		rec.Announce = d.Bool()
-		if pl := d.Count(4); pl > 0 {
+		if version >= 2 {
+			if rec.Path, err = pathByID(paths, d.Uvarint(), d); err != nil {
+				return nil, err
+			}
+		} else if pl := d.Count(4); pl > 0 {
 			rec.Path = make(asn.Path, pl)
 			for j := range rec.Path {
 				rec.Path[j] = asn.AS(d.U32())
@@ -899,18 +998,14 @@ func decCommunities(d *snap.Dec) CommunitySet {
 	return NewCommunitySet(vals...)
 }
 
-// encRouteMap emits a map[ribKey]*Route under sorted keys.
-func encRouteMap(e *snap.Enc, m map[ribKey]*Route, ri *routeIndex) {
-	keys := make([]ribKey, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sortRibKeysStable(keys)
-	e.Uvarint(uint64(len(keys)))
-	for _, k := range keys {
+// encRouteStore emits a ribStore's entries under sorted keys.
+func encRouteStore(e *snap.Enc, st ribStore, ri *routeIndex) {
+	e.Uvarint(uint64(st.Len()))
+	st.WalkSorted(func(k ribKey, r *Route) bool {
 		encRibKey(e, k)
-		e.Uvarint(ri.must(m[k]))
-	}
+		e.Uvarint(ri.must(r))
+		return true
+	})
 }
 
 func decRouteMap(d *snap.Dec, m map[ribKey]*Route, routes []*Route) error {

@@ -40,6 +40,11 @@ func fuzzSeedInputs(t testing.TB) [][]byte {
 	future := append([]byte(nil), valid...)
 	binary.BigEndian.PutUint16(future[4:], snap.EngineVersion+1)
 	inputs = append(inputs, future)
+	// The frozen v1 golden file keeps the legacy decode path in the
+	// corpus now that fresh snapshots are written in v2.
+	if legacy, err := os.ReadFile(filepath.Join("testdata", "golden_v1.rbgp")); err == nil {
+		inputs = append(inputs, legacy)
+	}
 	return inputs
 }
 

@@ -255,14 +255,14 @@ func goldenNet() *Network {
 	return n
 }
 
-// TestGoldenSnapshotFormat pins the v1 wire format: encoding the
+// TestGoldenSnapshotFormat pins the current wire format: encoding the
 // canonical network must reproduce the committed golden bytes, and the
 // committed bytes must restore to the canonical state. A failure after
 // a codec change means the format changed: bump
 // snapshot.EngineVersion, document it in internal/snapshot/FORMAT.md,
 // and regenerate with -update.
 func TestGoldenSnapshotFormat(t *testing.T) {
-	golden := filepath.Join("testdata", "golden_v1.rbgp")
+	golden := filepath.Join("testdata", "golden_v2.rbgp")
 	data := mustSnapshot(t, goldenNet())
 	if *updateGolden {
 		if err := os.WriteFile(golden, data, 0o644); err != nil {
@@ -293,7 +293,42 @@ func TestSnapshotVersionPinned(t *testing.T) {
 	if v := uint16(data[4])<<8 | uint16(data[5]); v != snap.EngineVersion {
 		t.Fatalf("header version %d != EngineVersion %d", v, snap.EngineVersion)
 	}
-	if snap.EngineVersion != 1 {
-		t.Log("EngineVersion bumped: regenerate testdata/golden_v1.rbgp as a new golden file and document the change in internal/snapshot/FORMAT.md")
+	if snap.EngineVersion != 2 {
+		t.Log("EngineVersion bumped: commit a new testdata/golden_v<N>.rbgp (keep the old ones as legacy fixtures) and document the change in internal/snapshot/FORMAT.md")
+	}
+}
+
+// TestLegacyV1Restore pins backward compatibility: the frozen v1
+// golden file (inline paths, no path-table section) must keep
+// restoring to the canonical network state even though new snapshots
+// are written in v2. golden_v1.rbgp is never regenerated — it is the
+// compatibility contract itself.
+func TestLegacyV1Restore(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_v1.rbgp"))
+	if err != nil {
+		t.Fatalf("read legacy golden (frozen fixture, never regenerated): %v", err)
+	}
+	if v := uint16(want[4])<<8 | uint16(want[5]); v != 1 {
+		t.Fatalf("legacy fixture claims version %d, want 1 — was it overwritten?", v)
+	}
+	restored := mraiRfdNet()
+	if err := RestoreNetwork(bytes.NewReader(want), restored); err != nil {
+		t.Fatalf("v1 restore: %v", err)
+	}
+	if got, wantSig := networkSignature(restored), networkSignature(goldenNet()); got != wantSig {
+		t.Fatal("v1 snapshot restored to a different state")
+	}
+	// A restored legacy network must re-snapshot in the current format
+	// and round-trip through it.
+	reenc := mustSnapshot(t, restored)
+	if v := uint16(reenc[4])<<8 | uint16(reenc[5]); v != snap.EngineVersion {
+		t.Fatalf("re-encoded legacy network claims version %d, want %d", v, snap.EngineVersion)
+	}
+	again := mraiRfdNet()
+	if err := RestoreNetwork(bytes.NewReader(reenc), again); err != nil {
+		t.Fatalf("v2 re-restore: %v", err)
+	}
+	if got, wantSig := networkSignature(again), networkSignature(goldenNet()); got != wantSig {
+		t.Fatal("v1→v2 upgrade round-trip changed the state")
 	}
 }

@@ -39,9 +39,12 @@ type Speaker struct {
 	peers     map[RouterID]*PeerConfig
 	peerOrder []RouterID // deterministic export order
 
-	adjIn      map[ribKey]*Route
-	adjOut     map[ribKey]*Route
-	locRib     map[netutil.Prefix]*Route
+	// The three RIBs sit behind the ribStore interface (ribstore.go):
+	// the map layout by default, the arena layout under
+	// Network.SetCompactRIB. The loc-RIB is keyed with neighbor 0.
+	adjIn      ribStore
+	adjOut     ribStore
+	locRib     ribStore
 	originated map[netutil.Prefix]origination
 	rfd        map[ribKey]*rfdState
 	suppressed map[ribKey]bool
@@ -71,9 +74,9 @@ func newSpeaker(id RouterID, as asn.AS, name string) *Speaker {
 		AS:          as,
 		Name:        name,
 		peers:       make(map[RouterID]*PeerConfig),
-		adjIn:       make(map[ribKey]*Route),
-		adjOut:      make(map[ribKey]*Route),
-		locRib:      make(map[netutil.Prefix]*Route),
+		adjIn:       newMapStore(),
+		adjOut:      newMapStore(),
+		locRib:      newMapStore(),
 		originated:  make(map[netutil.Prefix]origination),
 		rfd:         make(map[ribKey]*rfdState),
 		suppressed:  make(map[ribKey]bool),
@@ -103,19 +106,19 @@ func (s *Speaker) addPeer(pc *PeerConfig) {
 }
 
 // Best returns the speaker's current loc-RIB route for prefix p.
-func (s *Speaker) Best(p netutil.Prefix) *Route { return s.locRib[p] }
+func (s *Speaker) Best(p netutil.Prefix) *Route { return s.locRib.Get(locKey(p)) }
 
 // AdjIn returns the route currently held from the given neighbor for
 // prefix p, or nil. Suppressed (damped) routes are still visible here.
 func (s *Speaker) AdjIn(p netutil.Prefix, neighbor RouterID) *Route {
-	return s.adjIn[ribKey{p, neighbor}]
+	return s.adjIn.Get(ribKey{p, neighbor})
 }
 
 // AdjInAll returns all adj-RIB-in routes for p in neighbor order.
 func (s *Speaker) AdjInAll(p netutil.Prefix) []*Route {
 	var out []*Route
 	for _, nb := range s.peerOrder {
-		if r := s.adjIn[ribKey{p, nb}]; r != nil {
+		if r := s.adjIn.Get(ribKey{p, nb}); r != nil {
 			out = append(out, r)
 		}
 	}
@@ -124,7 +127,7 @@ func (s *Speaker) AdjInAll(p netutil.Prefix) []*Route {
 
 // AdjOut returns what the speaker last announced to neighbor for p.
 func (s *Speaker) AdjOut(p netutil.Prefix, neighbor RouterID) *Route {
-	return s.adjOut[ribKey{p, neighbor}]
+	return s.adjOut.Get(ribKey{p, neighbor})
 }
 
 // candidateSet collects the decision-process inputs for p: the local
@@ -138,7 +141,7 @@ func (s *Speaker) candidateSet(p netutil.Prefix) []*Route {
 	}
 	for _, nb := range s.peerOrder {
 		k := ribKey{p, nb}
-		if r := s.adjIn[k]; r != nil && !s.suppressed[k] {
+		if r := s.adjIn.Get(k); r != nil && !s.suppressed[k] {
 			candidates = append(candidates, r)
 		}
 	}
@@ -152,21 +155,21 @@ func (s *Speaker) effectiveCandidate(p netutil.Prefix, nb RouterID) *Route {
 	if s.suppressed[k] {
 		return nil
 	}
-	return s.adjIn[k]
+	return s.adjIn.Get(k)
 }
 
 // runDecision recomputes the best route for p. It returns the new best
 // and whether the loc-RIB changed.
 func (s *Speaker) runDecision(p netutil.Prefix) (*Route, bool) {
 	best, _ := Best(s.candidateSet(p))
-	prev := s.locRib[p]
+	prev := s.locRib.Get(locKey(p))
 	if routesEqual(prev, best) {
 		return prev, false
 	}
 	if best == nil {
-		delete(s.locRib, p)
+		s.locRib.Withdraw(locKey(p))
 	} else {
-		s.locRib[p] = best
+		s.locRib.Install(locKey(p), best)
 	}
 	return best, true
 }
@@ -200,13 +203,13 @@ func (s *Speaker) exportRoute(p netutil.Prefix, pc *PeerConfig) *Route {
 		}
 		for _, nb := range s.peerOrder {
 			k := ribKey{p, nb}
-			if r := s.adjIn[k]; r != nil && !s.suppressed[k] && pc.ExportBestOf(r) {
+			if r := s.adjIn.Get(k); r != nil && !s.suppressed[k] && pc.ExportBestOf(r) {
 				cands = append(cands, r)
 			}
 		}
 		src, _ = Best(cands)
 	} else {
-		src = s.locRib[p]
+		src = s.locRib.Get(locKey(p))
 	}
 	if src == nil {
 		return nil
@@ -273,7 +276,7 @@ func (s *Speaker) applyImport(p netutil.Prefix, nb RouterID, r *Route, now Time)
 		return false
 	}
 	k := ribKey{p, nb}
-	prev := s.adjIn[k]
+	prev := s.adjIn.Get(k)
 
 	// Import filtering and receiver-side loop detection turn an
 	// announcement into an effective withdrawal.
@@ -293,7 +296,7 @@ func (s *Speaker) applyImport(p netutil.Prefix, nb RouterID, r *Route, now Time)
 		if prev == nil {
 			return false
 		}
-		delete(s.adjIn, k)
+		s.adjIn.Withdraw(k)
 		if pc.RFD != nil {
 			s.rfdFlap(k, pc.RFD, now)
 		}
@@ -319,7 +322,7 @@ func (s *Speaker) applyImport(p netutil.Prefix, nb RouterID, r *Route, now Time)
 		// model (the route version is unchanged).
 		return false
 	}
-	s.adjIn[k] = in
+	s.adjIn.Install(k, in)
 	if in.MED != 0 {
 		s.medSeen[p] = true
 	}
@@ -377,7 +380,7 @@ func (s *Speaker) rfdRecheck(k ribKey, cfg *RFDConfig, now Time) bool {
 	}
 	if !st.Suppressed(now, cfg) {
 		delete(s.suppressed, k)
-		return s.adjIn[k] != nil
+		return s.adjIn.Get(k) != nil
 	}
 	return false
 }

@@ -179,11 +179,45 @@ func (n *Network) SolveStatic(p netutil.Prefix, origins []StaticOrigin) *StaticR
 	return res
 }
 
+// candView is the solver's allocation-free candidate descriptor: the
+// decisive attributes of a route that may not have been materialized
+// yet. The effective path length is computed up front (neighbor path
+// plus the neighbor's prepends), so a candidate never needs a Route —
+// and Route never needs a smuggled length-override field — until it
+// has actually won the scan.
+type candView struct {
+	lp     uint32
+	plen   int
+	med    uint32
+	igp    uint32
+	fromAS asn.AS
+	from   RouterID
+	origin Origin
+}
+
+// viewOf describes an already-materialized route (an origination or an
+// import-filtered candidate) in candView form.
+func viewOf(r *Route) candView {
+	return candView{
+		lp:     r.LocalPref,
+		plen:   r.Path.Len(),
+		med:    r.MED,
+		igp:    r.IGPCost,
+		fromAS: r.FromAS,
+		from:   r.From,
+		origin: r.Origin,
+	}
+}
+
 // solveCandidate picks the speaker's best route from its origination
 // and its neighbors' current bests, allocating only for the winner.
 func solveCandidate(idx *solverIndex, s *Speaker, ownRoute *Route, cur []*Route) *Route {
-	best := ownRoute   // own routes carry LocalPrefOwn and always win
-	var bestStub Route // scratch for not-yet-materialized candidates
+	best := ownRoute // own routes carry LocalPrefOwn and always win
+	haveBest := best != nil
+	var bestView candView
+	if haveBest {
+		bestView = viewOf(best)
+	}
 	var bestEdge *solverEdge
 	var bestSrc *Route
 
@@ -201,8 +235,15 @@ func solveCandidate(idx *solverIndex, s *Speaker, ownRoute *Route, cur []*Route)
 			continue
 		}
 		// Candidate shape if imported.
-		candLP := e.pcAtS.localPref()
-		candLen := nbBest.Path.Len() + 1 + e.pcAtNb.effectivePrepend(nbBest.Prefix)
+		cv := candView{
+			lp:     e.pcAtS.localPref(),
+			plen:   nbBest.Path.Len() + 1 + e.pcAtNb.effectivePrepend(nbBest.Prefix),
+			med:    e.pcAtNb.ExportMED,
+			igp:    e.pcAtS.IGPCost,
+			fromAS: e.pcAtS.NeighborAS,
+			from:   e.nbID,
+			origin: nbBest.Origin,
+		}
 		// ImportDeny needs a materialized route; only build one when a
 		// filter exists (rare: default-only importers, ROV).
 		var cand *Route
@@ -214,80 +255,60 @@ func solveCandidate(idx *solverIndex, s *Speaker, ownRoute *Route, cur []*Route)
 			}
 		}
 		// Compare against the current best on the decisive attributes.
-		if best != nil {
-			c := compareShape(best, candLP, candLen, nbBest.Origin, e.pcAtNb.ExportMED, e.pcAtS, e.nbID)
-			if c <= 0 {
-				continue // existing best wins or ties (earlier neighbor)
-			}
+		if haveBest && compareShape(bestView, cv) <= 0 {
+			continue // existing best wins or ties (earlier neighbor)
 		}
+		haveBest, bestView = true, cv
 		if cand == nil {
-			bestEdge, bestSrc = e, nbBest
-			// Track the shape via a stub for later comparisons; the
-			// real route is materialized once, after the scan.
-			bestStub = Route{
-				Prefix:    nbBest.Prefix,
-				LocalPref: candLP,
-				Origin:    nbBest.Origin,
-				MED:       e.pcAtNb.ExportMED,
-				From:      e.nbID,
-				FromAS:    e.pcAtS.NeighborAS,
-				EBGP:      true,
-				IGPCost:   e.pcAtS.IGPCost,
-				Path:      nbBest.Path, // placeholder; length accounted separately
-			}
-			bestStub.pathLenOverride = candLen
-			best = &bestStub
+			// Track the winner by edge; the real route is materialized
+			// once, after the scan.
+			best, bestEdge, bestSrc = nil, e, nbBest
 		} else {
-			best = cand
-			bestEdge = nil
+			best, bestEdge, bestSrc = cand, nil, nil
 		}
 	}
-	if best != nil && bestEdge != nil {
+	if bestEdge != nil {
 		ann := staticExport(bestEdge.nb, bestSrc, bestEdge.pcAtNb)
 		best = staticImport(s, bestEdge.pcAtS, ann)
 	}
 	return best
 }
 
-// compareShape compares the current best against a candidate described
-// by its decisive attributes, mirroring Compare's rule order for the
-// attributes the static solver exercises (age is always zero). It
-// returns >0 when the candidate wins.
-func compareShape(best *Route, lp uint32, plen int, origin Origin, med uint32, pcAtS *PeerConfig, from RouterID) int {
-	bestLen := best.Path.Len()
-	if best.pathLenOverride > 0 {
-		bestLen = best.pathLenOverride
-	}
+// compareShape compares the current best against a candidate, both
+// described by their decisive attributes, mirroring Compare's rule
+// order for the attributes the static solver exercises (age is always
+// zero). It returns >0 when the candidate wins.
+func compareShape(best, cand candView) int {
 	switch {
-	case lp != best.LocalPref:
-		if lp > best.LocalPref {
+	case cand.lp != best.lp:
+		if cand.lp > best.lp {
 			return 1
 		}
 		return -1
-	case plen != bestLen:
-		if plen < bestLen {
+	case cand.plen != best.plen:
+		if cand.plen < best.plen {
 			return 1
 		}
 		return -1
-	case origin != best.Origin:
-		if origin < best.Origin {
+	case cand.origin != best.origin:
+		if cand.origin < best.origin {
 			return 1
 		}
 		return -1
-	case pcAtS.NeighborAS == best.FromAS && med != best.MED:
-		if med < best.MED {
+	case cand.fromAS == best.fromAS && cand.med != best.med:
+		if cand.med < best.med {
 			return 1
 		}
 		return -1
-	case best.From == 0:
+	case best.from == 0:
 		return 1 // eBGP beats a locally sourced route at equal attrs
-	case pcAtS.IGPCost != best.IGPCost:
-		if pcAtS.IGPCost < best.IGPCost {
+	case cand.igp != best.igp:
+		if cand.igp < best.igp {
 			return 1
 		}
 		return -1
-	case from != best.From:
-		if from < best.From {
+	case cand.from != best.from:
+		if cand.from < best.from {
 			return 1
 		}
 		return -1

@@ -12,7 +12,12 @@ import (
 // of provider->customer edges plus random peerings between
 // same-"tier" nodes, all with conventional localprefs.
 func randomGaoRexfordNetwork(rng *rand.Rand, n int) *Network {
-	net := NewNetwork()
+	return growGaoRexford(NewNetwork(), rng, n)
+}
+
+// growGaoRexford populates an empty (but possibly pre-configured,
+// e.g. SetCompactRIB) network with the random topology.
+func growGaoRexford(net *Network, rng *rand.Rand, n int) *Network {
 	for i := 1; i <= n; i++ {
 		net.AddSpeaker(RouterID(i), asn.AS(1000+i), "")
 	}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 	"repro/internal/vtime"
 )
 
@@ -24,7 +25,12 @@ import (
 // values at Register time become the flag defaults, so a command can
 // keep its historical defaults (reprobe defaults -small to true).
 type Config struct {
-	Small       bool
+	Small bool
+	// Scale selects the topology size tier by name (small, paper,
+	// internet); empty keeps the -small / default behaviour. The
+	// internet tier builds the ~80K-AS / ~1M-prefix ecosystem on the
+	// compact arena-backed RIB layout.
+	Scale       string
 	Seed        int64
 	Workers     int
 	Faults      float64
@@ -54,7 +60,10 @@ type Config struct {
 // resurveyd job submissions unmarshal into it directly, so both front
 // ends validate and construct a run through the identical path.
 type JobOptions struct {
-	Small       bool    `json:"small,omitempty"`
+	Small bool `json:"small,omitempty"`
+	// Scale names the topology size tier (small, paper, internet);
+	// empty defers to Small. See topo.ParseScale.
+	Scale       string  `json:"scale,omitempty"`
 	Seed        int64   `json:"seed,omitempty"`
 	Workers     int     `json:"workers,omitempty"`
 	Faults      float64 `json:"faults,omitempty"`
@@ -88,6 +97,15 @@ func (j JobOptions) Validate() error {
 	if math.IsNaN(j.Faults) || math.IsInf(j.Faults, 0) || j.Faults < 0 || j.Faults > 1 {
 		return fmt.Errorf("-faults intensity %v out of range: want 0 (off) or a value in (0, 1]", j.Faults)
 	}
+	if j.Scale != "" {
+		s, err := topo.ParseScale(j.Scale)
+		if err != nil {
+			return err
+		}
+		if j.Small && s != topo.ScaleSmall {
+			return fmt.Errorf("-small conflicts with -scale %s", s)
+		}
+	}
 	if j.Workers < 0 {
 		return fmt.Errorf("-workers %d out of range: want >= 0 (0 = GOMAXPROCS)", j.Workers)
 	}
@@ -116,6 +134,13 @@ func (j JobOptions) PipelineOptions(reg *telemetry.Registry) []core.PipelineOpti
 	if j.Small {
 		opts = append(opts, core.WithSmall())
 	}
+	if j.Scale != "" {
+		// Validate has already vetted the name; ParseScale cannot fail
+		// here, and WithScale overrides WithSmall inside the pipeline.
+		if s, err := topo.ParseScale(j.Scale); err == nil {
+			opts = append(opts, core.WithScale(s))
+		}
+	}
 	return opts
 }
 
@@ -129,6 +154,7 @@ func (j JobOptions) Pipeline(reg *telemetry.Registry, extra ...core.PipelineOpti
 func (c Config) Job() JobOptions {
 	return JobOptions{
 		Small:           c.Small,
+		Scale:           c.Scale,
 		Seed:            c.Seed,
 		Workers:         c.Workers,
 		Faults:          c.Faults,
@@ -173,6 +199,7 @@ const (
 func Register(fs *flag.FlagSet, c *Config, which Flags) {
 	if which&FlagSmall != 0 {
 		fs.BoolVar(&c.Small, "small", c.Small, "run the reduced-scale ecosystem")
+		fs.StringVar(&c.Scale, "scale", c.Scale, "topology size tier: small, paper, or internet (~80K ASes / ~1M prefixes on the compact arena RIB); overrides -small, empty keeps the default")
 	}
 	if which&FlagSeed != 0 {
 		fs.Int64Var(&c.Seed, "seed", c.Seed, "session seed: drives topology generation and every derived stream (probe loss, fault schedules)")

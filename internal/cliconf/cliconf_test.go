@@ -108,6 +108,40 @@ func TestJobPipelineWiring(t *testing.T) {
 	}
 }
 
+func TestScaleFlag(t *testing.T) {
+	var c Config
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	Register(fs, &c, FlagSmall)
+	if err := fs.Parse([]string{"-scale", "internet"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Scale != "internet" {
+		t.Fatalf("parsed scale %q", c.Scale)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("-scale internet rejected: %v", err)
+	}
+	if err := (Config{Scale: "planet"}).Validate(); err == nil {
+		t.Error("-scale planet accepted")
+	}
+	if err := (Config{Small: true, Scale: "paper"}).Validate(); err == nil {
+		t.Error("-small with -scale paper accepted")
+	}
+	if err := (Config{Small: true, Scale: "small"}).Validate(); err != nil {
+		t.Errorf("-small with agreeing -scale small rejected: %v", err)
+	}
+	// The tier must reach the pipeline's topology configuration and
+	// override -small (Job round-trips the field like the server path).
+	pl := Config{Scale: "paper"}.Job().Pipeline(nil)
+	if got := pl.SurveyOptions().Topology; got.MembersUS == 0 || got.CompactRIB {
+		t.Errorf("paper scale not installed: %+v", got)
+	}
+	pl = Config{Scale: "internet"}.Job().Pipeline(nil)
+	if got := pl.SurveyOptions().Topology; !got.CompactRIB || !got.DensePrefixes {
+		t.Errorf("internet scale not installed: %+v", got)
+	}
+}
+
 func TestNewRegistryNilWhenUnobserved(t *testing.T) {
 	var c Config
 	if c.NewRegistry() != nil {

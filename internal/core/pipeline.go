@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 )
 
 // Pipeline is the single construction path for surveys, experiments,
@@ -34,6 +35,8 @@ type Pipeline struct {
 	survey        SurveyOptions
 	surveySet     bool
 	small         bool
+	scale         topo.Scale
+	scaleSet      bool
 	seed          int64
 	seedSet       bool
 	outageSeed    int64
@@ -60,6 +63,15 @@ func WithSurvey(opts SurveyOptions) PipelineOption {
 // (SmallSurveyOptions) instead of the paper-scale default.
 func WithSmall() PipelineOption {
 	return func(p *Pipeline) { p.small = true }
+}
+
+// WithScale selects the topology size tier (small, paper, internet —
+// see topo.Scale) for everything the pipeline builds. It overrides
+// WithSmall; WithSurvey still overrides both. The internet tier builds
+// on the compact arena-backed RIB layout, without which its ~80K-AS /
+// ~1M-prefix tables would not fit in memory.
+func WithScale(s topo.Scale) PipelineOption {
+	return func(p *Pipeline) { p.scale, p.scaleSet = s, true }
 }
 
 // WithSeed sets the session seed every stochastic component derives
@@ -119,7 +131,11 @@ func NewPipeline(opts ...PipelineOption) *Pipeline {
 	for _, o := range opts {
 		o(p)
 	}
-	if !p.surveySet && p.small {
+	switch {
+	case p.surveySet:
+	case p.scaleSet:
+		p.survey.Topology = p.scale.Config()
+	case p.small:
 		p.survey = SmallSurveyOptions()
 	}
 	if p.seedSet {

@@ -26,8 +26,11 @@ import (
 // version and be documented in FORMAT.md; the golden-format tests
 // exist to force that bump.
 const (
-	// EngineVersion is the bgp.Network snapshot format version.
-	EngineVersion = 1
+	// EngineVersion is the bgp.Network snapshot format version. v2
+	// added the interned path table section (paths referenced by ID
+	// from the route table and churn log); v1 snapshots, with inline
+	// paths, remain decodable.
+	EngineVersion = 2
 	// CheckpointVersion is the resurvey checkpoint format version.
 	CheckpointVersion = 1
 	// JobVersion is the resurveyd job-manifest format version.
@@ -107,28 +110,43 @@ func (w *Writer) Bytes() []byte { return w.buf }
 // more than the input's actual size (plus the cap above) regardless of
 // what the length prefixes claim.
 func ReadSections(r io.Reader, magic string, maxVersion uint16) ([]Section, error) {
+	sections, _, err := ReadSectionsVersioned(r, magic, maxVersion)
+	return sections, err
+}
+
+// ReadSectionsVersioned is ReadSections but additionally returns the
+// input's format version, for decoders that keep older layouts
+// readable (the version is 0 on error).
+func ReadSectionsVersioned(r io.Reader, magic string, maxVersion uint16) ([]Section, uint16, error) {
 	data, err := io.ReadAll(io.LimitReader(r, maxSnapshotBytes+1))
 	if err != nil {
-		return nil, fmt.Errorf("snapshot: read: %w", err)
+		return nil, 0, fmt.Errorf("snapshot: read: %w", err)
 	}
 	if len(data) > maxSnapshotBytes {
-		return nil, fmt.Errorf("%w: input exceeds %d bytes", ErrCorrupt, maxSnapshotBytes)
+		return nil, 0, fmt.Errorf("%w: input exceeds %d bytes", ErrCorrupt, maxSnapshotBytes)
 	}
-	return DecodeSections(data, magic, maxVersion)
+	return DecodeSectionsVersioned(data, magic, maxVersion)
 }
 
 // DecodeSections is ReadSections over in-memory bytes.
 func DecodeSections(data []byte, magic string, maxVersion uint16) ([]Section, error) {
+	sections, _, err := DecodeSectionsVersioned(data, magic, maxVersion)
+	return sections, err
+}
+
+// DecodeSectionsVersioned is ReadSectionsVersioned over in-memory
+// bytes.
+func DecodeSectionsVersioned(data []byte, magic string, maxVersion uint16) ([]Section, uint16, error) {
 	if len(data) < len(magic)+2 {
-		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
 	}
 	if string(data[:len(magic)]) != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:len(magic)])
+		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:len(magic)])
 	}
 	data = data[len(magic):]
 	version := binary.BigEndian.Uint16(data)
 	if version > maxVersion {
-		return nil, fmt.Errorf("%w: got v%d, decoder understands <= v%d", ErrVersion, version, maxVersion)
+		return nil, 0, fmt.Errorf("%w: got v%d, decoder understands <= v%d", ErrVersion, version, maxVersion)
 	}
 	data = data[2:]
 
@@ -138,25 +156,25 @@ func DecodeSections(data []byte, magic string, maxVersion uint16) ([]Section, er
 		data = data[1:]
 		n, sz := binary.Uvarint(data)
 		if sz <= 0 {
-			return nil, fmt.Errorf("%w: section 0x%02x: bad length varint", ErrCorrupt, id)
+			return nil, 0, fmt.Errorf("%w: section 0x%02x: bad length varint", ErrCorrupt, id)
 		}
 		data = data[sz:]
 		if n > uint64(len(data)) {
-			return nil, fmt.Errorf("%w: section 0x%02x: length %d exceeds remaining %d bytes", ErrCorrupt, id, n, len(data))
+			return nil, 0, fmt.Errorf("%w: section 0x%02x: length %d exceeds remaining %d bytes", ErrCorrupt, id, n, len(data))
 		}
 		payload := data[:n]
 		data = data[n:]
 		if len(data) < 4 {
-			return nil, fmt.Errorf("%w: section 0x%02x: truncated checksum", ErrCorrupt, id)
+			return nil, 0, fmt.Errorf("%w: section 0x%02x: truncated checksum", ErrCorrupt, id)
 		}
 		want := binary.BigEndian.Uint32(data)
 		data = data[4:]
 		if got := crc32.ChecksumIEEE(payload); got != want {
-			return nil, fmt.Errorf("%w: section 0x%02x: checksum mismatch (got %08x want %08x)", ErrCorrupt, id, got, want)
+			return nil, 0, fmt.Errorf("%w: section 0x%02x: checksum mismatch (got %08x want %08x)", ErrCorrupt, id, got, want)
 		}
 		sections = append(sections, Section{ID: id, Payload: payload})
 	}
-	return sections, nil
+	return sections, version, nil
 }
 
 // Enc builds a section payload. All integers are encoded little-endian

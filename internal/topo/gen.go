@@ -77,6 +77,19 @@ type GenConfig struct {
 	// hundreds of peer sessions — the density behind Figure 3's
 	// commodity-phase churn volume.
 	ExtraCollectorFeeds int
+
+	// DensePrefixes draws member allocations almost entirely from
+	// /22-/24 (mean ~320 addresses) instead of the paper-scale mix
+	// that includes /16s and /20s. Required at Internet scale: a
+	// million allocations at the default mix would exhaust the IPv4
+	// space the generator carves from.
+	DensePrefixes bool
+
+	// CompactRIB builds the network on the arena-backed RIB layout
+	// (bgp.SetCompactRIB): interned AS paths, dense prefix indices,
+	// packed route records. Required at Internet scale; byte-identical
+	// observable behavior at any scale.
+	CompactRIB bool
 }
 
 // DefaultConfig returns the paper-scale ecosystem (~2,600 R&E ASes,
@@ -221,9 +234,11 @@ func Build(cfg GenConfig) *Ecosystem {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	net := bgp.NewNetwork()
+	net.SetCompactRIB(cfg.CompactRIB)
 	e := &Ecosystem{
 		Cfg:        cfg,
-		Net:        bgp.NewNetwork(),
+		Net:        net,
 		byAS:       make(map[asn.AS]*ASInfo),
 		byRouter:   make(map[bgp.RouterID]*ASInfo),
 		byPrefix:   make(map[netutil.Prefix]*PrefixInfo),

@@ -26,8 +26,21 @@ func (e *Ecosystem) geometric(mean float64) int {
 }
 
 // prefixBits samples a prefix length: mostly /24s with some shorter
-// allocations, echoing the paper's target list.
+// allocations, echoing the paper's target list. Under DensePrefixes
+// the tail of /16-/20 blocks is dropped (85% /24, 10% /23, 5% /22,
+// mean ~320 addresses) so a million allocations fit in the IPv4 space
+// the generator carves from.
 func (e *Ecosystem) prefixBits() int {
+	if e.Cfg.DensePrefixes {
+		switch v := e.rng.Float64(); {
+		case v < 0.85:
+			return 24
+		case v < 0.95:
+			return 23
+		default:
+			return 22
+		}
+	}
 	switch v := e.rng.Float64(); {
 	case v < 0.72:
 		return 24

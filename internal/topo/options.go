@@ -1,0 +1,105 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scale names a generator size tier. The tiers share one topology
+// grammar (commodity core, R&E backbones, NRENs, regionals, members);
+// only the population counts and the RIB layout differ.
+type Scale int
+
+// Scale tiers.
+const (
+	// ScaleSmall is the reduced test ecosystem (~250 members).
+	ScaleSmall Scale = iota
+	// ScalePaper is the paper-faithful ecosystem (~2,600 R&E ASes,
+	// ~17K prefixes — the magnitude the study surveyed).
+	ScalePaper
+	// ScaleInternet is the full-Internet magnitude target (~80K ASes,
+	// ~1M prefixes) on the compact arena-backed RIB layout.
+	ScaleInternet
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScalePaper:
+		return "paper"
+	case ScaleInternet:
+		return "internet"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+// ParseScale maps a flag value onto a Scale.
+func ParseScale(v string) (Scale, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "small":
+		return ScaleSmall, nil
+	case "paper":
+		return ScalePaper, nil
+	case "internet":
+		return ScaleInternet, nil
+	default:
+		return 0, fmt.Errorf("topo: unknown scale %q (want small, paper, or internet)", v)
+	}
+}
+
+// Config returns the tier's generator configuration.
+func (s Scale) Config() GenConfig {
+	switch s {
+	case ScaleSmall:
+		return SmallConfig()
+	case ScaleInternet:
+		return InternetConfig()
+	default:
+		return DefaultConfig()
+	}
+}
+
+// Option adjusts a generator configuration. Options are applied in
+// order, so later options override earlier ones (put WithScale or
+// WithConfig first: both replace the whole base configuration).
+type Option func(*GenConfig)
+
+// WithScale selects a size tier's base configuration.
+func WithScale(s Scale) Option {
+	return func(cfg *GenConfig) { *cfg = s.Config() }
+}
+
+// WithConfig replaces the base configuration wholesale, for callers
+// that assemble a bespoke GenConfig.
+func WithConfig(c GenConfig) Option {
+	return func(cfg *GenConfig) { *cfg = c }
+}
+
+// WithSeed sets the generator seed.
+func WithSeed(seed int64) Option {
+	return func(cfg *GenConfig) { cfg.Seed = seed }
+}
+
+// WithCompactRIB selects (or deselects) the arena-backed RIB layout
+// independently of the scale tier's default.
+func WithCompactRIB(on bool) Option {
+	return func(cfg *GenConfig) { cfg.CompactRIB = on }
+}
+
+// Generate builds an ecosystem from functional options, starting from
+// the paper-scale defaults:
+//
+//	eco := topo.Generate(topo.WithScale(topo.ScaleSmall), topo.WithSeed(7))
+//
+// Build(cfg) remains the primitive for callers holding a full
+// GenConfig; Generate is the constructor everything above the
+// generator (cliconf, core.Pipeline) goes through.
+func Generate(opts ...Option) *Ecosystem {
+	cfg := DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return Build(cfg)
+}

@@ -1,0 +1,27 @@
+package topo
+
+// InternetConfig returns the full-Internet magnitude ecosystem:
+// ~80K ASes and ~1M originated prefixes, the scale at which
+// catchment inference (Sermpezis & Kotronis) and RPKI-adoption
+// sweeps (Reuter et al.) become meaningful. The topology grammar is
+// unchanged from the paper tier — commodity core, R&E backbones,
+// NRENs, regionals, member populations with the same policy and
+// prepending mixes — only the populations grow, allocations densify
+// (DensePrefixes), and the network is built on the compact
+// arena-backed RIB layout (CompactRIB), without which the member
+// RIBs alone would not fit in memory.
+func InternetConfig() GenConfig {
+	cfg := DefaultConfig()
+	cfg.MembersUS = 41_000
+	cfg.MembersIntl = 38_500
+	cfg.NIKSCustomers = 600
+	cfg.TransitsUS = 120
+	cfg.TransitsIntl = 140
+	cfg.MeanExtraPrefixes = 12
+	cfg.CollectorMemberPeers = 80
+	cfg.VRFSplitPeers = 6
+	cfg.ExtraCollectorFeeds = 400
+	cfg.DensePrefixes = true
+	cfg.CompactRIB = true
+	return cfg
+}

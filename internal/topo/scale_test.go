@@ -1,0 +1,78 @@
+package topo
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+)
+
+// BenchmarkInternetScaleRIB is the internet-scale smoke: it builds the
+// ~80K-AS / ~1M-prefix ecosystem on the compact RIB layout, converges
+// the default-route flood through the real engine, then feeds the full
+// member prefix table through a vantage speaker into a collector — the
+// RIB shape a RouteViews peer actually holds. It gates the memory
+// model: the amortised bytes-per-route of the arena + path table +
+// indices must stay at or under 64.
+func BenchmarkInternetScaleRIB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := Build(InternetConfig())
+		ases, prefixes := len(e.ASes), len(e.Prefixes)
+		if ases < 80_000 {
+			b.Fatalf("internet scale too small: %d ASes < 80000", ases)
+		}
+		if prefixes < 1_000_000 {
+			b.Fatalf("internet scale too small: %d prefixes < 1000000", prefixes)
+		}
+		if !e.Net.CompactRIB() {
+			b.Fatal("internet scale must run on the compact RIB layout")
+		}
+		e.Net.RunToQuiescence()
+
+		// Full-table vantage: a feed speaker announces every member
+		// prefix to RouteViews with the real origin chain carried as
+		// poison, so the collector's adj-RIB-in holds one realistic
+		// multi-hop path per origin (the interning workload: ~13 routes
+		// share each origin's path).
+		const feedID = bgp.RouterID(9_000_000)
+		e.Net.AddSpeaker(feedID, asn.AS(64999), "vantage-feed")
+		e.Net.Connect(feedID, e.Collectors[0],
+			bgp.PeerConfig{
+				ClassifyAs: bgp.ClassPeer,
+				ExportAllow: bgp.NewClassSet(bgp.ClassOwn, bgp.ClassCustomer,
+					bgp.ClassPeer, bgp.ClassProvider, bgp.ClassREPeer),
+			},
+			bgp.PeerConfig{ClassifyAs: bgp.ClassPeer, ExportAllow: bgp.NewClassSet()},
+		)
+		chain := make([]asn.AS, 3)
+		for _, pi := range e.Prefixes {
+			info := e.AS(pi.Origin)
+			up := pi.Origin
+			if len(info.REProviders) > 0 {
+				up = info.REProviders[0]
+			} else if len(info.CommodityProviders) > 0 {
+				up = info.CommodityProviders[0]
+			}
+			chain[0], chain[1], chain[2] = e.Lumen.AS, up, pi.Origin
+			e.Net.OriginateWith(feedID, pi.Prefix, bgp.OriginateOpts{Poison: chain})
+		}
+		e.Net.RunToQuiescence()
+
+		rs := e.Net.RIBStats()
+		bpr := rs.BytesPerRoute()
+		if bpr > 64 {
+			b.Fatalf("bytes/route = %.1f exceeds the 64-byte budget (%+v)", bpr, rs)
+		}
+		var ms runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		b.ReportMetric(float64(ases), "ases")
+		b.ReportMetric(float64(prefixes), "prefixes")
+		b.ReportMetric(float64(rs.Routes), "routes")
+		b.ReportMetric(float64(rs.DistinctPaths), "paths")
+		b.ReportMetric(bpr, "bytes/route")
+		b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "heap-MB")
+		runtime.KeepAlive(e)
+	}
+}

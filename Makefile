@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build check vet test race smoke serve-smoke workload-smoke bench bench-mem fuzz cover
+.PHONY: build check vet test race smoke serve-smoke workload-smoke scenario-smoke bench bench-mem fuzz cover
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,13 @@ serve-smoke:
 # event engine leaked scheduling nondeterminism into results.
 workload-smoke:
 	sh scripts/workload_smoke.sh
+
+# Determinism smoke for the adversarial scenario sweeps: run hijack
+# and leak twice each and require byte-identical stdout and manifests,
+# plus the containment invariants (full ROV suppresses the hijack;
+# leaks, which keep their true origin, sail through ROV unchanged).
+scenario-smoke:
+	sh scripts/scenario_smoke.sh
 
 # Full benchmark run across all packages, converted to a committed
 # JSON baseline. Two steps (temp file, then convert) so a failing test
@@ -73,6 +80,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzIncrementalEvents -fuzztime $(FUZZTIME) ./internal/bgp/
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/bgp/
 	$(GO) test -run '^$$' -fuzz FuzzIntern -fuzztime $(FUZZTIME) ./internal/bgp/pathtab/
+	$(GO) test -run '^$$' -fuzz FuzzValidate -fuzztime $(FUZZTIME) ./internal/rpki/
 
 # Coverage floors: the BGP engine (the incremental recomputation path
 # must stay thoroughly tested) and the snapshot container (every
@@ -91,3 +99,9 @@ cover:
 	$(GO) test -coverprofile=workload.cov ./internal/workload/
 	$(GO) tool cover -func=workload.cov | awk '/^total:/ { sub(/%/, "", $$3); if ($$3 + 0 < 80) { printf "internal/workload coverage %.1f%% below 80%% floor\n", $$3; exit 1 } else printf "internal/workload coverage %.1f%%\n", $$3 }'
 	rm -f workload.cov
+	$(GO) test -coverprofile=rpki.cov ./internal/rpki/
+	$(GO) tool cover -func=rpki.cov | awk '/^total:/ { sub(/%/, "", $$3); if ($$3 + 0 < 85) { printf "internal/rpki coverage %.1f%% below 85%% floor\n", $$3; exit 1 } else printf "internal/rpki coverage %.1f%%\n", $$3 }'
+	rm -f rpki.cov
+	$(GO) test -coverprofile=faults.cov ./internal/faults/
+	$(GO) tool cover -func=faults.cov | awk '/^total:/ { sub(/%/, "", $$3); if ($$3 + 0 < 80) { printf "internal/faults coverage %.1f%% below 80%% floor\n", $$3; exit 1 } else printf "internal/faults coverage %.1f%%\n", $$3 }'
+	rm -f faults.cov

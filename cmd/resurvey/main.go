@@ -31,6 +31,14 @@
 // selects the round-granularity compatibility scheduler. Workload
 // output is deterministic and byte-identical at any -workers width.
 //
+// Scenarios: -scenario {hijack,leak} replaces the survey script with
+// an adversarial scenario sweep — the schedule (a forged-origin hijack
+// of the measurement prefix, or a Gao-Rexford-violating route leak) is
+// injected mid-window at every RPKI ROV adoption point and the
+// polluted/clean catchment is reported per adoption; -rov F caps the
+// adoption ladder at F (0 keeps the full {0, 0.25, 0.5, 0.75, 1}
+// ladder).
+//
 // Observability: -manifest snapshots the run (seed, options, version,
 // phase durations, worker/shard timings, every metric) to
 // deterministic JSON; -metrics prints a Prometheus-style text
@@ -75,7 +83,7 @@ type options struct {
 
 func main() {
 	o := options{Config: cliconf.Config{Seed: 1, Incremental: true}}
-	cliconf.Register(flag.CommandLine, &o.Config, cliconf.FlagAll|cliconf.FlagSnapshot|cliconf.FlagWorkload)
+	cliconf.Register(flag.CommandLine, &o.Config, cliconf.FlagAll|cliconf.FlagSnapshot|cliconf.FlagWorkload|cliconf.FlagScenario)
 	flag.StringVar(&o.JSONDir, "json", "", "directory for scamper-style probe JSON")
 	flag.StringVar(&o.MRTDir, "mrt", "", "directory for MRT collector dumps")
 	flag.IntVar(&o.NSeeds, "seeds", 1, "additionally rerun the survey across N generator seeds (reduced scale) and report spread")
@@ -117,6 +125,14 @@ func (o options) validate() error {
 	if o.Trace != "" && o.Workload != "replay" {
 		return fmt.Errorf("-trace requires -workload replay")
 	}
+	if o.Scenario != "" {
+		if o.SnapshotDir != "" || o.Resume {
+			return fmt.Errorf("-scenario does not support -snapshot-dir/-resume")
+		}
+		if o.Faults > 0 || o.NSeeds > 1 || o.JSONDir != "" || o.MRTDir != "" || o.Dataset != "" {
+			return fmt.Errorf("-scenario replaces the survey script; drop -faults/-seeds/-json/-mrt/-dataset")
+		}
+	}
 	return nil
 }
 
@@ -150,6 +166,9 @@ func run(w io.Writer, o options) error {
 
 	if o.Workload != "" {
 		return runWorkload(w, o, reg)
+	}
+	if o.Scenario != "" {
+		return runScenario(w, o, reg)
 	}
 
 	// Resume: pick the newest valid checkpoint and restore the
@@ -463,6 +482,48 @@ func runWorkload(w io.Writer, o options, reg *telemetry.Registry) error {
 			RoundMode:       o.RoundMode,
 			Incremental:     o.Incremental,
 			Survey:          pl.SurveyOptions(),
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "manifest written to %s\n", o.Manifest)
+	}
+	return o.DumpMetrics(w, reg)
+}
+
+// scenarioManifestOptions is the run configuration recorded in a
+// scenario run's manifest.
+type scenarioManifestOptions struct {
+	Small       bool               `json:"small"`
+	Scenario    string             `json:"scenario"`
+	ROV         float64            `json:"rov"`
+	Incremental bool               `json:"incremental"`
+	Survey      core.SurveyOptions `json:"survey"`
+}
+
+// runScenario drives the adversarial scenario sweep instead of the
+// survey script: baseline plus one Internet2-style run per ROV
+// adoption point, reported as the catchment-vs-adoption table. Output
+// (and the manifest under -zerotime) is deterministic and
+// byte-identical at any -workers width.
+func runScenario(w io.Writer, o options, reg *telemetry.Registry) error {
+	pl := o.Pipeline(reg)
+	fmt.Fprintf(w, "building ecosystems (seed %d)...\n", o.Seed)
+	fmt.Fprintf(w, "running %s scenario sweep over ROV adoption (reduced scale)...\n", o.Scenario)
+	span := reg.StartSpan("scenario")
+	pts, err := pl.RunScenarioSweep()
+	span.End()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, core.ScenarioSweepTable(o.Scenario, pts))
+
+	if o.Manifest != "" {
+		if err := o.WriteManifest(reg, scenarioManifestOptions{
+			Small:       o.Small,
+			Scenario:    o.Scenario,
+			ROV:         o.ROV,
+			Incremental: o.Incremental,
+			Survey:      pl.SurveyOptions(),
 		}); err != nil {
 			return err
 		}

@@ -470,6 +470,76 @@ func (n *Network) SetPrefixPrepend(id, nb RouterID, p netutil.Prefix, prepends i
 	n.requestExport(s, p, pcN)
 }
 
+// SetImportDeny installs (or clears, with nil) a speaker-wide import
+// filter applied on every session after the per-session
+// PeerConfig.ImportDeny, with identical semantics (deny turns the
+// announcement into a withdrawal). This is the hook route-origin
+// validation attaches to (rpki.Table.DropInvalid): one predicate per
+// deploying AS, independent of per-session policy. Routes already in
+// the adj-RIB-in that the new filter denies are withdrawn immediately,
+// so installing a filter mid-life behaves as if every neighbor
+// re-announced its current routes through it.
+func (n *Network) SetImportDeny(id RouterID, fn func(*Route) bool) {
+	s := n.speakers[id]
+	if s == nil {
+		return
+	}
+	s.importDeny = fn
+	if fn == nil {
+		return
+	}
+	// Retroactive pass: collect denied entries first (stores do not
+	// allow mutation during a walk), then withdraw through the normal
+	// import path so RFD and decision bookkeeping stay consistent.
+	var denied []ribKey
+	s.adjIn.WalkSorted(func(k ribKey, r *Route) bool {
+		if fn(r) {
+			denied = append(denied, k)
+		}
+		return true
+	})
+	for _, k := range denied {
+		var before *Route
+		if n.incremental {
+			before = s.effectiveCandidate(k.prefix, k.neighbor)
+		}
+		if s.applyImport(k.prefix, k.neighbor, nil, n.clock) {
+			if n.incremental {
+				n.decide(s, k.prefix, k.neighbor, before, nil)
+			} else {
+				n.decideAndExport(s, k.prefix)
+			}
+		}
+	}
+}
+
+// SetExportAllow replaces the route-class set s exports toward
+// neighbor nb and re-exports every affected prefix, returning the
+// previous set. This is the route-leak lever: widening a multihomed
+// customer's export policy toward a provider to the full class set
+// re-advertises provider- and peer-learned routes in violation of
+// Gao-Rexford export, and restoring the returned set ends the leak
+// (narrowing withdraws the no-longer-exportable prefixes).
+func (n *Network) SetExportAllow(id, nb RouterID, allow ClassSet) ClassSet {
+	s := n.speakers[id]
+	if s == nil {
+		return 0
+	}
+	pc := s.peers[nb]
+	if pc == nil {
+		return 0
+	}
+	old := pc.ExportAllow
+	if old == allow {
+		return old
+	}
+	pc.ExportAllow = allow
+	for _, p := range s.exportablePrefixes() {
+		n.requestExport(s, p, pc)
+	}
+	return old
+}
+
 // exportablePrefixes lists prefixes with any local state, sorted.
 func (s *Speaker) exportablePrefixes() []netutil.Prefix {
 	set := make(map[netutil.Prefix]bool)

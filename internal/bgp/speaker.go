@@ -53,6 +53,15 @@ type Speaker struct {
 	mraiLast    map[ribKey]Time
 	mraiPending map[ribKey]bool
 
+	// importDeny is a speaker-wide import filter applied after the
+	// per-session pc.ImportDeny, with the same semantics (deny turns
+	// the announcement into a withdrawal). It models policies an AS
+	// applies on every session — RPKI route-origin validation being
+	// the motivating case (see Network.SetImportDeny). Kept off
+	// PeerConfig so snapshot fingerprints (which encode per-session
+	// ImportDeny presence) stay compatible with ROV-enabled worlds.
+	importDeny func(*Route) bool
+
 	// medSeen gates the incremental fast path (see incremental.go):
 	// set permanently once any nonzero-MED route is seen for a prefix,
 	// because MED makes pairwise comparison non-transitive and only a
@@ -283,10 +292,12 @@ func (s *Speaker) applyImport(p netutil.Prefix, nb RouterID, r *Route, now Time)
 	if r != nil {
 		if r.Path.Contains(s.AS) {
 			r = nil
-		} else if pc.ImportDeny != nil {
+		} else if pc.ImportDeny != nil || s.importDeny != nil {
 			filtered := *r
 			filtered.Class = pc.ClassifyAs
-			if pc.ImportDeny(&filtered) {
+			if pc.ImportDeny != nil && pc.ImportDeny(&filtered) {
+				r = nil
+			} else if s.importDeny != nil && s.importDeny(&filtered) {
 				r = nil
 			}
 		}

@@ -247,7 +247,7 @@ func solveCandidate(idx *solverIndex, s *Speaker, ownRoute *Route, cur []*Route)
 		// ImportDeny needs a materialized route; only build one when a
 		// filter exists (rare: default-only importers, ROV).
 		var cand *Route
-		if e.pcAtS.ImportDeny != nil {
+		if e.pcAtS.ImportDeny != nil || s.importDeny != nil {
 			ann := staticExport(e.nb, nbBest, e.pcAtNb)
 			cand = staticImport(s, e.pcAtS, ann)
 			if cand == nil {
@@ -411,6 +411,9 @@ func staticImport(s *Speaker, pc *PeerConfig, ann *Route) *Route {
 		Communities: ann.Communities,
 	}
 	if pc.ImportDeny != nil && pc.ImportDeny(in) {
+		return nil
+	}
+	if s.importDeny != nil && s.importDeny(in) {
 		return nil
 	}
 	return in

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/vtime"
@@ -51,6 +52,13 @@ type Config struct {
 	Workload  string
 	Duration  int64
 	RoundMode bool
+	// Scenario and ROV drive adversarial scenario sweeps
+	// (FlagScenario): -scenario picks a family (hijack, leak) swept
+	// over RPKI ROV adoption fractions; -rov caps the adoption ladder,
+	// or — without -scenario — deploys ROV at that fraction for the
+	// run.
+	Scenario string
+	ROV      float64
 }
 
 // JobOptions is the portable description of one pipeline run — the
@@ -77,6 +85,13 @@ type JobOptions struct {
 	// RoundMode quantizes the workload to round boundaries (the
 	// compatibility scheduler) instead of event-granularity timers.
 	RoundMode bool `json:"round_mode,omitempty"`
+	// Scenario selects an adversarial scenario family (see
+	// faults.ScenarioNames) swept over ROV adoption; empty disables.
+	Scenario string `json:"scenario,omitempty"`
+	// ROV is the RPKI route-origin-validation adoption fraction in
+	// [0, 1]: the adoption-ladder cap for scenario sweeps, the
+	// deployed fraction for plain and workload runs (0 = off).
+	ROV float64 `json:"rov,omitempty"`
 }
 
 // WorkloadOptions converts the job's workload fields into the core
@@ -118,6 +133,15 @@ func (j JobOptions) Validate() error {
 	if j.DurationSeconds > 0 && j.Workload == "" {
 		return fmt.Errorf("-duration requires -workload")
 	}
+	if j.Scenario != "" && !faults.KnownScenario(j.Scenario) {
+		return fmt.Errorf("-scenario %q unknown: want one of %v", j.Scenario, faults.ScenarioNames())
+	}
+	if j.Scenario != "" && j.Workload != "" {
+		return fmt.Errorf("-scenario conflicts with -workload (pick one run mode)")
+	}
+	if math.IsNaN(j.ROV) || math.IsInf(j.ROV, 0) || j.ROV < 0 || j.ROV > 1 {
+		return fmt.Errorf("-rov fraction %v out of range: want a value in [0, 1]", j.ROV)
+	}
 	return nil
 }
 
@@ -128,6 +152,8 @@ func (j JobOptions) PipelineOptions(reg *telemetry.Registry) []core.PipelineOpti
 		core.WithSeed(j.Seed),
 		core.WithWorkers(j.Workers),
 		core.WithFaults(j.Faults),
+		core.WithScenario(j.Scenario),
+		core.WithROV(j.ROV),
 		core.WithIncremental(j.Incremental),
 		core.WithMetrics(reg),
 	}
@@ -162,6 +188,8 @@ func (c Config) Job() JobOptions {
 		Workload:        c.Workload,
 		DurationSeconds: c.Duration,
 		RoundMode:       c.RoundMode,
+		Scenario:        c.Scenario,
+		ROV:             c.ROV,
 	}
 }
 
@@ -189,6 +217,10 @@ const (
 	// part of FlagAll: only commands that run virtual-clock workloads
 	// (resurvey) opt in.
 	FlagWorkload
+	// FlagScenario registers -scenario and -rov. Not part of FlagAll:
+	// only commands that run adversarial scenario sweeps (resurvey)
+	// opt in.
+	FlagScenario
 
 	// FlagAll registers every shared flag.
 	FlagAll = FlagSmall | FlagSeed | FlagWorkers | FlagFaults | FlagObservability | FlagIncremental
@@ -221,6 +253,10 @@ func Register(fs *flag.FlagSet, c *Config, which Flags) {
 		fs.StringVar(&c.Workload, "workload", c.Workload, "run a named virtual-clock workload instead of the survey script: update-storm, flap-cascade-rfd, diurnal-churn, or replay (reads an MRT trace on stdin); deterministic and byte-identical at any -workers width")
 		fs.Int64Var(&c.Duration, "duration", c.Duration, "virtual horizon of the -workload run in seconds (0 = the workload's default)")
 		fs.BoolVar(&c.RoundMode, "round", c.RoundMode, "quantize the -workload to round boundaries (the historical round-granularity scheduler) instead of event-granularity timers")
+	}
+	if which&FlagScenario != 0 {
+		fs.StringVar(&c.Scenario, "scenario", c.Scenario, "run an adversarial scenario sweep instead of the survey script: hijack (forged-origin announcement of the measurement prefix) or leak (Gao-Rexford-violating customer re-export), swept over RPKI ROV adoption fractions and scored against ground truth")
+		fs.Float64Var(&c.ROV, "rov", c.ROV, "RPKI route-origin-validation adoption fraction in [0, 1]: caps the -scenario sweep's adoption ladder (0 = the full default ladder), or deploys ROV at that fraction for -workload runs")
 	}
 	if which&FlagObservability != 0 {
 		fs.StringVar(&c.Manifest, "manifest", c.Manifest, "write a run manifest (seed, options, phase durations, all metrics) to this file as deterministic JSON")

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/faults"
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
 	"repro/internal/topo"
@@ -43,6 +44,8 @@ type Pipeline struct {
 	outageSeedSet bool
 	workers       int
 	faults        float64
+	scenario      string
+	rov           float64
 	metrics       *telemetry.Registry
 	incremental   bool
 }
@@ -94,6 +97,22 @@ func WithFaults(intensity float64) PipelineOption {
 	return func(p *Pipeline) { p.faults = intensity }
 }
 
+// WithScenario selects an adversarial scenario family (hijack, leak —
+// see faults.ScenarioNames) for the pipeline's scenario sweep; empty
+// disables it. Validation happens at the flag layer (cliconf).
+func WithScenario(name string) PipelineOption {
+	return func(p *Pipeline) { p.scenario = name }
+}
+
+// WithROV sets the RPKI route-origin-validation adoption fraction in
+// [0, 1]. For plain runs and workloads a positive fraction deploys
+// drop-invalid import filtering on that (seeded, nested) fraction of
+// ASes before anything else happens; for scenario sweeps it caps the
+// adoption ladder (0 keeps the full default ladder).
+func WithROV(frac float64) PipelineOption {
+	return func(p *Pipeline) { p.rov = frac }
+}
+
 // WithMetrics instruments everything the pipeline constructs with the
 // registry (nil keeps telemetry disabled at zero cost) and records the
 // resolved worker count for the run manifest.
@@ -125,6 +144,14 @@ func WithOutageSplit(seed int64) PipelineOption {
 // schedule without a second flag.
 const faultSeedStream = 0xFA17
 
+// scenarioSeedStream and rovSeedStream likewise derive the scenario
+// schedule seed (attacker/leaker draw, event timing) and the ROV
+// deployment draw seed from the session seed.
+const (
+	scenarioSeedStream = 0x5CE0
+	rovSeedStream      = 0x40A1
+)
+
 // NewPipeline resolves the options into a ready pipeline.
 func NewPipeline(opts ...PipelineOption) *Pipeline {
 	p := &Pipeline{survey: DefaultSurveyOptions(), incremental: true}
@@ -155,6 +182,13 @@ func (p *Pipeline) Workers() int { return p.workers }
 
 // Faults returns the configured max fault-sweep intensity (0 = off).
 func (p *Pipeline) Faults() float64 { return p.faults }
+
+// Scenario returns the configured scenario family ("" = off).
+func (p *Pipeline) Scenario() string { return p.scenario }
+
+// ROV returns the configured route-origin-validation adoption
+// fraction (0 = off / full default ladder for sweeps).
+func (p *Pipeline) ROV() float64 { return p.rov }
 
 // Incremental reports whether pipelines built here use the
 // incremental recomputation path.
@@ -211,6 +245,50 @@ func (p *Pipeline) RunFaultSweep() []FaultSweepPoint {
 // stop the sweep between rounds.
 func (p *Pipeline) RunFaultSweepContext(ctx context.Context) ([]FaultSweepPoint, error) {
 	return RunFaultSweepContext(ctx, p.FaultSweepOptions())
+}
+
+// ScenarioSweepOptions returns the scenario-sweep configuration the
+// pipeline implies: the session topology seed, schedule and
+// deployment seeds derived via parallel.SubSeed, the adoption ladder
+// capped at WithROV's fraction (0 = the full default ladder), and the
+// pipeline's worker bound and registry.
+func (p *Pipeline) ScenarioSweepOptions() ScenarioSweepOptions {
+	sopts := DefaultScenarioSweepOptions(p.scenario)
+	sopts.Survey.Topology.Seed = p.Seed()
+	sopts.ScenarioSeed = parallel.SubSeed(p.Seed(), scenarioSeedStream)
+	sopts.ROVSeed = parallel.SubSeed(p.Seed(), rovSeedStream)
+	if p.rov > 0 {
+		sopts.Adoptions = ScenarioAdoptions(p.rov)
+	}
+	sopts.Incremental = p.incremental
+	sopts.Metrics = p.metrics
+	sopts.Workers = p.workers
+	return sopts
+}
+
+// RunScenarioSweep runs the scenario sweep the pipeline implies (see
+// ScenarioSweepOptions).
+func (p *Pipeline) RunScenarioSweep() ([]ScenarioPoint, error) {
+	return RunScenarioSweep(p.ScenarioSweepOptions())
+}
+
+// RunScenarioSweepContext is RunScenarioSweep with cooperative
+// cancellation — the entry point resurveyd's scenario jobs use.
+func (p *Pipeline) RunScenarioSweepContext(ctx context.Context) ([]ScenarioPoint, error) {
+	return RunScenarioSweepContext(ctx, p.ScenarioSweepOptions())
+}
+
+// ScenarioAdoptions selects the adoption ladder for a max fraction:
+// the default ladder truncated at max, with max itself as the final
+// point.
+func ScenarioAdoptions(max float64) []float64 {
+	var out []float64
+	for _, a := range DefaultScenarioSweepOptions(faults.ScenarioHijack).Adoptions {
+		if a < max {
+			out = append(out, a)
+		}
+	}
+	return append(out, max)
 }
 
 // SweepIntensities selects the fault-sweep points for a max intensity:

@@ -24,6 +24,8 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/netutil"
+	"repro/internal/parallel"
+	"repro/internal/rpki"
 	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/vtime"
@@ -46,6 +48,9 @@ const (
 	wlStreamProbeArrive
 	wlStreamThin
 	wlStreamThinSession
+	wlStreamHijackPick
+	wlStreamHijackArrive
+	wlStreamHijackHold
 )
 
 // DefaultRoundGap is the round granularity RoundMode quantizes to:
@@ -71,7 +76,7 @@ type WorkloadOptions struct {
 
 // WorkloadNames lists the named schedules, in display order.
 func WorkloadNames() []string {
-	return []string{"update-storm", "flap-cascade-rfd", "diurnal-churn", "replay"}
+	return []string{"update-storm", "flap-cascade-rfd", "diurnal-churn", "hijack-flash", "replay"}
 }
 
 // KnownWorkload reports whether name is runnable.
@@ -92,6 +97,8 @@ func defaultWorkloadDuration(name string) vtime.Time {
 		return 7200
 	case "diurnal-churn":
 		return 86400
+	case "hijack-flash":
+		return 3600
 	case "replay":
 		return 86400
 	}
@@ -161,6 +168,15 @@ func (p *Pipeline) RunWorkload(opts WorkloadOptions) (*WorkloadResult, error) {
 	net.Originate(s.Eco.MeasSURF.Router, s.Eco.MeasPrefix)
 	s.World.RETerminals = map[bgp.RouterID]bool{s.Eco.MeasSURF.Router: true}
 	s.World.CommodityTerminals = map[bgp.RouterID]bool{s.Eco.MeasCommodity.Router: true}
+	// ROV deployment precedes every workload event: the seeded
+	// fraction of ASes filters RPKI-invalid routes on import for the
+	// whole run (hijack-flash forgeries die at deployed borders; every
+	// legitimate route is covered by a ROA and unaffected).
+	if p.rov > 0 {
+		table := rpki.FromEcosystem(s.Eco)
+		deployed := rpki.Deploy(net, table, s.Eco, p.rov, parallel.SubSeed(p.Seed(), rovSeedStream))
+		reg.Gauge("workload_rov_deployed_ases").Set(float64(deployed))
+	}
 	net.RunToQuiescence()
 
 	bgpEvents0 := net.EventsProcessed()
@@ -346,6 +362,27 @@ func (p *Pipeline) buildWorkload(eco *topo.Ecosystem, opts WorkloadOptions, hori
 			workload.NewProbeTicker(workload.NewPeriodic(seed, wlStreamProbeArrive, 3600, 0), horizon),
 		), nil
 
+	case "hijack-flash":
+		// Repeated short-lived forged-origin announcements of the
+		// measurement prefix from member ASes, probed every 5 minutes.
+		// Under -rov the deployed fraction filters the forgeries on
+		// import, so the flash's catchment shrinks with adoption.
+		var attackers []bgp.RouterID
+		for _, info := range eco.ASes {
+			if info.Class == topo.ClassMember {
+				attackers = append(attackers, info.Router)
+			}
+		}
+		if len(attackers) == 0 {
+			return nil, fmt.Errorf("core: ecosystem has no member AS to hijack from")
+		}
+		return workload.Merge(opts.Name,
+			workload.NewHijackFlasher(seed, wlStreamHijackPick, attackers, eco.MeasPrefix,
+				workload.NewPoisson(seed, wlStreamHijackArrive, 1.0/300),
+				workload.NewWeibull(seed, wlStreamHijackHold, 0.9, 120), horizon),
+			workload.NewProbeTicker(workload.NewPeriodic(seed, wlStreamProbeArrive, 300, 0), horizon),
+		), nil
+
 	case "replay":
 		if opts.Trace == nil {
 			return nil, fmt.Errorf("core: replay workload requires a trace stream")
@@ -359,6 +396,13 @@ func (p *Pipeline) buildWorkload(eco *topo.Ecosystem, opts WorkloadOptions, hori
 // (speakers in network order, prefixes in canonical order) — a compact
 // stand-in for full RIB byte equality.
 func ribDigest(eco *topo.Ecosystem) uint64 {
+	return ribDigestFiltered(eco, nil)
+}
+
+// ribDigestFiltered is ribDigest restricted to the speakers include
+// admits (nil admits everyone). The scenario sweep uses it to censor
+// the injected actor's own router from the signature.
+func ribDigestFiltered(eco *topo.Ecosystem, include func(bgp.RouterID) bool) uint64 {
 	prefixes := make([]netutil.Prefix, 0, len(eco.Prefixes)+len(eco.ExcludedPrefixes)+2)
 	for _, pi := range eco.Prefixes {
 		prefixes = append(prefixes, pi.Prefix)
@@ -377,6 +421,9 @@ func ribDigest(eco *topo.Ecosystem) uint64 {
 	}
 	net := eco.Net
 	for _, id := range net.Speakers() {
+		if include != nil && !include(id) {
+			continue
+		}
 		sp := net.Speaker(id)
 		for _, p := range prefixes {
 			r := sp.Best(p)

@@ -36,6 +36,7 @@ func TestWorkloadWorkersEqualityMatrix(t *testing.T) {
 		{"update-storm", 600},
 		{"flap-cascade-rfd", 2400},
 		{"diurnal-churn", 7200},
+		{"hijack-flash", 2400},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -89,17 +89,23 @@ type FeedGap struct {
 }
 
 // Schedule is a fully materialized fault plan for one experiment.
+// Sessions, Brownouts, and FeedGaps come from the intensity-driven
+// Generate; Hijacks and Leaks from GenerateScenario (scenario.go). A
+// schedule may mix all five.
 type Schedule struct {
 	Window    Window
 	Sessions  []SessionFault
 	Brownouts []Brownout
 	FeedGaps  []FeedGap
+	Hijacks   []PrefixHijack
+	Leaks     []RouteLeak
 }
 
 // Empty reports whether the schedule injects nothing (always true at
 // Intensity 0).
 func (s *Schedule) Empty() bool {
-	return s == nil || (len(s.Sessions) == 0 && len(s.Brownouts) == 0 && len(s.FeedGaps) == 0)
+	return s == nil || (len(s.Sessions) == 0 && len(s.Brownouts) == 0 &&
+		len(s.FeedGaps) == 0 && len(s.Hijacks) == 0 && len(s.Leaks) == 0)
 }
 
 // Per-class intensity scaling. At Intensity 1, roughly one member in
@@ -198,17 +204,43 @@ func sessionFaultFor(eco *topo.Ecosystem, info *topo.ASInfo, w Window, rng *rand
 	return sf, true
 }
 
-// Action is one session state change at a virtual time.
+// ActionKind discriminates scheduled injector actions. Session
+// up/down came first; the adversarial kinds (hijack, leak) arrived
+// with the scenario families and flow through the same cursor so one
+// Advance loop interleaves every class deterministically.
+type ActionKind uint8
+
+// Action kinds.
+const (
+	// ActSessionDown / ActSessionUp toggle the session A–B.
+	ActSessionDown ActionKind = iota
+	ActSessionUp
+	// ActHijackStart / ActHijackStop originate and withdraw the forged
+	// announcement of Schedule.Hijacks[Index].
+	ActHijackStart
+	ActHijackStop
+	// ActLeakStart / ActLeakStop widen and restore the export policy
+	// of Schedule.Leaks[Index].
+	ActLeakStart
+	ActLeakStop
+)
+
+// Action is one scheduled state change at a virtual time. A and B
+// identify the session for the session kinds; Index references the
+// schedule's Hijacks or Leaks slice for the scenario kinds.
 type Action struct {
-	At   bgp.Time
-	A, B bgp.RouterID
-	Down bool
+	At    bgp.Time
+	Kind  ActionKind
+	A, B  bgp.RouterID
+	Index int
 }
 
-// Actions expands the session faults into a time-sorted action list.
+// Actions expands the schedule into a time-sorted action list.
 // Flap-storm cycles precede the main outage window: cycle i goes down
 // at Down-60s*(Flaps-i) and up 30 s later, so the storm finishes just
-// as the real outage begins.
+// as the real outage begins. Hijacks and leaks contribute their
+// start/stop pairs; the stable sort keeps equal-time actions in
+// schedule order.
 func (s *Schedule) Actions() []Action {
 	var out []Action
 	for _, sf := range s.Sessions {
@@ -217,11 +249,19 @@ func (s *Schedule) Actions() []Action {
 			if at < s.Window.Start {
 				at = s.Window.Start
 			}
-			out = append(out, Action{At: at, A: sf.A, B: sf.B, Down: true})
-			out = append(out, Action{At: at + 30, A: sf.A, B: sf.B, Down: false})
+			out = append(out, Action{At: at, Kind: ActSessionDown, A: sf.A, B: sf.B})
+			out = append(out, Action{At: at + 30, Kind: ActSessionUp, A: sf.A, B: sf.B})
 		}
-		out = append(out, Action{At: sf.Down, A: sf.A, B: sf.B, Down: true})
-		out = append(out, Action{At: sf.Up, A: sf.A, B: sf.B, Down: false})
+		out = append(out, Action{At: sf.Down, Kind: ActSessionDown, A: sf.A, B: sf.B})
+		out = append(out, Action{At: sf.Up, Kind: ActSessionUp, A: sf.A, B: sf.B})
+	}
+	for i, h := range s.Hijacks {
+		out = append(out, Action{At: h.From, Kind: ActHijackStart, Index: i})
+		out = append(out, Action{At: h.To, Kind: ActHijackStop, Index: i})
+	}
+	for i, l := range s.Leaks {
+		out = append(out, Action{At: l.From, Kind: ActLeakStart, Index: i})
+		out = append(out, Action{At: l.To, Kind: ActLeakStop, Index: i})
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
@@ -234,20 +274,28 @@ type Injector struct {
 	actions  []Action
 	next     int
 	metrics  injectorMetrics
+	// leakSaved holds, per leak index, the pre-leak export class sets
+	// toward each provider (in RouteLeak.Providers order), captured at
+	// ActLeakStart and restored at ActLeakStop.
+	leakSaved map[int][]bgp.ClassSet
 }
 
 // injectorMetrics counts injected events by kind; nil counters (no
 // registry) are free.
 type injectorMetrics struct {
-	sessionDown *telemetry.Counter
-	sessionUp   *telemetry.Counter
-	brownouts   *telemetry.Counter
-	feedGaps    *telemetry.Counter
+	sessionDown     *telemetry.Counter
+	sessionUp       *telemetry.Counter
+	brownouts       *telemetry.Counter
+	feedGaps        *telemetry.Counter
+	hijackAnnounce  *telemetry.Counter
+	hijackWithdraw  *telemetry.Counter
+	leakStarts      *telemetry.Counter
+	leakStops       *telemetry.Counter
 }
 
 // NewInjector prepares the action cursor for a schedule.
 func NewInjector(s *Schedule) *Injector {
-	return &Injector{schedule: s, actions: s.Actions()}
+	return &Injector{schedule: s, actions: s.Actions(), leakSaved: make(map[int][]bgp.ClassSet)}
 }
 
 // SetMetrics wires the injector to the registry; injected events are
@@ -255,10 +303,14 @@ func NewInjector(s *Schedule) *Injector {
 // disables instrumentation.
 func (in *Injector) SetMetrics(r *telemetry.Registry) {
 	in.metrics = injectorMetrics{
-		sessionDown: r.Counter(telemetry.Label("faults_injected_total", "kind", "session_down")),
-		sessionUp:   r.Counter(telemetry.Label("faults_injected_total", "kind", "session_up")),
-		brownouts:   r.Counter(telemetry.Label("faults_injected_total", "kind", "brownout")),
-		feedGaps:    r.Counter(telemetry.Label("faults_injected_total", "kind", "feed_gap")),
+		sessionDown:    r.Counter(telemetry.Label("faults_injected_total", "kind", "session_down")),
+		sessionUp:      r.Counter(telemetry.Label("faults_injected_total", "kind", "session_up")),
+		brownouts:      r.Counter(telemetry.Label("faults_injected_total", "kind", "brownout")),
+		feedGaps:       r.Counter(telemetry.Label("faults_injected_total", "kind", "feed_gap")),
+		hijackAnnounce: r.Counter(telemetry.Label("faults_injected_total", "kind", "hijack_announce")),
+		hijackWithdraw: r.Counter(telemetry.Label("faults_injected_total", "kind", "hijack_withdraw")),
+		leakStarts:     r.Counter(telemetry.Label("faults_injected_total", "kind", "leak_start")),
+		leakStops:      r.Counter(telemetry.Label("faults_injected_total", "kind", "leak_stop")),
 	}
 }
 
@@ -303,15 +355,47 @@ func (in *Injector) Advance(net *bgp.Network, to bgp.Time) {
 			net.Run(a.At)
 			net.AdvanceTo(a.At)
 		}
-		if a.Down {
-			in.metrics.sessionDown.Inc()
-			net.SetSessionDown(a.A, a.B)
-		} else {
-			in.metrics.sessionUp.Inc()
-			net.SetSessionUp(a.A, a.B)
-		}
+		in.apply(net, a)
 	}
 	net.Run(to)
+}
+
+// apply executes one action against the network.
+func (in *Injector) apply(net *bgp.Network, a Action) {
+	switch a.Kind {
+	case ActSessionDown:
+		in.metrics.sessionDown.Inc()
+		net.SetSessionDown(a.A, a.B)
+	case ActSessionUp:
+		in.metrics.sessionUp.Inc()
+		net.SetSessionUp(a.A, a.B)
+	case ActHijackStart:
+		h := in.schedule.Hijacks[a.Index]
+		in.metrics.hijackAnnounce.Inc()
+		net.Originate(h.Router, h.Prefix)
+	case ActHijackStop:
+		h := in.schedule.Hijacks[a.Index]
+		in.metrics.hijackWithdraw.Inc()
+		net.WithdrawOrigination(h.Router, h.Prefix)
+	case ActLeakStart:
+		l := in.schedule.Leaks[a.Index]
+		in.metrics.leakStarts.Inc()
+		saved := make([]bgp.ClassSet, len(l.Providers))
+		for i, pr := range l.Providers {
+			saved[i] = net.SetExportAllow(l.Router, pr, leakExportSet)
+		}
+		in.leakSaved[a.Index] = saved
+	case ActLeakStop:
+		l := in.schedule.Leaks[a.Index]
+		in.metrics.leakStops.Inc()
+		saved := in.leakSaved[a.Index]
+		for i, pr := range l.Providers {
+			if i < len(saved) {
+				net.SetExportAllow(l.Router, pr, saved[i])
+			}
+		}
+		delete(in.leakSaved, a.Index)
+	}
 }
 
 // Finish applies any remaining actions (restoring sessions whose Up

@@ -85,10 +85,13 @@ func TestActionsSortedAndBalanced(t *testing.T) {
 			t.Errorf("action outside window: %+v", a)
 		}
 		k := [2]bgp.RouterID{a.A, a.B}
-		if a.Down {
+		switch a.Kind {
+		case ActSessionDown:
 			balance[k]++
-		} else {
+		case ActSessionUp:
 			balance[k]--
+		default:
+			t.Errorf("unexpected non-session action: %+v", a)
 		}
 	}
 	for k, v := range balance {

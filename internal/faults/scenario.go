@@ -1,0 +1,173 @@
+// Scenario faults: the adversarial fault kinds. Where faults.Generate
+// models operational failure (maintenance, flap storms, lossy paths),
+// GenerateScenario models attack and misconfiguration — a forged-origin
+// prefix hijack of the measurement prefix, and a Gao-Rexford-violating
+// route leak from a multihomed customer. Both expand into the same
+// scheduled Action stream the Injector already drives, so they compose
+// with session faults and ride the existing Advance loop unchanged.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/netutil"
+	"repro/internal/topo"
+)
+
+// Scenario names, the vocabulary of the -scenario flag.
+const (
+	ScenarioHijack = "hijack"
+	ScenarioLeak   = "leak"
+)
+
+// ScenarioNames lists the known scenario families in display order.
+func ScenarioNames() []string { return []string{ScenarioHijack, ScenarioLeak} }
+
+// KnownScenario reports whether name is a scenario family.
+func KnownScenario(name string) bool {
+	return name == ScenarioHijack || name == ScenarioLeak
+}
+
+// PrefixHijack is a forged-origin announcement: Router (belonging to
+// Attacker, which holds no ROA for Prefix) originates Prefix at From
+// and withdraws it at To. Because originations carry an empty path and
+// exports prepend the sender, every receiver sees the attacker as the
+// path origin — exactly what RFC 6811 validation catches when a
+// covering ROA exists.
+type PrefixHijack struct {
+	Attacker asn.AS
+	Router   bgp.RouterID
+	Prefix   netutil.Prefix
+	// Victim is the legitimate origin whose prefix is forged (the
+	// primary one when several origins share it).
+	Victim   asn.AS
+	From, To bgp.Time
+}
+
+// RouteLeak is a Gao-Rexford export violation: at From, the multihomed
+// customer Leaker widens its export policy toward every AS in
+// Providers to the full class set, re-advertising provider- and
+// peer-learned routes upstream; at To the original policies are
+// restored (the Injector snapshots them at leak start).
+type RouteLeak struct {
+	Leaker asn.AS
+	Router bgp.RouterID
+	// Providers are the neighbor routers the leak flows toward, in
+	// ascending order.
+	Providers []bgp.RouterID
+	From, To  bgp.Time
+}
+
+// leakExportSet is the policy a leaking router applies: export
+// everything, regardless of where it was learned.
+var leakExportSet = bgp.NewClassSet(bgp.ClassOwn, bgp.ClassCustomer,
+	bgp.ClassPeer, bgp.ClassProvider, bgp.ClassREPeer)
+
+// GenerateScenario builds the deterministic schedule for one scenario
+// family. The event occupies the middle half of the window — start in
+// the second eighth (seeded jitter), duration half the span — so
+// several probe rounds observe the polluted state and several observe
+// recovery. Equal inputs yield byte-identical schedules.
+func GenerateScenario(eco *topo.Ecosystem, w Window, scenario string, seed int64) (*Schedule, error) {
+	s := &Schedule{Window: w}
+	span := w.span()
+	if span <= 0 {
+		return nil, fmt.Errorf("faults: degenerate scenario window [%d, %d]", w.Start, w.End)
+	}
+	rng := rand.New(rand.NewSource(seed)) // #nosec deterministic simulation
+	from := w.Start + bgp.Time(span/8) + bgp.Time(rng.Int63n(span/8+1))
+	to := from + bgp.Time(span/2)
+	if to > w.End {
+		to = w.End
+	}
+	switch scenario {
+	case ScenarioHijack:
+		h, err := hijackFor(eco, rng)
+		if err != nil {
+			return nil, err
+		}
+		h.From, h.To = from, to
+		s.Hijacks = append(s.Hijacks, h)
+	case ScenarioLeak:
+		l, err := leakFor(eco, rng)
+		if err != nil {
+			return nil, err
+		}
+		l.From, l.To = from, to
+		s.Leaks = append(s.Leaks, l)
+	default:
+		return nil, fmt.Errorf("faults: unknown scenario %q", scenario)
+	}
+	return s, nil
+}
+
+// hijackFor picks the attacker: a seeded draw over member ASes (the
+// eco.ASes walk is ascending, so the draw is reproducible), never one
+// of the measurement-prefix origins.
+func hijackFor(eco *topo.Ecosystem, rng *rand.Rand) (PrefixHijack, error) {
+	legit := map[asn.AS]bool{}
+	for _, info := range []*topo.ASInfo{eco.Internet2, eco.MeasSURF, eco.MeasCommodity} {
+		if info != nil {
+			legit[info.AS] = true
+		}
+	}
+	var members []*topo.ASInfo
+	for _, info := range eco.ASes {
+		if info.Class == topo.ClassMember && !legit[info.AS] {
+			members = append(members, info)
+		}
+	}
+	if len(members) == 0 {
+		return PrefixHijack{}, fmt.Errorf("faults: no member AS available as hijacker")
+	}
+	attacker := members[rng.Intn(len(members))]
+	h := PrefixHijack{
+		Attacker: attacker.AS,
+		Router:   attacker.Router,
+		Prefix:   eco.MeasPrefix,
+	}
+	if eco.Internet2 != nil {
+		h.Victim = eco.Internet2.AS
+	}
+	return h, nil
+}
+
+// leakFor picks the leaker: a seeded draw over multihomed members
+// (at least two upstreams), leaking toward all of their providers.
+func leakFor(eco *topo.Ecosystem, rng *rand.Rand) (RouteLeak, error) {
+	var multi []*topo.ASInfo
+	for _, info := range eco.ASes {
+		if info.Class != topo.ClassMember {
+			continue
+		}
+		if len(info.REProviders)+len(info.CommodityProviders) >= 2 {
+			multi = append(multi, info)
+		}
+	}
+	if len(multi) == 0 {
+		return RouteLeak{}, fmt.Errorf("faults: no multihomed member AS available as leaker")
+	}
+	leaker := multi[rng.Intn(len(multi))]
+	l := RouteLeak{Leaker: leaker.AS, Router: leaker.Router}
+	seen := map[bgp.RouterID]bool{}
+	var ups []asn.AS
+	ups = append(ups, leaker.REProviders...)
+	ups = append(ups, leaker.CommodityProviders...)
+	for _, up := range ups {
+		info := eco.AS(up)
+		if info == nil || seen[info.Router] {
+			continue
+		}
+		seen[info.Router] = true
+		l.Providers = append(l.Providers, info.Router)
+	}
+	sort.Slice(l.Providers, func(i, j int) bool { return l.Providers[i] < l.Providers[j] })
+	if len(l.Providers) < 2 {
+		return RouteLeak{}, fmt.Errorf("faults: leaker %s has fewer than two provider sessions", leaker.Name)
+	}
+	return l, nil
+}

@@ -1,0 +1,285 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/telemetry"
+	"repro/internal/topo"
+)
+
+func scenarioWindow(eco *topo.Ecosystem) Window {
+	_ = eco
+	return Window{Start: 1000, End: 40600}
+}
+
+func TestScenarioNamesKnown(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) != 2 {
+		t.Fatalf("want 2 scenario families, got %v", names)
+	}
+	for _, n := range names {
+		if !KnownScenario(n) {
+			t.Errorf("listed scenario %q not known", n)
+		}
+	}
+	for _, n := range []string{"", "hijacks", "leaky", "outage"} {
+		if KnownScenario(n) {
+			t.Errorf("%q should not be a scenario", n)
+		}
+	}
+}
+
+// TestGenerateScenarioDeterminism: equal inputs give byte-identical
+// schedules, different seeds move the event window (and may move the
+// actor).
+func TestGenerateScenarioDeterminism(t *testing.T) {
+	eco := topo.Build(topo.SmallConfig())
+	w := scenarioWindow(eco)
+	for _, scenario := range ScenarioNames() {
+		a, err := GenerateScenario(eco, w, scenario, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		b, err := GenerateScenario(eco, w, scenario, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Errorf("%s: same seed, different schedules:\n%+v\nvs\n%+v", scenario, a, b)
+		}
+		c, err := GenerateScenario(eco, w, scenario, 43)
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		if fmt.Sprintf("%+v", a) == fmt.Sprintf("%+v", c) {
+			t.Errorf("%s: different seeds produced identical schedules", scenario)
+		}
+	}
+}
+
+// TestGenerateScenarioHijackShape pins the hijack draw: the attacker
+// is a member AS that is NOT a legitimate measurement-prefix origin,
+// the forged prefix is the measurement prefix, the victim is the
+// Internet2 origin, and the event window sits strictly inside the
+// experiment window.
+func TestGenerateScenarioHijackShape(t *testing.T) {
+	eco := topo.Build(topo.SmallConfig())
+	w := scenarioWindow(eco)
+	legit := map[asn.AS]bool{}
+	for _, info := range []*topo.ASInfo{eco.Internet2, eco.MeasSURF, eco.MeasCommodity} {
+		if info != nil {
+			legit[info.AS] = true
+		}
+	}
+	// Several seeds, so the exclusion is exercised beyond one draw.
+	for seed := int64(0); seed < 20; seed++ {
+		s, err := GenerateScenario(eco, w, ScenarioHijack, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Hijacks) != 1 || len(s.Leaks) != 0 {
+			t.Fatalf("seed %d: want exactly one hijack, got %+v", seed, s)
+		}
+		h := s.Hijacks[0]
+		if h.Prefix != eco.MeasPrefix {
+			t.Errorf("seed %d: hijacked %v, want %v", seed, h.Prefix, eco.MeasPrefix)
+		}
+		if legit[h.Attacker] {
+			t.Errorf("seed %d: attacker %v is a legitimate origin", seed, h.Attacker)
+		}
+		info := eco.AS(h.Attacker)
+		if info == nil || info.Class != topo.ClassMember {
+			t.Errorf("seed %d: attacker %v is not a member AS", seed, h.Attacker)
+		} else if info.Router != h.Router {
+			t.Errorf("seed %d: router %v does not belong to attacker %v", seed, h.Router, h.Attacker)
+		}
+		if h.Victim != eco.Internet2.AS {
+			t.Errorf("seed %d: victim %v, want %v", seed, h.Victim, eco.Internet2.AS)
+		}
+		if h.From <= w.Start || h.To <= h.From || h.To > w.End {
+			t.Errorf("seed %d: event window [%d, %d] outside experiment window %+v", seed, h.From, h.To, w)
+		}
+	}
+}
+
+// TestGenerateScenarioLeakShape pins the leak draw: the leaker is a
+// multihomed member (at least two upstreams), and the provider router
+// list is deduplicated and ascending.
+func TestGenerateScenarioLeakShape(t *testing.T) {
+	eco := topo.Build(topo.SmallConfig())
+	w := scenarioWindow(eco)
+	for seed := int64(0); seed < 20; seed++ {
+		s, err := GenerateScenario(eco, w, ScenarioLeak, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Leaks) != 1 || len(s.Hijacks) != 0 {
+			t.Fatalf("seed %d: want exactly one leak, got %+v", seed, s)
+		}
+		l := s.Leaks[0]
+		info := eco.AS(l.Leaker)
+		if info == nil || info.Class != topo.ClassMember {
+			t.Fatalf("seed %d: leaker %v is not a member", seed, l.Leaker)
+		}
+		if got := len(info.REProviders) + len(info.CommodityProviders); got < 2 {
+			t.Errorf("seed %d: leaker %v has %d upstreams, want >= 2", seed, l.Leaker, got)
+		}
+		if len(l.Providers) < 2 {
+			t.Errorf("seed %d: leak targets %d providers, want >= 2", seed, len(l.Providers))
+		}
+		for i := 1; i < len(l.Providers); i++ {
+			if l.Providers[i] <= l.Providers[i-1] {
+				t.Errorf("seed %d: provider list not strictly ascending: %v", seed, l.Providers)
+			}
+		}
+		if l.From <= w.Start || l.To <= l.From || l.To > w.End {
+			t.Errorf("seed %d: event window [%d, %d] outside %+v", seed, l.From, l.To, w)
+		}
+	}
+}
+
+func TestGenerateScenarioErrors(t *testing.T) {
+	eco := topo.Build(topo.SmallConfig())
+	if _, err := GenerateScenario(eco, Window{Start: 100, End: 100}, ScenarioHijack, 1); err == nil {
+		t.Error("degenerate window accepted")
+	}
+	if _, err := GenerateScenario(eco, scenarioWindow(eco), "no-such-scenario", 1); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestScenarioActionsExpansion checks that hijacks and leaks expand
+// into balanced, time-sorted action pairs alongside session faults.
+func TestScenarioActionsExpansion(t *testing.T) {
+	s := &Schedule{
+		Window: Window{Start: 0, End: 1000},
+		Sessions: []SessionFault{
+			{A: 1, B: 2, Down: 300, Up: 400},
+		},
+		Hijacks: []PrefixHijack{
+			{Attacker: 64500, Router: 9, From: 100, To: 500},
+		},
+		Leaks: []RouteLeak{
+			{Leaker: 64501, Router: 10, Providers: []bgp.RouterID{3, 4}, From: 200, To: 600},
+		},
+	}
+	acts := s.Actions()
+	counts := map[ActionKind]int{}
+	last := s.Window.Start
+	for _, a := range acts {
+		if a.At < last {
+			t.Fatalf("actions not sorted: %+v", acts)
+		}
+		last = a.At
+		counts[a.Kind]++
+	}
+	want := map[ActionKind]int{
+		ActSessionDown: 1, ActSessionUp: 1,
+		ActHijackStart: 1, ActHijackStop: 1,
+		ActLeakStart: 1, ActLeakStop: 1,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("action kind %d: %d occurrences, want %d", k, counts[k], n)
+		}
+	}
+}
+
+// TestInjectorHijackLifecycle drives a hijack schedule through a
+// converged world: the forged route spreads after From, disappears
+// after To, and the injector counts both actions.
+func TestInjectorHijackLifecycle(t *testing.T) {
+	eco := topo.Build(topo.SmallConfig())
+	net := eco.Net
+	// Give the network a legitimate measurement-prefix route first.
+	net.Originate(eco.Internet2.Router, eco.MeasPrefix)
+	net.RunToQuiescence()
+
+	w := Window{Start: net.Now(), End: net.Now() + 10000}
+	s, err := GenerateScenario(eco, w, ScenarioHijack, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Hijacks[0]
+	reg := telemetry.New()
+	inj := NewInjector(s)
+	inj.SetMetrics(reg)
+
+	polluted := func() int {
+		n := 0
+		for _, info := range eco.ASes {
+			if info.AS == h.Attacker {
+				continue
+			}
+			if r := net.Speaker(info.Router).Best(eco.MeasPrefix); r != nil && r.Path.Origin() == h.Attacker {
+				n++
+			}
+		}
+		return n
+	}
+
+	inj.Advance(net, h.From+(h.To-h.From)/2)
+	if polluted() == 0 {
+		t.Error("mid-hijack: forged origin reached nobody")
+	}
+	inj.Finish(net)
+	if n := polluted(); n != 0 {
+		t.Errorf("post-withdraw: %d ASes still route to the forged origin", n)
+	}
+	ann := reg.Counter(telemetry.Label("faults_injected_total", "kind", "hijack_announce")).Value()
+	wd := reg.Counter(telemetry.Label("faults_injected_total", "kind", "hijack_withdraw")).Value()
+	if ann != 1 || wd != 1 {
+		t.Errorf("injector counters: announce=%d withdraw=%d, want 1/1", ann, wd)
+	}
+}
+
+// TestInjectorLeakSaveRestore drives a leak schedule and checks the
+// export-policy snapshot/restore through the providers' adj-RIB-in:
+// the provider-learned measurement-prefix route must appear at the
+// provider during the leak and vanish after restoration.
+func TestInjectorLeakSaveRestore(t *testing.T) {
+	eco := topo.Build(topo.SmallConfig())
+	net := eco.Net
+	net.Originate(eco.Internet2.Router, eco.MeasPrefix)
+	net.RunToQuiescence()
+
+	w := Window{Start: net.Now(), End: net.Now() + 10000}
+	s, err := GenerateScenario(eco, w, ScenarioLeak, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s.Leaks[0]
+	reg := telemetry.New()
+	inj := NewInjector(s)
+	inj.SetMetrics(reg)
+
+	leakedAt := func() int {
+		n := 0
+		for _, pr := range l.Providers {
+			if r := net.Speaker(pr).AdjIn(eco.MeasPrefix, l.Router); r != nil {
+				n++
+			}
+		}
+		return n
+	}
+
+	if n := leakedAt(); n != 0 {
+		t.Fatalf("pre-leak: %d providers already hold a measurement route from the leaker", n)
+	}
+	inj.Advance(net, l.From+(l.To-l.From)/2)
+	if leakedAt() == 0 {
+		t.Error("mid-leak: no provider received the leaked measurement route")
+	}
+	inj.Finish(net)
+	if n := leakedAt(); n != 0 {
+		t.Errorf("post-restore: %d providers still hold the leaked route", n)
+	}
+	starts := reg.Counter(telemetry.Label("faults_injected_total", "kind", "leak_start")).Value()
+	stops := reg.Counter(telemetry.Label("faults_injected_total", "kind", "leak_stop")).Value()
+	if starts != 1 || stops != 1 {
+		t.Errorf("injector counters: start=%d stop=%d, want 1/1", starts, stops)
+	}
+}

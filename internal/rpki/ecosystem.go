@@ -1,0 +1,85 @@
+package rpki
+
+import (
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/parallel"
+	"repro/internal/topo"
+)
+
+// FromEcosystem builds the ground-truth VRP table for a generated
+// world: one exact-length ROA per originated prefix (study and
+// excluded sets alike), plus ROAs authorizing each legitimate
+// measurement-prefix origin — Internet2, the SURF measurement AS, and
+// the commodity measurement AS all originate the paper's /24 at
+// different points of the experiment, and all three are covered, so
+// only a forged origin validates Invalid (§3.3: "covered by RPKI
+// ROAs").
+func FromEcosystem(eco *topo.Ecosystem) *Table {
+	t := NewTable()
+	add := func(infos []*topo.PrefixInfo) {
+		for _, pi := range infos {
+			t.Add(ROA{Prefix: pi.Prefix, MaxLength: pi.Prefix.Bits(), Origin: pi.Origin})
+		}
+	}
+	add(eco.Prefixes)
+	add(eco.ExcludedPrefixes)
+	for _, info := range []*topo.ASInfo{eco.Internet2, eco.MeasSURF, eco.MeasCommodity} {
+		if info != nil {
+			t.Add(ROA{Prefix: eco.MeasPrefix, MaxLength: eco.MeasPrefix.Bits(), Origin: info.AS})
+		}
+	}
+	return t
+}
+
+// deployStream tags the parallel.SubSeed stream used for per-AS
+// adoption draws, so deployment is decorrelated from every other
+// seeded decision in a session.
+const deployStream = 0x40A0
+
+// adopts reports whether AS a deploys ROV at the given adoption
+// fraction. The draw hashes (seed, AS) to a uniform value in [0, 1)
+// and compares it against the fraction, so the deployed sets are
+// NESTED in the fraction: every AS filtering at adoption f also
+// filters at every f' > f. Nesting is what makes pollution
+// monotonically non-increasing in adoption (the property the sweep
+// tests pin).
+func adopts(a asn.AS, fraction float64, seed int64) bool {
+	if fraction <= 0 {
+		return false
+	}
+	if fraction >= 1 {
+		return true
+	}
+	x := uint64(parallel.SubSeed(seed, deployStream^uint64(a)))
+	u := float64(x>>11) / (1 << 53)
+	return u < fraction
+}
+
+// DeploySet returns the ASes (in ascending AS order) that deploy ROV
+// at the given adoption fraction under the given seed. See adopts for
+// the nesting guarantee.
+func DeploySet(eco *topo.Ecosystem, fraction float64, seed int64) []*topo.ASInfo {
+	var out []*topo.ASInfo
+	for _, info := range eco.ASes {
+		if adopts(info.AS, fraction, seed) {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// Deploy attaches drop-invalid import enforcement (t.DropInvalid) to
+// the routers of every AS selected by DeploySet, and returns how many
+// ASes deployed. Passing fraction 1 models universal ROV; 0 is a
+// no-op. Deployment is idempotent for a given (fraction, seed) and
+// safe to apply to an already-converged network: the engine
+// retroactively withdraws any adj-RIB-in entry the new filter denies.
+func Deploy(net *bgp.Network, t *Table, eco *topo.Ecosystem, fraction float64, seed int64) int {
+	set := DeploySet(eco, fraction, seed)
+	deny := t.DropInvalid()
+	for _, info := range set {
+		net.SetImportDeny(info.Router, deny)
+	}
+	return len(set)
+}

@@ -1,0 +1,169 @@
+package rpki
+
+import (
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/topo"
+)
+
+func buildEco(t *testing.T) *topo.Ecosystem {
+	t.Helper()
+	return topo.Build(topo.SmallConfig())
+}
+
+// TestFromEcosystemCoversGroundTruth checks the generated VRP table
+// against the generator's own origin assignments: every study and
+// excluded prefix validates Valid for its true origin, every
+// legitimate measurement-prefix origin is authorized, and a forged
+// origin of the measurement prefix is Invalid (never NotFound — §3.3's
+// "covered by RPKI ROAs" is the point).
+func TestFromEcosystemCoversGroundTruth(t *testing.T) {
+	eco := buildEco(t)
+	tbl := FromEcosystem(eco)
+	if tbl.Len() == 0 {
+		t.Fatal("empty table from a generated ecosystem")
+	}
+	for _, pi := range eco.Prefixes {
+		if got := tbl.Validate(pi.Prefix, pi.Origin); got != Valid {
+			t.Errorf("study prefix %v origin %v = %v, want valid", pi.Prefix, pi.Origin, got)
+		}
+	}
+	for _, pi := range eco.ExcludedPrefixes {
+		if got := tbl.Validate(pi.Prefix, pi.Origin); got != Valid {
+			t.Errorf("excluded prefix %v origin %v = %v, want valid", pi.Prefix, pi.Origin, got)
+		}
+	}
+	for _, info := range []*topo.ASInfo{eco.Internet2, eco.MeasSURF, eco.MeasCommodity} {
+		if info == nil {
+			continue
+		}
+		if got := tbl.Validate(eco.MeasPrefix, info.AS); got != Valid {
+			t.Errorf("measurement origin %v = %v, want valid", info.AS, got)
+		}
+	}
+	// A member AS that is not a legitimate measurement origin forges
+	// the measurement prefix: covered, so Invalid.
+	for _, info := range eco.ASes {
+		if info.Class != topo.ClassMember {
+			continue
+		}
+		if got := tbl.Validate(eco.MeasPrefix, info.AS); got != Invalid {
+			t.Errorf("forged measurement origin %v = %v, want invalid", info.AS, got)
+		}
+		break
+	}
+}
+
+// TestDeploySetNesting is the monotonicity foundation: the deployed
+// sets along the adoption ladder must be nested (every AS deploying at
+// fraction f also deploys at every larger fraction), the fractions 0
+// and 1 must be the empty and full sets, and the draw must be a pure
+// function of (AS, seed).
+func TestDeploySetNesting(t *testing.T) {
+	eco := buildEco(t)
+	const seed = 1889
+	ladder := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
+	var prev map[asn.AS]bool
+	for _, f := range ladder {
+		set := DeploySet(eco, f, seed)
+		cur := make(map[asn.AS]bool, len(set))
+		for _, info := range set {
+			cur[info.AS] = true
+		}
+		if f == 0 && len(cur) != 0 {
+			t.Errorf("fraction 0 deployed %d ASes", len(cur))
+		}
+		if f == 1 && len(cur) != len(eco.ASes) {
+			t.Errorf("fraction 1 deployed %d of %d ASes", len(cur), len(eco.ASes))
+		}
+		for a := range prev {
+			if !cur[a] {
+				t.Errorf("AS %v deployed at smaller fraction but not at %.2f", a, f)
+			}
+		}
+		prev = cur
+	}
+	// Same inputs, same set; different seed, (almost surely) different set.
+	a := DeploySet(eco, 0.5, seed)
+	b := DeploySet(eco, 0.5, seed)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic deploy set: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].AS != b[i].AS {
+			t.Fatalf("non-deterministic deploy set at %d: %v vs %v", i, a[i].AS, b[i].AS)
+		}
+	}
+	c := DeploySet(eco, 0.5, seed+1)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].AS != c[i].AS {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("deploy set identical under a different seed")
+	}
+}
+
+// TestDeployFiltersConvergedNetwork deploys ROV on a fully converged
+// world and checks the retroactive filter: a forged-origin route
+// announced BEFORE deployment is withdrawn from every deploying
+// speaker's RIB once the filter lands.
+func TestDeployFiltersConvergedNetwork(t *testing.T) {
+	eco := buildEco(t)
+	net := eco.Net
+	net.RunToQuiescence()
+
+	// Forge the measurement prefix from a member that is not a
+	// legitimate origin, with no ROV anywhere: pollution spreads.
+	var attacker *topo.ASInfo
+	for _, info := range eco.ASes {
+		if info.Class == topo.ClassMember {
+			attacker = info
+			break
+		}
+	}
+	if attacker == nil {
+		t.Fatal("no member AS")
+	}
+	net.Originate(attacker.Router, eco.MeasPrefix)
+	net.RunToQuiescence()
+
+	polluted := 0
+	for _, info := range eco.ASes {
+		if info.AS == attacker.AS {
+			continue
+		}
+		if r := net.Speaker(info.Router).Best(eco.MeasPrefix); r != nil && r.Path.Origin() == attacker.AS {
+			polluted++
+		}
+	}
+	if polluted == 0 {
+		t.Fatal("hijack polluted nobody before deployment")
+	}
+
+	tbl := FromEcosystem(eco)
+	n := Deploy(net, tbl, eco, 1, 1889)
+	if n != len(eco.ASes) {
+		t.Fatalf("full deployment covered %d of %d ASes", n, len(eco.ASes))
+	}
+	net.RunToQuiescence()
+	for _, info := range eco.ASes {
+		if info.AS == attacker.AS {
+			continue
+		}
+		if r := net.Speaker(info.Router).Best(eco.MeasPrefix); r != nil && r.Path.Origin() == attacker.AS {
+			t.Errorf("AS %v still routes to the forged origin after full ROV", info.AS)
+		}
+	}
+
+	// Fraction 0 is a strict no-op.
+	if n := Deploy(net, tbl, eco, 0, 1889); n != 0 {
+		t.Errorf("fraction 0 deployed %d ASes", n)
+	}
+}

@@ -60,6 +60,25 @@ type Table struct {
 // NewTable returns an empty table.
 func NewTable() *Table { return &Table{} }
 
+// effectiveMaxLength returns the max length a ROA actually authorizes:
+// at least the ROA's own prefix length (a ROA always authorizes its
+// exact prefix, RFC 6482 §3.2) and at most the address-family bound.
+// Both Add and Validate use it, so tables built by bulk loaders (or
+// fuzzers) that bypass Add's normalization still validate per spec —
+// previously a stored MaxLength below the prefix length made the ROA's
+// own prefix validate Invalid, an off-by-one visible exactly on /24
+// ROAs entered with the common "maxlen 0" shorthand.
+func effectiveMaxLength(r ROA) int {
+	ml := r.MaxLength
+	if ml < r.Prefix.Bits() {
+		ml = r.Prefix.Bits()
+	}
+	if ml > 32 {
+		ml = 32
+	}
+	return ml
+}
+
 // Add inserts a ROA. MaxLength shorter than the prefix length is
 // normalized up to it (a ROA always authorizes at least its own
 // length).
@@ -67,12 +86,7 @@ func (t *Table) Add(r ROA) {
 	if !r.Prefix.IsValid() {
 		return
 	}
-	if r.MaxLength < r.Prefix.Bits() {
-		r.MaxLength = r.Prefix.Bits()
-	}
-	if r.MaxLength > 32 {
-		r.MaxLength = 32
-	}
+	r.MaxLength = effectiveMaxLength(r)
 	existing, _ := t.trie.Get(r.Prefix)
 	t.trie.Insert(r.Prefix, append(existing, r))
 	t.n++
@@ -91,7 +105,7 @@ func (t *Table) Validate(p netutil.Prefix, origin asn.AS) Validity {
 	t.trie.Covering(p, func(_ netutil.Prefix, roas []ROA) bool {
 		for _, r := range roas {
 			covered = true
-			if r.Origin == origin && p.Bits() <= r.MaxLength {
+			if r.Origin == origin && p.Bits() <= effectiveMaxLength(r) {
 				valid = true
 				return false
 			}

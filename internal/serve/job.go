@@ -10,17 +10,20 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/cliconf"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 )
 
 // jobKind is what a job runs: the two-experiment survey, the
-// fault-intensity sweep, or a virtual-clock workload.
+// fault-intensity sweep, a virtual-clock workload, or an adversarial
+// scenario sweep.
 type jobKind uint8
 
 const (
 	kindSurvey jobKind = iota
 	kindSweep
 	kindWorkload
+	kindScenario
 )
 
 func (k jobKind) String() string {
@@ -29,6 +32,8 @@ func (k jobKind) String() string {
 		return "sweep"
 	case kindWorkload:
 		return "workload"
+	case kindScenario:
+		return "scenario"
 	}
 	return "survey"
 }
@@ -40,7 +45,7 @@ type JobSpec struct {
 	// Tenant names the submitting tenant for rate limiting; empty maps
 	// to "default".
 	Tenant string `json:"tenant,omitempty"`
-	// Kind is "survey" (default), "sweep", or "workload".
+	// Kind is "survey" (default), "sweep", "workload", or "scenario".
 	Kind string `json:"kind,omitempty"`
 	// Options configures the pipeline (fields as the CLI flags).
 	Options cliconf.JobOptions `json:"options"`
@@ -73,8 +78,13 @@ func (sp *JobSpec) Validate() error {
 		if sp.Options.Workload == "replay" {
 			return fmt.Errorf("workload job cannot replay a trace (no upload channel); use the CLI")
 		}
+	case "scenario":
+		sp.kind = kindScenario
+		if sp.Options.Scenario == "" {
+			return fmt.Errorf("scenario job needs options.scenario (one of %v)", faults.ScenarioNames())
+		}
 	default:
-		return fmt.Errorf("unknown job kind %q: want \"survey\", \"sweep\", or \"workload\"", sp.Kind)
+		return fmt.Errorf("unknown job kind %q: want \"survey\", \"sweep\", \"workload\", or \"scenario\"", sp.Kind)
 	}
 	if sp.TimeoutSeconds < 0 {
 		return fmt.Errorf("timeout_seconds %v out of range: want >= 0", sp.TimeoutSeconds)
@@ -180,17 +190,34 @@ type sweepSummary struct {
 	OutageClasses  int     `json:"outage_classes"`
 }
 
+// scenarioSummary is the deterministic JSON digest of one scenario
+// sweep point.
+type scenarioSummary struct {
+	Adoption         float64 `json:"adoption"`
+	Baseline         bool    `json:"baseline,omitempty"`
+	Deployed         int     `json:"deployed"`
+	PollutedASes     int     `json:"polluted_ases"`
+	CleanASes        int     `json:"clean_ases"`
+	UnreachableASes  int     `json:"unreachable_ases"`
+	LeakAffectedASes int     `json:"leak_affected_ases"`
+	LeakedRoutes     int     `json:"leaked_routes"`
+	Accuracy         float64 `json:"accuracy"`
+	MidSignature     string  `json:"mid_signature"`
+	EndDigest        string  `json:"end_digest"`
+}
+
 // jobOutput is the document GET /jobs/{id}/output serves: experiment
 // digests (or sweep points) plus the run's full telemetry manifest.
 // Every field serializes deterministically (JSON object keys and map
 // keys are sorted), so a resumed job reproduces a cold run's output
 // byte for byte.
 type jobOutput struct {
-	SURF      *resultSummary   `json:"surf,omitempty"`
-	Internet2 *resultSummary   `json:"internet2,omitempty"`
-	Sweep     []sweepSummary   `json:"sweep,omitempty"`
-	Workload  *workloadSummary `json:"workload,omitempty"`
-	Manifest  json.RawMessage  `json:"manifest"`
+	SURF      *resultSummary    `json:"surf,omitempty"`
+	Internet2 *resultSummary    `json:"internet2,omitempty"`
+	Sweep     []sweepSummary    `json:"sweep,omitempty"`
+	Workload  *workloadSummary  `json:"workload,omitempty"`
+	Scenario  []scenarioSummary `json:"scenario,omitempty"`
+	Manifest  json.RawMessage   `json:"manifest"`
 }
 
 // workloadSummary is the deterministic JSON digest of one workload
@@ -336,6 +363,36 @@ func (s *Server) runWorkload(ctx context.Context, j *Job) ([]byte, error) {
 			RIBDigest:        fmt.Sprintf("%016x", res.RIBDigest),
 		},
 	})
+}
+
+// runScenario executes a scenario-sweep job: an adversarial schedule
+// (hijack or leak) injected at every ROV adoption point. Like sweeps,
+// scenario jobs have no checkpoint hook; a recovered job re-runs from
+// cold and reproduces the same deterministic output document.
+func (s *Server) runScenario(ctx context.Context, j *Job) ([]byte, error) {
+	reg := telemetry.New()
+	pl := j.Spec.Options.Pipeline(reg)
+	pts, err := pl.RunScenarioSweepContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &jobOutput{}
+	for _, pt := range pts {
+		out.Scenario = append(out.Scenario, scenarioSummary{
+			Adoption:         pt.Adoption,
+			Baseline:         pt.Baseline,
+			Deployed:         pt.Deployed,
+			PollutedASes:     pt.PollutedASes,
+			CleanASes:        pt.CleanASes,
+			UnreachableASes:  pt.UnreachableASes,
+			LeakAffectedASes: pt.LeakAffectedASes,
+			LeakedRoutes:     pt.LeakedRoutes,
+			Accuracy:         pt.Accuracy,
+			MidSignature:     fmt.Sprintf("%016x", pt.MidSignature),
+			EndDigest:        fmt.Sprintf("%016x", pt.EndDigest),
+		})
+	}
+	return renderOutput(j, reg, out)
 }
 
 // renderOutput attaches the job's telemetry manifest (wall times

@@ -233,14 +233,16 @@ func (s *Server) launchLocked(j *Job) {
 	go s.execute(j)
 }
 
-// dispatch is the production runJob: survey, sweep, or workload by
-// kind.
+// dispatch is the production runJob: survey, sweep, workload, or
+// scenario by kind.
 func (s *Server) dispatch(ctx context.Context, j *Job) ([]byte, error) {
 	switch j.Spec.kind {
 	case kindSweep:
 		return s.runSweep(ctx, j)
 	case kindWorkload:
 		return s.runWorkload(ctx, j)
+	case kindScenario:
+		return s.runScenario(ctx, j)
 	}
 	return s.runSurvey(ctx, j)
 }

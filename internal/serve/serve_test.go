@@ -245,6 +245,9 @@ func TestSubmitValidation(t *testing.T) {
 		`{"kind": "workload", "options": {"workload": "replay"}}`, // no upload channel
 		`{"kind": "workload", "options": {"workload": "bogus"}}`,  // cliconf name check
 		`{"kind": "workload", "options": {"workload": "update-storm", "duration_seconds": -5}}`,
+		`{"kind": "scenario"}`, // scenario without options.scenario
+		`{"kind": "scenario", "options": {"scenario": "bogus"}}`,         // cliconf name check
+		`{"kind": "scenario", "options": {"scenario": "hijack", "rov": 2}}`, // cliconf range check
 		`{"options": {"faults": 2}}`,           // cliconf range check
 		`{"options": {"workers": -1}}`,         // cliconf range check
 		`{"timeout_seconds": -1}`,              // negative deadline
@@ -305,6 +308,60 @@ func TestWorkloadJob(t *testing.T) {
 
 	if out2 := run(); !bytes.Equal(out1, out2) {
 		t.Fatalf("workload job output not reproducible:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+// TestScenarioJob runs a hijack scenario sweep through the real
+// dispatcher: the output carries one summary per adoption point with
+// the containment shape (pollution at adoption 0, none at adoption 1),
+// and a second identical submission reproduces it byte for byte.
+func TestScenarioJob(t *testing.T) {
+	s := newTestServer(t, Config{})
+	spec := JobSpec{Kind: "scenario", Options: cliconf.JobOptions{
+		Small: true, Seed: 1, Scenario: "hijack", ROV: 0.25,
+	}}
+	run := func() []byte {
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-j.done
+		s.mu.Lock()
+		state, out := j.state, j.output
+		s.mu.Unlock()
+		if state != StateDone {
+			t.Fatalf("job state %s, want done", state)
+		}
+		return out
+	}
+	out1 := run()
+
+	var doc jobOutput
+	if err := json.Unmarshal(out1, &doc); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	// -rov 0.25 caps the ladder: baseline + adoptions {0, 0.25}.
+	if len(doc.Scenario) != 3 {
+		t.Fatalf("want 3 sweep points (base, 0, 0.25), got %d: %+v", len(doc.Scenario), doc.Scenario)
+	}
+	base, none, capped := doc.Scenario[0], doc.Scenario[1], doc.Scenario[2]
+	if !base.Baseline || none.Baseline || capped.Baseline {
+		t.Fatalf("baseline flags wrong: %+v", doc.Scenario)
+	}
+	if none.PollutedASes == 0 {
+		t.Errorf("hijack at adoption 0 polluted nobody: %+v", none)
+	}
+	if capped.Deployed == 0 || capped.PollutedASes >= none.PollutedASes {
+		t.Errorf("partial ROV did not reduce pollution: %+v vs %+v", capped, none)
+	}
+	for _, pt := range doc.Scenario {
+		if len(pt.MidSignature) != 16 || len(pt.EndDigest) != 16 {
+			t.Errorf("digests not 16 hex chars: %+v", pt)
+		}
+	}
+
+	if out2 := run(); !bytes.Equal(out1, out2) {
+		t.Fatalf("scenario job output not reproducible:\n%s\nvs\n%s", out1, out2)
 	}
 }
 

@@ -75,6 +75,25 @@ func NewPrefixFlapper(seed int64, stream uint64, origins []Origin, arr, hold Arr
 	}
 }
 
+// NewHijackFlasher repeatedly "flashes" forged-origin announcements:
+// each arrival picks an attacker uniformly from the list and
+// originates the victim prefix (KindAnnounce from a router that holds
+// no ROA for it), holding the hijack for the hold process's duration
+// before withdrawing it (KindWithdraw). The pairing contract matches
+// NewSessionFlapper: every hijack this generator opens it also closes
+// by the horizon, so the end state is attack-free.
+func NewHijackFlasher(seed int64, stream uint64, attackers []bgp.RouterID, victim netutil.Prefix, arr, hold Arrival, horizon vtime.Time) Generator {
+	pick := parallel.Rand(seed, stream)
+	return &flapper{
+		name: "hijack-flash", horizon: horizon, arr: arr, hold: hold, pick: pick,
+		makePair: func(r *rand.Rand, down, up vtime.Time) (Event, Event) {
+			a := attackers[r.Intn(len(attackers))]
+			return Event{At: down, Kind: KindAnnounce, Router: a, Prefix: victim},
+				Event{At: up, Kind: KindWithdraw, Router: a, Prefix: victim}
+		},
+	}
+}
+
 func (f *flapper) Name() string { return f.name }
 
 // fill advances the arrival process until a down event at or before

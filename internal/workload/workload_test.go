@@ -111,6 +111,59 @@ func TestSessionFlapperPairsAndBounds(t *testing.T) {
 	}
 }
 
+// TestHijackFlasherPairsAndBounds holds NewHijackFlasher to the
+// flapper contract: every forged-origin announce is matched by a
+// withdraw from the same attacker by the horizon (the end state is
+// attack-free), every event targets the victim prefix, and equal
+// seeds replay the identical schedule.
+func TestHijackFlasherPairsAndBounds(t *testing.T) {
+	attackers := []bgp.RouterID{7, 8, 9}
+	victim := netutil.MustParsePrefix("163.253.63.0/24")
+	mk := func() Generator {
+		return NewHijackFlasher(42, 20, attackers, victim,
+			NewPoisson(42, 21, 0.02), NewPoisson(42, 22, 0.01), 3600)
+	}
+	evs := drainChecked(t, mk())
+	if len(evs) == 0 {
+		t.Fatal("no events generated")
+	}
+	known := map[bgp.RouterID]bool{7: true, 8: true, 9: true}
+	open := map[bgp.RouterID]int{}
+	for _, ev := range evs {
+		if ev.At < 1 || ev.At > 3600 {
+			t.Fatalf("event at %d outside [1, 3600]", ev.At)
+		}
+		if ev.Prefix != victim {
+			t.Fatalf("event targets %v, want %v", ev.Prefix, victim)
+		}
+		if !known[ev.Router] {
+			t.Fatalf("event from router %v, not an attacker", ev.Router)
+		}
+		switch ev.Kind {
+		case KindAnnounce:
+			open[ev.Router]++
+		case KindWithdraw:
+			open[ev.Router]--
+		default:
+			t.Fatalf("unexpected kind %v", ev.Kind)
+		}
+	}
+	for r, n := range open {
+		if n != 0 {
+			t.Fatalf("attacker %v: %d unmatched announces", r, n)
+		}
+	}
+	evs2 := drainChecked(t, mk())
+	if len(evs) != len(evs2) {
+		t.Fatalf("non-deterministic: %d vs %d events", len(evs), len(evs2))
+	}
+	for i := range evs {
+		if evs[i] != evs2[i] {
+			t.Fatalf("non-deterministic at %d: %+v vs %+v", i, evs[i], evs2[i])
+		}
+	}
+}
+
 func TestPrefixFlapperPairs(t *testing.T) {
 	p := netutil.MustParsePrefix("10.0.0.0/24")
 	g := NewPrefixFlapper(42, 20, []Origin{{Router: 9, Prefix: p}},

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build check vet test race smoke serve-smoke workload-smoke scenario-smoke bench bench-mem fuzz cover
+.PHONY: build check vet test race smoke serve-smoke workload-smoke scenario-smoke optimize-smoke bench bench-mem fuzz cover
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,14 @@ workload-smoke:
 scenario-smoke:
 	sh scripts/scenario_smoke.sh
 
+# Determinism smoke for the policy-optimization search harness: run
+# both strategies twice each and once at a wider -workers, and require
+# byte-identical stdout and manifests plus a hot warm-restore counter.
+# A diff here means the concurrent evaluator leaked arrival order, or
+# the warm snapshot-restore eval path regressed to cold rebuilds.
+optimize-smoke:
+	sh scripts/optimize_smoke.sh
+
 # Full benchmark run across all packages, converted to a committed
 # JSON baseline. Two steps (temp file, then convert) so a failing test
 # run is not swallowed by the pipe. BENCHTIME=1x gives a fast smoke.
@@ -62,10 +70,10 @@ bench:
 # committed BENCH_baseline.json. The internet benchmark additionally
 # hard-fails itself above the 64 bytes/route budget.
 bench-mem:
-	$(GO) test -run '^$$' -bench 'BenchmarkRIBBytesPerRoute|BenchmarkDeliveryAllocs' -benchtime 1x ./internal/bgp/ > benchmem.out.tmp
+	$(GO) test -run '^$$' -bench 'BenchmarkRIBBytesPerRoute|BenchmarkDeliveryAllocs|BenchmarkMatCacheBound' -benchtime 1x ./internal/bgp/ > benchmem.out.tmp
 	$(GO) test -run '^$$' -bench BenchmarkInternetScaleRIB -benchtime 1x ./internal/topo/ >> benchmem.out.tmp
 	$(GO) run ./cmd/benchjson < benchmem.out.tmp > benchmem.json.tmp
-	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -current benchmem.json.tmp -tolerance 0.10 bytes/route allocs/delivery
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -current benchmem.json.tmp -tolerance 0.10 bytes/route allocs/delivery boxed/walk
 	rm -f benchmem.out.tmp benchmem.json.tmp
 
 # Every native fuzz target, 30s each (override with FUZZTIME); CI runs
@@ -81,6 +89,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/bgp/
 	$(GO) test -run '^$$' -fuzz FuzzIntern -fuzztime $(FUZZTIME) ./internal/bgp/pathtab/
 	$(GO) test -run '^$$' -fuzz FuzzValidate -fuzztime $(FUZZTIME) ./internal/rpki/
+	$(GO) test -run '^$$' -fuzz FuzzObjectiveDecode -fuzztime $(FUZZTIME) ./internal/optimize/
+	$(GO) test -run '^$$' -fuzz FuzzSearchStateRoundTrip -fuzztime $(FUZZTIME) ./internal/optimize/
 
 # Coverage floors: the BGP engine (the incremental recomputation path
 # must stay thoroughly tested) and the snapshot container (every
@@ -105,3 +115,6 @@ cover:
 	$(GO) test -coverprofile=faults.cov ./internal/faults/
 	$(GO) tool cover -func=faults.cov | awk '/^total:/ { sub(/%/, "", $$3); if ($$3 + 0 < 80) { printf "internal/faults coverage %.1f%% below 80%% floor\n", $$3; exit 1 } else printf "internal/faults coverage %.1f%%\n", $$3 }'
 	rm -f faults.cov
+	$(GO) test -coverprofile=optimize.cov ./internal/optimize/
+	$(GO) tool cover -func=optimize.cov | awk '/^total:/ { sub(/%/, "", $$3); if ($$3 + 0 < 80) { printf "internal/optimize coverage %.1f%% below 80%% floor\n", $$3; exit 1 } else printf "internal/optimize coverage %.1f%%\n", $$3 }'
+	rm -f optimize.cov

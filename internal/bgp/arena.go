@@ -36,9 +36,23 @@ import (
 // changes, so callers observe stable pointers exactly as long as the
 // entry is unchanged — the property the decision cache and snapshot
 // route index rely on. Bulk loads that never Get stay fully packed.
+//
+// The memo is bounded: once a store holds matCacheCap boxed routes the
+// next insert drops the whole epoch (see Get), so a full WalkSorted
+// over a large table no longer re-boxes the entire store permanently.
+// Dropping the memo only costs decision-cache misses (samePointers
+// fails, forcing a fresh scan) — never wrong results, because every
+// comparison on routes is semantic. The one consumer that genuinely
+// needs stability across repeated walks — Network.Snapshot's route
+// index, which walks once to number pointers and again to encode them
+// — pins the caches for its duration (pinMat).
 type ribBackend struct {
 	paths    *pathtab.Table
 	prefixes *prefixIndex
+	// pinMat suspends the materialization-cache epoch clearing while a
+	// snapshot is being encoded (pointer identity must hold across its
+	// two walks); Network.pinMatCaches sweeps oversized caches on unpin.
+	pinMat bool
 }
 
 func newRIBBackend() *ribBackend {
@@ -215,6 +229,13 @@ func (st *arenaStore) storeKey(k ribKey) uint64 {
 	return uint64(st.ar.be.prefixes.Add(k.prefix))<<32 | uint64(k.neighbor)
 }
 
+// matCacheCap bounds the boxed *Route memo per store. The cap trades
+// decision-cache hit rate for memory: under it, repeated Gets of hot
+// entries stay pointer-stable; past it, the next insert clears the
+// epoch, so a full walk of an internet-scale store retains at most cap
+// boxes instead of boxing the whole table (the former leak).
+const matCacheCap = 4096
+
 func (st *arenaStore) Get(k ribKey) *Route {
 	key := st.storeKey(k)
 	slot, ok := st.slots[key]
@@ -226,6 +247,10 @@ func (st *arenaStore) Get(k ribKey) *Route {
 	}
 	r := st.ar.materialize(k.prefix, slot)
 	if st.mat == nil {
+		st.mat = make(map[uint64]*Route)
+	} else if len(st.mat) >= matCacheCap && !st.ar.be.pinMat {
+		// Epoch clear: deterministic (depends only on access history),
+		// and safe — stale boxes only cause decision-cache misses.
 		st.mat = make(map[uint64]*Route)
 	}
 	st.mat[key] = r
@@ -377,4 +402,41 @@ func (n *Network) RIBStats() RIBStats {
 		rs.IndexBytes += len(n.ribBE.prefixes.list) * 30
 	}
 	return rs
+}
+
+// pinMatCaches suspends materialization-cache epoch clearing (snapshot
+// encoding needs pointer identity across its two store walks) and
+// returns the unpin function, which sweeps any cache the pinned walks
+// grew past the cap. A no-op on map-layout networks.
+func (n *Network) pinMatCaches() func() {
+	if n.ribBE == nil {
+		return func() {}
+	}
+	n.ribBE.pinMat = true
+	return func() {
+		n.ribBE.pinMat = false
+		for _, s := range n.speakers {
+			for _, store := range []ribStore{s.adjIn, s.locRib, s.adjOut} {
+				if st, ok := store.(*arenaStore); ok && len(st.mat) > matCacheCap {
+					st.mat = nil
+				}
+			}
+		}
+	}
+}
+
+// MatCacheEntries reports the total boxed *Route entries held by the
+// arena materialization caches across all speakers — the quantity the
+// cache bound exists to limit (0 on map-layout networks). Exposed for
+// the leak-regression tests and benchmarks.
+func (n *Network) MatCacheEntries() int {
+	total := 0
+	for _, s := range n.speakers {
+		for _, store := range []ribStore{s.adjIn, s.locRib, s.adjOut} {
+			if st, ok := store.(*arenaStore); ok {
+				total += len(st.mat)
+			}
+		}
+	}
+	return total
 }

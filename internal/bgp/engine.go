@@ -513,6 +513,64 @@ func (n *Network) SetImportDeny(id RouterID, fn func(*Route) bool) {
 	}
 }
 
+// SetImportLocalPref replaces the import localpref override on s's
+// session from neighbor nb (0 restores the relationship-tier default,
+// see PeerConfig.ImportLocalPref) and returns the previous override.
+// applyImport bakes the localpref into each adj-RIB-in route at
+// arrival, so the change is applied retroactively: every route already
+// learned over the session is re-installed at the new preference and
+// re-decided through the incremental path, exactly as if the neighbor
+// re-announced it after the policy change. This is the optimizer's
+// localpref gene lever.
+func (n *Network) SetImportLocalPref(id, nb RouterID, pref uint32) uint32 {
+	s := n.speakers[id]
+	if s == nil {
+		return 0
+	}
+	pc := s.peers[nb]
+	if pc == nil {
+		return 0
+	}
+	old := pc.ImportLocalPref
+	if old == pref {
+		return old
+	}
+	pc.ImportLocalPref = pref
+	lp := pc.localPref()
+	// Retroactive pass: collect the session's entries first (stores do
+	// not allow mutation during a walk), then re-install each at the
+	// effective preference. Routes are immutable once installed, so the
+	// update is a clone + Install, never an in-place edit — stale
+	// pointers in the decision cache then miss (safe) instead of
+	// aliasing the new value.
+	type reinstall struct {
+		k ribKey
+		r *Route
+	}
+	var todo []reinstall
+	s.adjIn.WalkSorted(func(k ribKey, r *Route) bool {
+		if k.neighbor == nb && r.LocalPref != lp {
+			todo = append(todo, reinstall{k, r})
+		}
+		return true
+	})
+	for _, it := range todo {
+		var before *Route
+		if n.incremental {
+			before = s.effectiveCandidate(it.k.prefix, nb)
+		}
+		updated := *it.r
+		updated.LocalPref = lp
+		s.adjIn.Install(it.k, &updated)
+		if n.incremental {
+			n.decide(s, it.k.prefix, nb, before, s.effectiveCandidate(it.k.prefix, nb))
+		} else {
+			n.decideAndExport(s, it.k.prefix)
+		}
+	}
+	return old
+}
+
 // SetExportAllow replaces the route-class set s exports toward
 // neighbor nb and re-exports every affected prefix, returning the
 // previous set. This is the route-leak lever: widening a multihomed

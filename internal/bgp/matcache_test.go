@@ -1,0 +1,109 @@
+package bgp
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+)
+
+// buildVantageArena builds a compact-RIB network with one vantage
+// speaker importing nPrefixes routes from a single feed — enough
+// entries per store to exercise the materialization-cache bound.
+func buildVantageArena(nPrefixes int) (*Network, []netutil.Prefix) {
+	n := NewNetwork()
+	n.SetCompactRIB(true)
+	const vantage, feed = RouterID(1), RouterID(2)
+	n.AddSpeaker(vantage, asn.AS(65000), "vantage")
+	n.AddSpeaker(feed, asn.AS(65001), "feed")
+	n.Connect(feed, vantage,
+		PeerConfig{ClassifyAs: ClassPeer, ExportAllow: NewClassSet(ClassOwn, ClassCustomer)},
+		PeerConfig{ClassifyAs: ClassPeer, ImportLocalPref: LocalPrefPeer, ExportAllow: NewClassSet()})
+	prefixes := make([]netutil.Prefix, nPrefixes)
+	for p := 0; p < nPrefixes; p++ {
+		prefixes[p] = netutil.PrefixFrom(uint32(0x0A000000+p*256), 24)
+		n.OriginateWith(feed, prefixes[p],
+			OriginateOpts{Poison: []asn.AS{asn.AS(70_000 + p/10)}})
+	}
+	n.RunToQuiescence()
+	return n, prefixes
+}
+
+// TestMatCacheBoundedByWalks pins the fix for the arena Get
+// materialization-cache leak: a full-table walk (every snapshot
+// performs several) used to box the entire store into the per-key memo
+// permanently; the bounded cache must keep the retained boxes at or
+// under matCacheCap per store, while the snapshot itself — whose route
+// index needs pointer identity across its two walks — still encodes
+// and restores correctly.
+func TestMatCacheBoundedByWalks(t *testing.T) {
+	const nPrefixes = 3 * matCacheCap / 2
+	n, prefixes := buildVantageArena(nPrefixes)
+
+	// Point-Get storm over the loc-RIB: the cache must epoch-clear
+	// instead of accumulating one box per prefix.
+	for _, p := range prefixes {
+		if n.Speaker(1).Best(p) == nil {
+			t.Fatalf("vantage lost route for %v", p)
+		}
+	}
+	if got := n.MatCacheEntries(); got > 3*2*matCacheCap {
+		t.Fatalf("after a full point-Get pass: %d boxed routes retained, want <= %d", got, 3*2*matCacheCap)
+	}
+
+	// A snapshot walks every store (twice); after it, the unpin sweep
+	// must have dropped any cache the pinned walks grew past the cap.
+	var buf bytes.Buffer
+	if err := n.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.MatCacheEntries(); got > 3*2*matCacheCap {
+		t.Fatalf("after snapshot: %d boxed routes retained, want <= %d", got, 3*2*matCacheCap)
+	}
+	if got := n.MatCacheEntries(); got >= 2*nPrefixes {
+		t.Fatalf("after snapshot: %d boxed routes retained — the whole table is boxed again (leak)", got)
+	}
+
+	// The snapshot taken under the bound must restore into an
+	// identically built network and reproduce the table.
+	base, _ := buildVantageArena(nPrefixes)
+	if err := RestoreNetwork(bytes.NewReader(buf.Bytes()), base); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for _, p := range []netutil.Prefix{prefixes[0], prefixes[nPrefixes/2], prefixes[nPrefixes-1]} {
+		a, b := n.Speaker(1).Best(p), base.Speaker(1).Best(p)
+		if !routesEqual(a, b) {
+			t.Fatalf("restored best for %v: %v != %v", p, b, a)
+		}
+	}
+
+	// Epoch clears must never change results: a second snapshot of the
+	// same network is byte-identical to the first.
+	var buf2 bytes.Buffer
+	if err := n.Snapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("second snapshot differs from the first after cache epoch clears")
+	}
+}
+
+// BenchmarkMatCacheBound reports how many boxed *Route entries the
+// arena caches retain after a full-table snapshot walk. The
+// "boxed/walk" metric is gated against BENCH_baseline.json by
+// `make bench-mem`: reintroducing the unbounded memo multiplies it by
+// the table size over the cap, tripping the gate.
+func BenchmarkMatCacheBound(b *testing.B) {
+	const nPrefixes = 3 * matCacheCap / 2
+	n, _ := buildVantageArena(nPrefixes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Snapshot(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n.MatCacheEntries()), "boxed/walk")
+	b.ReportMetric(float64(nPrefixes), "routes-walked")
+}

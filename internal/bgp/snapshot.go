@@ -80,6 +80,12 @@ func (n *Network) snapshotBytes() ([]byte, error) {
 	if n.batchDepth != 0 {
 		return nil, errors.New("bgp: Snapshot called inside Batch")
 	}
+	// Pin the arena materialization caches: the route index numbers
+	// pointers in one walk and the speaker/queue encoders re-walk the
+	// same stores expecting identical pointers, so the bounded cache
+	// must not epoch-clear between them.
+	unpin := n.pinMatCaches()
+	defer unpin()
 	ri := newRouteIndex(n)
 	// The v2 path table: paths referenced from the route table and the
 	// churn log are interned in first-appearance order (route-table

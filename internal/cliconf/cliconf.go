@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/optimize"
 	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/vtime"
@@ -59,6 +60,14 @@ type Config struct {
 	// run.
 	Scenario string
 	ROV      float64
+	// Objective, Budget, and Strategy drive policy-optimization search
+	// runs (FlagOptimize): -objective picks the target spec
+	// ("catchment:re=0.4" or "probe:re=...,commodity=...,loss=...") and
+	// switches the run into search mode; -budget bounds the candidate
+	// evaluations; -strategy picks the searcher.
+	Objective string
+	Budget    int
+	Strategy  string
 }
 
 // JobOptions is the portable description of one pipeline run — the
@@ -92,6 +101,15 @@ type JobOptions struct {
 	// [0, 1]: the adoption-ladder cap for scenario sweeps, the
 	// deployed fraction for plain and workload runs (0 = off).
 	ROV float64 `json:"rov,omitempty"`
+	// Objective selects a policy-optimization search run targeting the
+	// given spec (see optimize.ParseSpec); empty disables.
+	Objective string `json:"objective,omitempty"`
+	// Budget bounds the search's candidate evaluations (0 scores only
+	// the baseline configuration).
+	Budget int `json:"budget,omitempty"`
+	// Strategy names the searcher ("hillclimb" or "evolve"); empty
+	// means hillclimb.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // WorkloadOptions converts the job's workload fields into the core
@@ -142,6 +160,31 @@ func (j JobOptions) Validate() error {
 	if math.IsNaN(j.ROV) || math.IsInf(j.ROV, 0) || j.ROV < 0 || j.ROV > 1 {
 		return fmt.Errorf("-rov fraction %v out of range: want a value in [0, 1]", j.ROV)
 	}
+	if j.Objective != "" {
+		if _, err := optimize.ParseSpec(j.Objective); err != nil {
+			return err
+		}
+		if j.Workload != "" {
+			return fmt.Errorf("-objective conflicts with -workload (pick one run mode)")
+		}
+		if j.Scenario != "" {
+			return fmt.Errorf("-objective conflicts with -scenario (pick one run mode)")
+		}
+	}
+	if j.Budget < 0 {
+		return fmt.Errorf("-budget %d out of range: want >= 0 (0 = score the baseline only)", j.Budget)
+	}
+	if j.Budget > 0 && j.Objective == "" {
+		return fmt.Errorf("-budget requires -objective")
+	}
+	if j.Strategy != "" {
+		if _, err := optimize.NewSearcher(j.Strategy); err != nil {
+			return err
+		}
+		if j.Objective == "" {
+			return fmt.Errorf("-strategy requires -objective")
+		}
+	}
 	return nil
 }
 
@@ -167,6 +210,12 @@ func (j JobOptions) PipelineOptions(reg *telemetry.Registry) []core.PipelineOpti
 			opts = append(opts, core.WithScale(s))
 		}
 	}
+	if j.Objective != "" {
+		opts = append(opts,
+			core.WithObjective(j.Objective),
+			core.WithBudget(j.Budget),
+			core.WithStrategy(j.Strategy))
+	}
 	return opts
 }
 
@@ -190,6 +239,9 @@ func (c Config) Job() JobOptions {
 		RoundMode:       c.RoundMode,
 		Scenario:        c.Scenario,
 		ROV:             c.ROV,
+		Objective:       c.Objective,
+		Budget:          c.Budget,
+		Strategy:        c.Strategy,
 	}
 }
 
@@ -221,6 +273,10 @@ const (
 	// only commands that run adversarial scenario sweeps (resurvey)
 	// opt in.
 	FlagScenario
+	// FlagOptimize registers -objective, -budget, and -strategy. Not
+	// part of FlagAll: only commands that run policy-optimization
+	// searches (reoptimize) opt in.
+	FlagOptimize
 
 	// FlagAll registers every shared flag.
 	FlagAll = FlagSmall | FlagSeed | FlagWorkers | FlagFaults | FlagObservability | FlagIncremental
@@ -257,6 +313,11 @@ func Register(fs *flag.FlagSet, c *Config, which Flags) {
 	if which&FlagScenario != 0 {
 		fs.StringVar(&c.Scenario, "scenario", c.Scenario, "run an adversarial scenario sweep instead of the survey script: hijack (forged-origin announcement of the measurement prefix) or leak (Gao-Rexford-violating customer re-export), swept over RPKI ROV adoption fractions and scored against ground truth")
 		fs.Float64Var(&c.ROV, "rov", c.ROV, "RPKI route-origin-validation adoption fraction in [0, 1]: caps the -scenario sweep's adoption ladder (0 = the full default ladder), or deploys ROV at that fraction for -workload runs")
+	}
+	if which&FlagOptimize != 0 {
+		fs.StringVar(&c.Objective, "objective", c.Objective, "run a policy-optimization search toward this target: catchment:re=<frac> (per-AS catchment split) or probe:re=<frac>,commodity=<frac>,loss=<frac> (probe classification distribution); output is byte-identical at any -workers width")
+		fs.IntVar(&c.Budget, "budget", c.Budget, "candidate-evaluation budget for the -objective search (0 = score the baseline configuration only)")
+		fs.StringVar(&c.Strategy, "strategy", c.Strategy, "search strategy for -objective: hillclimb (seeded hill-climb with restarts) or evolve ((mu+lambda) evolutionary loop); default hillclimb")
 	}
 	if which&FlagObservability != 0 {
 		fs.StringVar(&c.Manifest, "manifest", c.Manifest, "write a run manifest (seed, options, phase durations, all metrics) to this file as deterministic JSON")

@@ -142,6 +142,48 @@ func TestScaleFlag(t *testing.T) {
 	}
 }
 
+func TestOptimizeFlags(t *testing.T) {
+	var c Config
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	Register(fs, &c, FlagOptimize)
+	args := []string{"-objective", "catchment:re=0.3", "-budget", "24", "-strategy", "evolve"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if c.Objective != "catchment:re=0.3" || c.Budget != 24 || c.Strategy != "evolve" {
+		t.Fatalf("parsed %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid optimize config rejected: %v", err)
+	}
+	for _, bad := range []Config{
+		{Objective: "catchment"},                            // missing re=
+		{Objective: "catchment:re=1.5"},                     // out of range
+		{Objective: "summit:re=0.5"},                        // unknown kind
+		{Objective: "catchment:re=0.5", Strategy: "anneal"}, // unknown strategy
+		{Objective: "catchment:re=0.5", Budget: -1},         // negative budget
+		{Budget: 10},         // -budget without -objective
+		{Strategy: "evolve"}, // -strategy without -objective
+		{Objective: "catchment:re=0.5", Workload: "update-storm"},
+		{Objective: "catchment:re=0.5", Scenario: "hijack"},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", bad)
+		}
+	}
+	// The fields must reach the pipeline (Job round-trips them like the
+	// server path does).
+	pl := Config{Objective: "probe:re=0.5,commodity=0.5,loss=0", Budget: 12, Strategy: "evolve"}.Job().Pipeline(nil)
+	if pl.Objective() != "probe:re=0.5,commodity=0.5,loss=0" || pl.Budget() != 12 || pl.Strategy() != "evolve" {
+		t.Errorf("pipeline carries objective=%q budget=%d strategy=%q",
+			pl.Objective(), pl.Budget(), pl.Strategy())
+	}
+	opts := pl.OptimizeOptions()
+	if opts.Objective == "" || opts.Budget != 12 || opts.Strategy != "evolve" {
+		t.Errorf("OptimizeOptions not threaded: %+v", opts)
+	}
+}
+
 func TestNewRegistryNilWhenUnobserved(t *testing.T) {
 	var c Config
 	if c.NewRegistry() != nil {

@@ -46,6 +46,9 @@ type Pipeline struct {
 	faults        float64
 	scenario      string
 	rov           float64
+	objective     string
+	budget        int
+	strategy      string
 	metrics       *telemetry.Registry
 	incremental   bool
 }
@@ -111,6 +114,26 @@ func WithScenario(name string) PipelineOption {
 // adoption ladder (0 keeps the full default ladder).
 func WithROV(frac float64) PipelineOption {
 	return func(p *Pipeline) { p.rov = frac }
+}
+
+// WithObjective selects the policy-optimization target (see
+// optimize.ParseSpec — "catchment:re=0.4" or
+// "probe:re=0.5,commodity=0.3,loss=0.2"); empty disables optimization.
+// Validation happens at the flag layer (cliconf).
+func WithObjective(spec string) PipelineOption {
+	return func(p *Pipeline) { p.objective = spec }
+}
+
+// WithBudget sets the optimizer's candidate-evaluation budget.
+func WithBudget(n int) PipelineOption {
+	return func(p *Pipeline) { p.budget = n }
+}
+
+// WithStrategy selects the optimizer's search strategy ("hillclimb" or
+// "evolve"); empty means hillclimb. Validation happens at the flag
+// layer (cliconf).
+func WithStrategy(name string) PipelineOption {
+	return func(p *Pipeline) { p.strategy = name }
 }
 
 // WithMetrics instruments everything the pipeline constructs with the
@@ -245,6 +268,50 @@ func (p *Pipeline) RunFaultSweep() []FaultSweepPoint {
 // stop the sweep between rounds.
 func (p *Pipeline) RunFaultSweepContext(ctx context.Context) ([]FaultSweepPoint, error) {
 	return RunFaultSweepContext(ctx, p.FaultSweepOptions())
+}
+
+// Objective returns the configured optimization target ("" = off).
+func (p *Pipeline) Objective() string { return p.objective }
+
+// Budget returns the optimizer's candidate-evaluation budget.
+func (p *Pipeline) Budget() int { return p.budget }
+
+// Strategy returns the optimizer's search strategy (defaulted to
+// "hillclimb" when unset).
+func (p *Pipeline) Strategy() string {
+	if p.strategy == "" {
+		return "hillclimb"
+	}
+	return p.strategy
+}
+
+// OptimizeOptions returns the policy-optimization configuration the
+// pipeline implies: the session survey, the search seed derived via
+// parallel.SubSeed(seed, optimizeSeedStream), and the pipeline's
+// objective, budget, strategy, worker bound, engine mode, and registry.
+func (p *Pipeline) OptimizeOptions() OptimizeOptions {
+	return OptimizeOptions{
+		Survey:      p.survey,
+		Objective:   p.objective,
+		Strategy:    p.Strategy(),
+		Budget:      p.budget,
+		Workers:     p.workers,
+		SearchSeed:  parallel.SubSeed(p.Seed(), optimizeSeedStream),
+		Incremental: p.incremental,
+		Metrics:     p.metrics,
+	}
+}
+
+// RunOptimize runs the policy-optimization search the pipeline implies
+// (see OptimizeOptions).
+func (p *Pipeline) RunOptimize() (*OptimizeResult, error) {
+	return RunOptimize(p.OptimizeOptions())
+}
+
+// RunOptimizeContext is RunOptimize with cooperative cancellation —
+// the entry point resurveyd's optimize jobs use.
+func (p *Pipeline) RunOptimizeContext(ctx context.Context) (*OptimizeResult, error) {
+	return RunOptimizeContext(ctx, p.OptimizeOptions())
 }
 
 // ScenarioSweepOptions returns the scenario-sweep configuration the

@@ -1,0 +1,88 @@
+package optimize
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzObjectiveDecode: ParseSpec must never panic, and every accepted
+// spec must have a canonical Name() that re-parses to the same
+// objective — the codec invariant the checkpoint fingerprint relies on.
+func FuzzObjectiveDecode(f *testing.F) {
+	for _, s := range []string{
+		"catchment:re=0.4",
+		"catchment:re=1",
+		"probe:re=0.5,commodity=0.3,loss=0.2",
+		"probe:loss=1",
+		"probe:commodity=0.25",
+		"anneal:re=0.5",
+		"catchment:re=1.5",
+		"catchment:re=0.4,re=0.5",
+		"probe:re=0x1p-3",
+		"catchment:re=",
+		"::::",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		obj, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		name := obj.Name()
+		again, err := ParseSpec(name)
+		if err != nil {
+			t.Fatalf("canonical name %q (from %q) does not re-parse: %v", name, spec, err)
+		}
+		if again.Name() != name {
+			t.Fatalf("canonical name not a fixed point: %q -> %q", name, again.Name())
+		}
+		if !reflect.DeepEqual(again, obj) {
+			t.Fatalf("re-parsing %q changed the objective: %#v != %#v", name, again, obj)
+		}
+	})
+}
+
+// FuzzSearchStateRoundTrip: DecodeState must never panic on arbitrary
+// bytes, and every accepted checkpoint must re-encode byte-identically
+// — the crash-safe resume invariant for resurveyd optimize jobs.
+func FuzzSearchStateRoundTrip(f *testing.F) {
+	fp := Fingerprint{Seed: 42, Strategy: "evolve", Objective: "catchment:re=0.4", Budget: 64, Lambda: 4}
+	st := &State{
+		Generation: 3, Evaluated: 12, Restarts: 1, Stall: 2,
+		BestSet: true,
+		Best:    Scored{Candidate: Candidate{Genes: [NGenes]uint8{1, 2, 3, 0, 1}}, Score: 0.875},
+		Cur:     Scored{Candidate: Baseline(), Score: 0.5},
+		Pop: []Scored{
+			{Candidate: Baseline(), Score: 0.25},
+			{Candidate: Candidate{Genes: [NGenes]uint8{0, 1, 2, 3, 1}}, Score: 0.125},
+		},
+	}
+	valid := EncodeState(fp, st)
+	f.Add(valid)
+	f.Add(EncodeState(Fingerprint{Strategy: "hillclimb"}, &State{}))
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0xFF
+	f.Add(flipped)
+	f.Add([]byte("ROPT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gotFP, gotSt, err := DecodeState(data)
+		if err != nil {
+			return
+		}
+		blob := EncodeState(gotFP, gotSt)
+		againFP, againSt, err := DecodeState(blob)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint does not decode: %v", err)
+		}
+		if againFP != gotFP || !reflect.DeepEqual(againSt, gotSt) {
+			t.Fatal("decode(encode(decode(x))) != decode(x)")
+		}
+		if !bytes.Equal(EncodeState(againFP, againSt), blob) {
+			t.Fatal("encode is not deterministic")
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package optimize
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Eval is what one candidate evaluation observed: the steady-state
+// catchment census, optionally a probe-round classification, and the
+// convergence work the evaluation cost. Objectives read from it; the
+// harness fills it in.
+type Eval struct {
+	// Catchment census over every non-origin AS in the ecosystem.
+	REASes          int
+	CommodityASes   int
+	UnreachableASes int
+
+	// Probe-round classification counts (zero unless the objective
+	// asked for a probe via NeedsProbe).
+	ProbeRE        int
+	ProbeCommodity int
+	ProbeMixed     int
+	ProbeLoss      int
+
+	// Work metering for the warm-start savings accounting.
+	DecisionRuns int64
+	FullScans    int64
+}
+
+// Objective scores an evaluation; higher is better, and every built-in
+// objective scores in [0, 1] with 1 meaning the target distribution was
+// hit exactly.
+type Objective interface {
+	// Name is the canonical spec string; ParseSpec(Name()) round-trips.
+	Name() string
+	// NeedsProbe reports whether evaluations must run a probe round.
+	NeedsProbe() bool
+	// Score maps an evaluation to a figure of merit (higher is better).
+	Score(e Eval) float64
+}
+
+// CatchmentObjective targets a per-AS catchment split: TargetRE is the
+// desired fraction of non-origin ASes whose best path reaches the
+// measurement prefix over the R&E plane.
+type CatchmentObjective struct {
+	TargetRE float64
+}
+
+func (o CatchmentObjective) Name() string {
+	return "catchment:re=" + formatFrac(o.TargetRE)
+}
+
+func (o CatchmentObjective) NeedsProbe() bool { return false }
+
+// Score is 1 − |fracRE − target|, where fracRE is taken over the
+// reachable+unreachable population so losing reachability is penalised
+// rather than renormalised away.
+func (o CatchmentObjective) Score(e Eval) float64 {
+	total := e.REASes + e.CommodityASes + e.UnreachableASes
+	if total == 0 {
+		return 0
+	}
+	frac := float64(e.REASes) / float64(total)
+	d := frac - o.TargetRE
+	if d < 0 {
+		d = -d
+	}
+	return 1 - d
+}
+
+// ProbeObjective targets a probe-round classification distribution:
+// desired fractions of probed prefixes observed on the R&E plane, the
+// commodity plane, and lost. Mixed observations count half toward each
+// plane. Fractions need not sum to 1; the score is 1 minus half the L1
+// distance between the observed and target vectors.
+type ProbeObjective struct {
+	TargetRE        float64
+	TargetCommodity float64
+	TargetLoss      float64
+}
+
+func (o ProbeObjective) Name() string {
+	return fmt.Sprintf("probe:re=%s,commodity=%s,loss=%s",
+		formatFrac(o.TargetRE), formatFrac(o.TargetCommodity), formatFrac(o.TargetLoss))
+}
+
+func (o ProbeObjective) NeedsProbe() bool { return true }
+
+func (o ProbeObjective) Score(e Eval) float64 {
+	total := e.ProbeRE + e.ProbeCommodity + e.ProbeMixed + e.ProbeLoss
+	if total == 0 {
+		return 0
+	}
+	ft := float64(total)
+	re := (float64(e.ProbeRE) + float64(e.ProbeMixed)/2) / ft
+	com := (float64(e.ProbeCommodity) + float64(e.ProbeMixed)/2) / ft
+	loss := float64(e.ProbeLoss) / ft
+	l1 := abs(re-o.TargetRE) + abs(com-o.TargetCommodity) + abs(loss-o.TargetLoss)
+	return 1 - l1/2
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// formatFrac renders a fraction the way ParseSpec reads it back, so
+// Name() is canonical.
+func formatFrac(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// ParseSpec decodes an objective spec string:
+//
+//	catchment:re=<frac>
+//	probe:re=<frac>,commodity=<frac>,loss=<frac>
+//
+// Keys may appear in any order; omitted probe keys default to 0; every
+// fraction must be a finite value in [0, 1]. The returned objective's
+// Name() is the canonical form of the spec.
+func ParseSpec(spec string) (Objective, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	kv, err := parseKV(rest)
+	if err != nil {
+		return nil, fmt.Errorf("objective %q: %w", spec, err)
+	}
+	switch kind {
+	case "catchment":
+		if err := allowKeys(kv, "re"); err != nil {
+			return nil, fmt.Errorf("objective %q: %w", spec, err)
+		}
+		re, ok := kv["re"]
+		if !ok {
+			return nil, fmt.Errorf("objective %q: missing re=<frac>", spec)
+		}
+		return CatchmentObjective{TargetRE: re}, nil
+	case "probe":
+		if err := allowKeys(kv, "re", "commodity", "loss"); err != nil {
+			return nil, fmt.Errorf("objective %q: %w", spec, err)
+		}
+		if len(kv) == 0 {
+			return nil, fmt.Errorf("objective %q: needs at least one of re=,commodity=,loss=", spec)
+		}
+		return ProbeObjective{
+			TargetRE:        kv["re"],
+			TargetCommodity: kv["commodity"],
+			TargetLoss:      kv["loss"],
+		}, nil
+	default:
+		return nil, fmt.Errorf("objective %q: unknown kind %q (want catchment or probe)", spec, kind)
+	}
+}
+
+func parseKV(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("bad term %q (want key=frac)", part)
+		}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("duplicate key %q", k)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fraction %q for %q", v, k)
+		}
+		if !(f >= 0 && f <= 1) { // NaN fails this too
+			return nil, fmt.Errorf("fraction %q=%v out of [0,1]", k, f)
+		}
+		out[k] = f
+	}
+	return out, nil
+}
+
+func allowKeys(kv map[string]float64, allowed ...string) error {
+	for k := range kv {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			sort.Strings(allowed)
+			return fmt.Errorf("unknown key %q (want %s)", k, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package optimize
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
+)
+
+// Evaluator scores one candidate. Implementations must be safe for
+// concurrent calls (the Run loop fans a generation out over the worker
+// pool) and must be pure with respect to the candidate: the same
+// candidate always yields the same Eval regardless of evaluation order.
+// core implements this by rewinding a pristine converged snapshot per
+// evaluation.
+type Evaluator interface {
+	Evaluate(ctx context.Context, c Candidate) (Eval, error)
+}
+
+// TrajectoryPoint records the best-so-far score after a generation —
+// the search trajectory reported as score vs candidates evaluated.
+type TrajectoryPoint struct {
+	Generation int
+	Evaluated  int
+	BestScore  float64
+	BestLabel  string
+}
+
+// Progress is invoked serially after each generation is folded in.
+type Progress func(st *State, gen []Scored)
+
+// Options configures one search run.
+type Options struct {
+	// Seed keys every RNG stream; same seed, same search.
+	Seed int64
+	// Budget is the total candidate-evaluation budget. Zero means "no
+	// search": Run returns the baseline candidate unevaluated.
+	Budget int
+	// Lambda is the generation width (candidates proposed per
+	// generation); 0 means 4. The final generation is truncated to the
+	// remaining budget.
+	Lambda int
+	// Workers bounds concurrent evaluations (resolved via
+	// parallel.Workers). Results are byte-identical at any width.
+	Workers int
+	// Metrics receives opt_* counters and gauges; nil is allowed.
+	Metrics *telemetry.Registry
+	// Progress, if set, observes each generation (serially).
+	Progress Progress
+	// Resume, if set, is a prior checkpoint to continue from; its
+	// fingerprint must match this run's.
+	Resume *State
+}
+
+func (o Options) lambda() int {
+	if o.Lambda > 0 {
+		return o.Lambda
+	}
+	return 4
+}
+
+// Result is the outcome of a search run.
+type Result struct {
+	Strategy   string
+	Objective  string
+	Budget     int
+	Evaluated  int
+	Generation int
+	Restarts   int
+	Best       Scored
+	BestSet    bool
+	Trajectory []TrajectoryPoint
+	// State is the final search state (checkpointable).
+	State *State
+}
+
+// Run executes the search loop: propose a generation, evaluate it
+// concurrently with an ordered merge, fold it back serially, repeat
+// until the budget is spent. Candidate i of a batch draws from the RNG
+// stream keyed by its global ordinal, so proposals are independent of
+// both worker width and generation boundaries.
+func Run(ctx context.Context, obj Objective, sr Searcher, ev Evaluator, opts Options) (*Result, error) {
+	fp := Fingerprint{
+		Seed:      opts.Seed,
+		Strategy:  sr.Name(),
+		Objective: obj.Name(),
+		Budget:    opts.Budget,
+		Lambda:    opts.lambda(),
+	}
+	st := &State{}
+	if opts.Resume != nil {
+		cp := *opts.Resume
+		cp.Pop = append([]Scored(nil), opts.Resume.Pop...)
+		st = &cp
+	}
+
+	reg := opts.Metrics
+	evaluated := reg.Counter("opt_candidates_evaluated")
+	generations := reg.Counter("opt_generations_total")
+	bestScore := reg.Gauge("opt_best_score")
+
+	res := &Result{
+		Strategy:  fp.Strategy,
+		Objective: fp.Objective,
+		Budget:    opts.Budget,
+	}
+	if opts.Budget <= 0 {
+		// Zero budget returns the baseline config untouched — pinned by
+		// the property tests.
+		res.Best = Scored{Candidate: Baseline()}
+		res.State = st
+		return res, nil
+	}
+
+	workers := parallel.Workers(opts.Workers)
+	for st.Evaluated < opts.Budget {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		width := opts.lambda()
+		if rem := opts.Budget - st.Evaluated; width > rem {
+			width = rem
+		}
+		base := st.Evaluated
+		draw := func(i int) *rand.Rand {
+			return parallel.Rand(opts.Seed, uint64(base+i))
+		}
+		batch := sr.Propose(st, draw, width)
+		if len(batch) == 0 {
+			return nil, fmt.Errorf("optimize: strategy %s proposed an empty generation", sr.Name())
+		}
+		if len(batch) > width {
+			batch = batch[:width]
+		}
+		for i, c := range batch {
+			if !c.Valid() {
+				return nil, fmt.Errorf("optimize: strategy %s proposed invalid candidate %d: %v", sr.Name(), i, c.Genes)
+			}
+		}
+
+		type evalOut struct {
+			s   Scored
+			err error
+		}
+		// Shard size 1: each candidate is one shard, evaluated on the
+		// bounded pool; Collect merges in candidate order regardless of
+		// completion order.
+		outs := parallel.Collect(len(batch), 1, workers, func(sh parallel.Shard) evalOut {
+			c := batch[sh.Lo]
+			e, err := ev.Evaluate(ctx, c)
+			if err != nil {
+				return evalOut{err: fmt.Errorf("candidate %s: %w", c.Label(), err)}
+			}
+			return evalOut{s: Scored{Candidate: c, Score: obj.Score(e)}}
+		})
+		scored := make([]Scored, 0, len(outs))
+		for _, o := range outs {
+			if o.err != nil {
+				return nil, o.err
+			}
+			scored = append(scored, o.s)
+		}
+
+		sr.Observe(st, scored)
+		st.Generation++
+		st.Evaluated += len(scored)
+		evaluated.Add(int64(len(scored)))
+		generations.Inc()
+		if st.BestSet {
+			bestScore.Set(st.Best.Score)
+		}
+		res.Trajectory = append(res.Trajectory, TrajectoryPoint{
+			Generation: st.Generation,
+			Evaluated:  st.Evaluated,
+			BestScore:  st.Best.Score,
+			BestLabel:  st.Best.Candidate.Label(),
+		})
+		if opts.Progress != nil {
+			opts.Progress(st, scored)
+		}
+	}
+
+	res.Evaluated = st.Evaluated
+	res.Generation = st.Generation
+	res.Restarts = st.Restarts
+	res.Best = st.Best
+	res.BestSet = st.BestSet
+	res.State = st
+	return res, nil
+}
+
+// FingerprintFor exposes the fingerprint Run derives for a
+// (objective, strategy, options) triple, for checkpoint validation.
+func FingerprintFor(obj Objective, sr Searcher, opts Options) Fingerprint {
+	return Fingerprint{
+		Seed:      opts.Seed,
+		Strategy:  sr.Name(),
+		Objective: obj.Name(),
+		Budget:    opts.Budget,
+		Lambda:    opts.lambda(),
+	}
+}

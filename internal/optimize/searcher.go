@@ -1,0 +1,231 @@
+package optimize
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Scored pairs a candidate with its objective score.
+type Scored struct {
+	Candidate Candidate
+	Score     float64
+}
+
+// better orders Scored for selection: higher score first, then
+// lexicographically smaller genes — a total order, so every sort and
+// best-so-far update is deterministic.
+func better(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Candidate.Less(b.Candidate)
+}
+
+// State is the complete, codec-portable search state: everything a
+// strategy needs between generations. Checkpointing State (plus the
+// run's fingerprint) is sufficient to resume a search bit-exactly —
+// RNG cursors are implicit in Evaluated, since every random draw comes
+// from a stream keyed by the global candidate ordinal.
+type State struct {
+	Generation int
+	// Evaluated counts candidates scored so far; it is also the RNG
+	// cursor — candidate i of the next batch draws from the stream for
+	// ordinal Evaluated+i.
+	Evaluated int
+	Restarts  int
+	// Stall counts consecutive generations without a best improvement
+	// (hill-climb restarts when it hits the stall limit).
+	Stall int
+
+	// BestSet is false only before the first generation is observed.
+	BestSet bool
+	Best    Scored
+	// Cur is the hill-climb's current position (may trail Best after a
+	// restart).
+	Cur Scored
+	// Pop is the evolutionary parent population, kept sorted by better.
+	Pop []Scored
+}
+
+// Searcher is a search strategy: it proposes a generation of candidates
+// from the current state and folds the scored generation back in. Both
+// methods run serially in the Run loop; only evaluation is concurrent.
+type Searcher interface {
+	// Name is the strategy's spec string ("hillclimb" or "evolve").
+	Name() string
+	// Propose returns up to width candidates for the next generation.
+	// draw(i) yields the dedicated RNG stream for the batch's i-th
+	// candidate; a proposal must only use draw(i) for its own index so
+	// results are independent of batch width.
+	Propose(st *State, draw func(i int) *rand.Rand, width int) []Candidate
+	// Observe folds an ordered scored generation into the state.
+	Observe(st *State, scored []Scored)
+}
+
+// NewSearcher returns the strategy named by spec.
+func NewSearcher(spec string) (Searcher, error) {
+	switch spec {
+	case "hillclimb":
+		return &HillClimb{}, nil
+	case "evolve":
+		return &Evolve{Mu: 4}, nil
+	default:
+		return nil, fmt.Errorf("strategy %q: unknown (want hillclimb or evolve)", spec)
+	}
+}
+
+// HillClimb is a seeded stochastic hill-climb with random restarts:
+// each generation proposes mutations of the current position (the
+// baseline on the very first generation), moves when a proposal beats
+// it, and teleports to a random candidate after StallLimit generations
+// without improving the global best.
+type HillClimb struct {
+	// StallLimit is the number of non-improving generations before a
+	// restart; 0 means the default of 3.
+	StallLimit int
+}
+
+func (h *HillClimb) Name() string { return "hillclimb" }
+
+func (h *HillClimb) stallLimit() int {
+	if h.StallLimit > 0 {
+		return h.StallLimit
+	}
+	return 3
+}
+
+func (h *HillClimb) Propose(st *State, draw func(i int) *rand.Rand, width int) []Candidate {
+	out := make([]Candidate, 0, width)
+	if !st.BestSet {
+		// First generation: score the baseline itself, then mutations
+		// of it.
+		out = append(out, Baseline())
+		for i := 1; i < width; i++ {
+			out = append(out, Baseline().Mutate(draw(i)))
+		}
+		return out
+	}
+	if st.Stall >= h.stallLimit() {
+		// Restart: candidate 0 is a fresh random position, the rest are
+		// its neighbors. Observe sees the same Stall value and resets.
+		seed := Random(draw(0))
+		out = append(out, seed)
+		for i := 1; i < width; i++ {
+			out = append(out, seed.Mutate(draw(i)))
+		}
+		return out
+	}
+	for i := 0; i < width; i++ {
+		out = append(out, st.Cur.Candidate.Mutate(draw(i)))
+	}
+	return out
+}
+
+func (h *HillClimb) Observe(st *State, scored []Scored) {
+	if len(scored) == 0 {
+		return
+	}
+	restarted := st.BestSet && st.Stall >= h.stallLimit()
+	if restarted {
+		st.Restarts++
+		st.Stall = 0
+		// The restart abandons the current position: adopt the best of
+		// the fresh generation unconditionally.
+		st.Cur = scored[0]
+	}
+	improvedBest := false
+	for _, s := range scored {
+		if !st.BestSet {
+			st.BestSet = true
+			st.Best = s
+			st.Cur = s
+			improvedBest = true
+			continue
+		}
+		if better(s, st.Cur) {
+			st.Cur = s
+		}
+		if s.Score > st.Best.Score {
+			st.Best = s
+			improvedBest = true
+		}
+	}
+	if improvedBest {
+		st.Stall = 0
+	} else if !restarted {
+		st.Stall++
+	}
+}
+
+// Evolve is a (μ+λ) evolutionary loop: λ children are mutated from
+// RNG-picked parents each generation, merged with the μ parents, and
+// the best μ survive.
+type Evolve struct {
+	// Mu is the parent population size; 0 means the default of 4.
+	Mu int
+}
+
+func (e *Evolve) Name() string { return "evolve" }
+
+func (e *Evolve) mu() int {
+	if e.Mu > 0 {
+		return e.Mu
+	}
+	return 4
+}
+
+func (e *Evolve) Propose(st *State, draw func(i int) *rand.Rand, width int) []Candidate {
+	out := make([]Candidate, 0, width)
+	if len(st.Pop) == 0 {
+		// Seed generation: the baseline plus random immigrants.
+		out = append(out, Baseline())
+		for i := 1; i < width; i++ {
+			out = append(out, Random(draw(i)))
+		}
+		return out
+	}
+	for i := 0; i < width; i++ {
+		rng := draw(i)
+		parent := st.Pop[rng.Intn(len(st.Pop))]
+		out = append(out, parent.Candidate.Mutate(rng))
+	}
+	return out
+}
+
+func (e *Evolve) Observe(st *State, scored []Scored) {
+	if len(scored) == 0 {
+		return
+	}
+	merged := append(append([]Scored{}, st.Pop...), scored...)
+	sort.SliceStable(merged, func(i, j int) bool { return better(merged[i], merged[j]) })
+	// Drop exact duplicates so the population keeps diversity.
+	uniq := merged[:0]
+	for _, s := range merged {
+		if len(uniq) > 0 && uniq[len(uniq)-1].Candidate == s.Candidate {
+			continue
+		}
+		uniq = append(uniq, s)
+	}
+	if len(uniq) > e.mu() {
+		uniq = uniq[:e.mu()]
+	}
+	st.Pop = append([]Scored{}, uniq...)
+
+	improved := false
+	top := st.Pop[0]
+	if !st.BestSet {
+		st.BestSet = true
+		st.Best = top
+		improved = true
+	} else if top.Score > st.Best.Score {
+		st.Best = top
+		improved = true
+	}
+	st.Cur = top
+	if improved {
+		st.Stall = 0
+	} else {
+		st.Stall++
+	}
+}

@@ -1,0 +1,162 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/snapshot"
+)
+
+// ROPT container sections.
+const (
+	secFingerprint = 1
+	secState       = 2
+)
+
+// Fingerprint identifies the search a state checkpoint belongs to.
+// Resume refuses a checkpoint whose fingerprint differs from the run's
+// — continuing a search under a different seed, strategy, objective,
+// or budget would silently produce garbage.
+type Fingerprint struct {
+	Seed      int64
+	Strategy  string
+	Objective string
+	Budget    int
+	Lambda    int
+}
+
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("seed=%d strategy=%s objective=%s budget=%d lambda=%d",
+		f.Seed, f.Strategy, f.Objective, f.Budget, f.Lambda)
+}
+
+// EncodeState serializes a search-state checkpoint into the ROPT
+// container: fingerprint and state as separate sections, so a reader
+// can reject a mismatched checkpoint before touching the state.
+func EncodeState(fp Fingerprint, st *State) []byte {
+	w := snapshot.NewWriter(snapshot.SearchMagic, snapshot.SearchVersion)
+
+	var fe snapshot.Enc
+	fe.I64(fp.Seed)
+	fe.String(fp.Strategy)
+	fe.String(fp.Objective)
+	fe.Uvarint(uint64(fp.Budget))
+	fe.Uvarint(uint64(fp.Lambda))
+	w.Section(secFingerprint, fe.Bytes())
+
+	var se snapshot.Enc
+	se.Uvarint(uint64(st.Generation))
+	se.Uvarint(uint64(st.Evaluated))
+	se.Uvarint(uint64(st.Restarts))
+	se.Uvarint(uint64(st.Stall))
+	se.Bool(st.BestSet)
+	encScored(&se, st.Best)
+	encScored(&se, st.Cur)
+	se.Uvarint(uint64(len(st.Pop)))
+	for _, s := range st.Pop {
+		encScored(&se, s)
+	}
+	w.Section(secState, se.Bytes())
+	return w.Bytes()
+}
+
+func encScored(e *snapshot.Enc, s Scored) {
+	for _, g := range s.Candidate.Genes {
+		e.U8(g)
+	}
+	e.F64(s.Score)
+}
+
+// DecodeState parses an ROPT checkpoint, returning its fingerprint and
+// state. It never panics on malformed input (FuzzSearchStateRoundTrip
+// pins this) and validates every candidate against the gene
+// cardinalities.
+func DecodeState(data []byte) (Fingerprint, *State, error) {
+	var fp Fingerprint
+	secs, err := snapshot.DecodeSections(data, snapshot.SearchMagic, snapshot.SearchVersion)
+	if err != nil {
+		return fp, nil, err
+	}
+	var fpSec, stSec []byte
+	for _, s := range secs {
+		switch s.ID {
+		case secFingerprint:
+			fpSec = s.Payload
+		case secState:
+			stSec = s.Payload
+		}
+	}
+	if fpSec == nil || stSec == nil {
+		return fp, nil, fmt.Errorf("%w: search state missing sections", snapshot.ErrCorrupt)
+	}
+
+	fd := snapshot.NewDec(fpSec)
+	fp.Seed = fd.I64()
+	fp.Strategy = fd.String()
+	fp.Objective = fd.String()
+	fp.Budget = int(fd.Uvarint())
+	fp.Lambda = int(fd.Uvarint())
+	if err := fd.Done(); err != nil {
+		return Fingerprint{}, nil, err
+	}
+
+	sd := snapshot.NewDec(stSec)
+	st := &State{}
+	st.Generation = int(sd.Uvarint())
+	st.Evaluated = int(sd.Uvarint())
+	st.Restarts = int(sd.Uvarint())
+	st.Stall = int(sd.Uvarint())
+	st.BestSet = sd.Bool()
+	st.Best = decScored(sd)
+	st.Cur = decScored(sd)
+	n := sd.Count(NGenes + 8)
+	for i := 0; i < n; i++ {
+		st.Pop = append(st.Pop, decScored(sd))
+	}
+	if err := sd.Done(); err != nil {
+		return Fingerprint{}, nil, err
+	}
+	if err := validState(st); err != nil {
+		return Fingerprint{}, nil, err
+	}
+	return fp, st, nil
+}
+
+func decScored(d *snapshot.Dec) Scored {
+	var s Scored
+	for i := range s.Candidate.Genes {
+		s.Candidate.Genes[i] = d.U8()
+	}
+	s.Score = d.F64()
+	return s
+}
+
+func validState(st *State) error {
+	check := func(what string, s Scored, must bool) error {
+		if !must && s.Candidate == (Candidate{}) && s.Score == 0 {
+			return nil
+		}
+		if !s.Candidate.Valid() {
+			return fmt.Errorf("%w: %s candidate genes out of range", snapshot.ErrCorrupt, what)
+		}
+		if math.IsNaN(s.Score) || math.IsInf(s.Score, 0) {
+			return fmt.Errorf("%w: %s score is not finite", snapshot.ErrCorrupt, what)
+		}
+		return nil
+	}
+	if err := check("best", st.Best, st.BestSet); err != nil {
+		return err
+	}
+	if err := check("cur", st.Cur, st.BestSet); err != nil {
+		return err
+	}
+	for i, s := range st.Pop {
+		if err := check(fmt.Sprintf("pop[%d]", i), s, true); err != nil {
+			return err
+		}
+	}
+	if st.Generation < 0 || st.Evaluated < 0 || st.Restarts < 0 || st.Stall < 0 {
+		return fmt.Errorf("%w: negative search counters", snapshot.ErrCorrupt)
+	}
+	return nil
+}

@@ -11,12 +11,13 @@ import (
 	"repro/internal/cliconf"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/optimize"
 	"repro/internal/telemetry"
 )
 
 // jobKind is what a job runs: the two-experiment survey, the
-// fault-intensity sweep, a virtual-clock workload, or an adversarial
-// scenario sweep.
+// fault-intensity sweep, a virtual-clock workload, an adversarial
+// scenario sweep, or a policy-optimization search.
 type jobKind uint8
 
 const (
@@ -24,6 +25,9 @@ const (
 	kindSweep
 	kindWorkload
 	kindScenario
+	kindOptimize
+
+	numJobKinds
 )
 
 func (k jobKind) String() string {
@@ -34,6 +38,8 @@ func (k jobKind) String() string {
 		return "workload"
 	case kindScenario:
 		return "scenario"
+	case kindOptimize:
+		return "optimize"
 	}
 	return "survey"
 }
@@ -45,7 +51,8 @@ type JobSpec struct {
 	// Tenant names the submitting tenant for rate limiting; empty maps
 	// to "default".
 	Tenant string `json:"tenant,omitempty"`
-	// Kind is "survey" (default), "sweep", "workload", or "scenario".
+	// Kind is "survey" (default), "sweep", "workload", "scenario", or
+	// "optimize".
 	Kind string `json:"kind,omitempty"`
 	// Options configures the pipeline (fields as the CLI flags).
 	Options cliconf.JobOptions `json:"options"`
@@ -83,8 +90,13 @@ func (sp *JobSpec) Validate() error {
 		if sp.Options.Scenario == "" {
 			return fmt.Errorf("scenario job needs options.scenario (one of %v)", faults.ScenarioNames())
 		}
+	case "optimize":
+		sp.kind = kindOptimize
+		if sp.Options.Objective == "" {
+			return fmt.Errorf("optimize job needs options.objective (catchment:re=<frac> or probe:re=,commodity=,loss=)")
+		}
 	default:
-		return fmt.Errorf("unknown job kind %q: want \"survey\", \"sweep\", \"workload\", or \"scenario\"", sp.Kind)
+		return fmt.Errorf("unknown job kind %q: want \"survey\", \"sweep\", \"workload\", \"scenario\", or \"optimize\"", sp.Kind)
 	}
 	if sp.TimeoutSeconds < 0 {
 		return fmt.Errorf("timeout_seconds %v out of range: want >= 0", sp.TimeoutSeconds)
@@ -206,6 +218,32 @@ type scenarioSummary struct {
 	EndDigest        string  `json:"end_digest"`
 }
 
+// optimizePoint is one generation of the search trajectory.
+type optimizePoint struct {
+	Generation int     `json:"generation"`
+	Evaluated  int     `json:"evaluated"`
+	BestScore  float64 `json:"best_score"`
+	BestConfig string  `json:"best_config"`
+}
+
+// optimizeSummary is the deterministic JSON digest of one
+// policy-optimization search run.
+type optimizeSummary struct {
+	Objective        string          `json:"objective"`
+	Strategy         string          `json:"strategy"`
+	Budget           int             `json:"budget"`
+	Evaluated        int             `json:"evaluated"`
+	Generations      int             `json:"generations"`
+	Restarts         int             `json:"restarts"`
+	BaselineScore    float64         `json:"baseline_score"`
+	BestScore        float64         `json:"best_score"`
+	BestConfig       string          `json:"best_config"`
+	WarmRestores     int64           `json:"warm_restores"`
+	ColdBuilds       int64           `json:"cold_builds"`
+	EvalDecisionRuns int64           `json:"eval_decision_runs"`
+	Trajectory       []optimizePoint `json:"trajectory,omitempty"`
+}
+
 // jobOutput is the document GET /jobs/{id}/output serves: experiment
 // digests (or sweep points) plus the run's full telemetry manifest.
 // Every field serializes deterministically (JSON object keys and map
@@ -217,6 +255,7 @@ type jobOutput struct {
 	Sweep     []sweepSummary    `json:"sweep,omitempty"`
 	Workload  *workloadSummary  `json:"workload,omitempty"`
 	Scenario  []scenarioSummary `json:"scenario,omitempty"`
+	Optimize  *optimizeSummary  `json:"optimize,omitempty"`
 	Manifest  json.RawMessage   `json:"manifest"`
 }
 
@@ -395,6 +434,79 @@ func (s *Server) runScenario(ctx context.Context, j *Job) ([]byte, error) {
 	return renderOutput(j, reg, out)
 }
 
+// runOptimize executes a policy-optimization search job: stream
+// per-generation progress over SSE, checkpoint the encoded search
+// state after every generation, and — on recovery — resume from the
+// newest checkpoint whose fingerprint matches the job's configuration,
+// so a restarted search reproduces an uninterrupted one bit for bit.
+func (s *Server) runOptimize(ctx context.Context, j *Job) ([]byte, error) {
+	jobDir := filepath.Join(s.cfg.DataDir, j.ID)
+	reg := telemetry.New()
+	pl := j.Spec.Options.Pipeline(reg)
+	opts := pl.OptimizeOptions()
+
+	// The resume fingerprint is exactly what core.RunOptimizeContext
+	// will demand of the blob; deriving it here lets recovery skip
+	// stale or corrupt checkpoint files instead of failing the job.
+	if obj, err := optimize.ParseSpec(opts.Objective); err == nil {
+		if sr, err := optimize.NewSearcher(opts.Strategy); err == nil {
+			fp := optimize.FingerprintFor(obj, sr, optimize.Options{
+				Seed: opts.SearchSeed, Budget: opts.Budget, Lambda: opts.Lambda,
+			})
+			if blob := loadLatestSearchState(jobDir, fp); blob != nil {
+				opts.Resume = blob
+				s.reg.Counter("serve_jobs_resumed_total").Inc()
+			}
+		}
+	}
+
+	opts.Progress = func(p core.OptimizeProgress) {
+		s.publish(j, event{Type: "generation", Optimize: &p})
+	}
+	crashLeft := s.crashAfterCheckpoints
+	opts.Checkpoint = func(state []byte, p core.OptimizeProgress) {
+		if err := writeJobSearchState(jobDir, p.Generation, state); err != nil {
+			s.reg.Counter("serve_checkpoint_errors_total").Inc()
+			return
+		}
+		s.checkpointed(j)
+		if s.crashAfterCheckpoints > 0 {
+			crashLeft--
+			if crashLeft == 0 {
+				panic(errCrash)
+			}
+		}
+	}
+
+	res, err := core.RunOptimizeContext(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	sum := &optimizeSummary{
+		Objective:        res.Objective,
+		Strategy:         res.Strategy,
+		Budget:           res.Budget,
+		Evaluated:        res.Evaluated,
+		Generations:      res.Generations,
+		Restarts:         res.Restarts,
+		BaselineScore:    res.BaselineScore,
+		BestScore:        res.Best.Score,
+		BestConfig:       res.Best.Candidate.Label(),
+		WarmRestores:     res.WarmRestores,
+		ColdBuilds:       res.ColdBuilds,
+		EvalDecisionRuns: res.EvalDecisionRuns,
+	}
+	for _, p := range res.Trajectory {
+		sum.Trajectory = append(sum.Trajectory, optimizePoint{
+			Generation: p.Generation,
+			Evaluated:  p.Evaluated,
+			BestScore:  p.BestScore,
+			BestConfig: p.BestLabel,
+		})
+	}
+	return renderOutput(j, reg, &jobOutput{Optimize: sum})
+}
+
 // renderOutput attaches the job's telemetry manifest (wall times
 // zeroed for determinism) and serializes the output document.
 func renderOutput(j *Job, reg *telemetry.Registry, out *jobOutput) ([]byte, error) {
@@ -416,10 +528,12 @@ func renderOutput(j *Job, reg *telemetry.Registry, out *jobOutput) ([]byte, erro
 
 // --- progress events ---
 
-// event is one SSE payload: a round completing or a state change.
+// event is one SSE payload: a round completing, an optimizer
+// generation completing, or a state change.
 type event struct {
-	Type  string              `json:"type"` // "round" | "state"
-	Phase int                 `json:"phase,omitempty"`
-	Round *core.RoundProgress `json:"round,omitempty"`
-	State string              `json:"state,omitempty"`
+	Type     string                 `json:"type"` // "round" | "generation" | "state"
+	Phase    int                    `json:"phase,omitempty"`
+	Round    *core.RoundProgress    `json:"round,omitempty"`
+	Optimize *core.OptimizeProgress `json:"optimize,omitempty"`
+	State    string                 `json:"state,omitempty"`
 }

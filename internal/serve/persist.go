@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/optimize"
 	snap "repro/internal/snapshot"
 )
 
@@ -41,14 +42,27 @@ func jobID(seq uint64) string { return fmt.Sprintf("job-%06d", seq) }
 func encodeJob(r *jobRecord) []byte {
 	w := snap.NewWriter(snap.JobMagic, snap.JobVersion)
 
+	// v2 spec layout: the full portable JobOptions. v1 recorded only the
+	// survey/sweep subset (and rejected the other kinds on decode — a
+	// recovered workload job lost its workload name); decodeJob still
+	// reads v1 manifests with the historical layout.
 	var sp snap.Enc
 	sp.String(r.Spec.Tenant)
 	sp.U8(uint8(r.Spec.kind))
 	sp.Bool(r.Spec.Options.Small)
+	sp.String(r.Spec.Options.Scale)
 	sp.I64(r.Spec.Options.Seed)
 	sp.Uvarint(uint64(r.Spec.Options.Workers))
 	sp.F64(r.Spec.Options.Faults)
 	sp.Bool(r.Spec.Options.Incremental)
+	sp.String(r.Spec.Options.Workload)
+	sp.I64(r.Spec.Options.DurationSeconds)
+	sp.Bool(r.Spec.Options.RoundMode)
+	sp.String(r.Spec.Options.Scenario)
+	sp.F64(r.Spec.Options.ROV)
+	sp.String(r.Spec.Options.Objective)
+	sp.Uvarint(uint64(r.Spec.Options.Budget))
+	sp.String(r.Spec.Options.Strategy)
 	sp.F64(r.Spec.TimeoutSeconds)
 	w.Section(jobSecSpec, sp.Bytes())
 
@@ -63,7 +77,7 @@ func encodeJob(r *jobRecord) []byte {
 }
 
 func decodeJob(data []byte) (*jobRecord, error) {
-	secs, err := snap.DecodeSections(data, snap.JobMagic, snap.JobVersion)
+	secs, version, err := snap.DecodeSectionsVersioned(data, snap.JobMagic, snap.JobVersion)
 	if err != nil {
 		return nil, err
 	}
@@ -81,15 +95,34 @@ func decodeJob(data []byte) (*jobRecord, error) {
 	r.Spec.Tenant = d.String()
 	r.Spec.kind = jobKind(d.U8())
 	r.Spec.Options.Small = d.Bool()
+	if version >= 2 {
+		r.Spec.Options.Scale = d.String()
+	}
 	r.Spec.Options.Seed = d.I64()
 	r.Spec.Options.Workers = int(d.Uvarint())
 	r.Spec.Options.Faults = d.F64()
 	r.Spec.Options.Incremental = d.Bool()
+	if version >= 2 {
+		r.Spec.Options.Workload = d.String()
+		r.Spec.Options.DurationSeconds = d.I64()
+		r.Spec.Options.RoundMode = d.Bool()
+		r.Spec.Options.Scenario = d.String()
+		r.Spec.Options.ROV = d.F64()
+		r.Spec.Options.Objective = d.String()
+		r.Spec.Options.Budget = int(d.Uvarint())
+		r.Spec.Options.Strategy = d.String()
+	}
 	r.Spec.TimeoutSeconds = d.F64()
 	if err := d.Done(); err != nil {
 		return nil, err
 	}
-	if r.Spec.kind != kindSurvey && r.Spec.kind != kindSweep {
+	if version < 2 {
+		// v1 manifests only ever recorded survey and sweep jobs; any
+		// other kind byte is corruption, not a lost feature.
+		if r.Spec.kind != kindSurvey && r.Spec.kind != kindSweep {
+			return nil, fmt.Errorf("%w: job kind %d", snap.ErrCorrupt, r.Spec.kind)
+		}
+	} else if r.Spec.kind >= numJobKinds {
 		return nil, fmt.Errorf("%w: job kind %d", snap.ErrCorrupt, r.Spec.kind)
 	}
 	r.Spec.Kind = r.Spec.kind.String()
@@ -170,6 +203,57 @@ func writeJobCheckpoint(jobDir string, c *core.Checkpoint) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// --- per-job optimizer search-state checkpoints ---
+
+// Optimize jobs checkpoint the encoded search state (the ROPT codec,
+// optimize.EncodeState) after every generation, named by generation so
+// the files sort chronologically like the RCKP ones.
+
+func searchStateName(generation int) string {
+	return fmt.Sprintf("search-%04d.ropt", generation)
+}
+
+func writeJobSearchState(jobDir string, generation int, state []byte) error {
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(jobDir, searchStateName(generation))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, state, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadLatestSearchState returns the newest search-state blob in jobDir
+// whose fingerprint matches, skipping corrupt or mismatched files for
+// older ones, and nil when nothing usable exists (the search restarts
+// from generation zero).
+func loadLatestSearchState(jobDir string, want optimize.Fingerprint) []byte {
+	entries, err := os.ReadDir(jobDir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, ent := range entries {
+		if !ent.IsDir() && filepath.Ext(ent.Name()) == ".ropt" {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(jobDir, name))
+		if err != nil {
+			continue
+		}
+		if fp, _, err := optimize.DecodeState(data); err != nil || fp != want {
+			continue
+		}
+		return data
+	}
+	return nil
 }
 
 // loadLatestCheckpoint returns the newest valid checkpoint in jobDir

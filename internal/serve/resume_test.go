@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -101,6 +102,79 @@ func TestKillAndRestartByteEqual(t *testing.T) {
 				t.Fatalf("resumed output diverged from the uninterrupted run:\ncold    %d bytes\nresumed %d bytes", len(cold), len(resumed))
 			}
 		})
+	}
+}
+
+// TestOptimizeKillAndRestart: a server killed mid-search (via the
+// checkpoint crash knob) restarts on the same data dir, recovers the
+// job — the RJOB v2 manifest preserves the objective, budget, and
+// strategy — and resumes from the newest search-state checkpoint
+// instead of re-evaluating the finished generations. The resumed
+// search settles on the identical best configuration and score.
+func TestOptimizeKillAndRestart(t *testing.T) {
+	spec := JobSpec{Kind: "optimize", Options: cliconf.JobOptions{
+		Small: true, Seed: 1, Workers: 2, Incremental: true,
+		Objective: "catchment:re=0.3", Budget: 8, Strategy: "evolve",
+	}}
+	summaryOf := func(out []byte) *optimizeSummary {
+		t.Helper()
+		var doc jobOutput
+		if err := json.Unmarshal(out, &doc); err != nil || doc.Optimize == nil {
+			t.Fatalf("bad output document (%v): %s", err, out)
+		}
+		return doc.Optimize
+	}
+	cold := summaryOf(runToDone(t, t.TempDir(), spec))
+
+	// Crash after the first generation's durable search state.
+	dir := t.TempDir()
+	s := newTestServer(t, Config{DataDir: dir})
+	s.crashAfterCheckpoints = 1
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.done // released by the emulated crash, no terminal state
+	if st := s.jobState(j.ID); st != StateCheckpointed {
+		t.Fatalf("crashed job left in %s, want checkpointed", st)
+	}
+	ropts, _ := filepath.Glob(filepath.Join(dir, j.ID, "*.ropt"))
+	if len(ropts) != 1 {
+		t.Fatalf("crash left %d search-state files, want 1", len(ropts))
+	}
+
+	s2 := newTestServer(t, Config{DataDir: dir})
+	if got := s2.counter("serve_jobs_recovered_total"); got != 1 {
+		t.Fatalf("serve_jobs_recovered_total = %d, want 1", got)
+	}
+	s2.Start()
+	j2 := s2.job(j.ID)
+	if j2 == nil {
+		t.Fatalf("restarted server lost job %s", j.ID)
+	}
+	<-j2.done
+	if st := s2.jobState(j.ID); st != StateDone {
+		s2.mu.Lock()
+		msg := j2.errMsg
+		s2.mu.Unlock()
+		t.Fatalf("resumed job finished %s (%s), want done", st, msg)
+	}
+	if got := s2.counter("serve_jobs_resumed_total"); got != 1 {
+		t.Errorf("serve_jobs_resumed_total = %d, want 1", got)
+	}
+	s2.mu.Lock()
+	out := j2.output
+	s2.mu.Unlock()
+	resumed := summaryOf(out)
+	if resumed.BestScore != cold.BestScore || resumed.BestConfig != cold.BestConfig ||
+		resumed.Evaluated != cold.Evaluated {
+		t.Fatalf("resumed search diverged:\ncold    %+v\nresumed %+v", cold, resumed)
+	}
+	// The resumed run re-evaluated only the post-crash generations, so
+	// it cost strictly fewer evaluation decision runs than the cold run.
+	if resumed.EvalDecisionRuns >= cold.EvalDecisionRuns {
+		t.Errorf("resume did not save work: %d decision runs vs cold %d",
+			resumed.EvalDecisionRuns, cold.EvalDecisionRuns)
 	}
 }
 

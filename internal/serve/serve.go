@@ -243,6 +243,8 @@ func (s *Server) dispatch(ctx context.Context, j *Job) ([]byte, error) {
 		return s.runWorkload(ctx, j)
 	case kindScenario:
 		return s.runScenario(ctx, j)
+	case kindOptimize:
+		return s.runOptimize(ctx, j)
 	}
 	return s.runSurvey(ctx, j)
 }

@@ -8,12 +8,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/cliconf"
+	snap "repro/internal/snapshot"
 )
 
 // jobState reads a job's state under the server lock (test helper).
@@ -246,8 +248,13 @@ func TestSubmitValidation(t *testing.T) {
 		`{"kind": "workload", "options": {"workload": "bogus"}}`,  // cliconf name check
 		`{"kind": "workload", "options": {"workload": "update-storm", "duration_seconds": -5}}`,
 		`{"kind": "scenario"}`, // scenario without options.scenario
-		`{"kind": "scenario", "options": {"scenario": "bogus"}}`,         // cliconf name check
+		`{"kind": "scenario", "options": {"scenario": "bogus"}}`,            // cliconf name check
 		`{"kind": "scenario", "options": {"scenario": "hijack", "rov": 2}}`, // cliconf range check
+		`{"kind": "optimize"}`, // optimize without options.objective
+		`{"kind": "optimize", "options": {"objective": "summit:re=0.5"}}`,                  // cliconf spec check
+		`{"kind": "optimize", "options": {"objective": "catchment:re=2"}}`,                 // cliconf range check
+		`{"kind": "optimize", "options": {"objective": "catchment:re=0.5", "budget": -1}}`, // cliconf range check
+		`{"kind": "optimize", "options": {"objective": "catchment:re=0.5", "strategy": "anneal"}}`,
 		`{"options": {"faults": 2}}`,           // cliconf range check
 		`{"options": {"workers": -1}}`,         // cliconf range check
 		`{"timeout_seconds": -1}`,              // negative deadline
@@ -362,6 +369,76 @@ func TestScenarioJob(t *testing.T) {
 
 	if out2 := run(); !bytes.Equal(out1, out2) {
 		t.Fatalf("scenario job output not reproducible:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+// TestOptimizeJob runs a policy-optimization search job through the
+// real dispatcher end to end: the output document carries the search
+// summary, per-generation progress is published to the event stream,
+// the search state is checkpointed durably after every generation, and
+// a second identical submission reproduces the output byte for byte.
+func TestOptimizeJob(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{DataDir: dir})
+	spec := JobSpec{Kind: "optimize", Options: cliconf.JobOptions{
+		Small: true, Seed: 1, Workers: 2, Incremental: true,
+		Objective: "catchment:re=0.3", Budget: 8, Strategy: "evolve",
+	}}
+	run := func() (*Job, []byte) {
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-j.done
+		s.mu.Lock()
+		state, out := j.state, j.output
+		s.mu.Unlock()
+		if state != StateDone {
+			t.Fatalf("job state %s, want done", state)
+		}
+		return j, out
+	}
+	j1, out1 := run()
+
+	var doc jobOutput
+	if err := json.Unmarshal(out1, &doc); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if doc.Optimize == nil {
+		t.Fatal("output has no optimize summary")
+	}
+	o := doc.Optimize
+	if o.Objective != "catchment:re=0.3" || o.Strategy != "evolve" || o.Evaluated != 8 {
+		t.Fatalf("implausible summary: %+v", o)
+	}
+	if o.BestScore < o.BaselineScore {
+		t.Fatalf("best %v below baseline %v", o.BestScore, o.BaselineScore)
+	}
+	if o.WarmRestores == 0 || len(o.Trajectory) == 0 {
+		t.Fatalf("warm restores %d, trajectory %d points", o.WarmRestores, len(o.Trajectory))
+	}
+
+	// Per-generation progress reached the event stream.
+	s.mu.Lock()
+	generations := 0
+	for _, line := range j1.events {
+		if strings.Contains(line, `"type":"generation"`) {
+			generations++
+		}
+	}
+	s.mu.Unlock()
+	if generations != o.Generations {
+		t.Errorf("%d generation events for %d generations", generations, o.Generations)
+	}
+
+	// The search state was checkpointed durably after every generation.
+	ropts, _ := filepath.Glob(filepath.Join(dir, j1.ID, "*.ropt"))
+	if len(ropts) != o.Generations {
+		t.Errorf("%d search-state files for %d generations", len(ropts), o.Generations)
+	}
+
+	if _, out2 := run(); !bytes.Equal(out1, out2) {
+		t.Fatalf("optimize job output not reproducible:\n%s\nvs\n%s", out1, out2)
 	}
 }
 
@@ -542,30 +619,105 @@ func TestShutdownAbandonsPastTimeout(t *testing.T) {
 	}
 }
 
-// TestJobRecordRoundTrip pins the RJOB codec.
+// TestJobRecordRoundTrip pins the RJOB v2 codec: every portable job
+// option — including the workload, scenario, and optimizer fields v1
+// silently dropped — survives the round trip, for every job kind.
 func TestJobRecordRoundTrip(t *testing.T) {
-	r := &jobRecord{
-		Seq: 7,
-		Spec: JobSpec{
+	for _, spec := range []JobSpec{
+		{
 			Tenant:         "alice",
 			Kind:           "sweep",
 			kind:           kindSweep,
 			Options:        cliconf.JobOptions{Small: true, Seed: 42, Workers: 3, Faults: 0.5, Incremental: true},
 			TimeoutSeconds: 30,
 		},
-		State:  StateCheckpointed,
-		Error:  "transient",
-		Output: []byte(`{"x":1}`),
+		{
+			Tenant: "bob",
+			Kind:   "workload",
+			kind:   kindWorkload,
+			Options: cliconf.JobOptions{
+				Small: true, Seed: 7, Incremental: true,
+				Workload: "update-storm", DurationSeconds: 600, RoundMode: true,
+			},
+		},
+		{
+			Tenant: "carol",
+			Kind:   "scenario",
+			kind:   kindScenario,
+			Options: cliconf.JobOptions{
+				Scale: "paper", Seed: 9, Scenario: "hijack", ROV: 0.5,
+			},
+		},
+		{
+			Tenant: "dave",
+			Kind:   "optimize",
+			kind:   kindOptimize,
+			Options: cliconf.JobOptions{
+				Small: true, Seed: 11, Workers: 2, Incremental: true,
+				Objective: "catchment:re=0.3", Budget: 16, Strategy: "evolve",
+			},
+		},
+	} {
+		r := &jobRecord{
+			Seq:    7,
+			Spec:   spec,
+			State:  StateCheckpointed,
+			Error:  "transient",
+			Output: []byte(`{"x":1}`),
+		}
+		got, err := decodeJob(encodeJob(r))
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		if got.Seq != r.Seq || got.Spec != r.Spec || got.State != r.State ||
+			got.Error != r.Error || !bytes.Equal(got.Output, r.Output) {
+			t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, r)
+		}
 	}
-	got, err := decodeJob(encodeJob(r))
+	r := &jobRecord{Spec: JobSpec{Tenant: "x", Kind: "survey", kind: kindSurvey}}
+	if _, err := decodeJob(encodeJob(r)[:10]); err == nil {
+		t.Error("truncated job manifest decoded without error")
+	}
+}
+
+// TestJobRecordV1Compat: v1 manifests written before the job options
+// grew workload/scenario/optimizer fields still decode, with the
+// historical field set and the historical survey/sweep kind gate.
+func TestJobRecordV1Compat(t *testing.T) {
+	encodeV1 := func(kind jobKind) []byte {
+		w := snap.NewWriter(snap.JobMagic, 1)
+		var sp snap.Enc
+		sp.String("alice")
+		sp.U8(uint8(kind))
+		sp.Bool(true) // Small
+		sp.I64(42)    // Seed
+		sp.Uvarint(3) // Workers
+		sp.F64(0.5)   // Faults
+		sp.Bool(true) // Incremental
+		sp.F64(30)    // TimeoutSeconds
+		w.Section(jobSecSpec, sp.Bytes())
+		var st snap.Enc
+		st.Uvarint(7)
+		st.U8(uint8(StateDone))
+		st.String("")
+		w.Section(jobSecState, st.Bytes())
+		w.Section(jobSecOutput, []byte(`{"x":1}`))
+		return w.Bytes()
+	}
+	got, err := decodeJob(encodeV1(kindSweep))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Seq != r.Seq || got.Spec != r.Spec || got.State != r.State ||
-		got.Error != r.Error || !bytes.Equal(got.Output, r.Output) {
-		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, r)
+	want := JobSpec{
+		Tenant: "alice", Kind: "sweep", kind: kindSweep,
+		Options:        cliconf.JobOptions{Small: true, Seed: 42, Workers: 3, Faults: 0.5, Incremental: true},
+		TimeoutSeconds: 30,
 	}
-	if _, err := decodeJob(encodeJob(r)[:10]); err == nil {
-		t.Error("truncated job manifest decoded without error")
+	if got.Spec != want || got.Seq != 7 || got.State != StateDone {
+		t.Fatalf("v1 decode diverged:\n got %+v\nwant %+v", got.Spec, want)
+	}
+	// v1 never recorded the newer kinds; such a kind byte is corruption.
+	if _, err := decodeJob(encodeV1(kindOptimize)); err == nil {
+		t.Error("v1 manifest with an optimize kind byte decoded without error")
 	}
 }

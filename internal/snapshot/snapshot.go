@@ -33,8 +33,13 @@ const (
 	EngineVersion = 2
 	// CheckpointVersion is the resurvey checkpoint format version.
 	CheckpointVersion = 1
-	// JobVersion is the resurveyd job-manifest format version.
-	JobVersion = 1
+	// JobVersion is the resurveyd job-manifest format version. v2
+	// carries the full portable job options (workload, scenario, and
+	// optimizer fields) and admits every job kind; v1 manifests, which
+	// recorded only survey/sweep jobs, remain decodable.
+	JobVersion = 2
+	// SearchVersion is the optimizer search-state format version.
+	SearchVersion = 1
 )
 
 // Magic numbers distinguishing the container uses.
@@ -47,6 +52,10 @@ const (
 	// record of one submitted job's identity, options, and lifecycle
 	// state that lets a restarted server resume interrupted jobs.
 	JobMagic = "RJOB"
+	// SearchMagic opens an optimizer search-state checkpoint ("R&E
+	// optimize"): the best-so-far candidate, generation counter, and
+	// RNG cursors a resumed search continues from.
+	SearchMagic = "ROPT"
 )
 
 // maxSnapshotBytes bounds how much a reader will buffer. Real
